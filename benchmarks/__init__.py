@@ -1,0 +1,10 @@
+"""Benchmark harness regenerating every table/figure and textual claim.
+
+One module per experiment id from DESIGN.md's index; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and assemble the paper-versus-measured tables with::
+
+    python benchmarks/report.py
+"""

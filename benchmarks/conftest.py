@@ -1,0 +1,152 @@
+"""Shared benchmark fixtures and helpers.
+
+Every module regenerates one experiment from DESIGN.md's index (T1, C1…
+C6, A1/A2).  Helpers here build the paper's three structures both ways —
+through xml2wire and through direct PBIO registration — on the Table 1
+reference architecture (big-endian ILP32 SPARC; see DESIGN.md §3).
+"""
+
+import pytest
+
+from repro import IOContext, SPARC_32, XML2Wire
+from repro.arch import FieldDecl, layout_struct
+from repro.pbio import IOField
+from repro.workloads import (
+    ASDOFF_A_SCHEMA,
+    ASDOFF_B_SCHEMA,
+    ASDOFF_CD_SCHEMA,
+    AirlineWorkload,
+)
+
+#: Table 1 rows: (label, schema, format under test).
+TABLE1_ROWS = [
+    ("A/32B", ASDOFF_A_SCHEMA, "ASDOffEvent"),
+    ("B/52B", ASDOFF_B_SCHEMA, "ASDOffEvent"),
+    ("CD/180B", ASDOFF_CD_SCHEMA, "threeASDOffs"),
+]
+
+
+def xml2wire_register(schema, arch=SPARC_32):
+    """The xml2wire path: parse the XML document and register."""
+    tool = XML2Wire(IOContext(arch))
+    return tool.register_schema(schema)[-1]
+
+
+def pbio_fields_a(arch):
+    lay = layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrID", "char*"), FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"), FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"), FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long"), FieldDecl("eta", "unsigned long"),
+        ],
+    )
+    p, ul, i = arch.pointer_size, arch.sizeof("unsigned long"), arch.sizeof("int")
+    fields = [
+        IOField("cntrID", "string", p, lay.offsetof("cntrID")),
+        IOField("arln", "string", p, lay.offsetof("arln")),
+        IOField("fltNum", "integer", i, lay.offsetof("fltNum")),
+        IOField("equip", "string", p, lay.offsetof("equip")),
+        IOField("org", "string", p, lay.offsetof("org")),
+        IOField("dest", "string", p, lay.offsetof("dest")),
+        IOField("off", "unsigned integer", ul, lay.offsetof("off")),
+        IOField("eta", "unsigned integer", ul, lay.offsetof("eta")),
+    ]
+    return fields, lay.size
+
+
+def pbio_fields_b(arch):
+    lay = layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrID", "char*"), FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"), FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"), FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long", count=5),
+            FieldDecl("eta", "unsigned long*"), FieldDecl("eta_count", "int"),
+        ],
+    )
+    p, ul, i = arch.pointer_size, arch.sizeof("unsigned long"), arch.sizeof("int")
+    fields = [
+        IOField("cntrID", "string", p, lay.offsetof("cntrID")),
+        IOField("arln", "string", p, lay.offsetof("arln")),
+        IOField("fltNum", "integer", i, lay.offsetof("fltNum")),
+        IOField("equip", "string", p, lay.offsetof("equip")),
+        IOField("org", "string", p, lay.offsetof("org")),
+        IOField("dest", "string", p, lay.offsetof("dest")),
+        IOField("off", "unsigned integer[5]", ul, lay.offsetof("off")),
+        IOField("eta", "unsigned integer[eta_count]", ul, lay.offsetof("eta")),
+        IOField("eta_count", "integer", i, lay.offsetof("eta_count")),
+    ]
+    return fields, lay.size
+
+
+def pbio_register_a(arch=SPARC_32):
+    """Direct PBIO registration of Structure A (the Figure 5 path)."""
+    context = IOContext(arch)
+    fields, size = pbio_fields_a(arch)
+    return context.register_format("ASDOffEvent", fields, record_length=size)
+
+
+def pbio_register_b(arch=SPARC_32):
+    context = IOContext(arch)
+    fields, size = pbio_fields_b(arch)
+    return context.register_format("ASDOffEvent", fields, record_length=size)
+
+
+def pbio_register_cd(arch=SPARC_32):
+    """Direct PBIO registration of Structures C and D (Figure 11)."""
+    context = IOContext(arch)
+    fields, size = pbio_fields_b(arch)
+    inner = context.register_format("ASDOffEvent", fields, record_length=size)
+    double_size = arch.sizeof("double")
+    outer_lay = layout_struct(
+        arch,
+        "threeASDOffs",
+        [
+            FieldDecl("one", _inner_layout(arch)),
+            FieldDecl("bart", "double"),
+            FieldDecl("two", _inner_layout(arch)),
+            FieldDecl("lisa", "double"),
+            FieldDecl("three", _inner_layout(arch)),
+        ],
+    )
+    outer_fields = [
+        IOField("one", "ASDOffEvent", size, outer_lay.offsetof("one")),
+        IOField("bart", "double", double_size, outer_lay.offsetof("bart")),
+        IOField("two", "ASDOffEvent", size, outer_lay.offsetof("two")),
+        IOField("lisa", "double", double_size, outer_lay.offsetof("lisa")),
+        IOField("three", "ASDOffEvent", size, outer_lay.offsetof("three")),
+    ]
+    return context.register_format(
+        "threeASDOffs", outer_fields, record_length=outer_lay.size
+    )
+
+
+def _inner_layout(arch):
+    return layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrID", "char*"), FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"), FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"), FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long", count=5),
+            FieldDecl("eta", "unsigned long*"), FieldDecl("eta_count", "int"),
+        ],
+    )
+
+
+PBIO_REGISTRARS = {
+    "A/32B": pbio_register_a,
+    "B/52B": pbio_register_b,
+    "CD/180B": pbio_register_cd,
+}
+
+
+@pytest.fixture
+def airline():
+    return AirlineWorkload(seed=1204)

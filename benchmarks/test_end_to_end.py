@@ -1,0 +1,121 @@
+"""Experiment C4b — end-to-end latency between two endpoints.
+
+Paper (§5): "The final version of this paper will contain measurements
+of end-to-end latency of communication between two endpoints.  These
+comparisons will illustrate that the overhead introduced by using
+XML-based metadata is negligible in the context of the total
+transmission time."
+
+We run that experiment: one-record request/response latency over a real
+loopback TCP connection and over the in-process pipe, with formats
+registered via xml2wire versus compiled-in PBIO metadata.  The protocol,
+wire bytes and converters are identical in both cases — the measured
+difference is pure noise, which is the paper's point.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    IOContext,
+    RecordConnection,
+    SPARC_32,
+    X86_64,
+    XML2Wire,
+    connect,
+    listen,
+    make_pipe,
+)
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+from benchmarks.conftest import pbio_register_b
+
+
+def xml2wire_context(arch):
+    context = IOContext(arch)
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    return context
+
+
+def compiled_context(arch):
+    context = IOContext(arch)
+    context.adopt_format(pbio_register_b(arch))
+    return context
+
+
+def ping_pong_inproc(benchmark, make_context, airline):
+    a, b = make_pipe()
+    sender = RecordConnection(make_context(SPARC_32), a)
+    echoer = RecordConnection(make_context(X86_64), b)
+    record = airline.record_b()
+
+    stop = threading.Event()
+
+    def echo_loop():
+        while not stop.is_set():
+            try:
+                received = echoer.recv(timeout=0.5)
+            except Exception:
+                continue
+            echoer.send("ASDOffEvent", received.values)
+
+    thread = threading.Thread(target=echo_loop, daemon=True)
+    thread.start()
+
+    def roundtrip():
+        sender.send("ASDOffEvent", record)
+        return sender.recv(timeout=5)
+
+    roundtrip()  # warm converters and format push
+    result = benchmark(roundtrip)
+    stop.set()
+    thread.join(timeout=2)
+    assert result.values == record
+
+
+class TestInprocLatency:
+    def test_latency_with_xml2wire_metadata(self, benchmark, airline):
+        ping_pong_inproc(benchmark, xml2wire_context, airline)
+
+    def test_latency_with_compiled_metadata(self, benchmark, airline):
+        ping_pong_inproc(benchmark, compiled_context, airline)
+
+
+class TestTCPLatency:
+    def _run(self, benchmark, make_context, airline):
+        listener = listen()
+        host, port = listener.address
+        record = airline.record_b()
+        stop = threading.Event()
+
+        def server_loop():
+            connection = RecordConnection(make_context(X86_64), listener.accept(timeout=10))
+            while not stop.is_set():
+                try:
+                    received = connection.recv(timeout=0.5)
+                except Exception:
+                    continue
+                connection.send("ASDOffEvent", received.values)
+
+        thread = threading.Thread(target=server_loop, daemon=True)
+        thread.start()
+        client = RecordConnection(make_context(SPARC_32), connect(host, port))
+
+        def roundtrip():
+            client.send("ASDOffEvent", record)
+            return client.recv(timeout=5)
+
+        roundtrip()
+        result = benchmark(roundtrip)
+        stop.set()
+        thread.join(timeout=2)
+        client.close()
+        listener.close()
+        assert result.values == record
+
+    def test_tcp_latency_with_xml2wire_metadata(self, benchmark, airline):
+        self._run(benchmark, xml2wire_context, airline)
+
+    def test_tcp_latency_with_compiled_metadata(self, benchmark, airline):
+        self._run(benchmark, compiled_context, airline)

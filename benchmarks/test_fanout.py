@@ -1,0 +1,84 @@
+"""Experiment C7 — server fan-out scalability.
+
+Paper (§1): binary transmission matters for "server-based applications
+in which single servers must provide information to large numbers of
+clients", where "scalability to many information clients and sources
+implies the need to reduce per-client or per-source processing".
+
+The structural win measured here: an NDR server encodes each record
+*once* and fans the same bytes out to N subscribers (the backbone routes
+opaque buffers); a text-XML server still encodes once, but every client
+pays a full XML parse, and the bytes fanned out are ~4-6x larger.  We
+time one publish + N client decodes for N in {1, 8, 64, 256}.
+"""
+
+import pytest
+
+from repro import IOContext, SPARC_32, X86_64, XMLTextCodec, XML2Wire
+from repro.events import EventBackbone
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+CLIENTS = [1, 8, 64, 256]
+
+
+@pytest.mark.parametrize("clients", CLIENTS, ids=lambda c: f"{c}-clients")
+def test_fanout_ndr(benchmark, clients, airline):
+    sender = IOContext(SPARC_32)
+    XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+    fmt = sender.lookup_format("ASDOffEvent")
+    record = airline.record_b()
+    receivers = []
+    for _ in range(clients):
+        receiver = IOContext(X86_64)
+        receiver.learn_format(fmt.to_wire_metadata())
+        receiver.decode(sender.encode(fmt, record))  # warm converter
+        receivers.append(receiver)
+
+    def serve():
+        message = sender.encode(fmt, record)  # encode once
+        for receiver in receivers:
+            receiver.decode(message)  # each client converts its copy
+
+    benchmark(serve)
+
+
+@pytest.mark.parametrize("clients", CLIENTS, ids=lambda c: f"{c}-clients")
+def test_fanout_xmltext(benchmark, clients, airline):
+    context = IOContext(SPARC_32)
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    codec = XMLTextCodec(context.lookup_format("ASDOffEvent"))
+    record = airline.record_b()
+
+    def serve():
+        message = codec.encode(record)  # encode once here too
+        for _ in range(clients):
+            codec.decode(message)  # each client parses XML text
+
+    benchmark(serve)
+
+
+def test_backbone_fanout_end_to_end(benchmark, airline):
+    """The same comparison through the event backbone: 64 subscribers
+    on three heterogeneous receiver architectures."""
+    from repro.arch import ALPHA, X86_32
+
+    backbone = EventBackbone()
+    sender = IOContext(SPARC_32)
+    XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+    publisher = backbone.publisher("s", sender)
+    record = airline.record_b()
+    subscriptions = [
+        backbone.subscribe("s", IOContext(arch))
+        for arch in (X86_64, X86_32, ALPHA) * 21 + (X86_64,)
+    ]
+    publisher.publish("ASDOffEvent", record)  # pushes metadata
+    for subscription in subscriptions:
+        subscription.next(timeout=5)  # absorb + warm converters
+
+    def fanout():
+        publisher.publish("ASDOffEvent", record)
+        for subscription in subscriptions:
+            subscription.next(timeout=5)
+
+    benchmark(fanout)
+    assert len(subscriptions) == 64

@@ -1,0 +1,227 @@
+"""Experiment C1 — NDR versus XDR (and A2, reader-makes-right).
+
+Paper claim (§1): "when transmitting structured binary data, we show
+substantial (often exceeding 50%) performance gains compared to
+commercial platforms that use XDR-based data representations."
+
+The cost structure being measured:
+
+- XDR converts *twice* per message (sender: native → canonical;
+  receiver: canonical → native) and widens small fields, regardless of
+  endpoint homogeneity;
+- NDR converts at most *once* (receiver side, only when architectures
+  differ), with a routine generated for the exact format pair;
+- on homogeneous pairs NDR's conversion degenerates to plain unpacking
+  (the A2 "reader-makes-right beats canonical" ablation).
+
+Benchmarks cover the marshal+unmarshal round trip for the paper's
+Structure B and for bulk numeric payloads of 1 KiB - 64 KiB.
+"""
+
+import pytest
+
+from repro import IOContext, SPARC_32, X86_64, XDRCodec, XML2Wire
+from repro.arch import NATIVE
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload, SyntheticWorkload
+
+PAYLOADS = [1024, 8192, 65536]
+
+
+def setup_ndr(sender_arch, receiver_arch, schema, format_name):
+    sender = IOContext(sender_arch)
+    XML2Wire(sender).register_schema(schema)
+    fmt = sender.lookup_format(format_name)
+    receiver = IOContext(receiver_arch)
+    receiver.learn_format(fmt.to_wire_metadata())
+    return sender, fmt, receiver
+
+
+def setup_xdr(schema, format_name):
+    context = IOContext(SPARC_32)
+    XML2Wire(context).register_schema(schema)
+    return XDRCodec(context.lookup_format(format_name))
+
+
+class TestStructureB:
+    """The paper's own record shape: strings + arrays + scalars."""
+
+    def test_ndr_heterogeneous_roundtrip(self, benchmark, airline):
+        sender, fmt, receiver = setup_ndr(
+            SPARC_32, X86_64, ASDOFF_B_SCHEMA, "ASDOffEvent"
+        )
+        record = airline.record_b()
+        receiver.decode(sender.encode(fmt, record))  # warm converter cache
+
+        def roundtrip():
+            return receiver.decode(sender.encode(fmt, record))
+
+        result = benchmark(roundtrip)
+        assert result.values == record
+
+    def test_ndr_homogeneous_roundtrip(self, benchmark, airline):
+        """A2: reader-makes-right on matched endpoints — no byte swap."""
+        sender, fmt, receiver = setup_ndr(
+            NATIVE, NATIVE, ASDOFF_B_SCHEMA, "ASDOffEvent"
+        )
+        record = airline.record_b()
+        receiver.decode(sender.encode(fmt, record))
+
+        def roundtrip():
+            return receiver.decode(sender.encode(fmt, record))
+
+        result = benchmark(roundtrip)
+        assert result.values == record
+
+    def test_xdr_roundtrip(self, benchmark, airline):
+        codec = setup_xdr(ASDOFF_B_SCHEMA, "ASDOffEvent")
+        record = airline.record_b()
+
+        def roundtrip():
+            return codec.decode(codec.encode(record))
+
+        result = benchmark(roundtrip)
+        assert result == record
+
+    def test_xdr_generated_roundtrip(self, benchmark, airline):
+        """XDR with rpcgen-style generated stubs — the fairest XDR:
+        both systems compiled, the gap is pure format cost."""
+        from repro.wire.xdrgen import make_generated_xdr
+
+        context = IOContext(SPARC_32)
+        XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+        encode, decode = make_generated_xdr(context.lookup_format("ASDOffEvent"))
+        record = airline.record_b()
+
+        def roundtrip():
+            return decode(encode(record))
+
+        result = benchmark(roundtrip)
+        assert result == record
+
+    def test_cdr_roundtrip(self, benchmark, airline):
+        """A2's comparator class: IIOP-style reader-makes-right."""
+        from repro.wire import CDRCodec
+
+        context = IOContext(SPARC_32)
+        XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+        codec = CDRCodec(context.lookup_format("ASDOffEvent"))
+        record = airline.record_b()
+
+        def roundtrip():
+            return codec.decode(codec.encode(record))
+
+        result = benchmark(roundtrip)
+        assert result == record
+
+
+@pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: f"{p // 1024}KiB")
+class TestBulkNumeric:
+    """Scientific-data shape: one large double array."""
+
+    def _workload(self, payload):
+        workload = SyntheticWorkload(4, mix="numeric", array_field=True)
+        return workload, workload.record_of_payload(payload)
+
+    def test_ndr_heterogeneous(self, benchmark, payload):
+        workload, record = self._workload(payload)
+        sender, fmt, receiver = setup_ndr(
+            SPARC_32, X86_64, workload.schema, "Synthetic"
+        )
+        receiver.decode(sender.encode(fmt, record))
+
+        def roundtrip():
+            return receiver.decode(sender.encode(fmt, record))
+
+        benchmark(roundtrip)
+
+    def test_xdr(self, benchmark, payload):
+        workload, record = self._workload(payload)
+        codec = setup_xdr(workload.schema, "Synthetic")
+
+        def roundtrip():
+            return codec.decode(codec.encode(record))
+
+        benchmark(roundtrip)
+
+
+def test_ndr_beats_xdr_by_half(benchmark, airline):
+    """The headline >50% claim, against descriptor-driven XDR.
+
+    The paper's comparators were "commercial platforms that use
+    XDR-based data representations" — MPI datatype engines and
+    TIBCO-style middleware that marshal by walking type descriptors at
+    run time.  :class:`XDRCodec` models exactly that; NDR with its
+    generated routines must beat it by >=1.5x.  (The fully-compiled
+    rpcgen comparison is ablation A4 below.)"""
+    import time
+
+    record = airline.record_b()
+    sender, fmt, receiver = setup_ndr(SPARC_32, X86_64, ASDOFF_B_SCHEMA, "ASDOffEvent")
+    codec = setup_xdr(ASDOFF_B_SCHEMA, "ASDOffEvent")
+    receiver.decode(sender.encode(fmt, record))
+
+    rounds = 2000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        receiver.decode(sender.encode(fmt, record))
+    ndr_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        codec.decode(codec.encode(record))
+    xdr_time = time.perf_counter() - start
+
+    assert xdr_time > 1.5 * ndr_time, (
+        f"NDR {ndr_time:.3f}s vs descriptor XDR {xdr_time:.3f}s — "
+        f"expected >=1.5x gap"
+    )
+    benchmark.extra_info["xdr_over_ndr"] = round(xdr_time / ndr_time, 2)
+    benchmark(lambda: receiver.decode(sender.encode(fmt, record)))
+
+
+def test_a4_compiled_stub_parity(benchmark, airline):
+    """Ablation A4: when BOTH systems get generated routines, the gap in
+    this Python substrate collapses to rough parity for small records.
+
+    This is a substrate effect worth pinning down: in Python the cost of
+    converting Python objects to bytes dominates and is paid by every
+    wire format; NDR's C-era advantage (memcpy beats per-field
+    conversion) has no Python analogue.  What our substrate *does*
+    reproduce is the mechanism the paper credits: dynamic code
+    generation beats descriptor interpretation several-fold (A1, and
+    the generated-vs-interpreted XDR ratio asserted here)."""
+    import time
+
+    from repro.pbio.decode import ConverterCache
+    from repro.pbio.encode import encode_record
+    from repro.wire.xdrgen import make_generated_xdr
+
+    record = airline.record_b()
+    context = IOContext(SPARC_32)
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    fmt = context.lookup_format("ASDOffEvent")
+    convert = ConverterCache().lookup(fmt)
+    xdr = setup_xdr(ASDOFF_B_SCHEMA, "ASDOffEvent")
+    gen_encode, gen_decode = make_generated_xdr(fmt)
+
+    def timed(func, rounds=2000):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            func()
+        return time.perf_counter() - start
+
+    ndr_codec_time = timed(lambda: convert(encode_record(fmt, record)))
+    xdr_gen_time = timed(lambda: gen_decode(gen_encode(record)))
+    xdr_int_time = timed(lambda: xdr.decode(xdr.encode(record)))
+
+    # Generated stubs crush the descriptor walker (the DCG mechanism)...
+    assert xdr_int_time > 3.0 * xdr_gen_time
+    # ...and land in the same ballpark as NDR (parity within 2.5x either
+    # way — the assertion is about the *collapse* of the interpreted gap).
+    ratio = xdr_gen_time / ndr_codec_time
+    assert 0.4 < ratio < 2.5, f"unexpected compiled-stub ratio {ratio:.2f}"
+    benchmark.extra_info["xdr_gen_over_ndr_codec"] = round(ratio, 2)
+    benchmark.extra_info["xdr_interp_over_xdr_gen"] = round(
+        xdr_int_time / xdr_gen_time, 2
+    )
+    benchmark(lambda: convert(encode_record(fmt, record)))

@@ -1,0 +1,65 @@
+"""Experiment C5 — registration time grows with structure size.
+
+Paper (§5): "the time required to parse metadata grows proportionally to
+the structure size.  This indicates that the raw overhead of xml2wire
+does not impose unduly on the metadata discovery and registration
+process."
+
+We sweep synthetic formats from 2 to 256 fields through both
+registration paths and assert near-linear growth for xml2wire (the
+sub-quadratic check is the reproducible part; constants are hardware).
+"""
+
+import time
+
+import pytest
+
+from repro import IOContext, SPARC_32, XML2Wire
+from repro.pbio import IOField
+from repro.workloads import make_synthetic_schema
+
+FIELD_COUNTS = [2, 8, 32, 128, 256]
+
+
+@pytest.mark.parametrize("fields", FIELD_COUNTS, ids=lambda f: f"{f}-fields")
+def test_xml2wire_registration_scaling(benchmark, fields):
+    schema = make_synthetic_schema(fields, mix="integers")
+
+    def register():
+        return XML2Wire(IOContext(SPARC_32)).register_schema(schema)
+
+    formats = benchmark(register)
+    assert len(formats[0].fields) == fields
+
+
+@pytest.mark.parametrize("fields", FIELD_COUNTS, ids=lambda f: f"{f}-fields")
+def test_pbio_registration_scaling(benchmark, fields):
+    io_fields = [IOField(f"f{i}", "integer", 4, 4 * i) for i in range(fields)]
+
+    def register():
+        return IOContext(SPARC_32).register_format(
+            "Synthetic", list(io_fields), record_length=4 * fields
+        )
+
+    fmt = benchmark(register)
+    assert len(fmt.fields) == fields
+
+
+def test_growth_is_near_linear(benchmark):
+    """Quadratic blowup would sink the paper's 'tolerable' argument:
+    32x the fields must cost well under 32^2/4 the time."""
+
+    def time_registration(fields, rounds=20):
+        schema = make_synthetic_schema(fields, mix="integers")
+        start = time.perf_counter()
+        for _ in range(rounds):
+            XML2Wire(IOContext(SPARC_32)).register_schema(schema)
+        return (time.perf_counter() - start) / rounds
+
+    small = time_registration(8)
+    large = time_registration(256)
+    ratio = large / small
+    assert ratio < 160, f"256/8 field registration ratio {ratio:.0f}x suggests superlinear cost"
+    benchmark.extra_info["ratio_256_over_8_fields"] = round(ratio, 1)
+    schema = make_synthetic_schema(8, mix="integers")
+    benchmark(lambda: XML2Wire(IOContext(SPARC_32)).register_schema(schema))

@@ -1,0 +1,73 @@
+"""Experiment T1 — the paper's Table 1: format registration costs.
+
+Paper (SPARC-class hardware, 2001):
+
+    Structure Size   Encoded Size      Registration time (ms)
+    (bytes)          PBIO   xml2wire   PBIO    xml2wire
+    32               72     72         .102    .191
+    52               104    104        .110    .225
+    180              268    268        .158    .304
+
+What must reproduce (shape, not absolute ms):
+
+- xml2wire registration costs a small constant factor over direct PBIO
+  registration (paper: 1.9-2.1x) — the price of parsing XML at run time;
+- both grow with structure complexity;
+- the Encoded Size columns are *identical* between the two paths,
+  because xml2wire changes discovery only, never the wire format.
+
+Run ``python benchmarks/report.py`` for the assembled table.
+"""
+
+import pytest
+
+from repro import IOContext, SPARC_32
+from repro.workloads import AirlineWorkload
+
+from benchmarks.conftest import PBIO_REGISTRARS, TABLE1_ROWS, xml2wire_register
+
+
+@pytest.mark.parametrize("label,schema,format_name", TABLE1_ROWS,
+                         ids=[r[0] for r in TABLE1_ROWS])
+def test_registration_xml2wire(benchmark, label, schema, format_name):
+    """xml2wire column: parse the XML document + register with PBIO."""
+    fmt = benchmark(xml2wire_register, schema)
+    assert fmt.name == format_name
+
+
+@pytest.mark.parametrize("label", [r[0] for r in TABLE1_ROWS])
+def test_registration_pbio_direct(benchmark, label):
+    """PBIO column: register precompiled IOField metadata directly."""
+    fmt = benchmark(PBIO_REGISTRARS[label])
+    assert fmt.record_length > 0
+
+
+def test_encoded_sizes_identical_between_paths(benchmark):
+    """Table 1's core invariant: Encoded Size (PBIO) == Encoded Size
+    (xml2wire) for every structure, on identical records."""
+    workload = AirlineWorkload(seed=1204)
+    records = {
+        "A/32B": workload.record_a(),
+        "B/52B": workload.record_b(),
+        "CD/180B": workload.record_cd(),
+    }
+
+    def measure():
+        sizes = {}
+        for label, schema, format_name in TABLE1_ROWS:
+            via_xml = xml2wire_register(schema)
+            direct = PBIO_REGISTRARS[label]()
+            record = records[label]
+            sender_a = IOContext(SPARC_32)
+            sender_a.adopt_format(via_xml)
+            sender_b = IOContext(SPARC_32)
+            sender_b.adopt_format(direct)
+            sizes[label] = (
+                len(sender_a.encode(format_name, record)),
+                len(sender_b.encode(format_name, record)),
+            )
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for label, (via_xml, direct) in sizes.items():
+        assert via_xml == direct, f"{label}: xml2wire and PBIO encoded sizes differ"

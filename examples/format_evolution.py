@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Format evolution without recompilation (experiment E1, paper §7).
+
+A running subscriber keeps working while the publisher's message format
+evolves underneath it — the scenario that forces source-level changes
+and recompilation in compiled-metadata and IDL systems:
+
+1. v1 of a track format is published; a consumer subscribes.
+2. The operator edits the schema *document on the metadata server*
+   (adds a ``speed`` field).  No endpoint is recompiled or restarted.
+3. A new publisher discovers v2 from the server and starts publishing;
+   the old consumer keeps decoding (the extra field is dropped), and a
+   new consumer sees the full v2 records.
+4. The old sender keeps publishing v1; the new consumer defaults the
+   missing field.  Every combination interoperates.
+
+Run:  python examples/format_evolution.py
+"""
+
+from repro import (
+    EventBackbone,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    SPARC_32,
+    X86_64,
+    XML2Wire,
+)
+
+TRACK_V1 = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Track">
+    <xsd:element name="flight" type="xsd:string" />
+    <xsd:element name="alt" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+TRACK_V2 = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Track">
+    <xsd:element name="flight" type="xsd:string" />
+    <xsd:element name="alt" type="xsd:integer" />
+    <xsd:element name="speed" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+def main() -> None:
+    backbone = EventBackbone()
+    with MetadataServer() as server:
+        url = server.publish_schema("/schemas/track.xsd", TRACK_V1)
+        client = MetadataClient(ttl=0)  # always fetch fresh metadata
+
+        # A v1 publisher and a v1 consumer, both via remote discovery.
+        v1_sender = IOContext(SPARC_32)
+        XML2Wire(v1_sender).register_url(url, client)
+        v1_publisher = backbone.publisher("tracks", v1_sender)
+
+        v1_consumer = IOContext(X86_64)
+        XML2Wire(v1_consumer).register_url(url, client)
+        v1_subscription = backbone.subscribe("tracks", v1_consumer, expect="Track")
+
+        v1_publisher.publish("Track", {"flight": "DL100", "alt": 31000})
+        event = v1_subscription.next(timeout=5)
+        print(f"v1 consumer sees v1 record: {event.values}")
+
+        # --- The format evolves: one edit on the metadata server. ---
+        server.publish_schema("/schemas/track.xsd", TRACK_V2)
+        print("\nschema document updated on the server (added 'speed')")
+        print("no endpoint recompiled; running consumers untouched\n")
+
+        # A new publisher discovers v2 and starts sending richer records.
+        v2_sender = IOContext(X86_64)
+        XML2Wire(v2_sender).register_url(url, client)
+        v2_publisher = backbone.publisher("tracks", v2_sender)
+        v2_publisher.publish(
+            "Track", {"flight": "DL200", "alt": 35000, "speed": 451.0}
+        )
+
+        # The old consumer still works: the unknown field is dropped.
+        event = v1_subscription.next(timeout=5)
+        print(f"v1 consumer sees v2 record (speed dropped): {event.values}")
+
+        # A new consumer discovers v2 and sees everything.
+        v2_consumer = IOContext(X86_64)
+        XML2Wire(v2_consumer).register_url(url, client)
+        v2_subscription = backbone.subscribe("tracks", v2_consumer, expect="Track")
+        v2_publisher.publish(
+            "Track", {"flight": "DL201", "alt": 36000, "speed": 460.0}
+        )
+        event = v2_subscription.next(timeout=5)
+        print(f"v2 consumer sees v2 record in full:       {event.values}")
+
+        # And the old publisher keeps sending v1: the new consumer
+        # defaults the missing field instead of failing.
+        v1_publisher.publish("Track", {"flight": "DL101", "alt": 29000})
+        event = v2_subscription.next(timeout=5)
+        print(f"v2 consumer sees v1 record (speed=0.0):    {event.values}")
+
+        print("\nall four version combinations interoperated: OK")
+
+
+if __name__ == "__main__":
+    main()

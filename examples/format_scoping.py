@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Format scoping: per-audience slices of one information stream (§4.4).
+
+One capture point publishes full departure records.  Two audiences see
+different things:
+
+- an **operations console** subscribes to the full stream and discovers
+  the full schema from the metadata server;
+- a **public display** subscribes to the ``.public`` scope and is served
+  a *redacted* schema by the server's dynamic-generation hook — it never
+  learns the hidden fields even exist.
+
+The broker stays payload-agnostic throughout: scoping happens at the
+metadata level (which schema each audience can discover) and the
+publication level (which slice flows on which stream).
+
+Run:  python examples/format_scoping.py
+"""
+
+from repro import EventBackbone, IOContext, MetadataClient, MetadataServer, XML2Wire
+from repro.arch import SPARC_32, X86_64
+from repro.events.scoping import ScopedPublisher
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+PUBLIC_FIELDS = ["arln", "fltNum", "org", "dest"]
+
+
+def main() -> None:
+    backbone = EventBackbone()
+    with MetadataServer() as server:
+        # The capture point defines the stream and its public scope.
+        publisher = ScopedPublisher(
+            backbone,
+            "flights.departures",
+            IOContext(SPARC_32),
+            ASDOFF_B_SCHEMA,
+            "ASDOffEvent",
+            {"public": PUBLIC_FIELDS},
+        )
+
+        # The metadata server serves a different document per audience.
+        def schema_for_requestor(request):
+            if "role=ops" in request.path:
+                return ASDOFF_B_SCHEMA
+            return publisher.scoped_schema_xml("public")
+
+        url = server.publish_dynamic("/schemas/departures.xsd", schema_for_requestor)
+        print(f"metadata at {url}?role=<audience>\n")
+
+        client = MetadataClient(ttl=0)
+
+        # Operations console: full schema, full stream.
+        ops_context = IOContext(X86_64)
+        XML2Wire(ops_context).register_url(f"{url}?role=ops", client)
+        ops = backbone.subscribe("flights.departures", ops_context)
+        print("ops console discovered:",
+              ops_context.lookup_format("ASDOffEvent").field_names())
+
+        # Public display: redacted schema, scoped stream.
+        display_context = IOContext(X86_64)
+        XML2Wire(display_context).register_url(f"{url}?role=public", client)
+        display = backbone.subscribe("flights.departures.public", display_context)
+        print("public display discovered:",
+              display_context.lookup_format("ASDOffEvent__public").field_names())
+
+        # Traffic.
+        workload = AirlineWorkload(seed=1204)
+        for _ in range(3):
+            publisher.publish(workload.record_b())
+
+        print("\nops console sees (full records):")
+        for _ in range(3):
+            values = ops.next(timeout=5).values
+            print(f"  {values['arln']}{values['fltNum']:<5} "
+                  f"{values['org']}->{values['dest']} "
+                  f"center={values['cntrID']} equip={values['equip']} "
+                  f"offs={values['off'][:2]}...")
+
+        print("\npublic display sees (redacted):")
+        for _ in range(3):
+            values = display.next(timeout=5).values
+            print(f"  {values['arln']}{values['fltNum']:<5} "
+                  f"{values['org']}->{values['dest']}  "
+                  f"(fields: {sorted(values)})")
+
+        print("\nsame capture point, two audiences, zero leakage: OK")
+
+
+if __name__ == "__main__":
+    main()

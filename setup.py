@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+setuptools develop path, which needs no wheel.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

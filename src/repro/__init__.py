@@ -1,0 +1,87 @@
+"""repro — reproduction of the xml2wire open-metadata communication system.
+
+This package reimplements, in pure Python, the system described in
+Widener, Schwan & Eisenhauer, *Open Metadata Formats: Efficient XML-Based
+Communication for Heterogeneous Distributed Systems* (ICDCS 2001 /
+GIT-CC-00-21): XML Schema-based message metadata, run-time metadata
+discovery, and an efficient NDR (Natural Data Representation) binary
+communication mechanism modeled on PBIO, plus the XDR and text-XML
+baselines the paper compares against.
+
+Public API highlights
+---------------------
+
+- :class:`repro.core.XML2Wire` — the paper's tool: parse XML Schema
+  message descriptions and register them with a BCM at run time.
+- :class:`repro.pbio.IOContext` — the PBIO-style binary communication
+  mechanism (format registration, NDR encode/decode, dynamic conversion
+  generation).
+- :mod:`repro.arch` — architecture models providing simulated
+  heterogeneity (byte order, type sizes, struct padding).
+- :mod:`repro.wire` — XDR and text-XML baseline marshalers.
+- :mod:`repro.events` — the event backbone of the paper's airline
+  scenario.
+- :mod:`repro.metaserver` — HTTP metadata server enabling remote
+  discovery with compiled-in fallback.
+
+See ``README.md`` for a tour and ``examples/quickstart.py`` for the
+end-to-end pipeline of Figure 2.
+"""
+
+from repro import errors
+from repro.arch import NATIVE, SPARC_32, X86_32, X86_64, get_architecture
+from repro.core import (
+    BoundFormat,
+    CompiledSource,
+    DiscoveryChain,
+    FileSource,
+    URLSource,
+    XML2Wire,
+    bind,
+)
+from repro.events import EventBackbone
+from repro.metaserver import MetadataClient, MetadataServer
+from repro.pbio import FormatServer, IOContext, IOField, IOFormat
+from repro.schema import parse_schema, parse_schema_file
+from repro.transport import RecordConnection, connect, listen, make_pipe
+from repro.wire import XDRCodec, XMLTextCodec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "__version__",
+    # architectures
+    "NATIVE",
+    "SPARC_32",
+    "X86_32",
+    "X86_64",
+    "get_architecture",
+    # xml2wire core
+    "XML2Wire",
+    "DiscoveryChain",
+    "URLSource",
+    "FileSource",
+    "CompiledSource",
+    "BoundFormat",
+    "bind",
+    # PBIO
+    "IOContext",
+    "IOField",
+    "IOFormat",
+    "FormatServer",
+    # schema
+    "parse_schema",
+    "parse_schema_file",
+    # infrastructure
+    "EventBackbone",
+    "MetadataClient",
+    "MetadataServer",
+    "RecordConnection",
+    "connect",
+    "listen",
+    "make_pipe",
+    # baselines
+    "XDRCodec",
+    "XMLTextCodec",
+]

@@ -1,0 +1,64 @@
+"""Architecture models and C struct layout (substrate S1).
+
+NDR — Natural Data Representation, the wire format at the heart of the
+reproduced paper — transmits structures in the *sender's native memory
+layout*.  Reproducing that behaviour faithfully requires an explicit model
+of what "native" means on a given machine: byte order, the sizes of the C
+primitive types, and the alignment rules the C compiler applies when laying
+out a struct.
+
+This package provides:
+
+- :class:`~repro.arch.model.ArchitectureModel` — an immutable description
+  of one machine/compiler ABI (byte order, type sizes, alignments).
+- :class:`~repro.arch.layout.StructLayout` — a computed struct layout
+  (field offsets, padding, total size) identical to what a C compiler for
+  that architecture would produce, including nested structs and arrays.
+- :mod:`~repro.arch.registry` — ready-made models for the machines of the
+  paper's era (x86, SPARC, Alpha, PowerPC, ...) plus helpers to look them
+  up by name.
+- :mod:`~repro.arch.cdecl` — a small parser for C ``typedef struct``
+  declarations, so examples can mirror the paper's Appendix A verbatim.
+
+Heterogeneity in this reproduction is *simulated but real*: a single Python
+process can lay out and fill a buffer exactly as a big-endian SPARC would,
+hand it to a little-endian x86 "receiver", and force the same byte-swapping
+and offset-relocation work that a cross-machine exchange requires.
+"""
+
+from repro.arch.model import ArchitectureModel, CType, TypeKind
+from repro.arch.layout import FieldDecl, FieldSlot, StructLayout, layout_struct
+from repro.arch.registry import (
+    ALPHA,
+    ARM_32,
+    MIPS_32,
+    NATIVE,
+    POWERPC_32,
+    SPARC_32,
+    SPARC_64,
+    X86_32,
+    X86_64,
+    all_architectures,
+    get_architecture,
+)
+
+__all__ = [
+    "ArchitectureModel",
+    "CType",
+    "TypeKind",
+    "FieldDecl",
+    "FieldSlot",
+    "StructLayout",
+    "layout_struct",
+    "ALPHA",
+    "ARM_32",
+    "MIPS_32",
+    "NATIVE",
+    "POWERPC_32",
+    "SPARC_32",
+    "SPARC_64",
+    "X86_32",
+    "X86_64",
+    "all_architectures",
+    "get_architecture",
+]

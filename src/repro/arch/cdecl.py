@@ -1,0 +1,145 @@
+"""A small parser for C ``typedef struct`` declarations.
+
+The paper's Appendix A gives its example message formats as C typedefs
+(Structures A–D).  This module parses exactly that dialect so examples and
+tests can state formats in the paper's own notation:
+
+.. code-block:: c
+
+    typedef struct asdOff_s {
+        char* cntrId;
+        int fltNum;
+        unsigned long off[5];
+        unsigned long *eta;
+        int eta_count;
+    } asdOff;
+
+Supported constructs: primitive types with ``unsigned``/``signed``
+qualifiers, pointer members (``char* p`` and ``char *p`` spellings),
+fixed-size array members, members of previously declared typedef'd struct
+types (composition by nesting), and ``//`` and ``/* */`` comments.  That is
+the complete grammar the paper's figures use; anything else raises
+:class:`~repro.errors.ArchError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.arch.layout import FieldDecl, StructLayout, layout_struct
+from repro.arch.model import ArchitectureModel
+from repro.errors import ArchError
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+_TYPEDEF_RE = re.compile(
+    r"typedef\s+struct\s+(?P<tag>\w+)?\s*\{(?P<body>[^}]*)\}\s*(?P<name>\w+)\s*;",
+    re.DOTALL,
+)
+_MEMBER_RE = re.compile(
+    r"^(?P<type>(?:unsigned\s+|signed\s+)?[A-Za-z_]\w*(?:\s+long)?(?:\s+int)?)\s*"
+    r"(?P<ptr>\*)?\s*(?P<name>[A-Za-z_]\w*)\s*(?:\[(?P<count>\d+)\])?$"
+)
+
+#: Multi-word C type spellings normalized to the names the architecture
+#: models define.
+_TYPE_NORMALIZE = {
+    "unsigned long int": "unsigned long",
+    "unsigned int": "unsigned int",
+    "long int": "long",
+    "unsigned long long int": "unsigned long long",
+}
+
+
+@dataclass(frozen=True)
+class RawField:
+    """One parsed struct member, before any architecture is chosen."""
+
+    type_name: str
+    name: str
+    count: int | None
+    is_pointer: bool
+
+
+@dataclass(frozen=True)
+class StructDef:
+    """One parsed ``typedef struct``: a name and its members in order."""
+
+    name: str
+    fields: tuple[RawField, ...]
+
+
+def _normalize_type(spelling: str) -> str:
+    collapsed = " ".join(spelling.split())
+    return _TYPE_NORMALIZE.get(collapsed, collapsed)
+
+
+def parse_structs(source: str) -> dict[str, StructDef]:
+    """Parse every ``typedef struct`` in ``source``, in order.
+
+    Returns an insertion-ordered mapping from typedef name to
+    :class:`StructDef`.  Later typedefs may reference earlier ones as
+    member types.
+    """
+    text = _COMMENT_RE.sub(" ", source)
+    defs: dict[str, StructDef] = {}
+    matched_any = False
+    for match in _TYPEDEF_RE.finditer(text):
+        matched_any = True
+        name = match.group("name")
+        if name in defs:
+            raise ArchError(f"duplicate typedef {name!r}")
+        fields: list[RawField] = []
+        for raw_member in match.group("body").split(";"):
+            member = raw_member.strip()
+            if not member:
+                continue
+            fields.append(_parse_member(name, member))
+        if not fields:
+            raise ArchError(f"typedef {name!r} declares no members")
+        defs[name] = StructDef(name=name, fields=tuple(fields))
+    if not matched_any and text.strip():
+        raise ArchError("no typedef struct declarations found in source")
+    return defs
+
+
+def _parse_member(struct_name: str, member: str) -> RawField:
+    """Parse one ``type name[count]`` member declaration."""
+    # Normalize "char* p" / "char *p" / "char * p" to a detectable form.
+    normalized = member.replace("*", " * ")
+    normalized = " ".join(normalized.split())
+    is_pointer = " * " in f" {normalized} " or normalized.endswith("*")
+    normalized = normalized.replace(" * ", " ")
+    match = _MEMBER_RE.match(normalized.replace(" *", " ").strip())
+    if match is None:
+        raise ArchError(f"struct {struct_name!r}: cannot parse member {member!r}")
+    count = match.group("count")
+    return RawField(
+        type_name=_normalize_type(match.group("type")),
+        name=match.group("name"),
+        count=int(count) if count else None,
+        is_pointer=is_pointer or bool(match.group("ptr")),
+    )
+
+
+def build_layouts(
+    defs: dict[str, StructDef], arch: ArchitectureModel
+) -> dict[str, StructLayout]:
+    """Lay out every parsed struct on ``arch``, resolving nested types.
+
+    Member types that name an earlier typedef become nested struct slots;
+    pointer members become pointer-sized slots regardless of pointee type
+    (their data travels out-of-line in NDR).
+    """
+    layouts: dict[str, StructLayout] = {}
+    for name, struct_def in defs.items():
+        decls: list[FieldDecl] = []
+        for field in struct_def.fields:
+            if field.is_pointer:
+                decls.append(FieldDecl(field.name, field.type_name + "*", field.count))
+            elif field.type_name in layouts:
+                decls.append(FieldDecl(field.name, layouts[field.type_name], field.count))
+            else:
+                decls.append(FieldDecl(field.name, field.type_name, field.count))
+        layouts[name] = layout_struct(arch, name, decls)
+    return layouts

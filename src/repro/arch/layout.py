@@ -1,0 +1,227 @@
+"""C struct layout computation: offsets, padding, and total size.
+
+This module answers, for a given :class:`~repro.arch.model.ArchitectureModel`,
+exactly the questions the paper's xml2wire answers with ``sizeof`` and its
+C++ offset template: where does each field of a struct live, and how big is
+the whole thing, *including the padding the compiler inserts*?
+
+The rules implemented are the ones every System V-style C ABI follows:
+
+- each member is placed at the next offset that is a multiple of its
+  alignment;
+- a struct's own alignment is the maximum alignment of its members;
+- the struct's total size is rounded up to a multiple of its alignment
+  (tail padding), so arrays of the struct tile correctly;
+- an array member has the alignment of its element and the size
+  ``count * sizeof(element)``.
+
+A naive sum-of-sizes offset calculation — which the paper explicitly calls
+out as wrong — differs from these rules on most real structures, and the
+test suite checks both that our layouts match CPython's :mod:`ctypes` on
+the host ABI and that the naive calculation disagrees where it should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.arch.model import ArchitectureModel, CType, TypeKind
+from repro.errors import ArchError
+
+
+def _align_up(offset: int, alignment: int) -> int:
+    """Round ``offset`` up to the next multiple of ``alignment``."""
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """One member of a struct declaration, before layout.
+
+    Parameters
+    ----------
+    name:
+        Member name.
+    type:
+        Either a C type name resolvable by the architecture model
+        (``"int"``, ``"unsigned long"``, ``"char*"``, ...) or a nested
+        :class:`StructLayout` for struct-in-struct composition.
+    count:
+        Static array length (``unsigned long off[5]`` has ``count=5``).
+        ``None`` means a plain scalar member.
+    """
+
+    name: str
+    type: Union[str, "StructLayout"]
+    count: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ArchError(f"invalid field name {self.name!r}")
+        if self.count is not None and self.count <= 0:
+            raise ArchError(f"field {self.name!r}: array count must be positive")
+
+
+@dataclass(frozen=True)
+class FieldSlot:
+    """One member of a struct *after* layout: a placed :class:`FieldDecl`.
+
+    ``offset`` is the byte offset of the member from the start of the
+    struct; ``size`` is the total size occupied (element size times count
+    for arrays, excluding any padding that follows).
+    """
+
+    name: str
+    offset: int
+    size: int
+    alignment: int
+    ctype: CType | None
+    nested: "StructLayout | None"
+    count: int | None
+
+    @property
+    def element_size(self) -> int:
+        """Size of one element (equals :attr:`size` for scalars)."""
+        if self.count is None:
+            return self.size
+        return self.size // self.count
+
+    @property
+    def is_array(self) -> bool:
+        return self.count is not None
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ctype is not None and self.ctype.kind == TypeKind.POINTER
+
+    @property
+    def is_nested(self) -> bool:
+        return self.nested is not None
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """A fully laid-out struct on one architecture.
+
+    Instances are produced by :func:`layout_struct` and expose the classic
+    C introspection operations: :meth:`offsetof`, :attr:`size`
+    (``sizeof``), and per-field slots.
+    """
+
+    arch: ArchitectureModel
+    name: str
+    slots: tuple[FieldSlot, ...]
+    size: int
+    alignment: int
+
+    def offsetof(self, field_name: str) -> int:
+        """``offsetof(struct, field_name)`` for this layout."""
+        return self.slot(field_name).offset
+
+    def slot(self, field_name: str) -> FieldSlot:
+        """Return the placed slot for ``field_name``.
+
+        Raises :class:`~repro.errors.ArchError` if the struct has no such
+        member.
+        """
+        for slot in self.slots:
+            if slot.name == field_name:
+                return slot
+        raise ArchError(f"struct {self.name!r} has no field {field_name!r}")
+
+    def field_names(self) -> list[str]:
+        """Member names in declaration order."""
+        return [slot.name for slot in self.slots]
+
+    @property
+    def trailing_padding(self) -> int:
+        """Bytes of tail padding after the last member."""
+        if not self.slots:
+            return self.size
+        last = self.slots[-1]
+        return self.size - (last.offset + last.size)
+
+    @property
+    def total_padding(self) -> int:
+        """Total padding bytes anywhere in the struct."""
+        payload = sum(slot.size for slot in self.slots)
+        return self.size - payload
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+
+def layout_struct(
+    arch: ArchitectureModel,
+    name: str,
+    fields: Iterable[FieldDecl],
+) -> StructLayout:
+    """Lay out ``fields`` as a C struct on ``arch``.
+
+    Returns a :class:`StructLayout` whose offsets and size match what a C
+    compiler for that ABI would produce.  Nested struct members must have
+    been laid out on the *same* architecture model.
+    """
+    slots: list[FieldSlot] = []
+    seen: set[str] = set()
+    offset = 0
+    max_alignment = 1
+    for decl in fields:
+        if decl.name in seen:
+            raise ArchError(f"struct {name!r}: duplicate field {decl.name!r}")
+        seen.add(decl.name)
+        if isinstance(decl.type, StructLayout):
+            if decl.type.arch is not arch and decl.type.arch != arch:
+                raise ArchError(
+                    f"struct {name!r}: nested struct {decl.type.name!r} was laid "
+                    f"out for {decl.type.arch.name}, not {arch.name}"
+                )
+            element_size = decl.type.size
+            alignment = decl.type.alignment
+            ctype = None
+            nested = decl.type
+        else:
+            ctype = arch.ctype(decl.type)
+            element_size = ctype.size
+            alignment = ctype.alignment
+            nested = None
+        offset = _align_up(offset, alignment)
+        total = element_size * (decl.count or 1)
+        slots.append(
+            FieldSlot(
+                name=decl.name,
+                offset=offset,
+                size=total,
+                alignment=alignment,
+                ctype=ctype,
+                nested=nested,
+                count=decl.count,
+            )
+        )
+        offset += total
+        max_alignment = max(max_alignment, alignment)
+    size = _align_up(offset, max_alignment) if slots else 0
+    return StructLayout(
+        arch=arch, name=name, slots=tuple(slots), size=size, alignment=max_alignment
+    )
+
+
+def naive_layout_size(arch: ArchitectureModel, fields: Iterable[FieldDecl]) -> int:
+    """The *wrong* sum-of-sizes layout the paper warns against.
+
+    Provided so tests and documentation can demonstrate concretely why
+    padding-aware layout is necessary: this value diverges from
+    :func:`layout_struct`'s ``size`` on most mixed-type structs.
+    """
+    total = 0
+    for decl in fields:
+        if isinstance(decl.type, StructLayout):
+            element = decl.type.size
+        else:
+            element = arch.ctype(decl.type).size
+        total += element * (decl.count or 1)
+    return total

@@ -1,0 +1,268 @@
+"""Architecture models: byte order, C type sizes, and alignment rules.
+
+An :class:`ArchitectureModel` captures everything about a machine/compiler
+pair that affects the in-memory representation of a C struct — which is
+exactly the information PBIO's NDR wire format has to carry so a receiver
+can interpret a sender's native bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct as _struct
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ArchError
+
+
+class TypeKind(enum.Enum):
+    """The marshaling category of a C primitive type.
+
+    PBIO separates the notion of field *type* (which selects a marshaling
+    technique) from field *size*; ``TypeKind`` is the type half of that
+    split.  ``POINTER`` covers ``char*`` string fields and pointers to
+    dynamically allocated arrays, whose pointee data travels out-of-line.
+    """
+
+    SIGNED_INT = "signed"
+    UNSIGNED_INT = "unsigned"
+    FLOAT = "float"
+    CHAR = "char"
+    BOOLEAN = "boolean"
+    ENUMERATION = "enumeration"
+    POINTER = "pointer"
+
+
+#: struct-module format characters for (kind, size) pairs, *without* the
+#: byte-order prefix, which is supplied by the architecture model.
+_STRUCT_CODES: dict[tuple[TypeKind, int], str] = {
+    (TypeKind.SIGNED_INT, 1): "b",
+    (TypeKind.SIGNED_INT, 2): "h",
+    (TypeKind.SIGNED_INT, 4): "i",
+    (TypeKind.SIGNED_INT, 8): "q",
+    (TypeKind.UNSIGNED_INT, 1): "B",
+    (TypeKind.UNSIGNED_INT, 2): "H",
+    (TypeKind.UNSIGNED_INT, 4): "I",
+    (TypeKind.UNSIGNED_INT, 8): "Q",
+    (TypeKind.FLOAT, 4): "f",
+    (TypeKind.FLOAT, 8): "d",
+    (TypeKind.CHAR, 1): "c",
+    (TypeKind.BOOLEAN, 1): "B",
+    (TypeKind.BOOLEAN, 4): "I",
+    (TypeKind.ENUMERATION, 4): "I",
+    (TypeKind.ENUMERATION, 8): "Q",
+}
+
+
+@dataclass(frozen=True)
+class CType:
+    """One C primitive type as realized by a particular ABI.
+
+    ``alignment`` is the alignment the compiler gives the type *inside a
+    struct*, which is not always equal to ``size`` (the i386 System V ABI
+    aligns ``double`` to 4 bytes, for example).
+    """
+
+    name: str
+    kind: TypeKind
+    size: int
+    alignment: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ArchError(f"type {self.name!r} has non-positive size {self.size}")
+        if self.alignment <= 0:
+            raise ArchError(
+                f"type {self.name!r} has non-positive alignment {self.alignment}"
+            )
+        if self.size % self.alignment != 0:
+            raise ArchError(
+                f"type {self.name!r}: size {self.size} is not a multiple of "
+                f"alignment {self.alignment}"
+            )
+
+
+@dataclass(frozen=True)
+class ArchitectureModel:
+    """An immutable description of one machine/compiler ABI.
+
+    Instances describe everything NDR needs: endianness, pointer width,
+    and the size/alignment of every C primitive type.  Models compare by
+    value, and :meth:`tag` yields a compact wire identifier.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"x86_32"``.
+    byte_order:
+        ``"little"`` or ``"big"``.
+    pointer_size:
+        Width of a data pointer in bytes (4 or 8 on real machines).
+    types:
+        Mapping from C type names (``"int"``, ``"unsigned long"``, ...)
+        to their :class:`CType` realization on this architecture.
+    """
+
+    name: str
+    byte_order: str
+    pointer_size: int
+    types: Mapping[str, CType] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.byte_order not in ("little", "big"):
+            raise ArchError(f"byte_order must be 'little' or 'big', got {self.byte_order!r}")
+        if self.pointer_size not in (2, 4, 8):
+            raise ArchError(f"implausible pointer size {self.pointer_size}")
+        required = ("char", "short", "int", "long", "long long", "float", "double")
+        missing = [t for t in required if t not in self.types]
+        if missing:
+            raise ArchError(f"architecture {self.name!r} is missing types: {missing}")
+
+    # -- lookups ---------------------------------------------------------
+
+    def ctype(self, name: str) -> CType:
+        """Return the :class:`CType` for a C type name.
+
+        Understands the ``unsigned`` prefix for integer types and the
+        ``char*`` / ``void*`` pointer spellings in addition to the names
+        present verbatim in :attr:`types`.
+        """
+        if name in self.types:
+            return self.types[name]
+        stripped = name.replace("*", "").strip()
+        if name.endswith("*") or stripped in ("pointer",):
+            return CType(
+                name="pointer",
+                kind=TypeKind.POINTER,
+                size=self.pointer_size,
+                alignment=self.pointer_size,
+            )
+        if name.startswith("unsigned "):
+            base = self.ctype(name[len("unsigned "):])
+            return CType(
+                name=name,
+                kind=TypeKind.UNSIGNED_INT,
+                size=base.size,
+                alignment=base.alignment,
+            )
+        if name.startswith("signed "):
+            base = self.ctype(name[len("signed "):])
+            return CType(
+                name=name, kind=TypeKind.SIGNED_INT, size=base.size, alignment=base.alignment
+            )
+        raise ArchError(f"architecture {self.name!r} does not define type {name!r}")
+
+    def sizeof(self, type_name: str) -> int:
+        """``sizeof(type_name)`` on this architecture."""
+        return self.ctype(type_name).size
+
+    def alignof(self, type_name: str) -> int:
+        """``_Alignof(type_name)`` inside a struct on this architecture."""
+        return self.ctype(type_name).alignment
+
+    @property
+    def is_little_endian(self) -> bool:
+        return self.byte_order == "little"
+
+    # -- raw value packing ----------------------------------------------
+
+    def struct_code(self, kind: TypeKind, size: int) -> str:
+        """Return the :mod:`struct` format (with byte-order prefix) for a
+        scalar of ``kind``/``size`` on this architecture.
+
+        Pointers pack as unsigned integers of the pointer width.
+        """
+        prefix = "<" if self.is_little_endian else ">"
+        if kind == TypeKind.POINTER:
+            kind, size = TypeKind.UNSIGNED_INT, self.pointer_size
+        try:
+            return prefix + _STRUCT_CODES[(kind, size)]
+        except KeyError:
+            raise ArchError(
+                f"no scalar representation for kind={kind.value} size={size} "
+                f"on {self.name}"
+            ) from None
+
+    def pack_scalar(self, kind: TypeKind, size: int, value: object) -> bytes:
+        """Pack one Python value into its native byte representation."""
+        code = self.struct_code(kind, size)
+        if kind == TypeKind.CHAR:
+            if isinstance(value, int):
+                value = bytes([value])
+            elif isinstance(value, str):
+                value = value.encode("ascii")[:1] or b"\x00"
+        elif kind == TypeKind.BOOLEAN:
+            value = 1 if value else 0
+        try:
+            return _struct.pack(code, value)
+        except _struct.error as exc:
+            raise ArchError(
+                f"cannot pack {value!r} as kind={kind.value} size={size}: {exc}"
+            ) from exc
+
+    def unpack_scalar(self, kind: TypeKind, size: int, data: bytes, offset: int = 0) -> object:
+        """Unpack one scalar value from native bytes at ``offset``."""
+        code = self.struct_code(kind, size)
+        try:
+            (value,) = _struct.unpack_from(code, data, offset)
+        except _struct.error as exc:
+            raise ArchError(
+                f"cannot unpack kind={kind.value} size={size} at offset {offset}: {exc}"
+            ) from exc
+        if kind == TypeKind.BOOLEAN:
+            return bool(value)
+        return value
+
+    # -- identity ---------------------------------------------------------
+
+    def tag(self) -> str:
+        """A compact identifier carried in NDR record headers.
+
+        The tag pins down everything a receiver needs to interpret a base
+        record: name, endianness, pointer width, and the sizes of the
+        integer types (float formats are IEEE 754 everywhere we model).
+        """
+        order = "le" if self.is_little_endian else "be"
+        sizes = "".join(
+            str(self.sizeof(t)) for t in ("short", "int", "long", "long long")
+        )
+        return f"{self.name}:{order}:p{self.pointer_size}:i{sizes}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.tag()
+
+
+def make_types(
+    *,
+    short: int = 2,
+    int_: int = 4,
+    long: int = 4,
+    long_long: int = 8,
+    float_: int = 4,
+    double: int = 8,
+    double_align: int | None = None,
+    long_long_align: int | None = None,
+) -> dict[str, CType]:
+    """Build the standard C type table for an ABI.
+
+    ``double_align`` / ``long_long_align`` override the default
+    alignment-equals-size rule for ABIs (like i386 System V) that pack
+    8-byte types on 4-byte boundaries inside structs.
+    """
+    table = {
+        "char": CType("char", TypeKind.CHAR, 1, 1),
+        "signed char": CType("signed char", TypeKind.SIGNED_INT, 1, 1),
+        "unsigned char": CType("unsigned char", TypeKind.UNSIGNED_INT, 1, 1),
+        "short": CType("short", TypeKind.SIGNED_INT, short, short),
+        "int": CType("int", TypeKind.SIGNED_INT, int_, int_),
+        "long": CType("long", TypeKind.SIGNED_INT, long, long),
+        "long long": CType(
+            "long long", TypeKind.SIGNED_INT, long_long, long_long_align or long_long
+        ),
+        "float": CType("float", TypeKind.FLOAT, float_, float_),
+        "double": CType("double", TypeKind.FLOAT, double, double_align or double),
+        "enum": CType("enum", TypeKind.ENUMERATION, int_, int_),
+        "_Bool": CType("_Bool", TypeKind.BOOLEAN, 1, 1),
+    }
+    return table

@@ -1,0 +1,118 @@
+"""Ready-made architecture models for the machines of the paper's era.
+
+The paper's experiments span heterogeneous clusters of x86 Linux boxes and
+Sun SPARC workstations; we also model Alpha, PowerPC, MIPS and ARM so the
+test suite can exercise every (endianness, word-size, alignment) corner.
+
+All models use IEEE 754 floating point — true of every machine PBIO
+supported — so float conversion across architectures is byte-order only.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.arch.model import ArchitectureModel, make_types
+from repro.errors import ArchError
+
+#: 32-bit x86 (ILP32, little-endian).  The i386 System V ABI aligns
+#: ``double`` and ``long long`` to 4 bytes inside structs.
+X86_32 = ArchitectureModel(
+    name="x86_32",
+    byte_order="little",
+    pointer_size=4,
+    types=make_types(long=4, double_align=4, long_long_align=4),
+)
+
+#: 64-bit x86-64 / AMD64 (LP64, little-endian).
+X86_64 = ArchitectureModel(
+    name="x86_64",
+    byte_order="little",
+    pointer_size=8,
+    types=make_types(long=8),
+)
+
+#: 32-bit SPARC V8 (ILP32, big-endian), as in Sun Ultra workstations.
+SPARC_32 = ArchitectureModel(
+    name="sparc_32",
+    byte_order="big",
+    pointer_size=4,
+    types=make_types(long=4),
+)
+
+#: 64-bit SPARC V9 (LP64, big-endian).
+SPARC_64 = ArchitectureModel(
+    name="sparc_64",
+    byte_order="big",
+    pointer_size=8,
+    types=make_types(long=8),
+)
+
+#: DEC Alpha (LP64, little-endian) — the odd 64-bit machine of 2000.
+ALPHA = ArchitectureModel(
+    name="alpha",
+    byte_order="little",
+    pointer_size=8,
+    types=make_types(long=8),
+)
+
+#: 32-bit PowerPC (ILP32, big-endian), e.g. AIX / classic Mac OS servers.
+POWERPC_32 = ArchitectureModel(
+    name="powerpc_32",
+    byte_order="big",
+    pointer_size=4,
+    types=make_types(long=4),
+)
+
+#: 32-bit MIPS in big-endian configuration (SGI IRIX machines).
+MIPS_32 = ArchitectureModel(
+    name="mips_32",
+    byte_order="big",
+    pointer_size=4,
+    types=make_types(long=4),
+)
+
+#: 32-bit ARM (ILP32, little-endian, EABI: 8-byte aligned doubles).
+ARM_32 = ArchitectureModel(
+    name="arm_32",
+    byte_order="little",
+    pointer_size=4,
+    types=make_types(long=4),
+)
+
+_ALL: dict[str, ArchitectureModel] = {
+    model.name: model
+    for model in (
+        X86_32,
+        X86_64,
+        SPARC_32,
+        SPARC_64,
+        ALPHA,
+        POWERPC_32,
+        MIPS_32,
+        ARM_32,
+    )
+}
+
+#: The model matching the interpreter we are actually running on.  Used as
+#: the default "sender architecture" so homogeneous benchmarks reflect the
+#: real host.
+NATIVE: ArchitectureModel = X86_64 if sys.byteorder == "little" else SPARC_64
+
+
+def get_architecture(name: str) -> ArchitectureModel:
+    """Look up a built-in architecture model by name.
+
+    Raises :class:`~repro.errors.ArchError` with the list of known names
+    if ``name`` is not registered.
+    """
+    try:
+        return _ALL[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALL))
+        raise ArchError(f"unknown architecture {name!r}; known: {known}") from None
+
+
+def all_architectures() -> list[ArchitectureModel]:
+    """Return every built-in model (useful for cross-product testing)."""
+    return list(_ALL.values())

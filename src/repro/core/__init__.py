@@ -1,0 +1,49 @@
+"""xml2wire — the paper's primary contribution (S9).
+
+The tool decomposes metadata handling into the paper's three orthogonal
+steps and provides each as an explicit API surface:
+
+1. **Discovery** (:mod:`~repro.core.discovery`) — find the XML Schema
+   document describing a message format: from a URL on a metadata
+   server, from a local file, or from compiled-in metadata as the
+   fault-tolerant fallback; a :class:`DiscoveryChain` tries sources in
+   order.
+2. **Binding** (:mod:`~repro.core.binding`) — associate a discovered
+   format with program data, yielding a :class:`BoundFormat` token used
+   during marshaling (and able to pre-validate record shapes).
+3. **Marshaling** — performed by the unchanged PBIO engine
+   (:mod:`repro.pbio`); xml2wire never touches the data path, which is
+   why its per-message overhead is zero.
+
+:class:`~repro.core.xml2wire.XML2Wire` itself is the bridge: it parses
+schema documents, computes the native structure layout for the target
+context's architecture (the run-time analogue of the paper's
+``sizeof``/C++-template offset computation), builds the
+:class:`~repro.core.catalog.Catalog` of Format/Field structures of
+Figure 2, and registers the resulting formats with the BCM.
+"""
+
+from repro.core.binding import BoundFormat, bind, validate_record
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.core.discovery import (
+    CompiledSource,
+    DiscoveryChain,
+    FileSource,
+    URLSource,
+)
+from repro.core.mapping import map_primitive
+from repro.core.xml2wire import XML2Wire
+
+__all__ = [
+    "BoundFormat",
+    "bind",
+    "validate_record",
+    "Catalog",
+    "CatalogEntry",
+    "CompiledSource",
+    "DiscoveryChain",
+    "FileSource",
+    "URLSource",
+    "map_primitive",
+    "XML2Wire",
+]

@@ -1,0 +1,139 @@
+"""Binding: associating discovered metadata with program data.
+
+"Binding usually results in the construction of some type of message
+format descriptor or token which the programmer can use during
+marshaling" (§3.1).  :class:`BoundFormat` is that token: a format plus
+the context it was registered with, exposing marshal/unmarshal and a
+structural pre-check of record shapes (the programmer-responsibility
+compatibility check that compiled-metadata systems leave implicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.model import TypeKind
+from repro.errors import BindingError
+from repro.pbio.context import DecodedRecord, IOContext
+from repro.pbio.format import CompiledField, IOFormat
+
+
+def bind(context: IOContext, fmt: IOFormat | str) -> "BoundFormat":
+    """Bind a registered format to ``context``, returning the token."""
+    if isinstance(fmt, str):
+        fmt = context.lookup_format(fmt)
+    return BoundFormat(context=context, format=fmt)
+
+
+@dataclass(frozen=True)
+class BoundFormat:
+    """A marshaling token: (context, format) ready for data exchange."""
+
+    context: IOContext
+    format: IOFormat
+
+    @property
+    def name(self) -> str:
+        return self.format.name
+
+    def encode(self, record: dict) -> bytes:
+        """Marshal ``record`` into a framed message."""
+        return self.context.encode(self.format, record)
+
+    def decode(self, message: bytes) -> DecodedRecord:
+        """Unmarshal a framed message (projecting onto this format)."""
+        return self.context.decode(message, expect=self.format.name)
+
+    def check(self, record: dict) -> None:
+        """Structurally validate ``record`` against the format.
+
+        Raises :class:`~repro.errors.BindingError` describing every
+        mismatch (missing fields, wrong shapes, non-numeric values in
+        numeric fields).  Cheap enough to run on first use; the encode
+        path repeats the checks anyway, so this is a debugging aid.
+        """
+        problems: list[str] = []
+        _check_record(self.format, record, "", problems)
+        if problems:
+            raise BindingError(
+                f"record does not fit format {self.format.name!r}: "
+                + "; ".join(problems[:10])
+            )
+
+
+def validate_record(fmt: IOFormat, record: dict) -> list[str]:
+    """Return a list of structural problems (empty when compatible)."""
+    problems: list[str] = []
+    _check_record(fmt, record, "", problems)
+    return problems
+
+
+def _check_record(fmt: IOFormat, record: dict, prefix: str, problems: list[str]) -> None:
+    if not isinstance(record, dict):
+        problems.append(f"{prefix or fmt.name}: expected a dict")
+        return
+    known = set(fmt.field_names())
+    for name in record:
+        if name not in known:
+            problems.append(f"{prefix}{name}: not a field of {fmt.name!r}")
+    for field in fmt.compiled_fields:
+        path = f"{prefix}{field.name}"
+        if field.name not in record:
+            if field.name in fmt.length_field_names:
+                continue  # counts are derived at encode time
+            problems.append(f"{path}: missing")
+            continue
+        _check_value(field, record[field.name], path, problems)
+
+
+def _check_value(field: CompiledField, value, path: str, problems: list[str]) -> None:
+    if field.nested is not None:
+        if field.static_count == 1:
+            _check_record(field.nested, value, path + ".", problems)
+        elif not isinstance(value, (list, tuple)) or len(value) != field.static_count:
+            problems.append(f"{path}: expected {field.static_count} nested records")
+        else:
+            for index, element in enumerate(value):
+                _check_record(field.nested, element, f"{path}[{index}].", problems)
+        return
+    if field.type.is_dynamic_array:
+        if value is not None and not isinstance(value, (list, tuple)):
+            problems.append(f"{path}: expected a sequence or None")
+        elif value:
+            _check_scalars(field, value, path, problems)
+        return
+    if field.is_string:
+        expected = field.static_count
+        if expected == 1:
+            if value is not None and not isinstance(value, str):
+                problems.append(f"{path}: expected str or None")
+        elif not isinstance(value, (list, tuple)) or len(value) != expected:
+            problems.append(f"{path}: expected {expected} strings")
+        return
+    if field.kind == TypeKind.CHAR and field.type.is_static_array:
+        if not isinstance(value, (str, bytes)):
+            problems.append(f"{path}: expected str or bytes")
+        return
+    if field.type.is_static_array:
+        if not isinstance(value, (list, tuple)) or len(value) != field.static_count:
+            problems.append(f"{path}: expected {field.static_count} elements")
+        else:
+            _check_scalars(field, value, path, problems)
+        return
+    _check_scalars(field, [value], path, problems)
+
+
+def _check_scalars(field: CompiledField, values, path: str, problems: list[str]) -> None:
+    for value in values:
+        if field.kind in (TypeKind.SIGNED_INT, TypeKind.UNSIGNED_INT, TypeKind.ENUMERATION):
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(f"{path}: expected int, got {type(value).__name__}")
+                return
+        elif field.kind == TypeKind.FLOAT:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{path}: expected float, got {type(value).__name__}")
+                return
+        elif field.kind == TypeKind.CHAR:
+            if not isinstance(value, (str, bytes, int)):
+                problems.append(f"{path}: expected a character")
+                return

@@ -1,0 +1,75 @@
+"""The Catalog of Format and Field structures (paper Figure 2).
+
+"For data types that are built by composition of other previously
+defined data types, a Catalog is kept of known format definitions"
+(§4.2.2).  The catalog is the intermediate representation between parsed
+XML metadata and registered PBIO metadata: for every format it holds the
+computed native layout, the PBIO field list, and the resulting
+:class:`~repro.pbio.IOFormat` — everything Figure 2's middle box shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.layout import StructLayout
+from repro.errors import SchemaError
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One known format: layout, PBIO fields, and the registered format."""
+
+    name: str
+    layout: StructLayout
+    io_fields: tuple[IOField, ...]
+    io_format: IOFormat
+
+    @property
+    def structure_size(self) -> int:
+        """``sizeof`` of the native structure this format describes."""
+        return self.layout.size
+
+
+@dataclass
+class Catalog:
+    """Insertion-ordered registry of known format definitions.
+
+    Lookups by name serve two purposes: size information for composed
+    types ("this name is used to retrieve size information from the
+    Catalog") and nested-format resolution at PBIO registration.
+    """
+
+    entries: dict[str, CatalogEntry] = field(default_factory=dict)
+
+    def add(self, entry: CatalogEntry) -> None:
+        """Register a new entry; duplicate names are rejected."""
+        if entry.name in self.entries:
+            raise SchemaError(f"catalog already holds a format named {entry.name!r}")
+        self.entries[entry.name] = entry
+
+    def get(self, name: str) -> CatalogEntry:
+        """Return the entry named ``name`` (raises SchemaError)."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            known = ", ".join(self.entries) or "(none)"
+            raise SchemaError(
+                f"catalog has no format named {name!r}; known: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def names(self) -> list[str]:
+        """Format names in registration order."""
+        return list(self.entries)
+
+    def formats(self) -> dict[str, IOFormat]:
+        """Name → IOFormat view, usable as a PBIO nested-format catalog."""
+        return {name: entry.io_format for name, entry in self.entries.items()}

@@ -1,0 +1,136 @@
+"""Metadata discovery: ordered sources with fault-tolerant fallback.
+
+The paper's §3.3 architecture: remote discovery as the primary method,
+compiled-in metadata as the degraded-mode fallback when "a broken
+network link or hardware failure" makes the metadata server unreachable.
+A :class:`DiscoveryChain` expresses that policy as an ordered list of
+sources; :meth:`~DiscoveryChain.discover` returns the first source that
+yields a valid schema document, along with where it came from, and
+raises a :class:`~repro.errors.DiscoveryError` listing every failure if
+all sources are exhausted.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+
+from repro.errors import DiscoveryError, ReproError
+from repro.schema.model import SchemaDocument
+from repro.schema.parser import parse_schema, parse_schema_file
+
+
+class MetadataSource(abc.ABC):
+    """One place a schema document may come from."""
+
+    @abc.abstractmethod
+    def fetch(self) -> SchemaDocument:
+        """Return the schema, or raise any ReproError on failure."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable identity for logs and error messages."""
+
+
+class URLSource(MetadataSource):
+    """Remote discovery: a schema document on a metadata server."""
+
+    def __init__(self, url: str, client) -> None:
+        self.url = url
+        self.client = client
+
+    def fetch(self) -> SchemaDocument:
+        """Retrieve and parse the document from the URL."""
+        return self.client.get_schema(self.url)
+
+    def describe(self) -> str:
+        """``url:<location>``."""
+        return f"url:{self.url}"
+
+
+class FileSource(MetadataSource):
+    """Local discovery: a schema document on the file system."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+
+    def fetch(self) -> SchemaDocument:
+        """Parse the document from the file system."""
+        if not os.path.exists(self.path):
+            raise DiscoveryError(f"no schema file at {self.path}")
+        return parse_schema_file(self.path)
+
+    def describe(self) -> str:
+        """``file:<path>``."""
+        return f"file:{self.path}"
+
+
+class CompiledSource(MetadataSource):
+    """Compiled-in metadata: the fault-tolerant last resort.
+
+    Holds a schema that shipped with the application ("a small set of
+    compiled-in message formats" letting it reach a configuration server
+    even when discovery infrastructure is down).
+    """
+
+    def __init__(self, schema: SchemaDocument | str, label: str = "builtin") -> None:
+        self._schema = parse_schema(schema) if isinstance(schema, str) else schema
+        self.label = label
+
+    def fetch(self) -> SchemaDocument:
+        """Return the schema shipped with the application."""
+        return self._schema
+
+    def describe(self) -> str:
+        """``compiled:<label>``."""
+        return f"compiled:{self.label}"
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """A successful discovery: the schema plus provenance."""
+
+    schema: SchemaDocument
+    source: str
+    attempts: tuple[str, ...]  # sources tried before this one succeeded
+
+    @property
+    def degraded(self) -> bool:
+        """True if any earlier (preferred) source had to be skipped."""
+        return bool(self.attempts)
+
+
+class DiscoveryChain:
+    """Ordered metadata sources with first-success semantics."""
+
+    def __init__(self, sources: list[MetadataSource] | None = None) -> None:
+        self.sources: list[MetadataSource] = list(sources or [])
+
+    def add(self, source: MetadataSource) -> "DiscoveryChain":
+        """Append a source (fluent)."""
+        self.sources.append(source)
+        return self
+
+    def discover(self) -> DiscoveryResult:
+        """Try each source in order; return the first schema found.
+
+        Raises :class:`~repro.errors.DiscoveryError` naming every failed
+        source and its reason when the chain is exhausted.
+        """
+        if not self.sources:
+            raise DiscoveryError("discovery chain has no sources")
+        failures: list[str] = []
+        for source in self.sources:
+            try:
+                schema = source.fetch()
+            except ReproError as exc:
+                failures.append(f"{source.describe()}: {exc}")
+                continue
+            return DiscoveryResult(
+                schema=schema,
+                source=source.describe(),
+                attempts=tuple(failures),
+            )
+        details = "; ".join(failures)
+        raise DiscoveryError(f"all metadata sources failed: {details}")

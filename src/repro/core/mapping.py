@@ -1,0 +1,49 @@
+"""The XSD → PBIO type mapping (paper §4.2.2, "Field Type").
+
+"A straightforward mapping is performed between the type attribute
+(which denotes one of the XML Schema data types) and a corresponding
+PBIO type."  Each schema primitive maps to:
+
+- a PBIO base type string (the marshaling technique), and
+- a C type name (whose ``sizeof`` on the *target* architecture supplies
+  the field size — "there is no size information specified in the XML
+  format definition", §4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.schema.datatypes import LogicalKind, PrimitiveType
+
+
+@dataclass(frozen=True)
+class TypeMapping:
+    """The PBIO realization of one schema primitive."""
+
+    pbio_type: str
+    c_type: str
+
+    @property
+    def is_string(self) -> bool:
+        return self.pbio_type == "string"
+
+
+def map_primitive(primitive: PrimitiveType) -> TypeMapping:
+    """Map a schema primitive to its PBIO type and native C type."""
+    if primitive.kind == LogicalKind.STRING:
+        return TypeMapping("string", "char*")
+    if primitive.kind == LogicalKind.SIGNED:
+        return TypeMapping("integer", primitive.c_type)
+    if primitive.kind == LogicalKind.UNSIGNED:
+        return TypeMapping("unsigned integer", primitive.c_type)
+    if primitive.kind == LogicalKind.FLOAT:
+        # PBIO separates float (4-byte) from double (8-byte) marshaling.
+        pbio = "float" if primitive.c_type == "float" else "double"
+        return TypeMapping(pbio, primitive.c_type)
+    if primitive.kind == LogicalKind.BOOLEAN:
+        return TypeMapping("boolean", primitive.c_type)
+    if primitive.kind == LogicalKind.CHAR:
+        return TypeMapping("char", "char")
+    raise SchemaError(f"no PBIO mapping for schema kind {primitive.kind}")

@@ -1,0 +1,108 @@
+"""Format scoping: per-audience slices of a message format (§4.4).
+
+"With sufficient support from the BCM, this ability can introduce
+'format-scoping' behaviors where certain 'slices' of each information
+stream are exposed or hidden based on attributes of each subscribing
+application."
+
+A *scope* is a named subset of a complex type's elements.  This module
+derives the scoped :class:`~repro.schema.ComplexType` (and, through
+xml2wire, its registered format) from the full one:
+
+- retained elements keep their order and types;
+- dynamic arrays drag their length fields along automatically (a scope
+  that exposes ``eta`` is meaningless without ``eta_count``);
+- nested types are retained whole (slicing inside a nested type is a
+  scope on that type's own stream).
+
+Scoped schema documents can then be published per audience on the
+metadata server (its dynamic-generation hook), and
+:class:`~repro.events.scoping.ScopedPublisher` publishes each record to
+per-scope sub-streams — privileged subscribers see the full stream,
+public ones the redacted slice, and neither can tell the other exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.model import ComplexType, SchemaDocument
+
+
+def scope_complex_type(
+    complex_type: ComplexType, fields: list[str], *, name: str | None = None
+) -> ComplexType:
+    """Return a copy of ``complex_type`` exposing only ``fields``.
+
+    Length fields of retained dynamic arrays are pulled in implicitly
+    (whether synthesized or declared).  Raises
+    :class:`~repro.errors.SchemaError` if a requested field does not
+    exist or the scope would be empty.
+    """
+    available = set(complex_type.element_names())
+    missing = [field for field in fields if field not in available]
+    if missing:
+        raise SchemaError(
+            f"scope on {complex_type.name!r} names unknown fields: {missing}"
+        )
+    keep = set(fields)
+    for element in complex_type.elements:
+        if element.name in keep and element.occurs.is_dynamic_array:
+            length_field = element.occurs.length_field
+            if length_field in available:
+                keep.add(length_field)
+    retained = tuple(
+        element for element in complex_type.elements if element.name in keep
+    )
+    if not retained:
+        raise SchemaError(f"scope on {complex_type.name!r} retains no fields")
+    return ComplexType(
+        name=name or complex_type.name,
+        elements=retained,
+        documentation=complex_type.documentation,
+    )
+
+
+def scope_schema(
+    schema: SchemaDocument,
+    type_name: str,
+    fields: list[str],
+    *,
+    scoped_name: str | None = None,
+) -> SchemaDocument:
+    """A schema document containing the scoped type (plus dependencies).
+
+    Nested user types referenced by retained elements are carried over
+    unsliced; simple types likewise.  The result serializes through
+    :func:`~repro.schema.schema_to_xml` for the metadata server.
+    """
+    scoped = scope_complex_type(
+        schema.complex_type(type_name), fields, name=scoped_name
+    )
+    result = SchemaDocument(
+        target_namespace=schema.target_namespace,
+        documentation=schema.documentation,
+    )
+    # Dependencies first, in original declaration order.
+    needed_types = {
+        element.type_name
+        for element in scoped.elements
+        if element.type_namespace is None
+    }
+    for name, simple in schema.simple_types.items():
+        if name in needed_types:
+            result.simple_types[name] = simple
+    for name, complex_type in schema.complex_types.items():
+        if name in needed_types and name != scoped.name:
+            result.complex_types[name] = complex_type
+    result.complex_types[scoped.name] = scoped
+    return result
+
+
+def project_record(complex_type: ComplexType, record: dict) -> dict:
+    """Restrict ``record`` to the fields ``complex_type`` exposes."""
+    names = set(complex_type.element_names())
+    projected = {}
+    for name, value in record.items():
+        if name in names:
+            projected[name] = value
+    return projected

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+applications can catch failures from this library with a single handler
+while still being able to discriminate by subsystem.
+
+The hierarchy mirrors the package layout:
+
+- :class:`ArchError` — architecture model / struct layout problems.
+- :class:`XMLError` (with :class:`XMLSyntaxError`) — XML parsing.
+- :class:`SchemaError` — XML Schema model construction and validation.
+- :class:`PBIOError` family — binary I/O (format registration, encoding,
+  decoding, conversion).
+- :class:`WireError` — baseline wire formats (XDR, text XML) and framing.
+- :class:`TransportError` — channel-level communication failures.
+- :class:`DiscoveryError` — metadata discovery (all sources exhausted,
+  malformed documents, unreachable servers).
+- :class:`BindingError` — associating formats with application data.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ArchError(ReproError):
+    """Invalid architecture model or impossible struct layout request."""
+
+
+class XMLError(ReproError):
+    """Base class for XML processing errors."""
+
+
+class XMLSyntaxError(XMLError):
+    """The document is not well-formed XML.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input so
+    callers can produce actionable diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SchemaError(ReproError):
+    """The XML Schema document is invalid or uses unsupported constructs."""
+
+
+class SchemaValidationError(SchemaError):
+    """An instance document does not conform to its schema."""
+
+
+class PBIOError(ReproError):
+    """Base class for PBIO binary I/O errors."""
+
+
+class FormatRegistrationError(PBIOError):
+    """A format could not be registered (bad fields, duplicate names...)."""
+
+
+class EncodeError(PBIOError):
+    """A record could not be encoded to the wire."""
+
+
+class DecodeError(PBIOError):
+    """A wire buffer could not be decoded (truncation, unknown format...)."""
+
+
+class ConversionError(PBIOError):
+    """No conversion exists between a wire format and a native format."""
+
+
+class WireError(ReproError):
+    """Baseline wire-format (XDR / text XML) or framing failure."""
+
+
+class TransportError(ReproError):
+    """A channel could not deliver or receive a message."""
+
+
+class ChannelClosedError(TransportError):
+    """The peer closed the channel (clean EOF or reset)."""
+
+
+class DiscoveryError(ReproError):
+    """Metadata discovery failed across all configured sources."""
+
+
+class BindingError(ReproError):
+    """Program data could not be bound to a registered message format."""

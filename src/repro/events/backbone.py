@@ -1,0 +1,203 @@
+"""The broker: stream registry, routing, and metadata replay."""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import TransportError
+from repro.pbio.context import KIND_FORMAT, IOContext
+
+
+@dataclass
+class StreamStats:
+    """Per-stream routing counters."""
+
+    data_messages: int = 0
+    metadata_messages: int = 0
+    bytes_routed: int = 0
+    subscribers: int = 0
+
+
+@dataclass
+class _Stream:
+    name: str
+    queues: list["_SubscriberQueue"] = field(default_factory=list)
+    metadata_cache: list[bytes] = field(default_factory=list)
+    cached_ids: set[bytes] = field(default_factory=set)
+    stats: StreamStats = field(default_factory=StreamStats)
+    metadata_url: str | None = None
+
+
+class _SubscriberQueue:
+    """One subscriber's inbox: (stream, message) pairs."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple[str, bytes]] = []
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def put(self, stream: str, message: bytes) -> None:
+        with self._condition:
+            if self._closed:
+                return
+            self._items.append((stream, message))
+            self._condition.notify()
+
+    def get(self, timeout: float | None = None) -> tuple[str, bytes]:
+        with self._condition:
+            if not self._condition.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            ):
+                raise TransportError(f"no event within {timeout}s")
+            if self._items:
+                return self._items.pop(0)
+            raise TransportError("subscription cancelled")
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+
+class EventBackbone:
+    """A thread-safe publish/subscribe broker for encoded messages.
+
+    Use :meth:`~repro.events.endpoints.Publisher`-returning
+    :meth:`publisher` and :meth:`subscribe` rather than the raw
+    :meth:`route` / :meth:`add_queue` plumbing.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, _Stream] = {}
+        self._patterns: list[tuple[str, _SubscriberQueue]] = []
+        self._lock = threading.Lock()
+
+    # -- high-level endpoints -----------------------------------------------
+
+    def publisher(self, stream: str, context: IOContext) -> "Publisher":
+        """Create a publishing endpoint for ``stream``."""
+        from repro.events.endpoints import Publisher
+
+        return Publisher(self, stream, context)
+
+    def subscribe(
+        self, pattern: str, context: IOContext, *, expect: str | None = None
+    ) -> "Subscription":
+        """Subscribe ``context`` to every stream matching ``pattern``.
+
+        ``pattern`` is a glob (``flights.*`` matches present *and
+        future* streams).  ``expect`` optionally projects records onto a
+        format registered in ``context`` (evolution tolerance).
+        """
+        from repro.events.endpoints import Subscription
+
+        queue = _SubscriberQueue()
+        self.attach_queue(pattern, queue)
+        return Subscription(self, pattern, context, queue, expect=expect)
+
+    def attach_queue(self, pattern: str, queue: "_SubscriberQueue") -> None:
+        """Plumbing: register a raw queue for ``pattern``.
+
+        Replays cached format metadata for already-matching streams and
+        remembers the pattern for streams created later.  Used by
+        :meth:`subscribe` and by remote broker fronts
+        (:mod:`repro.events.remote`); application code wants
+        :meth:`subscribe`.
+        """
+        with self._lock:
+            replay: list[tuple[str, bytes]] = []
+            for stream in self._streams.values():
+                if fnmatch.fnmatchcase(stream.name, pattern):
+                    if queue not in stream.queues:
+                        stream.queues.append(queue)
+                        stream.stats.subscribers += 1
+                    replay.extend(
+                        (stream.name, message) for message in stream.metadata_cache
+                    )
+            self._subscribe_pattern(pattern, queue)
+        for stream_name, message in replay:
+            queue.put(stream_name, message)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _subscribe_pattern(self, pattern: str, queue: _SubscriberQueue) -> None:
+        # Remembered so the pattern also matches streams created later.
+        self._patterns.append((pattern, queue))
+
+    def _stream(self, name: str) -> _Stream:
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = _Stream(name)
+            self._streams[name] = stream
+            for pattern, queue in self._patterns:
+                if fnmatch.fnmatchcase(name, pattern):
+                    stream.queues.append(queue)
+                    stream.stats.subscribers += 1
+        return stream
+
+    def route(self, stream_name: str, message: bytes) -> int:
+        """Route one encoded message; returns delivery count.
+
+        Format-metadata messages are cached per stream (keyed by content)
+        for replay to late subscribers.
+        """
+        kind, _, _, _, _ = IOContext.parse_header(message)
+        with self._lock:
+            stream = self._stream(stream_name)
+            if kind == KIND_FORMAT:
+                digest = hash(message)
+                if digest not in stream.cached_ids:
+                    stream.cached_ids.add(digest)
+                    stream.metadata_cache.append(message)
+                stream.stats.metadata_messages += 1
+            else:
+                stream.stats.data_messages += 1
+            stream.stats.bytes_routed += len(message)
+            queues = list(stream.queues)
+        for queue in queues:
+            queue.put(stream_name, message)
+        return len(queues)
+
+    def unsubscribe(self, queue: _SubscriberQueue) -> None:
+        """Detach a queue from every stream and pattern; closes it."""
+        with self._lock:
+            for stream in self._streams.values():
+                if queue in stream.queues:
+                    stream.queues.remove(queue)
+                    stream.stats.subscribers -= 1
+            self._patterns = [
+                (pattern, q) for pattern, q in self._patterns if q is not queue
+            ]
+        queue.close()
+
+    # -- introspection -------------------------------------------------------------
+
+    def streams(self) -> list[str]:
+        """Names of every stream the backbone has seen."""
+        with self._lock:
+            return list(self._streams)
+
+    def stats(self, stream_name: str) -> StreamStats:
+        """Routing counters for ``stream_name`` (raises if unknown)."""
+        with self._lock:
+            stream = self._streams.get(stream_name)
+            if stream is None:
+                raise TransportError(f"no stream named {stream_name!r}")
+            return stream.stats
+
+    def set_metadata_url(self, stream_name: str, url: str) -> None:
+        """Associate a stream with its schema document URL (discovery)."""
+        with self._lock:
+            self._stream(stream_name).metadata_url = url
+
+    def metadata_url(self, stream_name: str) -> str | None:
+        """The schema URL advertised for ``stream_name``, if any."""
+        with self._lock:
+            stream = self._streams.get(stream_name)
+            return stream.metadata_url if stream else None

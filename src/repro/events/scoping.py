@@ -1,0 +1,97 @@
+"""Scoped publication: one capture point, per-audience stream slices.
+
+Pairs :mod:`repro.core.scoping` with the event backbone: a
+:class:`ScopedPublisher` owns one *full* stream and any number of named
+scopes; each ``publish`` fans the record out as
+
+- ``<stream>`` — the full record, full format;
+- ``<stream>.<scope>`` — the projected record, scoped format;
+
+so subscription *patterns* become the access-control surface: a gate
+agent's display subscribes ``flights.departures.public`` while
+operations dashboards subscribe ``flights.departures``.  Combined with
+the metadata server's dynamic generation (serving each audience its
+scoped schema document), this realizes the paper's §4.4 format-scoping
+story end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core.scoping import project_record, scope_schema
+from repro.core.xml2wire import XML2Wire
+from repro.errors import SchemaError
+from repro.pbio.context import IOContext
+from repro.schema.model import SchemaDocument
+from repro.schema.parser import parse_schema
+from repro.schema.writer import schema_to_xml
+
+
+class ScopedPublisher:
+    """Publish one stream plus named scoped slices of it.
+
+    Parameters
+    ----------
+    backbone:
+        The event backbone (or any object with ``publisher()``).
+    stream:
+        Base stream name; scopes publish to ``<stream>.<scope>``.
+    context:
+        The capture point's BCM context.
+    schema:
+        The full format's schema document (text or parsed).
+    type_name:
+        The complex type being published.
+    scopes:
+        Mapping of scope name → list of exposed field names.
+    """
+
+    def __init__(
+        self,
+        backbone,
+        stream: str,
+        context: IOContext,
+        schema: SchemaDocument | str,
+        type_name: str,
+        scopes: dict[str, list[str]],
+    ) -> None:
+        if isinstance(schema, str):
+            schema = parse_schema(schema)
+        self.stream = stream
+        self.context = context
+        self.type_name = type_name
+        tool = XML2Wire(context)
+        tool.register_schema(schema)
+        self._full_publisher = backbone.publisher(stream, context)
+        self._scoped: dict[str, tuple[object, object, object]] = {}
+        self.scoped_schemas: dict[str, SchemaDocument] = {}
+        for scope_name, fields in scopes.items():
+            scoped_type_name = f"{type_name}__{scope_name}"
+            scoped_schema = scope_schema(
+                schema, type_name, fields, scoped_name=scoped_type_name
+            )
+            tool.register_schema(scoped_schema)
+            scoped_type = scoped_schema.complex_type(scoped_type_name)
+            publisher = backbone.publisher(f"{stream}.{scope_name}", context)
+            self._scoped[scope_name] = (scoped_type, scoped_type_name, publisher)
+            self.scoped_schemas[scope_name] = scoped_schema
+
+    @property
+    def scope_names(self) -> list[str]:
+        return list(self._scoped)
+
+    def scoped_schema_xml(self, scope_name: str) -> str:
+        """The scoped schema document, for the metadata server."""
+        try:
+            schema = self.scoped_schemas[scope_name]
+        except KeyError:
+            raise SchemaError(f"no scope named {scope_name!r}") from None
+        return schema_to_xml(schema)
+
+    def publish(self, record: dict) -> int:
+        """Publish to the full stream and every scope; returns total
+        deliveries."""
+        delivered = self._full_publisher.publish(self.type_name, record)
+        for scoped_type, scoped_type_name, publisher in self._scoped.values():
+            projected = project_record(scoped_type, record)
+            delivered += publisher.publish(scoped_type_name, projected)
+        return delivered

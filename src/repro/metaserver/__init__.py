@@ -1,0 +1,32 @@
+"""The metadata server: remote discovery over HTTP (substrate S7).
+
+The paper's architecture (§4.4, §7) calls for message-format metadata to
+live as XML Schema documents on "a publicly known intranet server",
+retrieved by URL at run time — with the server optionally *generating*
+metadata dynamically per request.  The paper lists HTTP retrieval as the
+immediate next step of the implementation; this package builds it:
+
+- :mod:`~repro.metaserver.http` — a from-scratch HTTP/1.0 subset
+  (request/response parsing and rendering, URL splitting) sufficient for
+  metadata traffic; no stdlib ``http.client``/``urllib.request``.
+- :mod:`~repro.metaserver.server` — a threaded server publishing schema
+  documents at paths, dynamic-generation callables, and PBIO format
+  metadata (``/formats/<hex id>``) bridged from a
+  :class:`~repro.pbio.FormatServer`.
+- :mod:`~repro.metaserver.client` — retrieval with a TTL cache, so the
+  amortization story ("metadata cost is paid once per format") holds
+  across repeated lookups.
+"""
+
+from repro.metaserver.client import MetadataClient, http_get
+from repro.metaserver.http import HTTPRequest, HTTPResponse, split_url
+from repro.metaserver.server import MetadataServer
+
+__all__ = [
+    "MetadataClient",
+    "http_get",
+    "HTTPRequest",
+    "HTTPResponse",
+    "split_url",
+    "MetadataServer",
+]

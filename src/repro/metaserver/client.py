@@ -1,0 +1,112 @@
+"""Metadata retrieval: HTTP GET with a TTL cache.
+
+:func:`http_get` performs one raw retrieval (used by the discovery chain
+and by format-id resolution).  :class:`MetadataClient` adds:
+
+- parsing of retrieved documents into
+  :class:`~repro.schema.SchemaDocument` objects;
+- a TTL cache keyed by URL, so repeated discovery of the same stream's
+  metadata costs one network round-trip per TTL window (the paper:
+  "the infrequency with which message formats change works in favor of
+  a system using remote discovery");
+- retrieval of PBIO format metadata by id from a server's ``/formats/``
+  tree.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.errors import DiscoveryError
+from repro.metaserver.http import (
+    HTTPRequest,
+    HTTPResponse,
+    read_http_message,
+    split_url,
+)
+from repro.pbio.format import IOFormat
+from repro.schema.model import SchemaDocument
+from repro.schema.parser import parse_schema
+
+
+def http_get(url: str, timeout: float = 5.0) -> bytes:
+    """Fetch ``url`` with a one-shot HTTP/1.0 GET; returns the body.
+
+    Raises :class:`~repro.errors.DiscoveryError` on connection failure,
+    malformed responses, or non-200 statuses.
+    """
+    host, port, path = split_url(url)
+    request = HTTPRequest("GET", path, {"Host": f"{host}:{port}"})
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise DiscoveryError(f"cannot reach metadata server at {url}: {exc}") from exc
+    try:
+        sock.settimeout(timeout)
+        sock.sendall(request.render())
+        raw = read_http_message(sock.recv)
+    except (OSError, socket.timeout) as exc:
+        raise DiscoveryError(f"retrieval of {url} failed: {exc}") from exc
+    finally:
+        sock.close()
+    response = HTTPResponse.parse(raw)
+    if response.status != 200:
+        raise DiscoveryError(
+            f"metadata server returned {response.status} for {url}: "
+            f"{response.body[:200].decode('utf-8', 'replace')}"
+        )
+    return response.body
+
+
+class MetadataClient:
+    """Schema retrieval with TTL caching.
+
+    Parameters
+    ----------
+    ttl:
+        Seconds a cached document stays fresh.  ``0`` disables caching.
+    timeout:
+        Per-request socket timeout.
+    """
+
+    def __init__(self, *, ttl: float = 60.0, timeout: float = 5.0) -> None:
+        self.ttl = ttl
+        self.timeout = timeout
+        self._cache: dict[str, tuple[float, bytes]] = {}
+        self.fetches = 0  # actual network retrievals (cache misses)
+        self.hits = 0
+
+    def get_bytes(self, url: str) -> bytes:
+        """Fetch ``url``, serving from cache while fresh."""
+        now = time.monotonic()
+        cached = self._cache.get(url)
+        if cached is not None and self.ttl > 0 and now - cached[0] < self.ttl:
+            self.hits += 1
+            return cached[1]
+        body = http_get(url, timeout=self.timeout)
+        self.fetches += 1
+        self._cache[url] = (now, body)
+        return body
+
+    def get_schema(self, url: str) -> SchemaDocument:
+        """Fetch and parse a schema document."""
+        body = self.get_bytes(url)
+        try:
+            return parse_schema(body.decode("utf-8"))
+        except Exception as exc:
+            raise DiscoveryError(
+                f"document at {url} is not a valid schema: {exc}"
+            ) from exc
+
+    def get_format(self, base_url: str, format_id: bytes) -> IOFormat:
+        """Fetch PBIO format metadata by id from a server's /formats tree."""
+        body = self.get_bytes(f"{base_url}/formats/{format_id.hex()}")
+        return IOFormat.from_wire_metadata(body)
+
+    def invalidate(self, url: str | None = None) -> None:
+        """Drop one cached URL, or everything when ``url`` is None."""
+        if url is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(url, None)

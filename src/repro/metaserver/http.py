@@ -1,0 +1,185 @@
+"""A from-scratch HTTP/1.0 subset for metadata traffic.
+
+Implements exactly what schema retrieval needs: ``GET`` (and ``HEAD``)
+requests, status lines, ``Content-Length``-delimited bodies, and
+case-insensitive headers.  Persistent connections, chunked encoding and
+the rest of HTTP/1.1 are deliberately out of scope — the paper's metadata
+fetches are one-shot document retrievals, "in the same manner that web
+browsers retrieve other XML documents".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DiscoveryError
+
+_CRLF = "\r\n"
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def split_url(url: str) -> tuple[str, int, str]:
+    """Split ``http://host:port/path`` into (host, port, path).
+
+    Raises :class:`~repro.errors.DiscoveryError` for non-http schemes or
+    malformed URLs.
+    """
+    if not url.startswith("http://"):
+        raise DiscoveryError(f"only http:// URLs are supported, got {url!r}")
+    rest = url[len("http://"):]
+    host_port, slash, path = rest.partition("/")
+    if not host_port:
+        raise DiscoveryError(f"URL {url!r} has no host")
+    if ":" in host_port:
+        host, _, port_text = host_port.partition(":")
+        if not port_text.isdigit():
+            raise DiscoveryError(f"URL {url!r} has a malformed port")
+        port = int(port_text)
+    else:
+        host, port = host_port, 80
+    return host, port, "/" + path if slash else "/"
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed (or to-be-rendered) HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def render(self) -> bytes:
+        """Serialize the request to wire bytes."""
+        headers = dict(self.headers)
+        if self.body and "content-length" not in {k.lower() for k in headers}:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"{self.method} {self.path} HTTP/1.0"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return (_CRLF.join(lines) + _CRLF + _CRLF).encode("ascii") + self.body
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "HTTPRequest":
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split(_CRLF)
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise DiscoveryError(f"malformed request line {lines[0]!r}")
+        method, path, _version = parts
+        headers = _parse_headers(lines[1:])
+        return cls(method=method, path=path, headers=headers, body=body)
+
+
+@dataclass
+class HTTPResponse:
+    """One parsed (or to-be-rendered) HTTP response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def render(self) -> bytes:
+        """Serialize the response to wire bytes."""
+        reason = REASONS.get(self.status, "Unknown")
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        lines = [f"HTTP/1.0 {self.status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return (_CRLF.join(lines) + _CRLF + _CRLF).encode("latin-1") + self.body
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "HTTPResponse":
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split(_CRLF)
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise DiscoveryError(f"malformed status line {lines[0]!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise DiscoveryError(f"malformed status code {parts[1]!r}") from None
+        headers = _parse_headers(lines[1:])
+        return cls(status=status, headers=headers, body=body)
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, colon, value = line.partition(":")
+        if not colon:
+            raise DiscoveryError(f"malformed header line {line!r}")
+        headers[name.strip()] = value.strip()
+    return headers
+
+
+def read_http_message(recv) -> bytes:
+    """Read one complete HTTP message from a socket-style ``recv``.
+
+    Reads until the blank line, then honours Content-Length (or reads to
+    EOF when absent, HTTP/1.0 style).
+    """
+    buffer = bytearray()
+    while b"\r\n\r\n" not in buffer:
+        chunk = recv(4096)
+        if not chunk:
+            if not buffer:
+                raise DiscoveryError("connection closed before any HTTP data")
+            break
+        buffer.extend(chunk)
+        if len(buffer) > 1 << 20:
+            raise DiscoveryError("HTTP header section too large")
+    head, _, body = bytes(buffer).partition(b"\r\n\r\n")
+    length = _content_length(head)
+    if length is None:
+        if head.startswith(b"HTTP/"):
+            # HTTP/1.0 response without Content-Length: body runs to EOF.
+            while True:
+                chunk = recv(4096)
+                if not chunk:
+                    break
+                body += chunk
+        else:
+            # A request without Content-Length has no body (GET/HEAD).
+            body = b""
+    else:
+        while len(body) < length:
+            chunk = recv(length - len(body))
+            if not chunk:
+                raise DiscoveryError("connection closed mid-body")
+            body += chunk
+        body = body[:length]
+    return head + b"\r\n\r\n" + body
+
+
+def _content_length(head: bytes) -> int | None:
+    for line in head.decode("latin-1").split(_CRLF)[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                return int(value.strip())
+            except ValueError:
+                raise DiscoveryError(f"malformed Content-Length {value!r}") from None
+    return None

@@ -1,0 +1,189 @@
+"""The metadata server: schema documents and format metadata over HTTP.
+
+A :class:`MetadataServer` publishes three kinds of resources:
+
+- **static schema documents** — registered with :meth:`publish_schema`
+  (either XML text or a :class:`~repro.schema.SchemaDocument`, which is
+  serialized on registration);
+- **dynamic documents** — a callable registered with
+  :meth:`publish_dynamic`, invoked per request with the
+  :class:`~repro.metaserver.http.HTTPRequest`; this realizes the paper's
+  "dynamically generate metadata based on information such as requestor
+  location or authentication credentials" (§4.4), including
+  format-scoping (serving different slices of a stream's schema to
+  different subscribers);
+- **PBIO format metadata** — ``GET /formats/<hex id>`` served from an
+  attached :class:`~repro.pbio.FormatServer`, giving receivers an
+  out-of-band resolution path over the network.
+
+The server runs its accept loop on a daemon thread; use it as a context
+manager in applications and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import DiscoveryError, TransportError
+from repro.metaserver.http import HTTPRequest, HTTPResponse, read_http_message
+from repro.pbio.fmserver import FormatServer
+from repro.schema.model import SchemaDocument
+from repro.schema.writer import schema_to_xml
+from repro.transport.tcp import TCPListener
+
+DynamicHandler = Callable[[HTTPRequest], str]
+
+_XML_TYPE = "text/xml; charset=utf-8"
+
+
+class MetadataServer:
+    """Threaded HTTP server for metadata documents."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = TCPListener(host, port)
+        self._documents: dict[str, str] = {}
+        self._dynamic: dict[str, DynamicHandler] = {}
+        self._format_server: FormatServer | None = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.requests_served = 0
+
+    # -- publication -----------------------------------------------------------
+
+    def publish_schema(self, path: str, schema: SchemaDocument | str) -> str:
+        """Publish a schema document at ``path``; returns its full URL."""
+        if not path.startswith("/"):
+            raise DiscoveryError(f"paths must start with '/', got {path!r}")
+        text = schema if isinstance(schema, str) else schema_to_xml(schema)
+        with self._lock:
+            self._documents[path] = text
+        return self.url_for(path)
+
+    def publish_dynamic(self, path: str, handler: DynamicHandler) -> str:
+        """Publish a per-request generated document at ``path``."""
+        if not path.startswith("/"):
+            raise DiscoveryError(f"paths must start with '/', got {path!r}")
+        with self._lock:
+            self._dynamic[path] = handler
+        return self.url_for(path)
+
+    def unpublish(self, path: str) -> None:
+        """Remove a document (static or dynamic); missing paths are a no-op."""
+        with self._lock:
+            self._documents.pop(path, None)
+            self._dynamic.pop(path, None)
+
+    def attach_format_server(self, format_server: FormatServer) -> None:
+        """Expose ``format_server``'s formats under ``/formats/<hex id>``."""
+        self._format_server = format_server
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.address
+
+    def url_for(self, path: str) -> str:
+        """Absolute URL of ``path`` on this server."""
+        host, port = self.address
+        return f"http://{host}:{port}{path}"
+
+    def start(self) -> "MetadataServer":
+        """Start the accept loop on a daemon thread (fluent)."""
+        if self._thread is not None:
+            raise DiscoveryError("server already started")
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and join the accept thread."""
+        self._stop.set()
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetadataServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request handling ------------------------------------------------------------
+
+    def _serve_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                channel = self._listener.accept(timeout=0.2)
+            except TransportError:
+                continue
+            except Exception:
+                return  # listener closed
+            worker = threading.Thread(
+                target=self._handle_connection, args=(channel,), daemon=True
+            )
+            worker.start()
+
+    def _handle_connection(self, channel) -> None:
+        try:
+            raw = read_http_message(channel._sock.recv)
+            response = self._respond(raw)
+            channel._sock.sendall(response.render())
+            self.requests_served += 1
+        except Exception:
+            try:
+                channel._sock.sendall(HTTPResponse(500).render())
+            except OSError:
+                pass
+        finally:
+            channel.close()
+
+    def _respond(self, raw: bytes) -> HTTPResponse:
+        try:
+            request = HTTPRequest.parse(raw)
+        except DiscoveryError:
+            return HTTPResponse(400, body=b"malformed request")
+        if request.method not in ("GET", "HEAD"):
+            return HTTPResponse(405, body=b"only GET is supported")
+        response = self._lookup(request)
+        if request.method == "HEAD":
+            response.headers.setdefault("Content-Length", str(len(response.body)))
+            response.body = b""
+        return response
+
+    def _lookup(self, request: HTTPRequest) -> HTTPResponse:
+        path = request.path.split("?", 1)[0]
+        with self._lock:
+            document = self._documents.get(path)
+            handler = self._dynamic.get(path)
+        if document is not None:
+            return HTTPResponse(
+                200, {"Content-Type": _XML_TYPE}, document.encode("utf-8")
+            )
+        if handler is not None:
+            try:
+                generated = handler(request)
+            except Exception as exc:
+                return HTTPResponse(500, body=f"generator failed: {exc}".encode())
+            return HTTPResponse(
+                200, {"Content-Type": _XML_TYPE}, generated.encode("utf-8")
+            )
+        if path.startswith("/formats/") and self._format_server is not None:
+            return self._serve_format(path[len("/formats/"):])
+        return HTTPResponse(404, body=f"no document at {path}".encode())
+
+    def _serve_format(self, hex_id: str) -> HTTPResponse:
+        try:
+            format_id = bytes.fromhex(hex_id)
+        except ValueError:
+            return HTTPResponse(400, body=b"format ids are hex strings")
+        try:
+            metadata = self._format_server.resolve_metadata(format_id)
+        except Exception:
+            return HTTPResponse(404, body=f"unknown format {hex_id}".encode())
+        return HTTPResponse(
+            200, {"Content-Type": "application/x-pbio-format"}, metadata
+        )

@@ -1,0 +1,51 @@
+"""PBIO — the binary communication mechanism (substrate S4).
+
+A reimplementation of the Georgia Tech PBIO library (Eisenhauer & Daley,
+HCW 2000) that the paper uses as its wire engine.  The defining idea is
+NDR — *Natural Data Representation*: a sender transmits records in its own
+native memory layout (byte order, sizes, alignment and all), preceded once
+per connection by compact format metadata.  Receivers interpret or convert
+incoming records using routines *generated at run time* and specialized to
+the exact (wire format, native format) pair, so:
+
+- homogeneous exchanges degenerate to trivial unpacking of native bytes
+  (the "move data directly out of memory onto the medium" case), and
+- heterogeneous exchanges pay exactly one conversion, on the receiving
+  side ("receiver makes right"), with no canonical intermediate format.
+
+Public surface:
+
+- :class:`~repro.pbio.field.IOField` — one field declaration, mirroring
+  the paper's ``IOField`` C arrays (name, type string, size, offset).
+- :class:`~repro.pbio.format.IOFormat` — a registered format bound to an
+  architecture model; knows its own wire metadata representation.
+- :class:`~repro.pbio.context.IOContext` — registration, encode, decode,
+  format-id resolution and converter caching.
+- :class:`~repro.pbio.context.DecodedRecord` — a decoded message.
+- :mod:`~repro.pbio.evolution` — restricted format evolution (field
+  addition/removal tolerance by name matching).
+- :mod:`~repro.pbio.fmserver` — an in-process format server mapping
+  format ids to metadata, PBIO's out-of-band resolution path.
+"""
+
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat, format_from_layout
+from repro.pbio.context import DecodedRecord, IOContext
+from repro.pbio.fmserver import FormatServer
+from repro.pbio.view import RecordView, view_message
+from repro.pbio.iofile import IOFileReader, IOFileWriter, dump_records, load_records
+
+__all__ = [
+    "IOFileReader",
+    "IOFileWriter",
+    "dump_records",
+    "load_records",
+    "IOField",
+    "IOFormat",
+    "format_from_layout",
+    "DecodedRecord",
+    "IOContext",
+    "FormatServer",
+    "RecordView",
+    "view_message",
+]

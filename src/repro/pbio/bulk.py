@@ -1,0 +1,121 @@
+"""Bulk numeric arrays: zero-copy NDR access via numpy.
+
+The paper's motivating workloads move "scientific or engineering data"
+— large numeric arrays — where NDR's promise is strongest: the wire
+holds the sender's native array bytes, so a receiver can use them *in
+place*.  In Python that promise is redeemable through numpy:
+
+- :func:`array_view` returns an ``ndarray`` that aliases the payload
+  buffer directly — no copy, no conversion, regardless of the sender's
+  byte order (numpy dtypes carry endianness, so a big-endian wire array
+  is usable on a little-endian host as-is, converting lazily per
+  access);
+- :func:`native_copy` materializes a host-native copy when downstream
+  code needs one (one vectorized byteswap — still no per-element
+  Python work);
+- :func:`pack_array` converts a numpy array to wire bytes for the
+  encoder (a plain ``tobytes`` when dtype and byte order already match,
+  i.e. homogeneous send is one memcpy, exactly PBIO's story).
+
+numpy is an *optional* acceleration: nothing in the core library
+imports it; records built from plain lists behave identically.  The
+encoder accepts numpy arrays for dynamic-array fields transparently
+(they satisfy the sequence protocol); use :func:`pack_array` +
+:class:`~repro.pbio.RecordView` for the zero-copy fast path measured in
+``benchmarks/test_bulk_numpy.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.pbio.format import CompiledField, IOFormat
+from repro.pbio.types import DTYPE_CHARS as _DTYPE_CHARS
+from repro.pbio.view import RecordView
+
+
+def _numpy():
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy present in CI env
+        raise DecodeError(
+            "bulk array access requires numpy, which is not installed"
+        ) from exc
+    return numpy
+
+
+def wire_dtype(fmt: IOFormat, field: CompiledField):
+    """The numpy dtype of ``field``'s elements *as they sit on the wire*
+    (sender byte order included)."""
+    numpy = _numpy()
+    try:
+        char = _DTYPE_CHARS[(field.kind, field.size)]
+    except KeyError:
+        raise DecodeError(
+            f"field {field.name!r} is not a bulk numeric type"
+        ) from None
+    prefix = "<" if fmt.arch.is_little_endian else ">"
+    return numpy.dtype(prefix + char)
+
+
+def array_view(view: RecordView, field_name: str):
+    """A zero-copy ``ndarray`` over an array field of an NDR payload.
+
+    Works for dynamic arrays (via the pointer and count fields) and
+    static arrays (in the base record).  The array is read-only — it
+    aliases the receive buffer.
+    """
+    numpy = _numpy()
+    fmt = view.format
+    field = fmt.field(field_name)
+    payload = view._payload  # intentional: views exist to alias this
+    dtype = wire_dtype(fmt, field)
+    if field.type.is_dynamic_array:
+        pointer = view._read_pointer(view._base + field.offset)
+        if pointer == 0:
+            return numpy.empty(0, dtype=dtype)
+        count_field = fmt.field(field.type.length_field)
+        count = view._read_scalar(count_field, view._base + count_field.offset)
+        end = pointer + count * field.size
+        if end > len(payload):
+            raise DecodeError(
+                f"array field {field_name!r} extends past the payload"
+            )
+        array = numpy.frombuffer(payload, dtype=dtype, count=count, offset=pointer)
+    elif field.type.is_static_array:
+        array = numpy.frombuffer(
+            payload,
+            dtype=dtype,
+            count=field.static_count,
+            offset=view._base + field.offset,
+        )
+    else:
+        raise DecodeError(f"field {field_name!r} is not an array")
+    # frombuffer over immutable bytes is already read-only.
+    return array
+
+
+def native_copy(array):
+    """A host-native-byte-order copy of a (possibly foreign-order) view."""
+    numpy = _numpy()
+    native = array.dtype.newbyteorder("=")
+    return numpy.ascontiguousarray(array.astype(native, copy=True))
+
+
+def pack_array(fmt: IOFormat, field_name: str, values) -> bytes:
+    """Convert a numpy array to this field's wire representation.
+
+    When the array's dtype already matches the wire dtype (homogeneous
+    send), this is a single buffer copy; otherwise one vectorized
+    conversion.  The result can be passed in a record dict in place of a
+    list — the encoder accepts any sequence — but for bulk paths prefer
+    building payloads with lists of one ``pack_array`` result is not
+    needed: simply pass the ndarray; this helper exists for pre-staging
+    benchmarks and for writing raw array sections to files.
+    """
+    numpy = _numpy()
+    field = fmt.field(field_name)
+    dtype = wire_dtype(fmt, field)
+    array = numpy.asarray(values)
+    if array.dtype != dtype:
+        array = array.astype(dtype)
+    return array.tobytes()

@@ -1,0 +1,484 @@
+"""Run-time generation of specialized conversion routines.
+
+PBIO's performance story rests on converting incoming records with
+"custom routines created on-the-fly through dynamic code generation",
+specialized to the exact (wire format, native format) pair.  This module
+is the Python analogue: given a wire format's metadata, it *writes Python
+source* for a converter function — every offset, struct code and field
+name baked in as a literal — compiles it with :func:`compile`/``exec``,
+and returns the resulting function.
+
+The generated converter makes exactly one ``struct.unpack_from`` call for
+the entire fixed region of the record (pad bytes standing in for
+compiler padding and skipped wire fields), then fixes up strings and
+dynamic arrays from the variable section.  An interpreted converter that
+walks the field list per record is provided alongside for the ablation
+benchmark (experiment A1): the generated/interpreted gap is this
+module's reason to exist.
+
+Example of generated source for the paper's Structure A on sparc_32::
+
+    def convert(payload, unpack_from=unpack_from):
+        v = unpack_from('>IIiIII4xLL', payload, 0)
+        return {
+            'cntrId': _str(payload, v[0]),
+            'arln': _str(payload, v[1]),
+            'fltNum': v[2],
+            ...
+        }
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.errors import ConversionError
+from repro.pbio.encode import EncodePlan, _FixedLeaf, get_encode_plan
+from repro.pbio.format import IOFormat
+
+Converter = Callable[[bytes], dict]
+
+
+def _read_string(payload: bytes, offset: int) -> str | None:
+    """Shared helper injected into generated code: NUL-terminated string."""
+    if offset == 0:
+        return None
+    end = payload.index(0, offset)
+    return payload[offset:end].decode("utf-8")
+
+
+def generate_converter_source(wire_format: IOFormat, function_name: str = "convert") -> str:
+    """Produce the Python source of a converter for ``wire_format``.
+
+    Exposed separately from :func:`make_generated_converter` so tests and
+    documentation can inspect the generated code.
+    """
+    plan = get_encode_plan(wire_format)
+    order = "<" if wire_format.arch.is_little_endian else ">"
+    leaf_index = {id(leaf): position for position, leaf in enumerate(plan.leaves)}
+
+    prologue: list[str] = []
+    # Dynamic arrays need their data unpacked with a run-time count; emit
+    # one statement per array before the dict literal.
+    array_names: dict[tuple[str, ...], str] = {}
+    counts = _count_leaf_positions(plan)
+    for item_number, item in enumerate(plan.var_items):
+        if item.kind != "array":
+            continue
+        ptr_pos = _pointer_position(plan, item.path, leaf_index)
+        count_pos = counts[item.path]
+        var_name = f"a{item_number}"
+        array_names[item.path] = var_name
+        prologue.append(
+            f"    {var_name} = ("
+            f"list(unpack_from({order!r} + str(v[{count_pos}]) + "
+            f"{item.element_code!r}, payload, v[{ptr_pos}])) "
+            f"if v[{ptr_pos}] else [])"
+        )
+
+    body = _emit_dict(plan, wire_format, (), leaf_index, array_names, indent=2)
+    lines = [
+        f"def {function_name}(payload, unpack_from=unpack_from, _str=_str):",
+        f"    v = unpack_from({plan.fixed_struct.format!r}, payload, 0)",
+        *prologue,
+        f"    return {body}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def make_generated_converter(wire_format: IOFormat) -> Converter:
+    """Compile and return a converter function for ``wire_format``."""
+    source = generate_converter_source(wire_format)
+    namespace = {"unpack_from": struct.unpack_from, "_str": _read_string}
+    try:
+        code = compile(source, f"<pbio converter for {wire_format.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - this is the DCG mechanism itself
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise ConversionError(
+            f"generated converter for {wire_format.name!r} failed to "
+            f"compile: {exc}\n{source}"
+        ) from exc
+    return namespace["convert"]
+
+
+# -- generation internals -----------------------------------------------------
+
+
+def _count_leaf_positions(plan: EncodePlan) -> dict[tuple[str, ...], int]:
+    """Map each dynamic array path to its count leaf's unpack position."""
+    result: dict[tuple[str, ...], int] = {}
+    position = 0
+    for leaf in plan.leaves:
+        if leaf.role == "count":
+            for measured_path in leaf.measures:
+                result[measured_path] = position
+        position += _leaf_width(leaf)
+    # Re-walk to translate flat positions: widths accounted below.
+    return result
+
+
+def _leaf_width(leaf: _FixedLeaf) -> int:
+    """How many values this leaf contributes to the unpacked tuple."""
+    if leaf.role == "array":
+        return leaf.count
+    return 1
+
+
+def _leaf_positions(plan: EncodePlan) -> dict[int, int]:
+    """Map id(leaf) to its first position in the unpacked tuple."""
+    positions: dict[int, int] = {}
+    cursor = 0
+    for leaf in plan.leaves:
+        positions[id(leaf)] = cursor
+        cursor += _leaf_width(leaf)
+    return positions
+
+
+def _pointer_position(
+    plan: EncodePlan, path: tuple[str, ...], leaf_index: dict[int, int]
+) -> int:
+    positions = _leaf_positions(plan)
+    for leaf in plan.leaves:
+        if leaf.path == path and leaf.role in ("string_ptr", "dyn_ptr"):
+            return positions[id(leaf)]
+    raise ConversionError(f"no pointer leaf for path {path}")
+
+
+def _emit_dict(
+    plan: EncodePlan,
+    fmt: IOFormat,
+    prefix: tuple[str, ...],
+    leaf_index: dict[int, int],
+    array_names: dict[tuple[str, ...], str],
+    indent: int,
+) -> str:
+    positions = _leaf_positions(plan)
+    by_path: dict[tuple[str, ...], _FixedLeaf] = {leaf.path: leaf for leaf in plan.leaves}
+    pad = " " * (indent * 4)
+    inner = " " * ((indent + 1) * 4)
+    entries: list[str] = []
+    for field in fmt.compiled_fields:
+        path = prefix + (field.name,)
+        if field.nested is not None:
+            if field.static_count == 1:
+                value = _emit_dict(
+                    plan, field.nested, path, leaf_index, array_names, indent + 1
+                )
+            else:
+                elements = [
+                    _emit_dict(
+                        plan, field.nested, path + (str(i),), leaf_index,
+                        array_names, indent + 1,
+                    )
+                    for i in range(field.static_count)
+                ]
+                value = "[" + ", ".join(elements) + "]"
+        elif field.type.is_dynamic_array:
+            value = array_names[path]
+        elif field.is_string:
+            if field.static_count == 1:
+                leaf = by_path[path]
+                value = f"_str(payload, v[{positions[id(leaf)]}])"
+            else:
+                parts = []
+                for i in range(field.static_count):
+                    leaf = by_path[path + (str(i),)]
+                    parts.append(f"_str(payload, v[{positions[id(leaf)]}])")
+                value = "[" + ", ".join(parts) + "]"
+        else:
+            leaf = by_path[path]
+            start = positions[id(leaf)]
+            if leaf.role == "chararray":
+                value = (
+                    f"v[{start}].split(b'\\x00', 1)[0].decode('utf-8')"
+                )
+            elif leaf.role == "array":
+                value = f"list(v[{start}:{start + leaf.count}])"
+            elif leaf.role == "char":
+                value = f"v[{start}].decode('latin-1')"
+            elif leaf.role == "bool":
+                value = f"bool(v[{start}])"
+            else:  # scalar or count
+                value = f"v[{start}]"
+        entries.append(f"{inner}{field.name!r}: {value},")
+    return "{\n" + "\n".join(entries) + f"\n{pad}}}"
+
+
+# -- generated encoder (sender-side DCG) ---------------------------------------
+#
+# PBIO's sender side is a memory copy; the closest Python analogue is a
+# generated function that evaluates every field expression inline and
+# packs the whole fixed region in one call.  Error parity with the
+# plan-based encoder is preserved by falling back to it on unexpected
+# exceptions: the plan re-runs the record and raises its precise
+# EncodeError (or, should it somehow succeed, supplies the result).
+
+
+def _char_byte(value) -> bytes:
+    """Helper injected into generated encoders: one char to one byte."""
+    if isinstance(value, str):
+        return value.encode("utf-8")[:1] or b"\x00"
+    if isinstance(value, int):
+        return bytes([value])
+    if isinstance(value, bytes):
+        return value[:1] or b"\x00"
+    raise ConversionError(f"cannot encode {value!r} as a char")
+
+
+def _char_buffer(value, count: int) -> bytes:
+    """Helper injected into generated encoders: fixed char buffers."""
+    if isinstance(value, str):
+        return value.encode("utf-8")[:count]
+    if isinstance(value, bytes):
+        return value[:count]
+    raise ConversionError(f"cannot encode {value!r} as a char buffer")
+
+
+def _path_expr(path: tuple[str, ...]) -> str:
+    parts = []
+    for part in path:
+        if part.isdigit():
+            parts.append(f"[{part}]")
+        else:
+            parts.append(f"[{part!r}]")
+    return "record" + "".join(parts)
+
+
+def _container_get_expr(prefix: tuple[str, ...], name: str) -> str:
+    container = _path_expr(prefix) if prefix else "record"
+    return f"{container}.get({name!r})"
+
+
+def generate_encoder_source(fmt: IOFormat, function_name: str = "encode") -> str:
+    """Produce Python source for a specialized encoder for ``fmt``."""
+    plan = get_encode_plan(fmt)
+    order = "<" if fmt.arch.is_little_endian else ">"
+    lines = [
+        f"def {function_name}(record, pack=pack, pack_arr=pack_arr, "
+        f"_chr=_chr, _buf=_buf, len=len):",
+        "    var = []",
+        f"    cursor = {fmt.record_length}",
+    ]
+    # Variable section, in plan order (byte-exact parity with the plan).
+    pointer_names: dict[tuple[str, ...], str] = {}
+    for index, item in enumerate(plan.var_items):
+        name = f"p{index}"
+        pointer_names[item.path] = name
+        value = _path_expr(item.path)
+        if item.kind == "string":
+            lines += [
+                f"    s = {value}",
+                f"    if s is None:",
+                f"        {name} = 0",
+                f"    else:",
+                f"        d = s.encode('utf-8') + b'\\x00'",
+                f"        pad = (-cursor) & 3",
+                f"        if pad:",
+                f"            var.append(b'\\x00' * pad); cursor += pad",
+                f"        {name} = cursor; var.append(d); cursor += len(d)",
+            ]
+        else:
+            mask = item.alignment - 1
+            from repro.pbio.types import DTYPE_CHARS
+
+            dtype_char = DTYPE_CHARS.get((item.element_kind, item.element_size))
+            if dtype_char is not None:
+                ndarray_case = (
+                    f"_nd(a, {(order + dtype_char)!r}) if hasattr(a, 'dtype') else "
+                )
+            else:
+                ndarray_case = ""
+            lines += [
+                f"    a = {value}",
+                f"    if a is None or len(a) == 0:",
+                f"        {name} = 0",
+                f"    else:",
+                f"        pad = (-cursor) & {mask}",
+                f"        if pad:",
+                f"            var.append(b'\\x00' * pad); cursor += pad",
+                f"        d = {ndarray_case}pack_arr({order!r} + str(len(a)) + "
+                f"{item.element_code!r}, *a)",
+                f"        {name} = cursor; var.append(d); cursor += len(d)",
+            ]
+    # Count values (+ consistency checks matching the plan's messages).
+    count_names: dict[tuple[str, ...], str] = {}
+    for index, leaf in enumerate(plan.leaves):
+        if leaf.role != "count":
+            continue
+        name = f"n{index}"
+        count_names[leaf.path] = name
+        dotted = ".".join(leaf.path)
+        first = _path_expr(leaf.measures[0])
+        lines.append(f"    _a = {first}")
+        lines.append(f"    {name} = 0 if _a is None else len(_a)")
+        for other in leaf.measures[1:]:
+            lines += [
+                f"    _b = {_path_expr(other)}",
+                f"    if (0 if _b is None else len(_b)) != {name}:",
+                f"        raise EncodeError(\"format {fmt.name!r}: arrays "
+                f"sharing count field '{dotted}' have differing lengths\")",
+            ]
+        lines += [
+            f"    _e = {_container_get_expr(leaf.path[:-1], leaf.path[-1])}",
+            f"    if _e is not None and _e != {name}:",
+            f"        raise EncodeError(\"format {fmt.name!r}: count field "
+            f"'{dotted}' is %r but the array has %d elements\" % (_e, {name}))",
+        ]
+    # Static array length checks + pack arguments.
+    args: list[str] = []
+    for index, leaf in enumerate(plan.leaves):
+        value = _path_expr(leaf.path)
+        if leaf.role in ("string_ptr", "dyn_ptr"):
+            args.append(pointer_names[leaf.path])
+        elif leaf.role == "count":
+            args.append(count_names[leaf.path])
+        elif leaf.role == "char":
+            args.append(f"_chr({value})")
+        elif leaf.role == "bool":
+            args.append(f"(1 if {value} else 0)")
+        elif leaf.role == "chararray":
+            args.append(f"_buf({value}, {leaf.count})")
+        elif leaf.role == "array":
+            name = f"arr{index}"
+            dotted = ".".join(leaf.path)
+            lines += [
+                f"    {name} = {value}",
+                f"    if len({name}) != {leaf.count}:",
+                f"        raise EncodeError(\"format {fmt.name!r}: field "
+                f"'{dotted}' expects exactly {leaf.count} elements, "
+                f"got %d\" % len({name}))",
+            ]
+            args.append(f"*{name}")
+        else:
+            args.append(value)
+    joined = ",\n        ".join(args)
+    lines.append(f"    return pack(\n        {joined},\n    ) + b''.join(var)")
+    return "\n".join(lines) + "\n"
+
+
+def make_generated_encoder(fmt: IOFormat):
+    """Compile a specialized encoder; falls back to the plan on errors."""
+    plan = get_encode_plan(fmt)
+    source = generate_encoder_source(fmt)
+    from repro.errors import EncodeError
+    from repro.pbio.encode import ndarray_wire_bytes
+
+    namespace = {
+        "pack": plan.fixed_struct.pack,
+        "pack_arr": struct.pack,
+        "_chr": _char_byte,
+        "_buf": _char_buffer,
+        "_nd": ndarray_wire_bytes,
+        "EncodeError": EncodeError,
+    }
+    try:
+        exec(compile(source, f"<pbio encoder for {fmt.name}>", "exec"), namespace)
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise ConversionError(
+            f"generated encoder for {fmt.name!r} failed to compile: "
+            f"{exc}\n{source}"
+        ) from exc
+    fast = namespace["encode"]
+    encode_error = namespace["EncodeError"]
+
+    def encode(record: dict) -> bytes:
+        try:
+            return fast(record)
+        except encode_error:
+            raise
+        except Exception:
+            # Re-run through the plan for a precise diagnostic (or, in
+            # the unexpected case the plan succeeds, its result).
+            return plan.encode(record)
+
+    return encode
+
+
+# -- interpreted converter (ablation baseline) --------------------------------
+
+
+def make_interpreted_converter(wire_format: IOFormat) -> Converter:
+    """A converter that walks the format metadata for every record.
+
+    Semantically identical to the generated converter; exists to measure
+    what dynamic code generation buys (experiment A1).  It still uses the
+    precompiled plan's leaf list, but performs per-leaf unpacking,
+    dictionary assembly and dispatch at run time for every record.
+    """
+    plan = get_encode_plan(wire_format)
+    order = "<" if wire_format.arch.is_little_endian else ">"
+    positions = _leaf_positions(plan)
+    unpack_from = struct.unpack_from
+
+    def convert(payload: bytes) -> dict:
+        flat: dict[tuple[str, ...], object] = {}
+        for leaf in plan.leaves:
+            offset = leaf.offset
+            if leaf.role in ("scalar", "count", "string_ptr", "dyn_ptr"):
+                (value,) = unpack_from(order + leaf.code, payload, offset)
+            elif leaf.role == "char":
+                (raw,) = unpack_from(order + leaf.code, payload, offset)
+                value = raw.decode("latin-1")
+            elif leaf.role == "bool":
+                (raw,) = unpack_from(order + leaf.code, payload, offset)
+                value = bool(raw)
+            elif leaf.role == "chararray":
+                (raw,) = unpack_from(order + leaf.code, payload, offset)
+                value = raw.split(b"\x00", 1)[0].decode("utf-8")
+            else:  # static array
+                value = list(unpack_from(order + leaf.code, payload, offset))
+            flat[leaf.path] = value
+        counts = _count_leaf_positions(plan)
+        result: dict[tuple[str, ...], object] = {}
+        for item in plan.var_items:
+            pointer = flat[item.path]
+            if item.kind == "string":
+                flat[item.path] = _read_string(payload, pointer)
+            else:
+                if pointer:
+                    count_leaf_position = counts[item.path]
+                    count = _value_at_position(plan, flat, count_leaf_position)
+                    flat[item.path] = list(
+                        unpack_from(
+                            f"{order}{count}{item.element_code}", payload, pointer
+                        )
+                    )
+                else:
+                    flat[item.path] = []
+        return _assemble(plan, wire_format, (), flat)
+
+    return convert
+
+
+def _value_at_position(plan: EncodePlan, flat: dict, position: int):
+    cursor = 0
+    for leaf in plan.leaves:
+        if cursor == position:
+            return flat[leaf.path]
+        cursor += _leaf_width(leaf)
+    raise ConversionError(f"no leaf at unpack position {position}")
+
+
+def _assemble(
+    plan: EncodePlan, fmt: IOFormat, prefix: tuple[str, ...], flat: dict
+) -> dict:
+    record: dict = {}
+    for field in fmt.compiled_fields:
+        path = prefix + (field.name,)
+        if field.nested is not None:
+            if field.static_count == 1:
+                record[field.name] = _assemble(plan, field.nested, path, flat)
+            else:
+                record[field.name] = [
+                    _assemble(plan, field.nested, path + (str(i),), flat)
+                    for i in range(field.static_count)
+                ]
+        elif field.is_string and field.static_count > 1:
+            record[field.name] = [
+                flat[path + (str(i),)] for i in range(field.static_count)
+            ]
+        else:
+            record[field.name] = flat[path]
+    return record

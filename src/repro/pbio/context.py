@@ -1,0 +1,299 @@
+"""IOContext: the per-endpoint state of the binary communication mechanism.
+
+An :class:`IOContext` owns:
+
+- the formats registered locally (the sender role);
+- the wire formats learned from peers, format servers, or in-band
+  metadata messages (the receiver role);
+- the converter cache, so each (wire format, native format) pair pays
+  code generation exactly once.
+
+Message framing (all header integers big-endian, 16 bytes total)::
+
+    u8   kind        1 = data record, 2 = format metadata, 3 = format request
+    u8   version     protocol version, currently 1
+    u16  reserved    0
+    u32  length      byte length of the body after the header
+    u64  format id   content-addressed id (kinds 1 and 3); zero for kind 2
+
+A data message's body is the NDR payload; a metadata message's body is
+the :meth:`IOFormat.to_wire_metadata` block; a request's body is empty.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.arch.model import ArchitectureModel
+from repro.arch.registry import NATIVE
+from repro.errors import DecodeError, FormatRegistrationError
+from repro.pbio.decode import ConverterCache
+from repro.pbio.encode import encode_record, get_encode_plan, get_generated_encoder
+from repro.pbio.field import IOField
+from repro.pbio.fmserver import FormatServer
+from repro.pbio.format import IOFormat
+
+HEADER = struct.Struct(">BBHI8s")
+HEADER_SIZE = HEADER.size
+
+KIND_DATA = 1
+KIND_FORMAT = 2
+KIND_REQUEST = 3
+
+PROTOCOL_VERSION = 1
+
+_NULL_ID = b"\x00" * 8
+
+
+@dataclass(frozen=True)
+class DecodedRecord:
+    """A decoded data message: format identity plus field values."""
+
+    format_name: str
+    values: dict
+    wire_format: IOFormat
+
+    def __getitem__(self, name: str):
+        return self.values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+
+class IOContext:
+    """Format registration, encoding and decoding for one endpoint.
+
+    Parameters
+    ----------
+    arch:
+        The "native" architecture this context encodes with.  Defaults
+        to the model matching the running interpreter; tests and the
+        heterogeneity benchmarks pass explicit models to put a simulated
+        SPARC and a simulated x86 in one process.
+    format_server:
+        Optional shared :class:`~repro.pbio.fmserver.FormatServer` used
+        to resolve unknown format ids out-of-band.
+    """
+
+    def __init__(
+        self,
+        arch: ArchitectureModel = NATIVE,
+        *,
+        format_server: FormatServer | None = None,
+    ) -> None:
+        self.arch = arch
+        self._formats: dict[str, IOFormat] = {}
+        self._by_id: dict[bytes, IOFormat] = {}
+        self._wire_formats: dict[bytes, IOFormat] = {}
+        self._converters = ConverterCache()
+        self._format_server = format_server
+
+    # -- registration -------------------------------------------------------
+
+    def register_format(
+        self,
+        name: str,
+        fields: list[IOField],
+        *,
+        record_length: int | None = None,
+    ) -> IOFormat:
+        """Register a format against this context's architecture.
+
+        Nested format references resolve against previously registered
+        formats, mirroring PBIO's registration order requirement.
+        """
+        if name in self._formats:
+            raise FormatRegistrationError(f"format {name!r} is already registered")
+        fmt = IOFormat(
+            name,
+            fields,
+            self.arch,
+            record_length=record_length,
+            catalog=self._formats,
+        )
+        self._adopt(fmt)
+        return fmt
+
+    def adopt_format(self, fmt: IOFormat) -> IOFormat:
+        """Register an :class:`IOFormat` built elsewhere (e.g. by xml2wire).
+
+        The format's nested dependencies are adopted too.  The format
+        must have been built for this context's architecture.
+        """
+        if fmt.arch != self.arch:
+            raise FormatRegistrationError(
+                f"format {fmt.name!r} was built for {fmt.arch.name}, but this "
+                f"context is {self.arch.name}"
+            )
+        for nested in fmt.nested_formats():
+            if nested.name not in self._formats:
+                self._adopt(nested)
+        if fmt.name in self._formats:
+            if self._formats[fmt.name].format_id != fmt.format_id:
+                raise FormatRegistrationError(
+                    f"format {fmt.name!r} is already registered with "
+                    f"different metadata"
+                )
+            return self._formats[fmt.name]
+        self._adopt(fmt)
+        return fmt
+
+    def _adopt(self, fmt: IOFormat) -> None:
+        self._formats[fmt.name] = fmt
+        self._by_id[fmt.format_id] = fmt
+        # A context can always decode its own formats.
+        self._wire_formats[fmt.format_id] = fmt
+        if self._format_server is not None:
+            self._format_server.register(fmt)
+        # Registration pays encoder compilation up front (plan + DCG),
+        # keeping the per-message path free of first-use spikes.
+        get_encode_plan(fmt)
+        get_generated_encoder(fmt)
+
+    def lookup_format(self, name: str) -> IOFormat:
+        """Return a locally registered format by name."""
+        try:
+            return self._formats[name]
+        except KeyError:
+            known = ", ".join(self._formats) or "(none)"
+            raise FormatRegistrationError(
+                f"no format named {name!r} registered; known: {known}"
+            ) from None
+
+    def format_names(self) -> list[str]:
+        """Names of every locally registered format."""
+        return list(self._formats)
+
+    # -- wire format learning -------------------------------------------------
+
+    def learn_format(self, metadata: bytes) -> IOFormat:
+        """Install a peer's format from a metadata block; returns it."""
+        fmt = IOFormat.from_wire_metadata(metadata)
+        self._wire_formats[fmt.format_id] = fmt
+        return fmt
+
+    def knows_format_id(self, format_id: bytes) -> bool:
+        """True if a wire format with this id has been learned."""
+        return format_id in self._wire_formats
+
+    def wire_format(self, format_id: bytes) -> IOFormat:
+        """Resolve a wire format id, consulting the format server if set."""
+        fmt = self._wire_formats.get(format_id)
+        if fmt is not None:
+            return fmt
+        if self._format_server is not None:
+            fmt = self._format_server.resolve(format_id)
+            self._wire_formats[format_id] = fmt
+            return fmt
+        raise DecodeError(
+            f"unknown format id {format_id.hex()}; no metadata received and "
+            f"no format server attached"
+        )
+
+    # -- messages ----------------------------------------------------------------
+
+    def encode(self, fmt: IOFormat | str, record: dict) -> bytes:
+        """Encode ``record`` as a framed data message."""
+        if isinstance(fmt, str):
+            fmt = self.lookup_format(fmt)
+        payload = encode_record(fmt, record)
+        header = HEADER.pack(
+            KIND_DATA, PROTOCOL_VERSION, 0, len(payload), fmt.format_id
+        )
+        return header + payload
+
+    def format_message(self, fmt: IOFormat | str) -> bytes:
+        """Frame ``fmt``'s metadata as a format message."""
+        if isinstance(fmt, str):
+            fmt = self.lookup_format(fmt)
+        metadata = fmt.to_wire_metadata()
+        return HEADER.pack(KIND_FORMAT, PROTOCOL_VERSION, 0, len(metadata), _NULL_ID) + metadata
+
+    def request_message(self, format_id: bytes) -> bytes:
+        """Frame a format request for ``format_id``."""
+        return HEADER.pack(KIND_REQUEST, PROTOCOL_VERSION, 0, 0, format_id)
+
+    def decode(
+        self,
+        message: bytes,
+        *,
+        expect: str | None = None,
+        mode: str = "generated",
+    ) -> DecodedRecord:
+        """Decode a framed data message.
+
+        ``expect`` names a locally registered format to project the
+        record onto (format-evolution tolerance); by default the record
+        is returned in the wire format's own shape.  ``mode`` selects the
+        converter implementation (``"generated"`` or ``"interpreted"``).
+        """
+        kind, version, _, length, format_id = self.parse_header(message)
+        if kind != KIND_DATA:
+            raise DecodeError(
+                f"expected a data message, got message kind {kind}"
+            )
+        payload = message[HEADER_SIZE : HEADER_SIZE + length]
+        if len(payload) != length:
+            raise DecodeError(
+                f"truncated message: header promises {length} bytes, "
+                f"got {len(payload)}"
+            )
+        wire_format = self.wire_format(format_id)
+        target = self.lookup_format(expect) if expect is not None else None
+        converter = self._converters.lookup(wire_format, target, mode)
+        try:
+            values = converter(bytes(payload))
+        except (IndexError, ValueError, struct.error) as exc:
+            raise DecodeError(
+                f"corrupt payload for format {wire_format.name!r}: {exc}"
+            ) from exc
+        name = target.name if target is not None else wire_format.name
+        return DecodedRecord(format_name=name, values=values, wire_format=wire_format)
+
+    def decode_view(self, message: bytes):
+        """Decode a data message as a lazy :class:`~repro.pbio.RecordView`.
+
+        Nothing is converted until a field is accessed — PBIO's use-the-
+        buffer-in-place receive path, ideal for consumers that touch a
+        few fields of wide records.  The wire format resolves the same
+        way :meth:`decode` resolves it (learned metadata or the format
+        server).
+        """
+        from repro.pbio.view import RecordView
+
+        kind, _, _, length, format_id = self.parse_header(message)
+        if kind != KIND_DATA:
+            raise DecodeError(f"expected a data message, got message kind {kind}")
+        wire_format = self.wire_format(format_id)
+        payload = bytes(message[HEADER_SIZE : HEADER_SIZE + length])
+        if len(payload) != length:
+            raise DecodeError(
+                f"truncated message: header promises {length} bytes, "
+                f"got {len(payload)}"
+            )
+        return RecordView(wire_format, payload)
+
+    @staticmethod
+    def parse_header(message: bytes) -> tuple[int, int, int, int, bytes]:
+        """Split a framed message's header; raises on short input."""
+        if len(message) < HEADER_SIZE:
+            raise DecodeError(
+                f"message of {len(message)} bytes is shorter than the "
+                f"{HEADER_SIZE}-byte header"
+            )
+        kind, version, reserved, length, format_id = HEADER.unpack_from(message, 0)
+        if version != PROTOCOL_VERSION:
+            raise DecodeError(f"unsupported protocol version {version}")
+        return kind, version, reserved, length, format_id
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def converter_builds(self) -> int:
+        """How many converters this context has generated (amortization)."""
+        return self._converters.builds
+
+    def encoded_size(self, fmt: IOFormat | str, record: dict) -> int:
+        """Total framed size of ``record`` (header + NDR payload)."""
+        return len(self.encode(fmt, record))

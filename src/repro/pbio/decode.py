@@ -1,0 +1,109 @@
+"""Decoding NDR payloads: converter selection and caching.
+
+Decoding is driven entirely by the *wire* format's metadata (which
+arrived once, out-of-band or in-band); the receiver picks a converter:
+
+- **generated** (default): the dynamically generated routine from
+  :mod:`~repro.pbio.codegen`, built on first use per wire format and
+  cached — PBIO's "custom routines created on-the-fly";
+- **interpreted**: the per-record metadata-walking fallback, kept for
+  the A1 ablation and as an executable specification of the wire format.
+
+If the receiver's *native* format differs from the wire format (format
+evolution: the sender added or removed fields), the decoded record is
+projected onto the native format by :mod:`~repro.pbio.evolution`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import DecodeError
+from repro.pbio.codegen import make_generated_converter, make_interpreted_converter
+from repro.pbio.evolution import make_projection
+from repro.pbio.format import IOFormat
+
+Converter = Callable[[bytes], dict]
+
+_MODES = ("generated", "interpreted")
+
+
+class ConverterCache:
+    """Cache of converters keyed by (wire format, target format, mode).
+
+    One instance lives in each :class:`~repro.pbio.context.IOContext`;
+    sharing converters across contexts would be safe (they are pure
+    functions) but PBIO scopes conversion state per context, and so do
+    we.
+    """
+
+    def __init__(self) -> None:
+        self._converters: dict[tuple[bytes, bytes | None, str], Converter] = {}
+        self.builds = 0  # observable for amortization experiments
+
+    def lookup(
+        self,
+        wire_format: IOFormat,
+        target_format: IOFormat | None = None,
+        mode: str = "generated",
+    ) -> Converter:
+        """Return a converter, building and caching it on first use."""
+        if mode not in _MODES:
+            raise DecodeError(f"unknown conversion mode {mode!r}; use one of {_MODES}")
+        key = (
+            wire_format.format_id,
+            target_format.format_id if target_format is not None else None,
+            mode,
+        )
+        converter = self._converters.get(key)
+        if converter is None:
+            converter = self._build(wire_format, target_format, mode)
+            self._converters[key] = converter
+            self.builds += 1
+        return converter
+
+    def _build(
+        self, wire_format: IOFormat, target_format: IOFormat | None, mode: str
+    ) -> Converter:
+        if mode == "generated":
+            base = make_generated_converter(wire_format)
+        else:
+            base = make_interpreted_converter(wire_format)
+        if target_format is None or target_format.format_id == wire_format.format_id:
+            return base
+        project = make_projection(wire_format, target_format)
+
+        def convert_and_project(payload: bytes) -> dict:
+            return project(base(payload))
+
+        return convert_and_project
+
+
+def decode_payload(
+    wire_format: IOFormat,
+    payload: bytes,
+    *,
+    target_format: IOFormat | None = None,
+    mode: str = "generated",
+    cache: ConverterCache | None = None,
+) -> dict:
+    """Decode one NDR payload.
+
+    Standalone convenience for tests and tools; applications normally go
+    through :meth:`IOContext.decode <repro.pbio.context.IOContext.decode>`,
+    which manages the cache and format resolution.
+    """
+    if len(payload) < wire_format.record_length:
+        raise DecodeError(
+            f"payload of {len(payload)} bytes is shorter than the "
+            f"{wire_format.record_length}-byte base record of "
+            f"{wire_format.name!r}"
+        )
+    owner = cache if cache is not None else ConverterCache()
+    converter = owner.lookup(wire_format, target_format, mode)
+    try:
+        return converter(bytes(payload))
+    except (IndexError, ValueError) as exc:
+        raise DecodeError(
+            f"corrupt payload for format {wire_format.name!r}: {exc}"
+        ) from exc

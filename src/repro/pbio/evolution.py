@@ -1,0 +1,119 @@
+"""Restricted format evolution: field addition/removal tolerance.
+
+PBIO "does support a form of restricted evolution in message formats in
+which elements may be added to message formats without causing receivers
+of previous versions of the message to fail" (paper §6).  The mechanism
+is name matching: a decoded wire record is *projected* onto the
+receiver's native format —
+
+- fields present in both keep the wire value (recursively for nested
+  formats matched by name);
+- fields only in the wire format are dropped;
+- fields only in the native format get a type-appropriate default
+  (``0`` for numbers, ``None`` for strings, ``[]`` for dynamic arrays,
+  zeroed elements for static arrays, recursively defaulted dicts for
+  nested formats).
+
+This is a *binding*-level feature, not a discovery feature — the paper
+§3.3 is explicit on that point: both format versions have already been
+discovered by the time a mismatch can be observed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.model import TypeKind
+from repro.pbio.format import CompiledField, IOFormat
+
+Projection = Callable[[dict], dict]
+
+
+def default_value(field: CompiledField):
+    """The default a receiver sees for a field the sender never set."""
+    if field.nested is not None:
+        nested_default = default_record(field.nested)
+        if field.static_count > 1:
+            return [default_record(field.nested) for _ in range(field.static_count)]
+        return nested_default
+    if field.type.is_dynamic_array:
+        return []
+    if field.is_string:
+        if field.static_count > 1:
+            return [None] * field.static_count
+        return None
+    if field.kind == TypeKind.CHAR:
+        if field.type.is_static_array:
+            return ""
+        return "\x00"
+    if field.kind == TypeKind.BOOLEAN:
+        return False
+    scalar_default = 0 if field.kind != TypeKind.FLOAT else 0.0
+    if field.type.is_static_array:
+        return [scalar_default] * field.static_count
+    return scalar_default
+
+
+def default_record(fmt: IOFormat) -> dict:
+    """A fully defaulted record for ``fmt``."""
+    return {field.name: default_value(field) for field in fmt.compiled_fields}
+
+
+def make_projection(wire_format: IOFormat, target_format: IOFormat) -> Projection:
+    """Build a projection from wire-format records onto ``target_format``.
+
+    The projection plan is computed once (here); applying it per record
+    is a flat loop over the target's fields.
+    """
+    plan: list[tuple[str, str, object]] = []  # (name, action, extra)
+    wire_fields = {field.name: field for field in wire_format.compiled_fields}
+    for target_field in target_format.compiled_fields:
+        wire_field = wire_fields.get(target_field.name)
+        if wire_field is None:
+            plan.append((target_field.name, "default", default_value(target_field)))
+        elif (
+            target_field.nested is not None
+            and wire_field.nested is not None
+            and target_field.static_count == wire_field.static_count
+        ):
+            nested_projection = make_projection(wire_field.nested, target_field.nested)
+            if target_field.static_count > 1:
+                plan.append((target_field.name, "nested_list", nested_projection))
+            else:
+                plan.append((target_field.name, "nested", nested_projection))
+        elif target_field.nested is not None or wire_field.nested is not None:
+            # Nested on one side only: the shapes are incompatible, treat
+            # as unknown and default (matching PBIO's drop semantics).
+            plan.append((target_field.name, "default", default_value(target_field)))
+        else:
+            plan.append((target_field.name, "copy", None))
+
+    def project(record: dict) -> dict:
+        result: dict = {}
+        for name, action, extra in plan:
+            if action == "copy":
+                result[name] = record[name]
+            elif action == "default":
+                # Copy mutable defaults so callers can't alias them.
+                result[name] = list(extra) if isinstance(extra, list) else (
+                    dict(extra) if isinstance(extra, dict) else extra
+                )
+            elif action == "nested":
+                result[name] = extra(record[name])
+            else:  # nested_list
+                result[name] = [extra(element) for element in record[name]]
+        return result
+
+    return project
+
+
+def formats_compatible(wire_format: IOFormat, target_format: IOFormat) -> bool:
+    """True if every target field is either matched by name or defaulted.
+
+    Always true under PBIO's evolution rules (projection cannot fail),
+    so this reports whether the projection is the identity — useful for
+    logging format drift.
+    """
+    wire_names = set(wire_format.field_names())
+    target_names = set(target_format.field_names())
+    return wire_names == target_names

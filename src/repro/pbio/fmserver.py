@@ -1,0 +1,71 @@
+"""An in-process format server: format id → format metadata.
+
+PBIO deployments ran a "format server" daemon that handed out format
+metadata keyed by format id, so receivers could resolve records whose
+formats they had never seen without an in-band handshake.  Our format
+ids are content-addressed (see
+:attr:`~repro.pbio.format.IOFormat.format_id`), which removes the id
+*allocation* role, leaving resolution: this class is a thread-safe id →
+metadata registry that any number of contexts may share.
+
+Network-remote resolution uses the same object behind the metadata
+server (:mod:`repro.metaserver`); in-band resolution over a connection
+uses the format-request message of the channel protocol instead.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import DecodeError
+from repro.pbio.format import IOFormat
+
+
+class FormatServer:
+    """Thread-safe registry mapping format ids to wire metadata."""
+
+    def __init__(self) -> None:
+        self._metadata: dict[bytes, bytes] = {}
+        self._lock = threading.Lock()
+
+    def register(self, fmt: IOFormat) -> bytes:
+        """Register ``fmt`` (and its nested dependencies); returns its id.
+
+        Registration is idempotent: content-addressed ids make re-registering
+        the same format a no-op.
+        """
+        metadata = fmt.to_wire_metadata()
+        with self._lock:
+            self._metadata[fmt.format_id] = metadata
+            for nested in fmt.nested_formats():
+                self._metadata[nested.format_id] = nested.to_wire_metadata()
+        return fmt.format_id
+
+    def resolve(self, format_id: bytes) -> IOFormat:
+        """Return the format registered under ``format_id``.
+
+        Raises :class:`~repro.errors.DecodeError` if the id is unknown —
+        callers decide whether to fall back to in-band resolution.
+        """
+        with self._lock:
+            metadata = self._metadata.get(format_id)
+        if metadata is None:
+            raise DecodeError(f"format server has no format {format_id.hex()}")
+        return IOFormat.from_wire_metadata(metadata)
+
+    def resolve_metadata(self, format_id: bytes) -> bytes:
+        """Return the raw metadata bytes for ``format_id``."""
+        with self._lock:
+            metadata = self._metadata.get(format_id)
+        if metadata is None:
+            raise DecodeError(f"format server has no format {format_id.hex()}")
+        return metadata
+
+    def known_ids(self) -> list[bytes]:
+        """Every format id currently registered."""
+        with self._lock:
+            return list(self._metadata)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metadata)

@@ -1,0 +1,60 @@
+"""XML Schema subset for message metadata (substrate S3).
+
+The paper defines message formats with a subset of the (then-draft) W3C
+XML Schema specification: ``complexType`` definitions composing elements
+of primitive ``xsd`` datatypes and of previously defined user types, with
+``minOccurs``/``maxOccurs`` encoding static arrays, and a wildcard or
+field-reference ``maxOccurs`` encoding dynamically sized arrays.
+
+This package implements exactly that subset, plus the simple-type
+restriction/enumeration facility the paper's footnote 1 mentions:
+
+- :mod:`~repro.schema.datatypes` — the primitive datatype catalogue, with
+  both the 1999-draft hyphenated spellings the paper uses
+  (``unsigned-long``) and the final recommendation's camelCase spellings
+  (``unsignedLong``), plus lexical validation and value parsing.
+- :mod:`~repro.schema.model` — the schema object model
+  (:class:`SchemaDocument`, :class:`ComplexType`, :class:`ElementDecl`,
+  :class:`SimpleType`).
+- :mod:`~repro.schema.parser` — XML document → object model, resolving
+  ``type`` attribute QNames through in-scope namespace bindings.
+- :mod:`~repro.schema.validator` — validate instance documents against a
+  complex type ("schema-checking tools will be applicable to live
+  messages", §4.1.1).
+- :mod:`~repro.schema.writer` — generate schema documents from the model
+  (the inverse direction, used by the metadata server's dynamic
+  generation and by the workload generators).
+"""
+
+from repro.schema.datatypes import (
+    XSD_NAMESPACES,
+    PrimitiveType,
+    is_xsd_namespace,
+    lookup_primitive,
+)
+from repro.schema.model import (
+    ComplexType,
+    ElementDecl,
+    Occurs,
+    SchemaDocument,
+    SimpleType,
+)
+from repro.schema.parser import parse_schema, parse_schema_file
+from repro.schema.validator import validate_instance
+from repro.schema.writer import schema_to_xml
+
+__all__ = [
+    "XSD_NAMESPACES",
+    "PrimitiveType",
+    "is_xsd_namespace",
+    "lookup_primitive",
+    "ComplexType",
+    "ElementDecl",
+    "Occurs",
+    "SchemaDocument",
+    "SimpleType",
+    "parse_schema",
+    "parse_schema_file",
+    "validate_instance",
+    "schema_to_xml",
+]

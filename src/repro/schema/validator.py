@@ -1,0 +1,156 @@
+"""Validate instance documents against complex types.
+
+The paper argues (§4.1.1) that representing message formats in XML makes
+"schema-checking tools applicable to live messages received from other
+parties", including determining *which* of a set of formats a message most
+closely fits.  This module provides both operations:
+
+- :func:`validate_instance` — strict conformance check of one message
+  document against one complex type;
+- :func:`classify_instance` — score a message against every type in a
+  schema and return the best fit, the paper's format-selection use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaValidationError
+from repro.schema.datatypes import is_xsd_namespace, lookup_primitive
+from repro.schema.model import ComplexType, ElementDecl, SchemaDocument
+from repro.xmlparse.tree import Element
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One conformance problem found while validating an instance."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}: {self.message}"
+
+
+def validate_instance(
+    document: Element, complex_type: ComplexType, schema: SchemaDocument
+) -> None:
+    """Validate ``document`` against ``complex_type``; raise on failure.
+
+    The document's root element name is not constrained (messages are
+    typically named after streams, not types); its *children* must match
+    the type's element sequence.  Raises
+    :class:`~repro.errors.SchemaValidationError` carrying every issue
+    found, not just the first.
+    """
+    issues = collect_issues(document, complex_type, schema)
+    if issues:
+        summary = "; ".join(str(issue) for issue in issues[:10])
+        more = f" (+{len(issues) - 10} more)" if len(issues) > 10 else ""
+        raise SchemaValidationError(
+            f"instance does not conform to {complex_type.name!r}: {summary}{more}"
+        )
+
+
+def collect_issues(
+    document: Element, complex_type: ComplexType, schema: SchemaDocument
+) -> list[ValidationIssue]:
+    """Return every conformance issue (empty list means valid)."""
+    issues: list[ValidationIssue] = []
+    _validate_children(document, complex_type, schema, complex_type.name, issues)
+    return issues
+
+
+def classify_instance(
+    document: Element, schema: SchemaDocument
+) -> tuple[str, list[ValidationIssue]]:
+    """Find the complex type ``document`` most closely fits.
+
+    Returns ``(type_name, issues)`` for the type with the fewest issues;
+    ties break toward the type declared first.  Raises
+    :class:`~repro.errors.SchemaValidationError` if the schema declares
+    no complex types.
+    """
+    if not schema.complex_types:
+        raise SchemaValidationError("schema declares no complex types to classify against")
+    best_name = ""
+    best_issues: list[ValidationIssue] | None = None
+    for name, complex_type in schema.complex_types.items():
+        issues = collect_issues(document, complex_type, schema)
+        if best_issues is None or len(issues) < len(best_issues):
+            best_name, best_issues = name, issues
+            if not issues:
+                break
+    assert best_issues is not None
+    return best_name, best_issues
+
+
+def _validate_children(
+    parent: Element,
+    complex_type: ComplexType,
+    schema: SchemaDocument,
+    path: str,
+    issues: list[ValidationIssue],
+) -> None:
+    children = list(parent.children)
+    index = 0
+    for decl in complex_type.elements:
+        if decl.occurs.is_dynamic_array and decl.occurs.synthesized_length:
+            expected_low, expected_high = decl.occurs.min_occurs, None
+        elif decl.occurs.is_dynamic_array:
+            expected_low, expected_high = decl.occurs.min_occurs, None
+        elif decl.occurs.is_fixed_array:
+            expected_low, expected_high = decl.occurs.min_occurs, decl.occurs.count
+        else:
+            expected_low, expected_high = decl.occurs.min_occurs, 1
+        matched = 0
+        while index < len(children) and children[index].local == decl.name:
+            _validate_one(children[index], decl, schema, f"{path}/{decl.name}", issues)
+            matched += 1
+            index += 1
+            if expected_high is not None and matched == expected_high:
+                break
+        if matched < expected_low:
+            issues.append(
+                ValidationIssue(
+                    f"{path}/{decl.name}",
+                    f"expected at least {expected_low} occurrence(s), found {matched}",
+                )
+            )
+    while index < len(children):
+        issues.append(
+            ValidationIssue(
+                f"{path}/{children[index].local}",
+                "unexpected element (not declared in type, or out of order)",
+            )
+        )
+        index += 1
+
+
+def _validate_one(
+    node: Element,
+    decl: ElementDecl,
+    schema: SchemaDocument,
+    path: str,
+    issues: list[ValidationIssue],
+) -> None:
+    if is_xsd_namespace(decl.type_namespace):
+        primitive = lookup_primitive(decl.type_name)
+        try:
+            primitive.validate_lexical(node.text)
+        except Exception as exc:
+            issues.append(ValidationIssue(path, str(exc)))
+        if node.children:
+            issues.append(ValidationIssue(path, "primitive element has child elements"))
+        return
+    if decl.type_name in schema.simple_types:
+        try:
+            schema.simple_types[decl.type_name].validate_lexical(node.text)
+        except Exception as exc:
+            issues.append(ValidationIssue(path, str(exc)))
+        return
+    nested = schema.complex_types.get(decl.type_name)
+    if nested is None:
+        issues.append(ValidationIssue(path, f"unknown type {decl.type_name!r}"))
+        return
+    _validate_children(node, nested, schema, path, issues)

@@ -1,0 +1,96 @@
+"""Generate schema documents from the object model.
+
+The inverse of :mod:`repro.schema.parser`.  Two users need this
+direction:
+
+- the metadata server's *dynamic generation* facility (§4.4: metadata
+  documents generated per requestor), and
+- the workload generators, which synthesize formats of parameterized
+  size for scaling experiments.
+
+The emitted dialect matches the paper's figures: the 1999 namespace bound
+to the ``xsd`` prefix, ``complexType`` with direct ``element`` children,
+hyphenated draft type names left exactly as the model holds them.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import ComplexType, Occurs, SchemaDocument
+from repro.xmlparse.writer import escape_attribute
+
+_XSD_1999 = "http://www.w3.org/1999/XMLSchema"
+
+
+def schema_to_xml(schema: SchemaDocument, *, indent: str = "  ") -> str:
+    """Serialize ``schema`` to an XML Schema document string."""
+    lines: list[str] = ['<?xml version="1.0"?>']
+    target = (
+        f'\n{indent * 2}targetNamespace="{escape_attribute(schema.target_namespace)}"'
+        if schema.target_namespace
+        else ""
+    )
+    lines.append(f'<xsd:schema xmlns:xsd="{_XSD_1999}"{target}>')
+    if schema.documentation:
+        lines.append(f"{indent}<xsd:annotation>")
+        lines.append(f"{indent * 2}<xsd:documentation>")
+        lines.append(f"{indent * 3}{schema.documentation}")
+        lines.append(f"{indent * 2}</xsd:documentation>")
+        lines.append(f"{indent}</xsd:annotation>")
+    for simple in schema.simple_types.values():
+        lines.append(f'{indent}<xsd:simpleType name="{escape_attribute(simple.name)}">')
+        lines.append(
+            f'{indent * 2}<xsd:restriction base="xsd:{simple.base.name}">'
+        )
+        for value in simple.enumeration:
+            lines.append(
+                f'{indent * 3}<xsd:enumeration value="{escape_attribute(value)}"/>'
+            )
+        if simple.min_inclusive is not None:
+            lines.append(
+                f'{indent * 3}<xsd:minInclusive value="{simple.min_inclusive}"/>'
+            )
+        if simple.max_inclusive is not None:
+            lines.append(
+                f'{indent * 3}<xsd:maxInclusive value="{simple.max_inclusive}"/>'
+            )
+        lines.append(f"{indent * 2}</xsd:restriction>")
+        lines.append(f"{indent}</xsd:simpleType>")
+    for complex_type in schema.complex_types.values():
+        lines.extend(_complex_type_lines(complex_type, indent))
+    lines.append("</xsd:schema>")
+    return "\n".join(lines) + "\n"
+
+
+def _complex_type_lines(complex_type: ComplexType, indent: str) -> list[str]:
+    lines = [f'{indent}<xsd:complexType name="{escape_attribute(complex_type.name)}">']
+    if complex_type.documentation:
+        lines.append(f"{indent * 2}<xsd:annotation>")
+        lines.append(
+            f"{indent * 3}<xsd:documentation>{complex_type.documentation}"
+            f"</xsd:documentation>"
+        )
+        lines.append(f"{indent * 2}</xsd:annotation>")
+    for element in complex_type.elements:
+        if element.type_namespace is not None:
+            type_ref = f"xsd:{element.type_name}"
+        else:
+            type_ref = element.type_name
+        occurs = _occurs_attributes(element.occurs)
+        lines.append(
+            f'{indent * 2}<xsd:element name="{escape_attribute(element.name)}" '
+            f'type="{escape_attribute(type_ref)}"{occurs} />'
+        )
+    lines.append(f"{indent}</xsd:complexType>")
+    return lines
+
+
+def _occurs_attributes(occurs: Occurs) -> str:
+    if occurs.is_fixed_array:
+        return f' minOccurs="{occurs.min_occurs}" maxOccurs="{occurs.count}"'
+    if occurs.is_dynamic_array:
+        if occurs.synthesized_length:
+            return f' minOccurs="{occurs.min_occurs}" maxOccurs="*"'
+        return f' minOccurs="{occurs.min_occurs}" maxOccurs="{occurs.length_field}"'
+    if occurs.min_occurs != 1:
+        return f' minOccurs="{occurs.min_occurs}"'
+    return ""

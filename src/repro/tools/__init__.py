@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.xml2wire`` — the paper's tool as a command:
+  schema document in, PBIO metadata (Figure 5/8/11 style) out; can also
+  emit Python dataclass stubs.
+- ``python -m repro.tools.metaserve`` — serve a directory of schema
+  documents over HTTP (the "publicly known intranet server" of §4.4).
+- ``python -m repro.tools.validate`` — schema-check an instance
+  document, or classify it against every type in a schema (§4.1.1's
+  "determine which of a set of structure definitions a message most
+  closely fits").
+"""

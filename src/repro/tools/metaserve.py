@@ -1,0 +1,82 @@
+"""Serve a directory of schema documents over HTTP.
+
+Every ``*.xsd`` file in the directory is published at
+``/schemas/<filename>``; the daemon logs each URL at startup and serves
+until interrupted.  This is the "publicly known intranet server" of the
+paper's §4.4, as a command::
+
+    python -m repro.tools.metaserve ./schemas --port 8800
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.metaserver.server import MetadataServer
+from repro.schema.parser import parse_schema
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="metaserve",
+        description="Publish a directory of XML Schema documents over HTTP.",
+    )
+    parser.add_argument("directory", help="directory containing *.xsd files")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate each document as a schema before publishing",
+    )
+    return parser
+
+
+def publish_directory(server: MetadataServer, directory: Path, check: bool) -> list[str]:
+    """Publish every *.xsd in ``directory``; returns the URLs."""
+    urls = []
+    for path in sorted(directory.glob("*.xsd")):
+        text = path.read_text(encoding="utf-8")
+        if check:
+            parse_schema(text)  # raises on invalid documents
+        urls.append(server.publish_schema(f"/schemas/{path.name}", text))
+    return urls
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"metaserve: error: {directory} is not a directory", file=sys.stderr)
+        return 1
+    server = MetadataServer(args.host, args.port)
+    try:
+        urls = publish_directory(server, directory, args.check)
+    except ReproError as exc:
+        print(f"metaserve: error: {exc}", file=sys.stderr)
+        return 1
+    if not urls:
+        print(f"metaserve: warning: no *.xsd files in {directory}", file=sys.stderr)
+    server.start()
+    for url in urls:
+        print(f"serving {url}")
+    host, port = server.address
+    print(f"metadata server listening on {host}:{port} (Ctrl-C to stop)")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    server.stop()
+    print("stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Dump the contents of a PBIO data file.
+
+The archive analogue of a packet dumper: prints the formats a file
+carries (from its embedded metadata) and each record, on any machine
+regardless of who wrote the file::
+
+    python -m repro.tools.pbdump flights.pbio
+    python -m repro.tools.pbdump flights.pbio --format json
+    python -m repro.tools.pbdump flights.pbio --metadata-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.pbio.context import IOContext
+from repro.pbio.iofile import IOFileReader
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="pbdump",
+        description="Dump records and format metadata from a PBIO data file.",
+    )
+    parser.add_argument("file", help="path to the .pbio file")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--metadata-only",
+        action="store_true",
+        help="print only the formats the file carries, not the records",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0, help="stop after N records (0 = all)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    context = IOContext()
+    printed_formats: set[str] = set()
+    try:
+        with IOFileReader(args.file, context) as reader:
+            count = 0
+            for record in reader.records():
+                wire = record.wire_format
+                if wire.name not in printed_formats:
+                    printed_formats.add(wire.name)
+                    if args.format == "text":
+                        print(
+                            f"# format {wire.name!r}: {len(wire.fields)} fields, "
+                            f"{wire.record_length} B native on {wire.arch.name}, "
+                            f"id {wire.format_id.hex()}"
+                        )
+                if args.metadata_only:
+                    continue
+                count += 1
+                if args.format == "json":
+                    print(json.dumps({"format": record.format_name, **record.values}))
+                else:
+                    rendered = ", ".join(
+                        f"{k}={v!r}" for k, v in record.values.items()
+                    )
+                    print(f"[{count}] {record.format_name}: {rendered}")
+                if args.limit and count >= args.limit:
+                    break
+            if not args.metadata_only and args.format == "text":
+                print(f"# {count} record(s)")
+    except (ReproError, OSError) as exc:
+        print(f"pbdump: error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

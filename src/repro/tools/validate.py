@@ -1,0 +1,81 @@
+"""Schema-check or classify instance documents.
+
+The paper (§4.1.1): "since the structure of a message will be
+represented using XML, schema-checking tools will be applicable to live
+messages received from other parties.  This ability could be used to
+determine which of a set of structure definitions a message most closely
+fits."  Both operations, as a command::
+
+    python -m repro.tools.validate schema.xsd message.xml --type Track
+    python -m repro.tools.validate schema.xsd message.xml --classify
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.schema.parser import parse_schema_file
+from repro.schema.validator import classify_instance, collect_issues
+from repro.xmlparse.tree import parse_document
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="validate",
+        description="Validate or classify an XML instance against a schema.",
+    )
+    parser.add_argument("schema", help="path to the schema document")
+    parser.add_argument("instance", help="path to the instance document, or '-'")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--type", help="complex type to validate against")
+    group.add_argument(
+        "--classify",
+        action="store_true",
+        help="report the complex type the instance most closely fits",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        schema = parse_schema_file(args.schema)
+        if args.instance == "-":
+            instance = parse_document(sys.stdin.read())
+        else:
+            with open(args.instance, encoding="utf-8") as handle:
+                instance = parse_document(handle.read())
+    except (ReproError, OSError) as exc:
+        print(f"validate: error: {exc}", file=sys.stderr)
+        return 2
+    if args.classify:
+        try:
+            name, issues = classify_instance(instance, schema)
+        except ReproError as exc:
+            print(f"validate: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"best fit: {name} ({len(issues)} issue(s))")
+        for issue in issues:
+            print(f"  {issue}")
+        return 0 if not issues else 1
+    try:
+        complex_type = schema.complex_type(args.type)
+    except ReproError as exc:
+        print(f"validate: error: {exc}", file=sys.stderr)
+        return 2
+    issues = collect_issues(instance, complex_type, schema)
+    if not issues:
+        print(f"valid: instance conforms to {args.type}")
+        return 0
+    print(f"invalid: {len(issues)} issue(s) against {args.type}")
+    for issue in issues:
+        print(f"  {issue}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

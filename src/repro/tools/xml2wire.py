@@ -1,0 +1,119 @@
+"""The xml2wire command: schema documents in, PBIO metadata out.
+
+Examples::
+
+    python -m repro.tools.xml2wire schemas/asdoff.xsd
+    python -m repro.tools.xml2wire schemas/asdoff.xsd --arch sparc_32
+    python -m repro.tools.xml2wire http://host:port/asdoff.xsd --arch x86_64
+    python -m repro.tools.xml2wire schemas/asdoff.xsd --stubs asdoff_stubs.py
+
+Output mirrors the paper's Figure 8 IOField arrays, with sizes and
+offsets computed for the requested architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch import NATIVE, all_architectures, get_architecture
+from repro.core.stubgen import generate_stub_source
+from repro.core.xml2wire import XML2Wire
+from repro.errors import ReproError
+from repro.metaserver.client import MetadataClient
+from repro.pbio.context import IOContext
+from repro.schema.parser import parse_schema, parse_schema_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="xml2wire",
+        description="Convert XML Schema message metadata to PBIO metadata.",
+    )
+    parser.add_argument(
+        "schema",
+        help="path to a schema document, '-' for stdin, or an http:// URL",
+    )
+    parser.add_argument(
+        "--arch",
+        default=NATIVE.name,
+        choices=sorted(model.name for model in all_architectures()),
+        help=f"target architecture for sizes/offsets (default: {NATIVE.name})",
+    )
+    parser.add_argument(
+        "--stubs",
+        metavar="FILE",
+        help="also write Python dataclass stubs to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--c-header",
+        metavar="FILE",
+        help="also write a C header (typedefs + IOField arrays) to FILE",
+    )
+    parser.add_argument(
+        "--ids",
+        action="store_true",
+        help="print each format's content-addressed wire id",
+    )
+    return parser
+
+
+def load_schema(source: str):
+    """Load a schema from a path, stdin ('-'), or an http:// URL."""
+    if source == "-":
+        return parse_schema(sys.stdin.read())
+    if source.startswith("http://"):
+        return MetadataClient().get_schema(source)
+    return parse_schema_file(source)
+
+
+def render_format(fmt, show_id: bool) -> str:
+    """Render one format as a Figure-8-style IOField table."""
+    lines = [f"/* {fmt.name}: {fmt.record_length} bytes on {fmt.arch.name} */"]
+    if show_id:
+        lines.append(f"/* format id: {fmt.format_id.hex()} */")
+    lines.append(f"IOField {fmt.name}Fields[] = {{")
+    for field in fmt.fields:
+        lines.append(
+            f'    {{ "{field.name}", "{field.type}", {field.size}, {field.offset} }},'
+        )
+    lines.append("    { NULL, NULL, 0, 0 }")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        schema = load_schema(args.schema)
+        tool = XML2Wire(IOContext(get_architecture(args.arch)))
+        formats = tool.register_schema(schema)
+    except ReproError as exc:
+        print(f"xml2wire: error: {exc}", file=sys.stderr)
+        return 1
+    print("\n\n".join(render_format(fmt, args.ids) for fmt in formats))
+    if args.stubs:
+        stub_source = generate_stub_source(schema)
+        if args.stubs == "-":
+            print("\n" + stub_source)
+        else:
+            with open(args.stubs, "w", encoding="utf-8") as handle:
+                handle.write(stub_source)
+            print(f"\n/* stubs written to {args.stubs} */")
+    if args.c_header:
+        from repro.core.cgen import generate_c_header
+
+        header_source = generate_c_header(schema)
+        if args.c_header == "-":
+            print("\n" + header_source)
+        else:
+            with open(args.c_header, "w", encoding="utf-8") as handle:
+                handle.write(header_source)
+            print(f"/* C header written to {args.c_header} */")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Message transports (substrate S6).
+
+The paper insists that xml2wire/PBIO "does not predicate the use of
+specific data delivery mechanisms" — TCP/IP, multicast middleware, or
+cluster interconnects all work.  This package provides the
+:class:`~repro.transport.channel.Channel` abstraction and two concrete
+transports:
+
+- :mod:`~repro.transport.inproc` — an in-process pipe (thread-safe,
+  optionally shaped by a :class:`~repro.transport.netsim.NetworkModel`
+  that simulates latency/bandwidth, either in real time or as virtual
+  accounting for deterministic benchmarks);
+- :mod:`~repro.transport.tcp` — real sockets over loopback or LAN, with
+  the shared length-prefixed framing.
+
+:mod:`~repro.transport.connection` layers the PBIO message protocol on
+any channel: data messages, eager format-metadata push on first use, and
+pull-based format requests for late joiners.
+"""
+
+from repro.transport.channel import Channel
+from repro.transport.connection import RecordConnection
+from repro.transport.inproc import InprocChannel, make_pipe
+from repro.transport.netsim import NetworkModel, NetworkStats
+from repro.transport.tcp import TCPChannel, TCPListener, connect, listen
+
+__all__ = [
+    "Channel",
+    "RecordConnection",
+    "InprocChannel",
+    "make_pipe",
+    "NetworkModel",
+    "NetworkStats",
+    "TCPChannel",
+    "TCPListener",
+    "connect",
+    "listen",
+]

@@ -1,0 +1,46 @@
+"""The message-oriented channel abstraction all transports implement."""
+
+from __future__ import annotations
+
+import abc
+
+
+class Channel(abc.ABC):
+    """A bidirectional, message-preserving communication endpoint.
+
+    Unlike a raw byte stream, a channel delivers whole messages: one
+    ``send`` on one end is one ``recv`` on the other.  Stream transports
+    achieve this with the shared framing layer.
+    """
+
+    @abc.abstractmethod
+    def send(self, message: bytes) -> None:
+        """Deliver ``message`` to the peer.
+
+        Raises :class:`~repro.errors.ChannelClosedError` if either end
+        is closed.
+        """
+
+    @abc.abstractmethod
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Block until a message arrives and return it.
+
+        Raises :class:`~repro.errors.ChannelClosedError` on clean EOF
+        with no pending messages, and
+        :class:`~repro.errors.TransportError` on timeout.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close this end; idempotent."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called on this end."""
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""RecordConnection: the PBIO message protocol over any channel.
+
+Pairs an :class:`~repro.pbio.IOContext` with a
+:class:`~repro.transport.channel.Channel` and implements the metadata
+exchange the paper describes:
+
+- **eager push** — the first data message of each format on a connection
+  is preceded by a format-metadata message, so a steady-state connection
+  carries only 16-byte headers of per-format cost;
+- **pull on miss** — a receiver that sees an unknown format id (say, it
+  joined late on a multicast-style fan-out where the push was missed)
+  sends a format request; the peer answers with the metadata.  The data
+  message is parked meanwhile and decoded once the metadata lands.
+
+Counters expose exactly what the amortization experiment (C4) needs:
+how many bytes went to metadata versus data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import DecodeError, TransportError
+from repro.pbio.context import (
+    HEADER_SIZE,
+    KIND_DATA,
+    KIND_FORMAT,
+    KIND_REQUEST,
+    DecodedRecord,
+    IOContext,
+)
+from repro.pbio.format import IOFormat
+from repro.transport.channel import Channel
+
+
+class RecordConnection:
+    """Typed record exchange between two endpoints."""
+
+    def __init__(self, context: IOContext, channel: Channel) -> None:
+        self.context = context
+        self.channel = channel
+        self._announced: set[bytes] = set()
+        self._parked: deque[bytes] = deque()
+        # Traffic accounting (bytes on the wire, split by purpose).
+        self.data_bytes = 0
+        self.metadata_bytes = 0
+        self.data_messages = 0
+        self.metadata_messages = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, fmt: IOFormat | str, record: dict) -> None:
+        """Send one record, pushing format metadata first if needed."""
+        if isinstance(fmt, str):
+            fmt = self.context.lookup_format(fmt)
+        self.announce(fmt)
+        message = self.context.encode(fmt, record)
+        self.channel.send(message)
+        self.data_bytes += len(message)
+        self.data_messages += 1
+
+    def announce(self, fmt: IOFormat | str) -> bool:
+        """Push ``fmt``'s metadata if this connection has not seen it.
+
+        Returns True if a metadata message was actually sent.  Exposed
+        separately so benchmarks can isolate the push cost.
+        """
+        if isinstance(fmt, str):
+            fmt = self.context.lookup_format(fmt)
+        if fmt.format_id in self._announced:
+            return False
+        message = self.context.format_message(fmt)
+        self.channel.send(message)
+        self._announced.add(fmt.format_id)
+        self.metadata_bytes += len(message)
+        self.metadata_messages += 1
+        return True
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(
+        self,
+        timeout: float | None = None,
+        *,
+        expect: str | None = None,
+        mode: str = "generated",
+    ) -> DecodedRecord:
+        """Receive the next data record, servicing protocol messages.
+
+        Format-metadata messages are absorbed; format requests are
+        answered; data messages with unknown format ids trigger a
+        request and are parked until the metadata arrives.
+        """
+        while True:
+            # Deliver the oldest parked data message once its format is
+            # known — preserving FIFO order across the resolution stall.
+            if self._parked:
+                head = self._parked[0]
+                _, _, _, _, head_id = IOContext.parse_header(head)
+                if self.context.knows_format_id(head_id) or self._try_server(head_id):
+                    self._parked.popleft()
+                    return self.context.decode(head, expect=expect, mode=mode)
+            message = self.channel.recv(timeout)
+            kind, _, _, length, format_id = IOContext.parse_header(message)
+            if kind == KIND_FORMAT:
+                self.context.learn_format(message[HEADER_SIZE : HEADER_SIZE + length])
+                continue
+            if kind == KIND_REQUEST:
+                self._answer_request(format_id)
+                continue
+            if kind != KIND_DATA:
+                raise DecodeError(f"unexpected message kind {kind}")
+            if self.context.knows_format_id(format_id) or self._try_server(format_id):
+                if self._parked:
+                    # An earlier record is still stalled; keep order.
+                    self._parked.append(message)
+                    continue
+                return self.context.decode(message, expect=expect, mode=mode)
+            self.channel.send(self.context.request_message(format_id))
+            self._parked.append(message)
+
+    def _try_server(self, format_id: bytes) -> bool:
+        try:
+            self.context.wire_format(format_id)
+            return True
+        except DecodeError:
+            return False
+
+    def _answer_request(self, format_id: bytes) -> None:
+        fmt = self._by_id(format_id)
+        if fmt is None:
+            raise TransportError(
+                f"peer requested format {format_id.hex()}, which this "
+                f"endpoint has not registered"
+            )
+        message = self.context.format_message(fmt)
+        self.channel.send(message)
+        self.metadata_bytes += len(message)
+        self.metadata_messages += 1
+
+    def _by_id(self, format_id: bytes) -> IOFormat | None:
+        for name in self.context.format_names():
+            fmt = self.context.lookup_format(name)
+            if fmt.format_id == format_id:
+                return fmt
+        return None
+
+    # -- service loop -----------------------------------------------------------
+
+    def serve_protocol_once(self, timeout: float | None = None) -> bool:
+        """Handle exactly one protocol (non-data) message, if present.
+
+        Returns True if a message was handled, False on timeout.  Lets a
+        sender endpoint answer format requests without a full recv loop.
+        """
+        try:
+            message = self.channel.recv(timeout)
+        except TransportError:
+            return False
+        kind, _, _, length, format_id = IOContext.parse_header(message)
+        if kind == KIND_FORMAT:
+            self.context.learn_format(message[HEADER_SIZE : HEADER_SIZE + length])
+        elif kind == KIND_REQUEST:
+            self._answer_request(format_id)
+        else:
+            self._parked.append(message)
+        return True
+
+    def close(self) -> None:
+        """Close the underlying channel."""
+        self.channel.close()

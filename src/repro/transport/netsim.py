@@ -1,0 +1,88 @@
+"""Network models: simulated latency and bandwidth for the in-proc pipe.
+
+The paper's discovery-cost argument hinges on network characteristics
+("this consultation carries the cost of a network round-trip"), but a
+benchmark that literally sleeps is slow and noisy.  A
+:class:`NetworkModel` therefore supports two modes:
+
+- ``realtime=True`` — :func:`time.sleep` for the computed delay, so an
+  in-process pipe behaves like a slow link end to end;
+- ``realtime=False`` (default) — account the delay in a
+  :class:`NetworkStats` ledger without sleeping, giving deterministic
+  *virtual* transfer times that benchmarks can report directly.
+
+Delay model: ``latency + size / bandwidth`` per message, the standard
+first-order LogP-style cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import TransportError
+
+
+@dataclass
+class NetworkStats:
+    """Accumulated traffic ledger for one direction of a modeled link."""
+
+    messages: int = 0
+    bytes: int = 0
+    virtual_seconds: float = 0.0
+
+    def account(self, size: int, delay: float) -> None:
+        """Record one transmitted message in the ledger."""
+        self.messages += 1
+        self.bytes += size
+        self.virtual_seconds += delay
+
+
+@dataclass
+class NetworkModel:
+    """First-order link model: fixed latency plus bandwidth-limited transfer.
+
+    Parameters
+    ----------
+    latency:
+        One-way message latency in seconds.
+    bandwidth:
+        Link bandwidth in bytes/second; ``None`` means infinite.
+    realtime:
+        Sleep for computed delays (True) or only account them (False).
+    """
+
+    latency: float = 0.0
+    bandwidth: float | None = None
+    realtime: bool = False
+    stats: NetworkStats = field(default_factory=NetworkStats)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise TransportError("latency must be non-negative")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise TransportError("bandwidth must be positive")
+
+    def delay_for(self, size: int) -> float:
+        """One-way delivery delay for a message of ``size`` bytes."""
+        transfer = size / self.bandwidth if self.bandwidth else 0.0
+        return self.latency + transfer
+
+    def transmit(self, size: int) -> float:
+        """Account (and possibly sleep for) one message; returns the delay."""
+        delay = self.delay_for(size)
+        self.stats.account(size, delay)
+        if self.realtime and delay > 0:
+            time.sleep(delay)
+        return delay
+
+
+#: Convenience presets matching the paper's deployment tiers.
+def lan_model(realtime: bool = False) -> NetworkModel:
+    """100 Mbit switched Ethernet, ~0.2 ms latency (2001 departmental LAN)."""
+    return NetworkModel(latency=200e-6, bandwidth=100e6 / 8, realtime=realtime)
+
+
+def wan_model(realtime: bool = False) -> NetworkModel:
+    """Cross-country WAN: 40 ms latency, 10 Mbit effective."""
+    return NetworkModel(latency=40e-3, bandwidth=10e6 / 8, realtime=realtime)

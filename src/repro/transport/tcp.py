@@ -1,0 +1,117 @@
+"""TCP transport: real sockets with the shared message framing."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ChannelClosedError, TransportError, WireError
+from repro.transport.channel import Channel
+from repro.wire.framing import frame, read_frame
+
+
+class TCPChannel(Channel):
+    """A connected TCP socket speaking length-prefixed messages."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._closed = False
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send(self, message: bytes) -> None:
+        if self._closed:
+            raise ChannelClosedError("cannot send on a closed channel")
+        try:
+            self._sock.sendall(frame(message))
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        if self._closed:
+            raise ChannelClosedError("cannot recv on a closed channel")
+        self._sock.settimeout(timeout)
+        try:
+            return read_frame(self._sock.recv)
+        except socket.timeout as exc:
+            raise TransportError(f"recv timed out after {timeout}s") from exc
+        except ConnectionResetError as exc:
+            raise ChannelClosedError(f"connection reset: {exc}") from exc
+        except WireError:
+            raise
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        return self._sock.getsockname()[:2]
+
+
+class TCPListener:
+    """A listening socket handing out :class:`TCPChannel` connections."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind((host, port))
+        except OSError as exc:
+            raise TransportError(f"cannot bind {host}:{port}: {exc}") from exc
+        self._sock.listen(backlog)
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) actually bound (port 0 resolves here)."""
+        return self._sock.getsockname()[:2]
+
+    def accept(self, timeout: float | None = None) -> TCPChannel:
+        """Block for (and wrap) the next inbound connection."""
+        self._sock.settimeout(timeout)
+        try:
+            connection, _ = self._sock.accept()
+        except socket.timeout as exc:
+            raise TransportError(f"accept timed out after {timeout}s") from exc
+        except OSError as exc:
+            raise ChannelClosedError(f"listener closed: {exc}") from exc
+        return TCPChannel(connection)
+
+    def close(self) -> None:
+        """Close the listening socket; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "TCPListener":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def listen(host: str = "127.0.0.1", port: int = 0) -> TCPListener:
+    """Open a listener; ``port=0`` picks a free port (see ``.address``)."""
+    return TCPListener(host, port)
+
+
+def connect(host: str, port: int, timeout: float | None = 5.0) -> TCPChannel:
+    """Connect to a listener and return the channel."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+    sock.settimeout(None)
+    return TCPChannel(sock)

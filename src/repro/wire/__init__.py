@@ -1,0 +1,37 @@
+"""Baseline wire formats (substrate S5).
+
+The paper's evaluation positions NDR against the two wire formats that
+dominated 2001 practice:
+
+- **XDR** (RFC 1014) — the canonical-format approach used by Sun RPC and
+  "commercial platforms": every datum is converted to a big-endian,
+  4-byte-aligned canonical form on send and converted again on receive,
+  regardless of whether the endpoints match.  Implemented in
+  :mod:`~repro.wire.xdr` over the same :class:`~repro.pbio.IOFormat`
+  metadata PBIO uses, so the comparison isolates the wire format.
+- **text XML** (XML-RPC style) — records rendered as ASCII XML documents
+  and parsed back, paying binary→text→binary conversion plus the 6–8×
+  size expansion the paper cites.  Implemented in
+  :mod:`~repro.wire.xmltext` over this repo's own XML parser.
+- **CDR** (CORBA IIOP) — the §6 "third class": reader-makes-right byte
+  order with per-field marshaling into a canonical layout.  Implemented
+  in :mod:`~repro.wire.cdr`.
+
+:mod:`~repro.wire.framing` provides the length-prefixed stream framing
+all three wire formats share on the transports.
+"""
+
+from repro.wire.cdr import CDRCodec
+from repro.wire.framing import FrameDecoder, frame, read_frame, unframe
+from repro.wire.xdr import XDRCodec
+from repro.wire.xmltext import XMLTextCodec
+
+__all__ = [
+    "CDRCodec",
+    "FrameDecoder",
+    "frame",
+    "read_frame",
+    "unframe",
+    "XDRCodec",
+    "XMLTextCodec",
+]

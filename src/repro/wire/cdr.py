@@ -1,0 +1,293 @@
+"""CDR (CORBA Common Data Representation) — the IIOP baseline.
+
+The paper's §6 third class of systems: "CORBA-based object systems use
+IIOP as a wire format.  IIOP attempts to reduce marshalling overhead by
+adopting a 'reader-makes-right' approach with respect to byte order (the
+actual byte order used in a message is specified by a header field).
+This additional flexibility ... allows CORBA to avoid unnecessary
+byte-swapping in message exchanges between homogeneous systems but is
+not sufficient to allow such message exchanges without copying of data
+at both sender and receiver."
+
+This implements the CDR encoding rules (GIOP 1.0 subset) over the same
+:class:`~repro.pbio.IOFormat` metadata the other codecs use:
+
+- one flag byte leads the message: 0 = big-endian, 1 = little-endian
+  (the sender's choice — we encode in the *declaring architecture's*
+  order, which is what makes reader-makes-right meaningful);
+- primitives are aligned to their natural size *relative to the start
+  of the message body* and are not widened (a short is 2 bytes);
+- strings are a u32 length (including the terminating NUL) + bytes +
+  NUL; a zero length encodes a NULL string (ONC-style extension,
+  matching the XDR codec's convention);
+- sequences (dynamic arrays) are a u32 count + aligned elements;
+- structs marshal member by member, in order.
+
+Compared with XDR, CDR removes widening and canonical-order conversion
+for matched endpoints; compared with NDR, it still marshals field by
+field into a fresh buffer (the "copying of data at both sender and
+receiver" the paper points at) and carries no layout metadata, so the
+receiver re-marshals rather than using memory in place.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.model import TypeKind
+from repro.errors import WireError
+from repro.pbio.format import CompiledField, IOFormat
+
+_FLAG_BIG = 0
+_FLAG_LITTLE = 1
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+_CODES = {
+    (TypeKind.SIGNED_INT, 1): "b",
+    (TypeKind.SIGNED_INT, 2): "h",
+    (TypeKind.SIGNED_INT, 4): "i",
+    (TypeKind.SIGNED_INT, 8): "q",
+    (TypeKind.UNSIGNED_INT, 1): "B",
+    (TypeKind.UNSIGNED_INT, 2): "H",
+    (TypeKind.UNSIGNED_INT, 4): "I",
+    (TypeKind.UNSIGNED_INT, 8): "Q",
+    (TypeKind.FLOAT, 4): "f",
+    (TypeKind.FLOAT, 8): "d",
+    (TypeKind.ENUMERATION, 4): "I",
+    (TypeKind.ENUMERATION, 8): "Q",
+}
+
+
+class CDRCodec:
+    """Encode/decode records of one format as CDR messages."""
+
+    def __init__(self, fmt: IOFormat) -> None:
+        self.format = fmt
+        self._order = "<" if fmt.arch.is_little_endian else ">"
+        self._flag = _FLAG_LITTLE if fmt.arch.is_little_endian else _FLAG_BIG
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, record: dict) -> bytes:
+        """Encode ``record``; the first byte is the byte-order flag."""
+        body = bytearray()
+        self._encode_fields(self.format, record, body)
+        return bytes([self._flag]) + bytes(body)
+
+    def _pad(self, body: bytearray, alignment: int) -> None:
+        body.extend(b"\x00" * (_align(len(body), alignment) - len(body)))
+
+    def _encode_fields(self, fmt: IOFormat, record: dict, body: bytearray) -> None:
+        for field in fmt.compiled_fields:
+            try:
+                value = record[field.name]
+            except (KeyError, TypeError):
+                if field.name in fmt.length_field_names:
+                    value = self._derived_count(fmt, field, record)
+                else:
+                    raise WireError(
+                        f"CDR: record for {fmt.name!r} is missing field "
+                        f"{field.name!r}"
+                    ) from None
+            self._encode_field(field, value, body)
+
+    def _derived_count(self, fmt: IOFormat, field: CompiledField, record: dict) -> int:
+        for other in fmt.compiled_fields:
+            if other.type.length_field == field.name:
+                array = record.get(other.name)
+                return 0 if array is None else len(array)
+        return 0
+
+    def _encode_field(self, field: CompiledField, value, body: bytearray) -> None:
+        if field.nested is not None:
+            elements = [value] if field.static_count == 1 else value
+            if len(elements) != field.static_count:
+                raise WireError(
+                    f"CDR: field {field.name!r} expects {field.static_count} "
+                    f"nested records"
+                )
+            for element in elements:
+                self._encode_fields(field.nested, element, body)
+            return
+        if field.type.is_dynamic_array:
+            elements = value or []
+            self._pad(body, 4)
+            body += struct.pack(self._order + "I", len(elements))
+            for element in elements:
+                self._encode_scalar(field, element, body)
+            return
+        if field.is_string:
+            strings = [value] if field.static_count == 1 else value
+            if len(strings) != field.static_count:
+                raise WireError(
+                    f"CDR: field {field.name!r} expects {field.static_count} strings"
+                )
+            for text in strings:
+                self._encode_string(field, text, body)
+            return
+        if field.kind == TypeKind.CHAR and field.type.is_static_array:
+            raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+            body += raw[: field.static_count].ljust(field.static_count, b"\x00")
+            return
+        if field.type.is_static_array:
+            if len(value) != field.static_count:
+                raise WireError(
+                    f"CDR: field {field.name!r} expects {field.static_count} elements"
+                )
+            for element in value:
+                self._encode_scalar(field, element, body)
+            return
+        self._encode_scalar(field, value, body)
+
+    def _encode_string(self, field: CompiledField, text: str | None, body: bytearray) -> None:
+        self._pad(body, 4)
+        if text is None:
+            body += struct.pack(self._order + "I", 0)
+            return
+        if not isinstance(text, str):
+            raise WireError(f"CDR: field {field.name!r} expects a string")
+        raw = text.encode("utf-8") + b"\x00"
+        body += struct.pack(self._order + "I", len(raw))
+        body += raw
+
+    def _encode_scalar(self, field: CompiledField, value, body: bytearray) -> None:
+        kind, size = field.kind, field.size
+        if kind == TypeKind.CHAR:
+            if isinstance(value, str):
+                value = value.encode("utf-8")[:1] or b"\x00"
+            elif isinstance(value, int):
+                value = bytes([value])
+            body += value[:1]
+            return
+        if kind == TypeKind.BOOLEAN:
+            body += b"\x01" if value else b"\x00"
+            return
+        try:
+            code = _CODES[(kind, size)]
+        except KeyError:
+            raise WireError(
+                f"CDR: no representation for {kind} of {size} bytes "
+                f"(field {field.name!r})"
+            ) from None
+        self._pad(body, size)
+        try:
+            body += struct.pack(self._order + code, value)
+        except struct.error as exc:
+            raise WireError(
+                f"CDR: cannot encode {value!r} for field {field.name!r}: {exc}"
+            ) from exc
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, data: bytes) -> dict:
+        """Decode a CDR message (reader-makes-right on the flag byte)."""
+        if not data:
+            raise WireError("CDR: empty message")
+        if data[0] == _FLAG_LITTLE:
+            order = "<"
+        elif data[0] == _FLAG_BIG:
+            order = ">"
+        else:
+            raise WireError(f"CDR: bad byte-order flag {data[0]}")
+        record, cursor = self._decode_fields(self.format, data, 1, order)
+        if cursor != len(data):
+            raise WireError(
+                f"CDR: {len(data) - cursor} trailing bytes after decoding"
+            )
+        return record
+
+    def _decode_fields(
+        self, fmt: IOFormat, data: bytes, cursor: int, order: str
+    ) -> tuple[dict, int]:
+        record: dict = {}
+        for field in fmt.compiled_fields:
+            record[field.name], cursor = self._decode_field(field, data, cursor, order)
+        return record, cursor
+
+    def _decode_field(self, field: CompiledField, data: bytes, cursor: int, order: str):
+        try:
+            if field.nested is not None:
+                if field.static_count == 1:
+                    return self._decode_fields(field.nested, data, cursor, order)
+                elements = []
+                for _ in range(field.static_count):
+                    element, cursor = self._decode_fields(
+                        field.nested, data, cursor, order
+                    )
+                    elements.append(element)
+                return elements, cursor
+            if field.type.is_dynamic_array:
+                cursor = _align(cursor - 1, 4) + 1
+                (count,) = struct.unpack_from(order + "I", data, cursor)
+                cursor += 4
+                elements = []
+                for _ in range(count):
+                    element, cursor = self._decode_scalar(field, data, cursor, order)
+                    elements.append(element)
+                return elements, cursor
+            if field.is_string:
+                if field.static_count == 1:
+                    return self._decode_string(data, cursor, order)
+                strings = []
+                for _ in range(field.static_count):
+                    text, cursor = self._decode_string(data, cursor, order)
+                    strings.append(text)
+                return strings, cursor
+            if field.kind == TypeKind.CHAR and field.type.is_static_array:
+                raw = data[cursor : cursor + field.static_count]
+                if len(raw) != field.static_count:
+                    raise WireError("CDR: truncated char buffer")
+                cursor += field.static_count
+                try:
+                    return raw.split(b"\x00", 1)[0].decode("utf-8"), cursor
+                except UnicodeDecodeError as exc:
+                    raise WireError(f"CDR: corrupt char buffer: {exc}") from exc
+            if field.type.is_static_array:
+                elements = []
+                for _ in range(field.static_count):
+                    element, cursor = self._decode_scalar(field, data, cursor, order)
+                    elements.append(element)
+                return elements, cursor
+            return self._decode_scalar(field, data, cursor, order)
+        except struct.error as exc:
+            raise WireError(f"CDR: truncated data in field {field.name!r}") from exc
+
+    def _decode_string(self, data: bytes, cursor: int, order: str):
+        cursor = _align(cursor - 1, 4) + 1
+        (length,) = struct.unpack_from(order + "I", data, cursor)
+        cursor += 4
+        if length == 0:
+            return None, cursor
+        raw = data[cursor : cursor + length]
+        if len(raw) != length or raw[-1] != 0:
+            raise WireError("CDR: malformed string")
+        try:
+            return raw[:-1].decode("utf-8"), cursor + length
+        except UnicodeDecodeError as exc:
+            raise WireError(f"CDR: corrupt string data: {exc}") from exc
+
+    def _decode_scalar(self, field: CompiledField, data: bytes, cursor: int, order: str):
+        kind, size = field.kind, field.size
+        if kind == TypeKind.CHAR:
+            raw = data[cursor : cursor + 1]
+            if not raw:
+                raise WireError("CDR: truncated char")
+            return raw.decode("latin-1"), cursor + 1
+        if kind == TypeKind.BOOLEAN:
+            raw = data[cursor : cursor + 1]
+            if not raw:
+                raise WireError("CDR: truncated boolean")
+            return raw != b"\x00", cursor + 1
+        code = _CODES[(kind, size)]
+        cursor = _align(cursor - 1, size) + 1
+        (value,) = struct.unpack_from(order + code, data, cursor)
+        return value, cursor + size
+
+
+def cdr_encoded_size(fmt: IOFormat, record: dict) -> int:
+    """Size of the CDR encoding of ``record`` (flag byte included)."""
+    return len(CDRCodec(fmt).encode(record))

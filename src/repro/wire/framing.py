@@ -1,0 +1,110 @@
+"""Length-prefixed message framing for byte-stream transports.
+
+Every wire format in this repo is message-oriented; TCP and the in-process
+pipe are byte streams.  Frames bridge the two: a big-endian u32 length
+followed by the message bytes.
+
+Two consumption styles are provided:
+
+- blocking: :func:`read_frame` over a file-like/socket-like ``recv``
+  callable;
+- incremental: :class:`FrameDecoder`, fed arbitrary chunks, yielding
+  complete messages — the style a non-blocking event loop needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from repro.errors import ChannelClosedError, WireError
+
+_LENGTH = struct.Struct(">I")
+
+#: Frames above this are rejected as corrupt rather than allocated
+#: (a length prefix of e.g. 0xFFFFFFFF from a desynchronized stream must
+#: not trigger a 4 GiB allocation).
+MAX_FRAME_SIZE = 256 * 1024 * 1024
+
+
+def frame(message: bytes) -> bytes:
+    """Wrap ``message`` in a length prefix."""
+    if len(message) > MAX_FRAME_SIZE:
+        raise WireError(f"message of {len(message)} bytes exceeds frame limit")
+    return _LENGTH.pack(len(message)) + message
+
+
+def unframe(data: bytes) -> tuple[bytes, bytes]:
+    """Split one frame off the front of ``data``; returns (message, rest).
+
+    Raises :class:`~repro.errors.WireError` if ``data`` does not contain
+    a complete frame.
+    """
+    if len(data) < _LENGTH.size:
+        raise WireError("incomplete frame header")
+    (length,) = _LENGTH.unpack_from(data, 0)
+    if length > MAX_FRAME_SIZE:
+        raise WireError(f"frame length {length} exceeds limit")
+    end = _LENGTH.size + length
+    if len(data) < end:
+        raise WireError("incomplete frame body")
+    return data[_LENGTH.size : end], data[end:]
+
+
+def read_frame(recv: Callable[[int], bytes]) -> bytes:
+    """Read exactly one frame using ``recv(n)`` (socket-style).
+
+    ``recv`` returning empty bytes signals EOF:
+    :class:`~repro.errors.ChannelClosedError` at a frame boundary,
+    :class:`~repro.errors.WireError` mid-frame (truncation).
+    """
+    header = _read_exactly(recv, _LENGTH.size, at_boundary=True)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_SIZE:
+        raise WireError(f"frame length {length} exceeds limit")
+    return _read_exactly(recv, length, at_boundary=False)
+
+
+def _read_exactly(recv: Callable[[int], bytes], needed: int, *, at_boundary: bool) -> bytes:
+    chunks: list[bytes] = []
+    remaining = needed
+    while remaining:
+        chunk = recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == needed:
+                raise ChannelClosedError("peer closed the stream")
+            raise WireError("stream ended mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed chunks, iterate complete messages."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> None:
+        """Append raw stream bytes."""
+        self._buffer.extend(chunk)
+
+    def messages(self) -> Iterator[bytes]:
+        """Yield every complete message currently buffered."""
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return
+            (length,) = _LENGTH.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_SIZE:
+                raise WireError(f"frame length {length} exceeds limit")
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return
+            message = bytes(self._buffer[_LENGTH.size : end])
+            del self._buffer[:end]
+            yield message
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete message."""
+        return len(self._buffer)

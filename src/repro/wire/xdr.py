@@ -1,0 +1,264 @@
+"""XDR (RFC 1014) encoding over IOFormat metadata — the canonical-format baseline.
+
+XDR's defining property is the *canonical intermediate form*: every datum
+is converted to big-endian, 4-byte-quantized representation on send and
+converted again into native form on receive — even when both endpoints
+are identical little-endian machines.  That double conversion (plus the
+widening of small types to 4 bytes) is exactly the cost the paper's NDR
+eliminates, so this implementation is deliberately faithful to the RFC:
+
+- integers of 1/2/4 bytes → 4-byte big-endian (``int``/``unsigned int``);
+- 8-byte integers → 8-byte ``hyper``;
+- ``float``/``double`` → IEEE 754, big-endian;
+- ``boolean`` and ``enumeration`` → 4-byte signed int;
+- ``char`` → 4-byte int; ``char[n]`` → fixed opaque, NUL-padded to 4;
+- strings → u32 length + bytes + pad to 4 (``None`` as length
+  ``0xFFFFFFFF``, an out-of-band sentinel for NULL pointers, a common
+  ONC RPC extension);
+- fixed arrays → elements in sequence;
+- dynamic arrays → u32 count + elements (count fields are *also* encoded
+  in place so records round-trip unchanged);
+- nested formats → fields in order.
+
+The codec is architecture-independent by construction — that is the
+point of a canonical format — so it takes only the format, never an
+architecture model.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.model import TypeKind
+from repro.errors import WireError
+from repro.pbio.format import CompiledField, IOFormat
+
+_PAD = b"\x00\x00\x00"
+_NULL_STRING = 0xFFFFFFFF
+
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_U64 = struct.Struct(">Q")
+_F32 = struct.Struct(">f")
+_F64 = struct.Struct(">d")
+
+
+def _pad4(length: int) -> bytes:
+    return _PAD[: (-length) % 4]
+
+
+class XDRCodec:
+    """Encode/decode records of one :class:`~repro.pbio.IOFormat` as XDR."""
+
+    def __init__(self, fmt: IOFormat) -> None:
+        self.format = fmt
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, record: dict) -> bytes:
+        """Encode ``record`` to XDR bytes."""
+        parts: list[bytes] = []
+        self._encode_fields(self.format, record, parts)
+        return b"".join(parts)
+
+    def _encode_fields(self, fmt: IOFormat, record: dict, parts: list[bytes]) -> None:
+        for field in fmt.compiled_fields:
+            try:
+                value = record[field.name]
+            except (KeyError, TypeError):
+                if field.name in fmt.length_field_names:
+                    value = self._derive_count(fmt, field, record)
+                else:
+                    raise WireError(
+                        f"XDR: record for {fmt.name!r} is missing field "
+                        f"{field.name!r}"
+                    ) from None
+            self._encode_field(fmt, field, value, record, parts)
+
+    def _derive_count(self, fmt: IOFormat, field: CompiledField, record: dict) -> int:
+        for other in fmt.compiled_fields:
+            if other.type.length_field == field.name:
+                array = record.get(other.name)
+                return 0 if array is None else len(array)
+        return 0
+
+    def _encode_field(
+        self,
+        fmt: IOFormat,
+        field: CompiledField,
+        value,
+        record: dict,
+        parts: list[bytes],
+    ) -> None:
+        if field.nested is not None:
+            elements = [value] if field.static_count == 1 else value
+            if len(elements) != field.static_count:
+                raise WireError(
+                    f"XDR: field {field.name!r} expects {field.static_count} "
+                    f"nested records"
+                )
+            for element in elements:
+                self._encode_fields(field.nested, element, parts)
+            return
+        if field.type.is_dynamic_array:
+            elements = value or []
+            parts.append(_U32.pack(len(elements)))
+            for element in elements:
+                parts.append(self._encode_scalar(field, element))
+            return
+        if field.is_string:
+            strings = [value] if field.static_count == 1 else value
+            if len(strings) != field.static_count:
+                raise WireError(
+                    f"XDR: field {field.name!r} expects {field.static_count} strings"
+                )
+            for text in strings:
+                parts.append(self._encode_string(field, text))
+            return
+        if field.kind == TypeKind.CHAR and field.type.is_static_array:
+            raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+            raw = raw[: field.static_count].ljust(field.static_count, b"\x00")
+            parts.append(raw + _pad4(len(raw)))
+            return
+        if field.type.is_static_array:
+            if len(value) != field.static_count:
+                raise WireError(
+                    f"XDR: field {field.name!r} expects {field.static_count} elements"
+                )
+            for element in value:
+                parts.append(self._encode_scalar(field, element))
+            return
+        parts.append(self._encode_scalar(field, value))
+
+    def _encode_string(self, field: CompiledField, text: str | None) -> bytes:
+        if text is None:
+            return _U32.pack(_NULL_STRING)
+        if not isinstance(text, str):
+            raise WireError(f"XDR: field {field.name!r} expects a string")
+        raw = text.encode("utf-8")
+        return _U32.pack(len(raw)) + raw + _pad4(len(raw))
+
+    def _encode_scalar(self, field: CompiledField, value) -> bytes:
+        kind, size = field.kind, field.size
+        try:
+            if kind == TypeKind.SIGNED_INT:
+                return (_I64 if size == 8 else _I32).pack(value)
+            if kind in (TypeKind.UNSIGNED_INT, TypeKind.ENUMERATION):
+                return (_U64 if size == 8 else _U32).pack(value)
+            if kind == TypeKind.FLOAT:
+                return (_F64 if size == 8 else _F32).pack(value)
+            if kind == TypeKind.BOOLEAN:
+                return _I32.pack(1 if value else 0)
+            if kind == TypeKind.CHAR:
+                if isinstance(value, str):
+                    value = value.encode("utf-8")[:1] or b"\x00"
+                if isinstance(value, bytes):
+                    value = value[0] if value else 0
+                return _I32.pack(value)
+        except struct.error as exc:
+            raise WireError(
+                f"XDR: cannot encode {value!r} for field {field.name!r}: {exc}"
+            ) from exc
+        raise WireError(f"XDR: unsupported kind {kind} for field {field.name!r}")
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, data: bytes) -> dict:
+        """Decode XDR bytes back into a record dict."""
+        record, cursor = self._decode_fields(self.format, data, 0)
+        if cursor != len(data):
+            raise WireError(
+                f"XDR: {len(data) - cursor} trailing bytes after decoding "
+                f"{self.format.name!r}"
+            )
+        return record
+
+    def _decode_fields(self, fmt: IOFormat, data: bytes, cursor: int) -> tuple[dict, int]:
+        record: dict = {}
+        for field in fmt.compiled_fields:
+            record[field.name], cursor = self._decode_field(field, data, cursor)
+        return record, cursor
+
+    def _decode_field(self, field: CompiledField, data: bytes, cursor: int):
+        try:
+            if field.nested is not None:
+                if field.static_count == 1:
+                    return self._decode_fields(field.nested, data, cursor)
+                elements = []
+                for _ in range(field.static_count):
+                    element, cursor = self._decode_fields(field.nested, data, cursor)
+                    elements.append(element)
+                return elements, cursor
+            if field.type.is_dynamic_array:
+                (count,) = _U32.unpack_from(data, cursor)
+                cursor += 4
+                elements = []
+                for _ in range(count):
+                    element, cursor = self._decode_scalar(field, data, cursor)
+                    elements.append(element)
+                return elements, cursor
+            if field.is_string:
+                if field.static_count == 1:
+                    return self._decode_string(data, cursor)
+                strings = []
+                for _ in range(field.static_count):
+                    text, cursor = self._decode_string(data, cursor)
+                    strings.append(text)
+                return strings, cursor
+            if field.kind == TypeKind.CHAR and field.type.is_static_array:
+                raw = data[cursor : cursor + field.static_count]
+                if len(raw) != field.static_count:
+                    raise WireError("XDR: truncated opaque data")
+                cursor += field.static_count + len(_pad4(field.static_count))
+                try:
+                    return raw.split(b"\x00", 1)[0].decode("utf-8"), cursor
+                except UnicodeDecodeError as exc:
+                    raise WireError(f"XDR: corrupt char buffer: {exc}") from exc
+            if field.type.is_static_array:
+                elements = []
+                for _ in range(field.static_count):
+                    element, cursor = self._decode_scalar(field, data, cursor)
+                    elements.append(element)
+                return elements, cursor
+            return self._decode_scalar(field, data, cursor)
+        except struct.error as exc:
+            raise WireError(f"XDR: truncated data in field {field.name!r}") from exc
+
+    def _decode_string(self, data: bytes, cursor: int) -> tuple[str | None, int]:
+        (length,) = _U32.unpack_from(data, cursor)
+        cursor += 4
+        if length == _NULL_STRING:
+            return None, cursor
+        raw = data[cursor : cursor + length]
+        if len(raw) != length:
+            raise WireError("XDR: truncated string")
+        cursor += length + len(_pad4(length))
+        try:
+            return raw.decode("utf-8"), cursor
+        except UnicodeDecodeError as exc:
+            raise WireError(f"XDR: corrupt string data: {exc}") from exc
+
+    def _decode_scalar(self, field: CompiledField, data: bytes, cursor: int):
+        kind, size = field.kind, field.size
+        if kind == TypeKind.SIGNED_INT:
+            codec = _I64 if size == 8 else _I32
+        elif kind in (TypeKind.UNSIGNED_INT, TypeKind.ENUMERATION):
+            codec = _U64 if size == 8 else _U32
+        elif kind == TypeKind.FLOAT:
+            codec = _F64 if size == 8 else _F32
+        elif kind == TypeKind.BOOLEAN:
+            (raw,) = _I32.unpack_from(data, cursor)
+            return bool(raw), cursor + 4
+        elif kind == TypeKind.CHAR:
+            (raw,) = _I32.unpack_from(data, cursor)
+            return chr(raw), cursor + 4
+        else:  # pragma: no cover - registration prevents this
+            raise WireError(f"XDR: unsupported kind {kind}")
+        (value,) = codec.unpack_from(data, cursor)
+        return value, cursor + codec.size
+
+
+def xdr_encoded_size(fmt: IOFormat, record: dict) -> int:
+    """Size of the XDR encoding of ``record`` (no framing)."""
+    return len(XDRCodec(fmt).encode(record))

@@ -1,0 +1,39 @@
+"""Workload generators (substrate S10).
+
+Deterministic (seeded) generators for the data the paper's scenario and
+evaluation talk about:
+
+- :mod:`~repro.workloads.airline` — the airline operational information
+  system: the Appendix A ASDOff structures (Table 1's three rows) plus
+  realistic record streams;
+- :mod:`~repro.workloads.weather` — weather feeds (the NOAA/airport
+  streams of Figure 1);
+- :mod:`~repro.workloads.mining` — corporate data-mining result events;
+- :mod:`~repro.workloads.synthetic` — parameterized formats (field
+  count, type mix, payload size) for scaling sweeps.
+
+Every generator produces both the *schema document* (so formats go
+through xml2wire, as deployed systems would) and a *record stream*
+(seeded, so benchmark runs are reproducible).
+"""
+
+from repro.workloads.airline import (
+    ASDOFF_A_SCHEMA,
+    ASDOFF_B_SCHEMA,
+    ASDOFF_CD_SCHEMA,
+    AirlineWorkload,
+)
+from repro.workloads.mining import MiningWorkload
+from repro.workloads.synthetic import SyntheticWorkload, make_synthetic_schema
+from repro.workloads.weather import WeatherWorkload
+
+__all__ = [
+    "ASDOFF_A_SCHEMA",
+    "ASDOFF_B_SCHEMA",
+    "ASDOFF_CD_SCHEMA",
+    "AirlineWorkload",
+    "MiningWorkload",
+    "SyntheticWorkload",
+    "make_synthetic_schema",
+    "WeatherWorkload",
+]

@@ -1,0 +1,134 @@
+"""Airline OIS workloads: the paper's Appendix A structures and streams.
+
+``ASDOFF_A_SCHEMA`` / ``ASDOFF_B_SCHEMA`` / ``ASDOFF_CD_SCHEMA`` are the
+paper's Figures 6, 9 and 12 — the metadata whose registration Table 1
+times.  :class:`AirlineWorkload` generates seeded record streams shaped
+like FAA ASD (Aircraft Situation Display) departure events: IATA
+airlines, real airport codes, plausible flight numbers and timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+_SCHEMA_HEAD = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>ASDOff</xsd:documentation>
+  </xsd:annotation>
+"""
+
+#: Figure 6 — Structure A: no arrays, no nesting (32 B on ILP32).
+ASDOFF_A_SCHEMA = _SCHEMA_HEAD + """  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" />
+    <xsd:element name="eta" type="xsd:unsigned-long" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+#: Figure 9 — Structure B: static + dynamic arrays (52 B on ILP32).
+ASDOFF_B_SCHEMA = _SCHEMA_HEAD + """  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+#: Figure 12 — Structures C and D: composition by nesting (Table 1's
+#: 180 B row).
+ASDOFF_CD_SCHEMA = _SCHEMA_HEAD + """  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="1" maxOccurs="*" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEvent" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEvent" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEvent" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+_AIRLINES = ["DL", "UA", "AA", "WN", "AF", "BA", "LH", "NW", "CO", "US"]
+_AIRPORTS = [
+    "ATL", "ORD", "DFW", "LAX", "JFK", "SFO", "DEN", "SEA", "MIA", "BOS",
+    "IAH", "MSP", "DTW", "PHL", "LGA", "CLT", "PHX", "EWR", "SLC", "MCO",
+]
+_EQUIPMENT = ["B727", "B737", "B757", "B767", "B777", "MD80", "MD11", "A320", "DC9", "L101"]
+_CENTERS = ["ZTL", "ZNY", "ZAU", "ZFW", "ZLA", "ZOB", "ZDC", "ZMA", "ZSE", "ZDV"]
+
+
+class AirlineWorkload:
+    """Seeded generator of ASDOff records for all three structures."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self._rng = random.Random(seed)
+
+    def record_a(self) -> dict:
+        """One Structure A record (scalars only)."""
+        rng = self._rng
+        off_time = rng.randrange(946684800, 978307200)  # within year 2000
+        return {
+            "cntrID": rng.choice(_CENTERS),
+            "arln": rng.choice(_AIRLINES),
+            "fltNum": rng.randrange(1, 9999),
+            "equip": rng.choice(_EQUIPMENT),
+            "org": rng.choice(_AIRPORTS),
+            "dest": rng.choice(_AIRPORTS),
+            "off": off_time,
+            "eta": off_time + rng.randrange(1800, 21600),
+        }
+
+    def record_b(self, eta_count: int = 3) -> dict:
+        """One Structure B record (static + dynamic arrays)."""
+        base = self.record_a()
+        off_time = base.pop("off")
+        base.pop("eta")
+        base["off"] = [off_time + i * 60 for i in range(5)]
+        base["eta"] = [off_time + 3600 + i * 300 for i in range(eta_count)]
+        base["eta_count"] = eta_count
+        return base
+
+    def record_cd(self, eta_count: int = 3) -> dict:
+        """One Structure C/D record (three nested Structure Bs)."""
+        rng = self._rng
+        return {
+            "one": self.record_b(eta_count),
+            "bart": rng.uniform(0.0, 1.0),
+            "two": self.record_b(eta_count),
+            "lisa": rng.uniform(0.0, 1.0),
+            "three": self.record_b(eta_count),
+        }
+
+    def stream_a(self, count: int) -> Iterator[dict]:
+        """``count`` Structure A records."""
+        return (self.record_a() for _ in range(count))
+
+    def stream_b(self, count: int, eta_count: int = 3) -> Iterator[dict]:
+        """``count`` Structure B records."""
+        return (self.record_b(eta_count) for _ in range(count))
+
+    def stream_cd(self, count: int, eta_count: int = 3) -> Iterator[dict]:
+        """``count`` Structure C/D records."""
+        return (self.record_cd(eta_count) for _ in range(count))

@@ -1,0 +1,78 @@
+"""Data-mining workload: the "trends or patterns of interest" streams.
+
+Figure 1 includes capture points "produced by data mining processes that
+periodically examine corporate data stores".  This workload models
+association-rule discoveries over booking data: an antecedent/consequent
+item pair with support/confidence scores and a variable-length list of
+supporting-transaction ids — mixing strings, doubles and a dynamic array
+the way analytic events tend to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+MINING_SCHEMA = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/pmw/schemas/mining">
+  <xsd:annotation>
+    <xsd:documentation>Association-rule discovery event</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="RuleDiscovery">
+    <xsd:element name="rule_id" type="xsd:unsigned-int" />
+    <xsd:element name="antecedent" type="xsd:string" />
+    <xsd:element name="consequent" type="xsd:string" />
+    <xsd:element name="support" type="xsd:double" />
+    <xsd:element name="confidence" type="xsd:double" />
+    <xsd:element name="lift" type="xsd:double" />
+    <xsd:element name="window_start" type="xsd:unsigned-long" />
+    <xsd:element name="window_end" type="xsd:unsigned-long" />
+    <xsd:element name="sample_txns" type="xsd:unsigned-int" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+_ITEMS = [
+    "upgrade:first", "meal:vegetarian", "seat:exit-row", "origin:ATL",
+    "fare:refundable", "loyalty:gold", "booking:same-day", "dest:international",
+    "payment:corporate", "leg:redeye",
+]
+
+
+class MiningWorkload:
+    """Seeded generator of rule-discovery events."""
+
+    schema = MINING_SCHEMA
+    format_name = "RuleDiscovery"
+
+    def __init__(self, seed: int = 13) -> None:
+        self._rng = random.Random(seed)
+        self._next_id = 1
+
+    def record(self, sample_count: int | None = None) -> dict:
+        """One rule-discovery event (ids increment from 1)."""
+        rng = self._rng
+        if sample_count is None:
+            sample_count = rng.randrange(0, 16)
+        window_start = rng.randrange(946684800, 978307200)
+        antecedent, consequent = rng.sample(_ITEMS, 2)
+        rule_id = self._next_id
+        self._next_id += 1
+        support = rng.uniform(0.01, 0.3)
+        return {
+            "rule_id": rule_id,
+            "antecedent": antecedent,
+            "consequent": consequent,
+            "support": support,
+            "confidence": min(1.0, support * rng.uniform(2.0, 8.0)),
+            "lift": rng.uniform(0.8, 4.0),
+            "window_start": window_start,
+            "window_end": window_start + 86400,
+            "sample_txns": [rng.randrange(1, 2**31) for _ in range(sample_count)],
+            "sample_txns_count": sample_count,
+        }
+
+    def stream(self, count: int) -> Iterator[dict]:
+        """``count`` events."""
+        return (self.record() for _ in range(count))

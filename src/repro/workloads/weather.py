@@ -1,0 +1,80 @@
+"""Weather-stream workload: the NOAA / airport feeds of Figure 1."""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Iterator
+
+
+def _float32(value: float) -> float:
+    """Snap to float32 so values survive 4-byte ``xsd:float`` fields."""
+    return struct.unpack("f", struct.pack("f", value))[0]
+
+#: Schema for a surface observation (METAR-like), exercising char
+#: buffers, floats, and a dynamic array of cloud-layer altitudes.
+WEATHER_SCHEMA = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/pmw/schemas/weather">
+  <xsd:annotation>
+    <xsd:documentation>Surface weather observation</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="SurfaceObservation">
+    <xsd:element name="station" type="xsd:char" minOccurs="4" maxOccurs="4" />
+    <xsd:element name="issued" type="xsd:unsigned-long" />
+    <xsd:element name="temperature" type="xsd:float" />
+    <xsd:element name="dewpoint" type="xsd:float" />
+    <xsd:element name="wind_dir" type="xsd:short" />
+    <xsd:element name="wind_speed" type="xsd:short" />
+    <xsd:element name="gusting" type="xsd:boolean" />
+    <xsd:element name="altimeter" type="xsd:double" />
+    <xsd:element name="visibility" type="xsd:float" />
+    <xsd:element name="cloud_layers" type="xsd:integer" minOccurs="0" maxOccurs="*" />
+    <xsd:element name="remarks" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+_STATIONS = ["KATL", "KORD", "KDFW", "KLAX", "KJFK", "KSEA", "KDEN", "KMIA"]
+_REMARKS = [
+    "AO2 SLP123",
+    "AO2 PK WND 28032/15 SLP134",
+    "RAB05 E18 SLP092",
+    "",
+    "TWR VIS 2 1/2 FG BANK W",
+]
+
+
+class WeatherWorkload:
+    """Seeded generator of surface observations."""
+
+    schema = WEATHER_SCHEMA
+    format_name = "SurfaceObservation"
+
+    def __init__(self, seed: int = 7) -> None:
+        self._rng = random.Random(seed)
+        self._clock = 946684800
+
+    def record(self) -> dict:
+        """One surface observation (timestamps increase monotonically)."""
+        rng = self._rng
+        self._clock += rng.randrange(60, 3600)
+        layer_count = rng.randrange(0, 4)
+        return {
+            "station": rng.choice(_STATIONS),
+            "issued": self._clock,
+            "temperature": _float32(round(rng.uniform(-20.0, 40.0), 1)),
+            "dewpoint": _float32(round(rng.uniform(-25.0, 25.0), 1)),
+            "wind_dir": rng.randrange(0, 360),
+            "wind_speed": rng.randrange(0, 45),
+            "gusting": rng.random() < 0.2,
+            "altimeter": round(rng.uniform(28.5, 31.0), 2),
+            "visibility": _float32(round(rng.uniform(0.25, 10.0), 2)),
+            "cloud_layers": [rng.randrange(5, 250) * 100 for _ in range(layer_count)],
+            "cloud_layers_count": layer_count,
+            "remarks": rng.choice(_REMARKS),
+        }
+
+    def stream(self, count: int) -> Iterator[dict]:
+        """``count`` observations."""
+        return (self.record() for _ in range(count))

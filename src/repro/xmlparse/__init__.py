@@ -1,0 +1,54 @@
+"""A from-scratch XML 1.0 processor (substrate S2).
+
+The paper's xml2wire tool sits on top of an XML parser (expat or Xerces in
+the original).  This environment provides neither ``lxml`` nor
+``xmlschema``, and a faithful reproduction needs to *pay* for parsing at
+metadata-registration time anyway, so this package implements the XML
+machinery from scratch:
+
+- :mod:`~repro.xmlparse.parser` — a streaming pull parser producing
+  :mod:`~repro.xmlparse.events`, with well-formedness checking, the five
+  predefined entities, character references, CDATA, comments, processing
+  instructions, and DOCTYPE tolerance (skipped, per DESIGN.md non-goals).
+- :mod:`~repro.xmlparse.tree` — a light element tree built from the event
+  stream, with namespace resolution per the *Namespaces in XML*
+  recommendation (the paper's reference [12]).
+- :mod:`~repro.xmlparse.writer` — serialization back to text, used by the
+  text-XML wire-format baseline and the metadata server.
+
+The parser is intentionally strict about well-formedness: xml2wire's whole
+pitch is that metadata becomes *data* that standard tools can check, so
+malformed metadata must fail loudly, with line/column diagnostics.
+"""
+
+from repro.xmlparse.events import (
+    CDataEvent,
+    CharactersEvent,
+    CommentEvent,
+    EndElementEvent,
+    ProcessingInstructionEvent,
+    StartElementEvent,
+    XMLDeclEvent,
+)
+from repro.xmlparse.parser import PullParser, parse_events
+from repro.xmlparse.tree import Element, parse_document, parse_fragment
+from repro.xmlparse.writer import escape_attribute, escape_text, write_document, write_element
+
+__all__ = [
+    "CDataEvent",
+    "CharactersEvent",
+    "CommentEvent",
+    "EndElementEvent",
+    "ProcessingInstructionEvent",
+    "StartElementEvent",
+    "XMLDeclEvent",
+    "PullParser",
+    "parse_events",
+    "Element",
+    "parse_document",
+    "parse_fragment",
+    "escape_attribute",
+    "escape_text",
+    "write_document",
+    "write_element",
+]

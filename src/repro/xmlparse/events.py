@@ -1,0 +1,79 @@
+"""Event types produced by the pull parser.
+
+The parser yields a flat stream of these events in document order; the
+tree builder and any streaming consumer (for instance, a future SAX-style
+schema scanner) dispatch on the event class.  Every event carries the
+1-based ``line``/``column`` where it started, for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all parse events."""
+
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class XMLDeclEvent(Event):
+    """The ``<?xml version=... ?>`` declaration, if present."""
+
+    version: str = "1.0"
+    encoding: str | None = None
+    standalone: str | None = None
+
+
+@dataclass(frozen=True)
+class StartElementEvent(Event):
+    """An element start tag (or the start half of an empty-element tag).
+
+    ``name`` is the raw qualified name as written (``xsd:element``);
+    ``attributes`` preserves document order.  ``empty`` marks
+    ``<tag/>`` forms, for which the parser also emits the matching
+    :class:`EndElementEvent`.
+    """
+
+    name: str = ""
+    attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    empty: bool = False
+
+
+@dataclass(frozen=True)
+class EndElementEvent(Event):
+    """An element end tag (``</tag>`` or synthesized for ``<tag/>``)."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class CharactersEvent(Event):
+    """A run of character data, with entities already resolved."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class CDataEvent(Event):
+    """A ``<![CDATA[...]]>`` section (text delivered verbatim)."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class CommentEvent(Event):
+    """A ``<!-- ... -->`` comment."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class ProcessingInstructionEvent(Event):
+    """A ``<?target data?>`` processing instruction."""
+
+    target: str = ""
+    data: str = ""

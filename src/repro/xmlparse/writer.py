@@ -1,0 +1,80 @@
+"""XML serialization: element trees and raw records back to text.
+
+Used by the text-XML wire-format baseline (which must pay the full
+binary→ASCII conversion cost the paper measures against), the metadata
+server (which serves schema documents), and tests (round-trip checks).
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import TextIO
+
+from repro.xmlparse.tree import Element
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, escaped in _TEXT_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a value for use inside a double-quoted attribute."""
+    for raw, escaped in _ATTR_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def write_element(
+    element: Element,
+    out: TextIO,
+    *,
+    indent: str | None = None,
+    _depth: int = 0,
+) -> None:
+    """Serialize ``element`` (and descendants) to ``out``.
+
+    ``indent=None`` produces compact output whose text content
+    round-trips exactly; an indent string produces human-readable output
+    (suitable only for documents where whitespace is insignificant, such
+    as schema documents).
+    """
+    pad = indent * _depth if indent is not None else ""
+    out.write(pad)
+    out.write(f"<{element.tag}")
+    for name, value in element.attributes.items():
+        out.write(f' {name}="{escape_attribute(value)}"')
+    if not element.children and not element.text:
+        out.write("/>")
+        if indent is not None:
+            out.write("\n")
+        return
+    out.write(">")
+    if element.text:
+        out.write(escape_text(element.text))
+    if element.children:
+        if indent is not None:
+            out.write("\n")
+        for child in element.children:
+            write_element(child, out, indent=indent, _depth=_depth + 1)
+        if indent is not None:
+            out.write(pad)
+    out.write(f"</{element.tag}>")
+    if indent is not None:
+        out.write("\n")
+
+
+def write_document(element: Element, *, indent: str | None = None, declaration: bool = True) -> str:
+    """Serialize a whole document rooted at ``element`` to a string."""
+    buffer = StringIO()
+    if declaration:
+        buffer.write('<?xml version="1.0"?>')
+        if indent is not None:
+            buffer.write("\n")
+    write_element(element, buffer, indent=indent)
+    return buffer.getvalue()

@@ -1,0 +1,125 @@
+"""Unit tests for the C declaration parser (repro.arch.cdecl)."""
+
+import pytest
+
+from repro.arch import SPARC_32, X86_32
+from repro.arch.cdecl import build_layouts, parse_structs
+from repro.errors import ArchError
+
+STRUCT_A = """
+typedef struct asdOff_s {
+    char* cntrId;
+    char* arln;
+    int fltNum;
+    char* equip;
+    char* org;
+    char* dest;
+    unsigned long off;
+    unsigned long eta;
+} asdOff;
+"""
+
+STRUCT_B = """
+typedef struct asdOff_s {
+    char* cntrId;
+    char* arln;
+    int fltNum;
+    char* equip;
+    char* org;
+    char* dest;
+    unsigned long off[5];
+    unsigned long *eta;
+    int eta_count;
+} asdOff;
+"""
+
+STRUCTS_CD = STRUCT_B + """
+typedef struct threeAsdOff_s {
+    asdOff one;
+    double bart;
+    asdOff two;
+    double lisa;
+    asdOff three;
+} threeAsdOffs;
+"""
+
+
+class TestParsing:
+    def test_parses_structure_a(self):
+        defs = parse_structs(STRUCT_A)
+        assert list(defs) == ["asdOff"]
+        fields = defs["asdOff"].fields
+        assert [f.name for f in fields] == [
+            "cntrId", "arln", "fltNum", "equip", "org", "dest", "off", "eta",
+        ]
+        assert fields[0].is_pointer
+        assert not fields[2].is_pointer
+        assert fields[6].type_name == "unsigned long"
+
+    def test_parses_static_array(self):
+        defs = parse_structs(STRUCT_B)
+        off = next(f for f in defs["asdOff"].fields if f.name == "off")
+        assert off.count == 5
+        assert not off.is_pointer
+
+    def test_parses_pointer_with_space_before_name(self):
+        defs = parse_structs(STRUCT_B)
+        eta = next(f for f in defs["asdOff"].fields if f.name == "eta")
+        assert eta.is_pointer
+        assert eta.count is None
+
+    def test_parses_multiple_typedefs_in_order(self):
+        defs = parse_structs(STRUCTS_CD)
+        assert list(defs) == ["asdOff", "threeAsdOffs"]
+
+    def test_strips_line_and_block_comments(self):
+        src = """
+        typedef struct s_ { // a line comment with int bogus;
+            int x; /* block
+                      comment */
+            double y;
+        } s;
+        """
+        defs = parse_structs(src)
+        assert [f.name for f in defs["s"].fields] == ["x", "y"]
+
+    def test_duplicate_typedef_rejected(self):
+        with pytest.raises(ArchError, match="duplicate"):
+            parse_structs(STRUCT_A + STRUCT_A)
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ArchError, match="no members"):
+            parse_structs("typedef struct e_ { } e;")
+
+    def test_garbage_member_rejected(self):
+        with pytest.raises(ArchError, match="cannot parse"):
+            parse_structs("typedef struct s_ { int x[][2]; } s;")
+
+    def test_non_struct_source_rejected(self):
+        with pytest.raises(ArchError, match="no typedef"):
+            parse_structs("int main(void) { return 0; }")
+
+
+class TestBuildLayouts:
+    def test_paper_sizes_on_sparc32(self):
+        layouts = build_layouts(parse_structs(STRUCTS_CD), SPARC_32)
+        assert layouts["asdOff"].size == 52
+        outer = layouts["threeAsdOffs"]
+        # The paper's 180 B figure excludes tail padding; see
+        # tests/arch/test_layout.py for the full rationale.
+        assert outer.size - outer.trailing_padding == 180
+
+    def test_structure_a_size(self):
+        layouts = build_layouts(parse_structs(STRUCT_A), X86_32)
+        assert layouts["asdOff"].size == 32
+
+    def test_nested_member_resolves_to_layout(self):
+        layouts = build_layouts(parse_structs(STRUCTS_CD), SPARC_32)
+        slot = layouts["threeAsdOffs"].slot("one")
+        assert slot.is_nested
+        assert slot.nested.name == "asdOff"
+
+    def test_pointer_members_are_pointer_sized(self):
+        layouts = build_layouts(parse_structs(STRUCT_B), X86_32)
+        assert layouts["asdOff"].slot("eta").size == 4
+        assert layouts["asdOff"].slot("eta").is_pointer

@@ -1,0 +1,180 @@
+"""Unit tests for architecture models (repro.arch.model)."""
+
+import struct
+
+import pytest
+
+from repro.arch import (
+    ALPHA,
+    SPARC_32,
+    SPARC_64,
+    X86_32,
+    X86_64,
+    ArchitectureModel,
+    CType,
+    TypeKind,
+    all_architectures,
+    get_architecture,
+)
+from repro.arch.model import make_types
+from repro.errors import ArchError
+
+
+class TestCType:
+    def test_valid_ctype(self):
+        t = CType("int", TypeKind.SIGNED_INT, 4, 4)
+        assert t.size == 4
+        assert t.alignment == 4
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ArchError):
+            CType("bad", TypeKind.SIGNED_INT, 0, 1)
+
+    def test_rejects_nonpositive_alignment(self):
+        with pytest.raises(ArchError):
+            CType("bad", TypeKind.SIGNED_INT, 4, 0)
+
+    def test_rejects_size_not_multiple_of_alignment(self):
+        with pytest.raises(ArchError):
+            CType("bad", TypeKind.SIGNED_INT, 6, 4)
+
+
+class TestArchitectureModelConstruction:
+    def test_rejects_bad_byte_order(self):
+        with pytest.raises(ArchError):
+            ArchitectureModel("weird", "middle", 4, make_types())
+
+    def test_rejects_bad_pointer_size(self):
+        with pytest.raises(ArchError):
+            ArchitectureModel("weird", "little", 3, make_types())
+
+    def test_rejects_missing_required_types(self):
+        types = make_types()
+        del types["double"]
+        with pytest.raises(ArchError):
+            ArchitectureModel("weird", "little", 4, types)
+
+
+class TestTypeLookup:
+    def test_basic_sizes_x86_32(self):
+        assert X86_32.sizeof("char") == 1
+        assert X86_32.sizeof("short") == 2
+        assert X86_32.sizeof("int") == 4
+        assert X86_32.sizeof("long") == 4
+        assert X86_32.sizeof("long long") == 8
+        assert X86_32.sizeof("float") == 4
+        assert X86_32.sizeof("double") == 8
+
+    def test_lp64_long_is_eight_bytes(self):
+        for model in (X86_64, SPARC_64, ALPHA):
+            assert model.sizeof("long") == 8
+            assert model.pointer_size == 8
+
+    def test_ilp32_long_is_four_bytes(self):
+        assert SPARC_32.sizeof("long") == 4
+        assert SPARC_32.pointer_size == 4
+
+    def test_unsigned_prefix_resolves(self):
+        t = X86_32.ctype("unsigned long")
+        assert t.kind == TypeKind.UNSIGNED_INT
+        assert t.size == 4
+
+    def test_signed_prefix_resolves(self):
+        t = X86_64.ctype("signed int")
+        assert t.kind == TypeKind.SIGNED_INT
+        assert t.size == 4
+
+    def test_pointer_spelling_resolves(self):
+        t = X86_32.ctype("char*")
+        assert t.kind == TypeKind.POINTER
+        assert t.size == 4
+        t64 = X86_64.ctype("char*")
+        assert t64.size == 8
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ArchError):
+            X86_32.ctype("quaternion")
+
+    def test_i386_double_alignment_is_four(self):
+        assert X86_32.alignof("double") == 4
+        assert X86_32.alignof("long long") == 4
+
+    def test_sparc_double_alignment_is_eight(self):
+        assert SPARC_32.alignof("double") == 8
+
+
+class TestScalarPacking:
+    def test_little_endian_int(self):
+        assert X86_32.pack_scalar(TypeKind.SIGNED_INT, 4, 1) == b"\x01\x00\x00\x00"
+
+    def test_big_endian_int(self):
+        assert SPARC_32.pack_scalar(TypeKind.SIGNED_INT, 4, 1) == b"\x00\x00\x00\x01"
+
+    def test_roundtrip_all_kinds(self):
+        cases = [
+            (TypeKind.SIGNED_INT, 4, -12345),
+            (TypeKind.SIGNED_INT, 8, -(2**40)),
+            (TypeKind.UNSIGNED_INT, 4, 4000000000),
+            (TypeKind.FLOAT, 8, 3.140625),
+            (TypeKind.FLOAT, 4, 0.5),
+            (TypeKind.BOOLEAN, 1, True),
+            (TypeKind.ENUMERATION, 4, 7),
+        ]
+        for model in (X86_32, SPARC_64):
+            for kind, size, value in cases:
+                packed = model.pack_scalar(kind, size, value)
+                assert len(packed) == size
+                assert model.unpack_scalar(kind, size, packed) == value
+
+    def test_char_packs_from_str_and_int(self):
+        assert X86_32.pack_scalar(TypeKind.CHAR, 1, "A") == b"A"
+        assert X86_32.pack_scalar(TypeKind.CHAR, 1, 65) == b"A"
+
+    def test_pointer_packs_as_unsigned_of_pointer_width(self):
+        assert X86_32.pack_scalar(TypeKind.POINTER, 4, 0xDEAD) == struct.pack("<I", 0xDEAD)
+        assert X86_64.pack_scalar(TypeKind.POINTER, 8, 0xDEAD) == struct.pack("<Q", 0xDEAD)
+
+    def test_endianness_differs_between_models(self):
+        le = X86_32.pack_scalar(TypeKind.SIGNED_INT, 4, 0x01020304)
+        be = SPARC_32.pack_scalar(TypeKind.SIGNED_INT, 4, 0x01020304)
+        assert le == bytes(reversed(be))
+
+    def test_pack_out_of_range_raises(self):
+        with pytest.raises(ArchError):
+            X86_32.pack_scalar(TypeKind.UNSIGNED_INT, 4, -1)
+
+    def test_unpack_truncated_raises(self):
+        with pytest.raises(ArchError):
+            X86_32.unpack_scalar(TypeKind.SIGNED_INT, 4, b"\x01\x02")
+
+    def test_unsupported_scalar_shape_raises(self):
+        with pytest.raises(ArchError):
+            X86_32.struct_code(TypeKind.FLOAT, 2)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_architecture("sparc_32") is SPARC_32
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ArchError, match="x86_32"):
+            get_architecture("vax")
+
+    def test_all_architectures_unique_tags(self):
+        tags = [m.tag() for m in all_architectures()]
+        assert len(tags) == len(set(tags))
+
+    def test_tag_contains_endianness_and_pointer_width(self):
+        assert "be" in SPARC_32.tag()
+        assert "le" in X86_64.tag()
+        assert "p8" in X86_64.tag()
+
+    def test_models_compare_by_value(self):
+        clone = ArchitectureModel(
+            name="sparc_32",
+            byte_order="big",
+            pointer_size=4,
+            types=make_types(long=4),
+        )
+        assert clone == SPARC_32
+        assert clone is not SPARC_32

@@ -1,0 +1,26 @@
+"""Top-level shared fixtures: architecture contexts used across suites."""
+
+import pytest
+
+from repro.arch import ALPHA, SPARC_32, SPARC_64, X86_32, X86_64
+from repro.pbio import IOContext
+
+ALL_ARCHES = [X86_32, X86_64, SPARC_32, SPARC_64, ALPHA]
+
+
+@pytest.fixture(params=ALL_ARCHES, ids=[a.name for a in ALL_ARCHES])
+def any_arch(request):
+    """Parametrize a test over every modeled architecture."""
+    return request.param
+
+
+@pytest.fixture
+def sparc_context():
+    """A big-endian ILP32 endpoint (the paper's measurement machine)."""
+    return IOContext(SPARC_32)
+
+
+@pytest.fixture
+def x86_context():
+    """A little-endian LP64 endpoint (a modern host)."""
+    return IOContext(X86_64)

@@ -1,0 +1,88 @@
+"""Unit tests for the binding step (BoundFormat tokens)."""
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.core import XML2Wire, bind, validate_record
+from repro.errors import BindingError
+from repro.pbio import IOContext, IOField
+
+from tests.schema.conftest import FIGURE_9
+
+RECORD = {
+    "cntrID": "ZTL", "arln": "DL", "fltNum": 1, "equip": "B7",
+    "org": "ATL", "dest": "LAX", "off": [1, 2, 3, 4, 5],
+    "eta": [7], "eta_count": 1,
+}
+
+
+@pytest.fixture
+def bound():
+    tool = XML2Wire(IOContext(SPARC_32))
+    tool.register_schema(FIGURE_9)
+    return bind(tool.context, "ASDOffEvent")
+
+
+class TestBoundFormat:
+    def test_encode_decode_through_token(self, bound):
+        message = bound.encode(RECORD)
+        assert bound.decode(message).values == RECORD
+
+    def test_bind_by_format_object(self):
+        ctx = IOContext(X86_64)
+        fmt = ctx.register_format("t", [IOField("v", "integer", 4, 0)])
+        token = bind(ctx, fmt)
+        assert token.name == "t"
+        assert token.decode(token.encode({"v": 5})).values == {"v": 5}
+
+    def test_check_passes_on_valid_record(self, bound):
+        bound.check(RECORD)
+
+    def test_check_reports_missing_field(self, bound):
+        broken = dict(RECORD)
+        del broken["org"]
+        with pytest.raises(BindingError, match="org: missing"):
+            bound.check(broken)
+
+    def test_check_reports_unknown_field(self, bound):
+        with pytest.raises(BindingError, match="not a field"):
+            bound.check({**RECORD, "bogus": 1})
+
+    def test_check_reports_wrong_shapes(self, bound):
+        with pytest.raises(BindingError, match="expected 5 elements"):
+            bound.check({**RECORD, "off": [1, 2]})
+        with pytest.raises(BindingError, match="expected str"):
+            bound.check({**RECORD, "cntrID": 42})
+        with pytest.raises(BindingError, match="expected int"):
+            bound.check({**RECORD, "fltNum": "twelve"})
+
+    def test_count_field_may_be_omitted(self, bound):
+        record = dict(RECORD)
+        del record["eta_count"]
+        bound.check(record)
+
+
+class TestValidateRecord:
+    def test_collects_all_problems(self, bound):
+        problems = validate_record(bound.format, {"cntrID": 7, "off": "nope"})
+        assert len(problems) >= 3
+
+    def test_empty_for_valid(self, bound):
+        assert validate_record(bound.format, RECORD) == []
+
+    def test_nested_records_checked_recursively(self):
+        ctx = IOContext(X86_64)
+        inner = ctx.register_format("inner", [IOField("v", "integer", 4, 0)])
+        outer = ctx.register_format("outer", [IOField("a", "inner", 4, 0)])
+        assert validate_record(outer, {"a": {"v": 1}}) == []
+        problems = validate_record(outer, {"a": {"v": "x"}})
+        assert any("a.v" in p for p in problems)
+        problems = validate_record(outer, {"a": 5})
+        assert any("expected a dict" in p for p in problems)
+
+    def test_bools_are_not_ints(self):
+        """A common Python pitfall: True is an int subclass, but sending a
+        bool where the format says integer is almost always a bug."""
+        ctx = IOContext(X86_64)
+        fmt = ctx.register_format("t", [IOField("v", "integer", 4, 0)])
+        assert validate_record(fmt, {"v": True})

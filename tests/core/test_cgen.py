@@ -1,0 +1,103 @@
+"""Unit tests for the C header generator — anchored on Appendix A."""
+
+import pytest
+
+from repro.core.cgen import generate_c_header
+from repro.errors import SchemaError
+
+from tests.schema.conftest import FIGURE_9, FIGURE_12
+
+
+class TestStructGeneration:
+    def test_figure7_struct_regenerated(self):
+        """Figure 9's XML must regenerate Figure 7's C struct, member by
+        member — including the synthesized eta_count."""
+        header = generate_c_header(FIGURE_9)
+        assert "typedef struct ASDOffEvent_s" in header
+        for member in (
+            "char* cntrID;",
+            "char* arln;",
+            "int fltNum;",
+            "char* equip;",
+            "char* org;",
+            "char* dest;",
+            "unsigned long off[5];",
+            "unsigned long *eta;",
+            "int eta_count;",
+        ):
+            assert member in header, member
+
+    def test_figure10_nested_struct(self):
+        header = generate_c_header(FIGURE_12)
+        assert "typedef struct threeASDOffs_s" in header
+        for member in (
+            "ASDOffEvent one;",
+            "double bart;",
+            "ASDOffEvent two;",
+            "double lisa;",
+            "ASDOffEvent three;",
+        ):
+            assert member in header, member
+
+    def test_header_guard_and_offsetof(self):
+        header = generate_c_header(FIGURE_9, guard="ASDOFF_H")
+        assert header.startswith("#ifndef ASDOFF_H")
+        assert header.rstrip().endswith("#endif /* ASDOFF_H */")
+        assert "#include <stddef.h>" in header
+
+
+class TestIOFieldGeneration:
+    def test_figure8_iofields_regenerated(self):
+        header = generate_c_header(FIGURE_9)
+        assert "IOField ASDOffEventFields[] =" in header
+        for entry in (
+            '{ "cntrID", "string", sizeof (char*), IOOffset (ASDOffEvent*, cntrID) },',
+            '{ "fltNum", "integer", sizeof (int), IOOffset (ASDOffEvent*, fltNum) },',
+            '{ "off", "integer[5]", sizeof (unsigned long), IOOffset (ASDOffEvent*, off) },',
+            '{ "eta", "integer[eta_count]", sizeof (unsigned long), IOOffset (ASDOffEvent*, eta) },',
+            '{ "eta_count", "integer", sizeof (int), IOOffset (ASDOffEvent*, eta_count) },',
+            "{ NULL, NULL, 0, 0 }",
+        ):
+            assert entry in header, entry
+
+    def test_figure11_nested_iofields(self):
+        header = generate_c_header(FIGURE_12)
+        assert (
+            '{ "one", "ASDOffEvent", sizeof (ASDOffEvent), '
+            "IOOffset (threeASDOffs*, one) }," in header
+        )
+        assert (
+            '{ "bart", "double", sizeof (double), '
+            "IOOffset (threeASDOffs*, bart) }," in header
+        )
+
+
+class TestConsistencyWithTooling:
+    def test_generated_struct_reparses_through_cdecl(self):
+        """Closing the loop completely: the generated C struct parses
+        back through the C declaration parser and produces the same
+        layout the schema registration computes."""
+        from repro.arch import SPARC_32
+        from repro.arch.cdecl import build_layouts, parse_structs
+        from repro.core import XML2Wire
+        from repro.pbio import IOContext
+
+        header = generate_c_header(FIGURE_9)
+        struct_text = header[header.index("typedef struct"):]
+        struct_text = struct_text[: struct_text.index("} ASDOffEvent;") + len("} ASDOffEvent;")]
+        layouts = build_layouts(parse_structs(struct_text), SPARC_32)
+        fmt = XML2Wire(IOContext(SPARC_32)).register_schema(FIGURE_9)[0]
+        layout = layouts["ASDOffEvent"]
+        assert layout.size == fmt.record_length
+        for field in fmt.fields:
+            assert layout.offsetof(field.name) == field.offset
+
+    def test_unknown_type_rejected(self):
+        schema = (
+            '<?xml version="1.0"?>'
+            '<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">'
+            '<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/>'
+            "</xsd:complexType></xsd:schema>"
+        )
+        header = generate_c_header(schema)
+        assert "int x;" in header

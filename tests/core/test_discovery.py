@@ -1,0 +1,103 @@
+"""Unit tests for the discovery chain (remote → file → compiled-in)."""
+
+import pytest
+
+from repro.core import CompiledSource, DiscoveryChain, FileSource, URLSource
+from repro.errors import DiscoveryError
+from repro.metaserver import MetadataClient, MetadataServer
+
+from tests.schema.conftest import FIGURE_6, FIGURE_9
+
+
+class TestSources:
+    def test_compiled_source_always_succeeds(self):
+        source = CompiledSource(FIGURE_6, label="asdoff-v1")
+        assert "ASDOffEvent" in source.fetch().complex_types
+        assert source.describe() == "compiled:asdoff-v1"
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "s.xsd"
+        path.write_text(FIGURE_6, encoding="utf-8")
+        source = FileSource(path)
+        assert "ASDOffEvent" in source.fetch().complex_types
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DiscoveryError, match="no schema file"):
+            FileSource(tmp_path / "absent.xsd").fetch()
+
+    def test_url_source_against_live_server(self):
+        with MetadataServer() as server:
+            url = server.publish_schema("/s.xsd", FIGURE_6)
+            source = URLSource(url, MetadataClient())
+            assert "ASDOffEvent" in source.fetch().complex_types
+
+
+class TestChainSemantics:
+    def test_first_success_wins(self, tmp_path):
+        path = tmp_path / "s.xsd"
+        path.write_text(FIGURE_9, encoding="utf-8")
+        chain = DiscoveryChain([FileSource(path), CompiledSource(FIGURE_6)])
+        result = chain.discover()
+        assert result.source.startswith("file:")
+        assert not result.degraded
+        # FIGURE_9's arrays prove it came from the file, not the fallback.
+        assert result.schema.complex_type("ASDOffEvent").element("off").occurs.count == 5
+
+    def test_fallback_to_compiled_on_unreachable_server(self):
+        with MetadataServer() as server:
+            dead_url = server.url_for("/s.xsd")
+        # Server is now stopped: the URL is unreachable.
+        chain = DiscoveryChain(
+            [
+                URLSource(dead_url, MetadataClient(timeout=0.3)),
+                CompiledSource(FIGURE_6),
+            ]
+        )
+        result = chain.discover()
+        assert result.source == "compiled:builtin"
+        assert result.degraded
+        assert any("url:" in attempt for attempt in result.attempts)
+
+    def test_fallback_on_404(self):
+        with MetadataServer() as server:
+            chain = DiscoveryChain(
+                [
+                    URLSource(server.url_for("/missing.xsd"), MetadataClient()),
+                    CompiledSource(FIGURE_6),
+                ]
+            )
+            result = chain.discover()
+            assert result.source == "compiled:builtin"
+
+    def test_all_sources_failing_reports_each(self, tmp_path):
+        with MetadataServer() as server:
+            dead_url = server.url_for("/s.xsd")
+        chain = DiscoveryChain(
+            [
+                URLSource(dead_url, MetadataClient(timeout=0.3)),
+                FileSource(tmp_path / "absent.xsd"),
+            ]
+        )
+        with pytest.raises(DiscoveryError) as excinfo:
+            chain.discover()
+        message = str(excinfo.value)
+        assert "url:" in message
+        assert "file:" in message
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(DiscoveryError, match="no sources"):
+            DiscoveryChain().discover()
+
+    def test_add_builds_fluently(self):
+        chain = DiscoveryChain().add(CompiledSource(FIGURE_6))
+        assert chain.discover().source == "compiled:builtin"
+
+    def test_restored_server_preferred_again(self, tmp_path):
+        """Once the primary source recovers, the chain uses it (no sticky
+        degradation)."""
+        with MetadataServer() as server:
+            url = server.publish_schema("/s.xsd", FIGURE_9)
+            chain = DiscoveryChain(
+                [URLSource(url, MetadataClient(ttl=0)), CompiledSource(FIGURE_6)]
+            )
+            assert chain.discover().source.startswith("url:")

@@ -1,0 +1,109 @@
+"""Unit tests for the stub generator (paper §7 future work)."""
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.core.stubgen import generate_stub_source, load_stubs
+from repro.pbio import IOContext
+
+from tests.schema.conftest import FIGURE_12, FIGURE_9
+
+
+class TestGeneratedSource:
+    def test_source_has_dataclass_per_type(self):
+        source = generate_stub_source(FIGURE_12)
+        assert source.count("@dataclass") == 2
+        assert "class ASDOffEvent:" in source
+        assert "class threeASDOffs:" in source
+
+    def test_source_compiles_standalone(self):
+        compile(generate_stub_source(FIGURE_9), "<stubs>", "exec")
+
+    def test_synthesized_count_derived_in_to_record(self):
+        source = generate_stub_source(FIGURE_9)
+        assert "record['eta_count'] = len(self.eta)" in source
+
+    def test_schema_embedded_for_registration(self):
+        source = generate_stub_source(FIGURE_9)
+        assert "SCHEMA = " in source
+        assert "def register(context):" in source
+
+
+class TestLiveStubs:
+    @pytest.fixture
+    def stubs(self):
+        return load_stubs(FIGURE_9)
+
+    def test_default_construction(self, stubs):
+        event = stubs.ASDOffEvent()
+        assert event.cntrID is None
+        assert event.off == [0, 0, 0, 0, 0]
+        assert event.eta == []
+
+    def test_roundtrip_through_bcm(self, stubs):
+        context = IOContext(SPARC_32)
+        stubs.register(context)
+        event = stubs.ASDOffEvent(
+            cntrID="ZTL", arln="DL", fltNum=7, equip="B757", org="ATL",
+            dest="LAX", off=[1, 2, 3, 4, 5], eta=[10, 20],
+        )
+        message = context.encode("ASDOffEvent", event.to_record())
+        receiver = IOContext(X86_64)
+        receiver.learn_format(context.lookup_format("ASDOffEvent").to_wire_metadata())
+        decoded = receiver.decode(message)
+        rebuilt = stubs.ASDOffEvent.from_record(decoded.values)
+        assert rebuilt.cntrID == "ZTL"
+        assert rebuilt.eta == [10, 20]
+        assert rebuilt == stubs.ASDOffEvent.from_record(decoded.values)
+
+    def test_nested_stubs(self):
+        stubs = load_stubs(FIGURE_12)
+        three = stubs.threeASDOffs()
+        assert isinstance(three.one, stubs.ASDOffEvent)
+        three.one.cntrID = "ZNY"
+        three.bart = 1.5
+        record = three.to_record()
+        assert record["one"]["cntrID"] == "ZNY"
+        rebuilt = stubs.threeASDOffs.from_record(record)
+        assert rebuilt.one.cntrID == "ZNY"
+        assert rebuilt.bart == 1.5
+
+    def test_nested_roundtrip_through_bcm(self):
+        stubs = load_stubs(FIGURE_12)
+        context = IOContext(SPARC_32)
+        stubs.register(context)
+        three = stubs.threeASDOffs()
+        for part in (three.one, three.two, three.three):
+            part.cntrID = "ZTL"
+            part.eta = [5]
+        message = context.encode("threeASDOffs", three.to_record())
+        decoded = context.decode(message)
+        rebuilt = stubs.threeASDOffs.from_record(decoded.values)
+        assert rebuilt.two.eta == [5]
+
+    def test_stubs_keep_evolution_tolerance(self, stubs):
+        """The paper's §4.3 point inverted: unlike IDL stubs, these keep
+        working when the wire format grows, because decode projects."""
+        sender = IOContext(SPARC_32)
+        v2_schema = FIGURE_9.replace(
+            '<xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />',
+            '<xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />\n'
+            '    <xsd:element name="gate" type="xsd:string" />',
+        )
+        from repro.core import XML2Wire
+
+        XML2Wire(sender).register_schema(v2_schema)
+        record = {
+            "cntrID": "ZTL", "arln": "DL", "fltNum": 1, "equip": "B7",
+            "org": "ATL", "dest": "LAX", "off": [1, 2, 3, 4, 5],
+            "eta": [], "eta_count": 0, "gate": "A17",
+        }
+        message = sender.encode("ASDOffEvent", record)
+
+        receiver = IOContext(X86_64)
+        stubs.register(receiver)
+        receiver.learn_format(sender.lookup_format("ASDOffEvent").to_wire_metadata())
+        decoded = receiver.decode(message, expect="ASDOffEvent")
+        rebuilt = stubs.ASDOffEvent.from_record(decoded.values)
+        assert rebuilt.cntrID == "ZTL"
+        assert not hasattr(rebuilt, "gate")

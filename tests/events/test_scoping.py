@@ -1,0 +1,176 @@
+"""Unit tests for format scoping (paper §4.4)."""
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.core.scoping import project_record, scope_complex_type, scope_schema
+from repro.errors import SchemaError
+from repro.events import EventBackbone
+from repro.events.scoping import ScopedPublisher
+from repro.pbio import IOContext
+from repro.schema import parse_schema, schema_to_xml
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+
+@pytest.fixture
+def asdoff_schema():
+    return parse_schema(ASDOFF_B_SCHEMA)
+
+
+class TestScopeComplexType:
+    def test_retains_requested_fields_in_order(self, asdoff_schema):
+        ct = asdoff_schema.complex_type("ASDOffEvent")
+        scoped = scope_complex_type(ct, ["fltNum", "org", "dest"])
+        assert scoped.element_names() == ["fltNum", "org", "dest"]
+
+    def test_dynamic_array_drags_length_field(self, asdoff_schema):
+        ct = asdoff_schema.complex_type("ASDOffEvent")
+        scoped = scope_complex_type(ct, ["eta"])
+        assert scoped.element_names() == ["eta"]
+        # eta_count is synthesized (not a declared element), so the
+        # scoped type keeps the synthesized semantics.
+        assert scoped.element("eta").occurs.length_field == "eta_count"
+
+    def test_declared_length_field_pulled_in(self):
+        schema = parse_schema(
+            '<?xml version="1.0"?>'
+            '<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">'
+            '<xsd:complexType name="T">'
+            '<xsd:element name="x" type="xsd:int"/>'
+            '<xsd:element name="n" type="xsd:integer"/>'
+            '<xsd:element name="data" type="xsd:double" maxOccurs="n"/>'
+            "</xsd:complexType></xsd:schema>"
+        )
+        scoped = scope_complex_type(schema.complex_type("T"), ["data"])
+        assert scoped.element_names() == ["n", "data"]
+
+    def test_unknown_field_rejected(self, asdoff_schema):
+        ct = asdoff_schema.complex_type("ASDOffEvent")
+        with pytest.raises(SchemaError, match="unknown fields"):
+            scope_complex_type(ct, ["bogus"])
+
+    def test_empty_scope_rejected(self, asdoff_schema):
+        ct = asdoff_schema.complex_type("ASDOffEvent")
+        with pytest.raises(SchemaError, match="retains no fields"):
+            scope_complex_type(ct, [])
+
+    def test_rename(self, asdoff_schema):
+        ct = asdoff_schema.complex_type("ASDOffEvent")
+        scoped = scope_complex_type(ct, ["org"], name="PublicView")
+        assert scoped.name == "PublicView"
+
+
+class TestScopeSchema:
+    def test_scoped_schema_serializes_and_reparses(self, asdoff_schema):
+        scoped = scope_schema(
+            asdoff_schema, "ASDOffEvent", ["arln", "fltNum", "org", "dest"],
+            scoped_name="PublicDeparture",
+        )
+        again = parse_schema(schema_to_xml(scoped))
+        assert again.complex_type("PublicDeparture").element_names() == [
+            "arln", "fltNum", "org", "dest",
+        ]
+
+    def test_nested_dependency_carried(self):
+        schema = parse_schema(
+            '<?xml version="1.0"?>'
+            '<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">'
+            '<xsd:complexType name="Pos"><xsd:element name="lat" type="xsd:double"/>'
+            "</xsd:complexType>"
+            '<xsd:complexType name="T">'
+            '<xsd:element name="id" type="xsd:int"/>'
+            '<xsd:element name="where" type="Pos"/>'
+            "</xsd:complexType></xsd:schema>"
+        )
+        scoped = scope_schema(schema, "T", ["where"])
+        assert "Pos" in scoped.complex_types
+        assert scoped.complex_type("T").element_names() == ["where"]
+
+    def test_project_record(self, asdoff_schema):
+        scoped = scope_complex_type(
+            asdoff_schema.complex_type("ASDOffEvent"), ["fltNum", "eta"]
+        )
+        record = AirlineWorkload(seed=8).record_b()
+        projected = project_record(scoped, record)
+        # eta_count is synthesized: projection drops the explicit value
+        # and the encoder re-derives it from len(eta).
+        assert set(projected) == {"fltNum", "eta"}
+
+
+class TestScopedPublisher:
+    SCOPES = {
+        "public": ["arln", "fltNum", "org", "dest"],
+        "ops": ["cntrID", "arln", "fltNum", "equip", "org", "dest", "off", "eta"],
+    }
+
+    def make(self, backbone):
+        return ScopedPublisher(
+            backbone,
+            "flights.dep",
+            IOContext(SPARC_32),
+            ASDOFF_B_SCHEMA,
+            "ASDOffEvent",
+            self.SCOPES,
+        )
+
+    def test_public_subscriber_sees_redacted_slice(self):
+        backbone = EventBackbone()
+        public = backbone.subscribe("flights.dep.public", IOContext(X86_64))
+        publisher = self.make(backbone)
+        record = AirlineWorkload(seed=9).record_b()
+        publisher.publish(record)
+        event = public.next(timeout=5)
+        assert set(event.values) == {"arln", "fltNum", "org", "dest"}
+        assert event.values["fltNum"] == record["fltNum"]
+        assert event.format_name == "ASDOffEvent__public"
+
+    def test_privileged_subscriber_sees_everything(self):
+        backbone = EventBackbone()
+        full = backbone.subscribe("flights.dep", IOContext(X86_64))
+        publisher = self.make(backbone)
+        record = AirlineWorkload(seed=9).record_b()
+        publisher.publish(record)
+        event = full.next(timeout=5)
+        assert event.values == record
+
+    def test_full_pattern_does_not_leak_to_scope_pattern(self):
+        """Patterns are the access surface: a subscriber on the exact
+        scoped stream never receives the full record."""
+        backbone = EventBackbone()
+        public = backbone.subscribe("flights.dep.public", IOContext(X86_64))
+        publisher = self.make(backbone)
+        publisher.publish(AirlineWorkload(seed=9).record_b())
+        event = public.next(timeout=5)
+        assert "cntrID" not in event.values
+        assert public.pending() == 0  # exactly one event arrived
+
+    def test_scoped_schema_publishable_on_metadata_server(self):
+        backbone = EventBackbone()
+        publisher = self.make(backbone)
+        xml = publisher.scoped_schema_xml("public")
+        reparsed = parse_schema(xml)
+        assert "ASDOffEvent__public" in reparsed.complex_types
+        with pytest.raises(SchemaError, match="no scope named"):
+            publisher.scoped_schema_xml("nope")
+
+    def test_dynamic_arrays_survive_scoping_end_to_end(self):
+        backbone = EventBackbone()
+        subscriber = backbone.subscribe("flights.dep.etas", IOContext(X86_64))
+        publisher = ScopedPublisher(
+            backbone, "flights.dep", IOContext(SPARC_32),
+            ASDOFF_B_SCHEMA, "ASDOffEvent", {"etas": ["fltNum", "eta"]},
+        )
+        record = AirlineWorkload(seed=10).record_b(eta_count=4)
+        publisher.publish(record)
+        event = subscriber.next(timeout=5)
+        assert event.values["eta"] == record["eta"]
+        assert event.values["eta_count"] == 4
+
+    def test_delivery_count_sums_streams(self):
+        backbone = EventBackbone()
+        backbone.subscribe("flights.dep", IOContext(X86_64))
+        backbone.subscribe("flights.dep.public", IOContext(X86_64))
+        backbone.subscribe("flights.dep.ops", IOContext(X86_64))
+        publisher = self.make(backbone)
+        delivered = publisher.publish(AirlineWorkload(seed=11).record_b())
+        assert delivered == 3

@@ -1,0 +1,198 @@
+"""Failure injection: every component must fail loudly, never silently.
+
+Corruption, truncation, dead peers and dead infrastructure are the
+failure modes the paper's fault-tolerance story (§3.3) revolves around.
+These tests inject each and assert the library surfaces a typed error
+(or degrades along the documented fallback path) rather than returning
+garbage or hanging.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    CompiledSource,
+    DiscoveryChain,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    RecordConnection,
+    SPARC_32,
+    URLSource,
+    X86_64,
+    XML2Wire,
+    connect,
+    listen,
+)
+from repro.errors import ChannelClosedError, DecodeError, DiscoveryError, ReproError
+from repro.events.remote import BrokerServer, RemoteBackboneClient
+from repro.pbio import IOField
+from repro.pbio.context import HEADER_SIZE
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+
+@pytest.fixture
+def message_and_contexts():
+    sender = IOContext(SPARC_32)
+    XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+    fmt = sender.lookup_format("ASDOffEvent")
+    record = AirlineWorkload(seed=77).record_b()
+    message = sender.encode(fmt, record)
+    receiver = IOContext(X86_64)
+    receiver.learn_format(fmt.to_wire_metadata())
+    return message, receiver, record
+
+
+class TestMessageCorruption:
+    def test_every_truncation_point_raises(self, message_and_contexts):
+        message, receiver, _ = message_and_contexts
+        for cut in range(0, len(message), 7):
+            with pytest.raises(ReproError):
+                receiver.decode(message[:cut])
+
+    def test_header_kind_corruption_raises(self, message_and_contexts):
+        message, receiver, _ = message_and_contexts
+        broken = bytes([0xEE]) + message[1:]
+        with pytest.raises(DecodeError):
+            receiver.decode(broken)
+
+    def test_header_length_inflation_raises(self, message_and_contexts):
+        message, receiver, _ = message_and_contexts
+        broken = bytearray(message)
+        broken[4:8] = (2**31).to_bytes(4, "big")
+        with pytest.raises(DecodeError, match="truncated"):
+            receiver.decode(bytes(broken))
+
+    def test_format_id_corruption_raises_unknown(self, message_and_contexts):
+        message, receiver, _ = message_and_contexts
+        broken = bytearray(message)
+        broken[8] ^= 0xFF
+        with pytest.raises(DecodeError, match="unknown format id"):
+            receiver.decode(bytes(broken))
+
+    def test_string_offset_out_of_bounds_raises(self, message_and_contexts):
+        message, receiver, _ = message_and_contexts
+        broken = bytearray(message)
+        # The first pointer slot of the SPARC record sits right after the
+        # header; point it far outside the payload.
+        broken[HEADER_SIZE : HEADER_SIZE + 4] = (10**6).to_bytes(4, "big")
+        with pytest.raises(DecodeError, match="corrupt"):
+            receiver.decode(bytes(broken))
+
+    def test_metadata_corruption_raises(self):
+        sender = IOContext(SPARC_32)
+        XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+        metadata = sender.lookup_format("ASDOffEvent").to_wire_metadata()
+        receiver = IOContext(X86_64)
+        for cut in range(4, len(metadata) - 1, 11):
+            with pytest.raises(DecodeError):
+                receiver.learn_format(metadata[:cut])
+
+
+class TestDeadPeers:
+    def test_peer_death_mid_stream_raises_channel_closed(self):
+        listener = listen()
+        host, port = listener.address
+
+        def server_side():
+            context = IOContext(SPARC_32)
+            XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+            connection = RecordConnection(context, listener.accept(timeout=10))
+            connection.send("ASDOffEvent", AirlineWorkload(seed=1).record_b())
+            connection.close()  # dies after one record
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client = RecordConnection(IOContext(X86_64), connect(host, port))
+        client.recv(timeout=10)  # the one record arrives
+        with pytest.raises(ChannelClosedError):
+            client.recv(timeout=10)
+        thread.join(timeout=10)
+        client.close()
+        listener.close()
+
+    def test_broker_death_raises_on_client(self):
+        broker = BrokerServer().start()
+        host, port = broker.address
+        client = RemoteBackboneClient.connect(host, port, IOContext(X86_64))
+        client.subscribe("s")
+        broker.stop()
+        with pytest.raises((ChannelClosedError, ReproError)):
+            # Either the close is seen immediately or recv times out.
+            client.next_event(timeout=1.0)
+        client.close()
+
+
+class TestDeadInfrastructure:
+    def test_metadata_server_death_between_fetches(self):
+        server = MetadataServer().start()
+        url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+        uncached = MetadataClient(ttl=0, timeout=0.3)
+        uncached.get_schema(url)
+        server.stop()
+        with pytest.raises(DiscoveryError):
+            uncached.get_schema(url)
+
+    def test_discovery_chain_survives_server_death(self):
+        server = MetadataServer().start()
+        url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+        server.stop()
+        chain = DiscoveryChain(
+            [
+                URLSource(url, MetadataClient(timeout=0.3)),
+                CompiledSource(ASDOFF_B_SCHEMA),
+            ]
+        )
+        result = chain.discover()
+        assert result.degraded
+        # The degraded schema still registers and communicates.
+        context = IOContext(SPARC_32)
+        formats = XML2Wire(context).register_schema(result.schema)
+        assert formats[0].record_length == 52
+
+    def test_half_written_archive_detected(self, tmp_path):
+        from repro.pbio.iofile import IOFileWriter, load_records
+
+        path = tmp_path / "crash.pbio"
+        context = IOContext(SPARC_32)
+        context.register_format("tick", [IOField("v", "integer", 4, 0)])
+        with IOFileWriter(path, context) as writer:
+            for i in range(10):
+                writer.write("tick", {"v": i})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])  # simulated crash mid-write
+        with pytest.raises(DecodeError, match="truncated"):
+            load_records(path)
+
+
+class TestResourceSafety:
+    def test_decode_never_allocates_from_hostile_length(self, message_and_contexts):
+        """A 4 GiB frame-length prefix from a desynchronized stream must
+        be rejected before allocation (the framing layer's cap)."""
+        from repro.errors import WireError
+        from repro.wire.framing import FrameDecoder
+
+        decoder = FrameDecoder()
+        decoder.feed(b"\xff\xff\xff\xf0" + b"junk")
+        with pytest.raises(WireError, match="exceeds limit"):
+            list(decoder.messages())
+
+    def test_subscription_cancel_releases_blocked_thread(self):
+        from repro.events import EventBackbone
+
+        backbone = EventBackbone()
+        subscription = backbone.subscribe("s", IOContext(X86_64))
+        finished = []
+
+        def blocked():
+            try:
+                subscription.next(timeout=30)
+            except ReproError:
+                finished.append(True)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        subscription.cancel()
+        thread.join(timeout=5)
+        assert finished == [True]

@@ -1,0 +1,189 @@
+"""Integration tests: the full discovery → binding → marshaling pipeline
+across subsystems, mirroring the examples."""
+
+import threading
+
+import pytest
+
+from repro import (
+    CompiledSource,
+    DiscoveryChain,
+    EventBackbone,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    RecordConnection,
+    SPARC_32,
+    URLSource,
+    X86_32,
+    X86_64,
+    XML2Wire,
+    bind,
+    connect,
+    listen,
+)
+from repro.workloads import (
+    ASDOFF_B_SCHEMA,
+    AirlineWorkload,
+    MiningWorkload,
+    WeatherWorkload,
+)
+
+
+class TestRemoteDiscoveryPipeline:
+    def test_url_discovery_to_cross_arch_exchange(self):
+        """Schema on a live HTTP server -> xml2wire on both endpoints ->
+        NDR exchange between different architectures."""
+        with MetadataServer() as server:
+            url = server.publish_schema("/schemas/asdoff.xsd", ASDOFF_B_SCHEMA)
+            client = MetadataClient()
+
+            sender = IOContext(SPARC_32)
+            XML2Wire(sender).register_url(url, client)
+            receiver = IOContext(X86_64)
+            XML2Wire(receiver).register_url(url, client)
+
+            record = AirlineWorkload(seed=9).record_b()
+            message = sender.encode("ASDOffEvent", record)
+            receiver.learn_format(
+                sender.lookup_format("ASDOffEvent").to_wire_metadata()
+            )
+            assert receiver.decode(message, expect="ASDOffEvent").values == record
+
+    def test_discovery_chain_feeds_xml2wire(self):
+        with MetadataServer() as server:
+            dead_url = server.url_for("/gone.xsd")
+        chain = DiscoveryChain(
+            [
+                URLSource(dead_url, MetadataClient(timeout=0.3)),
+                CompiledSource(ASDOFF_B_SCHEMA, label="shipped-asdoff"),
+            ]
+        )
+        result = chain.discover()
+        assert result.degraded
+        context = IOContext(SPARC_32)
+        formats = XML2Wire(context).register_schema(result.schema)
+        assert formats[0].record_length == 52
+
+    def test_format_resolution_over_http(self):
+        """A receiver resolves an unknown wire format id through the
+        metadata server's /formats tree instead of in-band traffic."""
+        from repro.pbio import FormatServer
+
+        format_server = FormatServer()
+        with MetadataServer() as server:
+            server.attach_format_server(format_server)
+            sender = IOContext(SPARC_32, format_server=format_server)
+            XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+            record = AirlineWorkload(seed=2).record_b()
+            message = sender.encode("ASDOffEvent", record)
+
+            receiver = IOContext(X86_64)
+            _, _, _, _, format_id = IOContext.parse_header(message)
+            host, port = server.address
+            fetched = MetadataClient().get_format(f"http://{host}:{port}", format_id)
+            receiver.learn_format(fetched.to_wire_metadata())
+            assert receiver.decode(message).values == record
+
+
+class TestBackboneWithDiscovery:
+    def test_three_stream_heterogeneous_ois(self):
+        """The airline_ois example as a test: three capture points on
+        three architectures, one subscriber decoding all of them."""
+        backbone = EventBackbone()
+        subscriber_context = IOContext(X86_64)
+        subscription = backbone.subscribe("*", subscriber_context)
+
+        airline = AirlineWorkload(seed=1)
+        weather = WeatherWorkload(seed=2)
+        mining = MiningWorkload(seed=3)
+        setups = [
+            ("flights", ASDOFF_B_SCHEMA, "ASDOffEvent", airline.record_b, SPARC_32),
+            ("weather", WeatherWorkload.schema, "SurfaceObservation", weather.record, X86_32),
+            ("mining", MiningWorkload.schema, "RuleDiscovery", mining.record, X86_64),
+        ]
+        expected = []
+        for stream, schema, format_name, make_record, arch in setups:
+            context = IOContext(arch)
+            XML2Wire(context).register_schema(schema)
+            publisher = backbone.publisher(stream, context)
+            for _ in range(5):
+                record = make_record()
+                expected.append((stream, record))
+                publisher.publish(format_name, record)
+
+        received = [subscription.next(timeout=5) for _ in range(15)]
+        got = [(event.stream, event.values) for event in received]
+        assert sorted(got, key=str) == sorted(expected, key=str)
+
+    def test_bound_format_through_backbone(self):
+        backbone = EventBackbone()
+        context = IOContext(SPARC_32)
+        XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+        token = bind(context, "ASDOffEvent")
+        record = AirlineWorkload(seed=4).record_b()
+        token.check(record)
+        subscription = backbone.subscribe("s", IOContext(X86_64))
+        backbone.publisher("s", context).publish(token.format, record)
+        assert subscription.next(timeout=5).values == record
+
+
+class TestTCPPipeline:
+    def test_bidirectional_typed_exchange_over_tcp(self):
+        listener = listen()
+        host, port = listener.address
+        server_done = {}
+
+        def server_side():
+            context = IOContext(SPARC_32)
+            XML2Wire(context).register_schema(MiningWorkload.schema)
+            connection = RecordConnection(context, listener.accept(timeout=10))
+            workload = MiningWorkload(seed=5)
+            for _ in range(10):
+                connection.send("RuleDiscovery", workload.record())
+            # Then receive an ack record from the client.
+            ack = connection.recv(timeout=10)
+            server_done["ack"] = ack.values
+            connection.close()
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client_context = IOContext(X86_64)
+        from repro.pbio import IOField
+
+        client_context.register_format(
+            "ack", [IOField("seen", "integer", 4, 0)]
+        )
+        connection = RecordConnection(client_context, connect(host, port))
+        records = [connection.recv(timeout=10) for _ in range(10)]
+        assert len({r.values["rule_id"] for r in records}) == 10
+        connection.send("ack", {"seen": len(records)})
+        thread.join(timeout=10)
+        connection.close()
+        listener.close()
+        assert server_done["ack"] == {"seen": 10}
+
+    def test_converter_amortization_over_connection(self):
+        listener = listen()
+        host, port = listener.address
+
+        def server_side():
+            context = IOContext(SPARC_32)
+            XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+            connection = RecordConnection(context, listener.accept(timeout=10))
+            workload = AirlineWorkload(seed=6)
+            for _ in range(100):
+                connection.send("ASDOffEvent", workload.record_b())
+            connection.close()
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        client_context = IOContext(X86_64)
+        connection = RecordConnection(client_context, connect(host, port))
+        for _ in range(100):
+            connection.recv(timeout=10)
+        thread.join(timeout=10)
+        connection.close()
+        listener.close()
+        # One generated converter serves all 100 records.
+        assert client_context.converter_builds == 1

@@ -1,0 +1,96 @@
+"""Integration test for experiment E1: live schema evolution.
+
+The format_evolution example as assertions: a schema document changes on
+the metadata server while consumers are running; every (v1, v2) producer
+x consumer combination keeps working.
+"""
+
+from repro import (
+    EventBackbone,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    SPARC_32,
+    X86_64,
+    XML2Wire,
+)
+
+TRACK_V1 = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Track">
+    <xsd:element name="flight" type="xsd:string" />
+    <xsd:element name="alt" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+TRACK_V2 = TRACK_V1.replace(
+    '<xsd:element name="alt" type="xsd:integer" />',
+    '<xsd:element name="alt" type="xsd:integer" />\n'
+    '    <xsd:element name="speed" type="xsd:double" />',
+)
+
+
+def test_all_four_version_combinations_interoperate():
+    backbone = EventBackbone()
+    with MetadataServer() as server:
+        url = server.publish_schema("/track.xsd", TRACK_V1)
+        client = MetadataClient(ttl=0)
+
+        v1_sender = IOContext(SPARC_32)
+        XML2Wire(v1_sender).register_url(url, client)
+        v1_publisher = backbone.publisher("tracks", v1_sender)
+
+        v1_consumer = IOContext(X86_64)
+        XML2Wire(v1_consumer).register_url(url, client)
+        v1_subscription = backbone.subscribe("tracks", v1_consumer, expect="Track")
+
+        # v1 -> v1
+        v1_publisher.publish("Track", {"flight": "A", "alt": 1})
+        assert v1_subscription.next(timeout=5).values == {"flight": "A", "alt": 1}
+
+        # Evolve the document in place.
+        server.publish_schema("/track.xsd", TRACK_V2)
+
+        v2_sender = IOContext(X86_64)
+        XML2Wire(v2_sender).register_url(url, client)
+        v2_publisher = backbone.publisher("tracks", v2_sender)
+
+        # v2 -> v1: extra field dropped.
+        v2_publisher.publish("Track", {"flight": "B", "alt": 2, "speed": 99.0})
+        assert v1_subscription.next(timeout=5).values == {"flight": "B", "alt": 2}
+
+        # The v2 consumer subscribes after record B so its first event
+        # is record C below.
+        v2_consumer = IOContext(SPARC_32)
+        XML2Wire(v2_consumer).register_url(url, client)
+        v2_subscription = backbone.subscribe("tracks", v2_consumer, expect="Track")
+
+        # v2 -> v2: full record.
+        v2_publisher.publish("Track", {"flight": "C", "alt": 3, "speed": 100.0})
+        assert v2_subscription.next(timeout=5).values == {
+            "flight": "C", "alt": 3, "speed": 100.0,
+        }
+
+        # v1 -> v2: missing field defaulted.
+        v1_publisher.publish("Track", {"flight": "D", "alt": 4})
+        assert v2_subscription.next(timeout=5).values == {
+            "flight": "D", "alt": 4, "speed": 0.0,
+        }
+
+
+def test_fresh_discovery_sees_new_version_only_after_cache_expiry():
+    with MetadataServer() as server:
+        url = server.publish_schema("/track.xsd", TRACK_V1)
+        cached_client = MetadataClient(ttl=3600)
+        first = cached_client.get_schema(url)
+        assert "speed" not in first.complex_type("Track").element_names()
+
+        server.publish_schema("/track.xsd", TRACK_V2)
+        # Cached: still v1.
+        stale = cached_client.get_schema(url)
+        assert "speed" not in stale.complex_type("Track").element_names()
+        # Invalidate (or wait out the TTL): v2 appears.
+        cached_client.invalidate(url)
+        fresh = cached_client.get_schema(url)
+        assert "speed" in fresh.complex_type("Track").element_names()

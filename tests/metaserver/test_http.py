@@ -1,0 +1,86 @@
+"""Unit tests for the from-scratch HTTP subset."""
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.metaserver.http import HTTPRequest, HTTPResponse, split_url
+
+
+class TestSplitUrl:
+    def test_full_url(self):
+        assert split_url("http://example.com:8080/a/b.xsd") == (
+            "example.com", 8080, "/a/b.xsd",
+        )
+
+    def test_default_port(self):
+        assert split_url("http://example.com/x") == ("example.com", 80, "/x")
+
+    def test_bare_host_gets_root_path(self):
+        assert split_url("http://example.com") == ("example.com", 80, "/")
+
+    def test_https_rejected(self):
+        with pytest.raises(DiscoveryError, match="http://"):
+            split_url("https://example.com/x")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DiscoveryError):
+            split_url("not a url")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(DiscoveryError, match="port"):
+            split_url("http://example.com:http/x")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(DiscoveryError, match="no host"):
+            split_url("http:///x")
+
+
+class TestRequestRoundtrip:
+    def test_render_and_parse(self):
+        request = HTTPRequest("GET", "/schemas/asdoff.xsd", {"Host": "x:1"})
+        again = HTTPRequest.parse(request.render())
+        assert again.method == "GET"
+        assert again.path == "/schemas/asdoff.xsd"
+        assert again.header("host") == "x:1"
+
+    def test_body_gets_content_length(self):
+        request = HTTPRequest("POST", "/x", body=b"hello")
+        raw = request.render()
+        assert b"Content-Length: 5" in raw
+        assert HTTPRequest.parse(raw).body == b"hello"
+
+    def test_header_lookup_case_insensitive(self):
+        request = HTTPRequest("GET", "/", {"X-Thing": "v"})
+        assert request.header("x-thing") == "v"
+        assert request.header("missing", "d") == "d"
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(DiscoveryError, match="request line"):
+            HTTPRequest.parse(b"GARBAGE\r\n\r\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(DiscoveryError, match="header line"):
+            HTTPRequest.parse(b"GET / HTTP/1.0\r\nnocolonhere\r\n\r\n")
+
+
+class TestResponseRoundtrip:
+    def test_render_and_parse(self):
+        response = HTTPResponse(200, {"Content-Type": "text/xml"}, b"<a/>")
+        again = HTTPResponse.parse(response.render())
+        assert again.status == 200
+        assert again.header("content-type") == "text/xml"
+        assert again.body == b"<a/>"
+
+    def test_content_length_added(self):
+        raw = HTTPResponse(404, body=b"gone").render()
+        assert b"Content-Length: 4" in raw
+
+    def test_reason_phrases(self):
+        assert b"200 OK" in HTTPResponse(200).render()
+        assert b"404 Not Found" in HTTPResponse(404).render()
+
+    def test_malformed_status_rejected(self):
+        with pytest.raises(DiscoveryError):
+            HTTPResponse.parse(b"HTTP/1.0 abc Whatever\r\n\r\n")
+        with pytest.raises(DiscoveryError):
+            HTTPResponse.parse(b"NOTHTTP\r\n\r\n")

@@ -1,0 +1,71 @@
+"""Shared PBIO fixtures: the paper's Appendix A structures as formats.
+
+``make_asdoff_fields(arch)`` mirrors Figure 8's IOField array for the
+machine in question, with sizes and offsets computed by the layout
+engine (as xml2wire would).
+"""
+
+from repro.arch import FieldDecl, layout_struct
+from repro.pbio import IOField
+
+from tests.conftest import ALL_ARCHES  # re-exported for test modules
+
+
+def asdoff_layout(arch):
+    """Structure B's layout (Figure 7) on ``arch``."""
+    return layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrId", "char*"),
+            FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"),
+            FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"),
+            FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long", count=5),
+            FieldDecl("eta", "unsigned long*"),
+            FieldDecl("eta_count", "int"),
+        ],
+    )
+
+
+def make_asdoff_fields(arch):
+    """Figure 8's IOField list, sizes/offsets per ``arch``."""
+    lay = asdoff_layout(arch)
+    pointer = arch.pointer_size
+    u_long = arch.sizeof("unsigned long")
+    c_int = arch.sizeof("int")
+    return (
+        [
+            IOField("cntrId", "string", pointer, lay.offsetof("cntrId")),
+            IOField("arln", "string", pointer, lay.offsetof("arln")),
+            IOField("fltNum", "integer", c_int, lay.offsetof("fltNum")),
+            IOField("equip", "string", pointer, lay.offsetof("equip")),
+            IOField("org", "string", pointer, lay.offsetof("org")),
+            IOField("dest", "string", pointer, lay.offsetof("dest")),
+            IOField("off", "unsigned integer[5]", u_long, lay.offsetof("off")),
+            IOField("eta", "unsigned integer[eta_count]", u_long, lay.offsetof("eta")),
+            IOField("eta_count", "integer", c_int, lay.offsetof("eta_count")),
+        ],
+        lay.size,
+    )
+
+
+def register_asdoff(context):
+    fields, size = make_asdoff_fields(context.arch)
+    return context.register_format("asdOff", fields, record_length=size)
+
+
+ASDOFF_RECORD = {
+    "cntrId": "ZTL",
+    "arln": "DL",
+    "fltNum": 1204,
+    "equip": "B757",
+    "org": "ATL",
+    "dest": "LAX",
+    "off": [10, 20, 30, 40, 50],
+    "eta": [1000, 2000, 3000],
+    "eta_count": 3,
+}
+

@@ -1,0 +1,137 @@
+"""Unit tests for PBIO data files (heterogeneous binary archives)."""
+
+import io
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.errors import DecodeError
+from repro.pbio import IOContext, IOField
+from repro.pbio.iofile import (
+    IOFileReader,
+    IOFileWriter,
+    dump_records,
+    load_records,
+)
+
+from tests.pbio.conftest import register_asdoff
+from tests.conftest import ALL_ARCHES  # noqa: F401 (documents provenance)
+
+
+from tests.pbio.conftest import ASDOFF_RECORD
+
+
+@pytest.fixture
+def airline_records():
+    """Twenty distinct records in register_asdoff's field naming."""
+    return [
+        {**ASDOFF_RECORD, "fltNum": 1000 + i, "eta": [i, i * 2], "eta_count": 2}
+        for i in range(20)
+    ]
+
+
+class TestWriteRead:
+    def test_roundtrip_via_path(self, tmp_path, airline_records):
+        path = tmp_path / "flights.pbio"
+        writer_context = IOContext(SPARC_32)
+        fmt = register_asdoff(writer_context)
+        count = dump_records(path, writer_context, fmt, airline_records)
+        assert count == 20
+
+        loaded = load_records(path, IOContext(X86_64))
+        assert [r.values for r in loaded] == airline_records
+        assert all(r.format_name == "asdOff" for r in loaded)
+
+    def test_roundtrip_via_file_object(self, airline_records):
+        buffer = io.BytesIO()
+        writer_context = IOContext(SPARC_32)
+        fmt = register_asdoff(writer_context)
+        with IOFileWriter(buffer, writer_context) as writer:
+            for record in airline_records[:3]:
+                writer.write(fmt, record)
+        buffer.seek(0)
+        with IOFileReader(buffer, IOContext(X86_64)) as reader:
+            values = [r.values for r in reader.records()]
+        assert values == airline_records[:3]
+
+    def test_metadata_written_once_per_format(self, tmp_path, airline_records):
+        path = tmp_path / "f.pbio"
+        context = IOContext(SPARC_32)
+        fmt = register_asdoff(context)
+        with IOFileWriter(path, context) as writer:
+            for record in airline_records:
+                writer.write(fmt, record)
+        raw = path.read_bytes()
+        assert raw.count(b"PBF1") == 1  # one metadata block for 20 records
+
+    def test_mixed_formats_in_one_file(self, tmp_path):
+        path = tmp_path / "mixed.pbio"
+        context = IOContext(SPARC_32)
+        register_asdoff(context)
+        context.register_format("tick", [IOField("v", "integer", 4, 0)])
+        with IOFileWriter(path, context) as writer:
+            writer.write("tick", {"v": 1})
+            writer.write("asdOff", dict(ASDOFF_RECORD))
+            writer.write("tick", {"v": 2})
+        loaded = load_records(path)
+        assert [r.format_name for r in loaded] == ["tick", "asdOff", "tick"]
+        assert loaded[2].values == {"v": 2}
+
+    def test_reader_needs_no_preregistered_formats(self, tmp_path):
+        """The file is self-describing: a bare default context reads it."""
+        path = tmp_path / "f.pbio"
+        context = IOContext(SPARC_32)
+        context.register_format("tick", [IOField("v", "integer", 4, 0)])
+        dump_records(path, context, "tick", [{"v": 7}])
+        (record,) = load_records(path)
+        assert record.values == {"v": 7}
+
+    def test_expect_projection_on_read(self, tmp_path):
+        """Reading a v1 archive with v2 code: missing fields default."""
+        path = tmp_path / "v1.pbio"
+        old = IOContext(SPARC_32)
+        old.register_format("track", [IOField("alt", "integer", 4, 0)])
+        dump_records(path, old, "track", [{"alt": 31000}])
+
+        new = IOContext(X86_64)
+        new.register_format(
+            "track",
+            [IOField("alt", "integer", 4, 0), IOField("speed", "double", 8, 8)],
+        )
+        (record,) = load_records(path, new, expect="track")
+        assert record.values == {"alt": 31000, "speed": 0.0}
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTPBIO!")
+        with pytest.raises(DecodeError, match="not a PBIO file"):
+            IOFileReader(path)
+
+    def test_truncated_file_rejected(self, tmp_path, airline_records):
+        path = tmp_path / "t.pbio"
+        context = IOContext(SPARC_32)
+        fmt = register_asdoff(context)
+        dump_records(path, context, fmt, airline_records[:2])
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # chop mid-record
+        reader = IOFileReader(path, IOContext(X86_64))
+        with pytest.raises(DecodeError, match="truncated"):
+            list(reader.records())
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.pbio"
+        context = IOContext(SPARC_32)
+        with IOFileWriter(path, context):
+            pass
+        assert load_records(path) == []
+
+    def test_records_read_counter(self, tmp_path):
+        path = tmp_path / "c.pbio"
+        context = IOContext(SPARC_32)
+        context.register_format("tick", [IOField("v", "integer", 4, 0)])
+        dump_records(path, context, "tick", [{"v": i} for i in range(5)])
+        reader = IOFileReader(path)
+        list(reader.records())
+        assert reader.records_read == 5

@@ -1,0 +1,78 @@
+"""Unit tests for PBIO field-type string parsing."""
+
+import pytest
+
+from repro.arch.model import TypeKind
+from repro.errors import FormatRegistrationError
+from repro.pbio.types import kind_of, parse_field_type
+
+
+class TestParseFieldType:
+    def test_plain_scalar(self):
+        parsed = parse_field_type("integer")
+        assert parsed.is_scalar
+        assert parsed.base == "integer"
+        assert parsed.is_primitive
+
+    def test_paper_static_array_notation(self):
+        parsed = parse_field_type("integer[5]")
+        assert parsed.is_static_array
+        assert parsed.count == 5
+
+    def test_paper_dynamic_array_notation(self):
+        parsed = parse_field_type("integer[eta_count]")
+        assert parsed.is_dynamic_array
+        assert parsed.length_field == "eta_count"
+
+    def test_nested_format_reference(self):
+        parsed = parse_field_type("ASDOffEvent")
+        assert parsed.is_scalar
+        assert not parsed.is_primitive
+
+    def test_string_type(self):
+        assert parse_field_type("string").is_string
+
+    def test_whitespace_tolerated(self):
+        assert parse_field_type(" integer [ 5 ] ").count == 5
+
+    def test_render_roundtrips(self):
+        for text in ("integer", "integer[5]", "double[n]", "string"):
+            assert parse_field_type(text).render() == text
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(FormatRegistrationError):
+            parse_field_type("")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(FormatRegistrationError, match="positive"):
+            parse_field_type("integer[0]")
+
+    def test_unbalanced_brackets_rejected(self):
+        with pytest.raises(FormatRegistrationError):
+            parse_field_type("integer[5")
+        with pytest.raises(FormatRegistrationError):
+            parse_field_type("integer]5[")
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(FormatRegistrationError):
+            parse_field_type("integer[]")
+
+    def test_bad_dimension_name_rejected(self):
+        with pytest.raises(FormatRegistrationError, match="dimension"):
+            parse_field_type("integer[5abc]")
+
+
+class TestKinds:
+    def test_all_primitive_kinds(self):
+        assert kind_of("integer") == TypeKind.SIGNED_INT
+        assert kind_of("unsigned integer") == TypeKind.UNSIGNED_INT
+        assert kind_of("float") == TypeKind.FLOAT
+        assert kind_of("double") == TypeKind.FLOAT
+        assert kind_of("char") == TypeKind.CHAR
+        assert kind_of("string") == TypeKind.POINTER
+        assert kind_of("boolean") == TypeKind.BOOLEAN
+        assert kind_of("enumeration") == TypeKind.ENUMERATION
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FormatRegistrationError):
+            kind_of("quaternion")

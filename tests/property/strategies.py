@@ -1,0 +1,146 @@
+"""Hypothesis strategies generating (schema, record) pairs.
+
+The generated schemas exercise the full metadata grammar: every
+primitive kind, strings, static arrays, dynamic arrays, and one level of
+nesting.  Value strategies are constrained to what survives any modeled
+architecture (ILP32 integer bounds, float32-exact floats, NUL-free
+strings), so a generated record must round-trip across *every*
+(sender, receiver) pair.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import strategies as st
+
+_XSD = "http://www.w3.org/1999/XMLSchema"
+
+_NAMES = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+# Control characters are excluded: they are fine in NDR/XDR strings but
+# have no XML 1.0 representation, and these strategies feed all three
+# wire formats.  (repro.wire.xmltext raises WireError on them; see
+# tests/wire/test_xmltext.py.)
+_TEXT = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    max_size=24,
+)
+
+_ASCII_WORD = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+    max_size=8,
+)
+
+
+def _f32(value: float) -> float:
+    return struct.unpack("f", struct.pack("f", value))[0]
+
+
+#: (xsd type name, value strategy) for every primitive we marshal.
+PRIMITIVES: list[tuple[str, st.SearchStrategy]] = [
+    ("integer", st.integers(-(2**31), 2**31 - 1)),
+    ("int", st.integers(-(2**31), 2**31 - 1)),
+    ("short", st.integers(-(2**15), 2**15 - 1)),
+    ("byte", st.integers(-128, 127)),
+    ("unsigned-long", st.integers(0, 2**32 - 1)),  # ILP32 long is 4 bytes
+    ("unsigned-int", st.integers(0, 2**32 - 1)),
+    ("unsigned-short", st.integers(0, 2**16 - 1)),
+    ("double", st.floats(allow_nan=False, allow_infinity=False, width=64)),
+    ("float", st.floats(allow_nan=False, allow_infinity=False, width=32).map(_f32)),
+    ("boolean", st.booleans()),
+    ("char", st.characters(min_codepoint=0x20, max_codepoint=0x7E)),
+    ("string", st.one_of(st.none(), _TEXT)),
+]
+
+_PRIMITIVE_INDEX = st.integers(0, len(PRIMITIVES) - 1)
+
+
+@st.composite
+def element_spec(draw, name: str):
+    """One element: returns (schema line, value strategy resolver)."""
+    index = draw(_PRIMITIVE_INDEX)
+    xsd_type, values = PRIMITIVES[index]
+    shape = draw(st.sampled_from(["scalar", "scalar", "fixed", "dynamic"]))
+    if xsd_type == "string" and shape == "dynamic":
+        shape = "scalar"
+    if xsd_type == "char" and shape == "dynamic":
+        shape = "scalar"
+    if shape == "scalar":
+        line = f'<xsd:element name="{name}" type="xsd:{xsd_type}" />'
+        return line, ("scalar", values, None)
+    if shape == "fixed":
+        # maxOccurs="1" means scalar to the parser, so fixed arrays
+        # start at 2 elements.
+        count = draw(st.integers(2, 4))
+        line = (
+            f'<xsd:element name="{name}" type="xsd:{xsd_type}" '
+            f'minOccurs="{count}" maxOccurs="{count}" />'
+        )
+        if xsd_type == "char":
+            # Char arrays are fixed text buffers: ASCII, shorter than count.
+            buffer_values = st.text(
+                alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+                max_size=count,
+            ).filter(lambda s: "\x00" not in s)
+            return line, ("charbuf", buffer_values, count)
+        if xsd_type == "string":
+            return line, ("list", st.one_of(st.none(), _ASCII_WORD), count)
+        return line, ("list", values, count)
+    # dynamic
+    line = (
+        f'<xsd:element name="{name}" type="xsd:{xsd_type}" '
+        f'minOccurs="0" maxOccurs="*" />'
+    )
+    return line, ("dynlist", values, None)
+
+
+@st.composite
+def schema_and_record(draw, max_fields: int = 6, nested: bool = False):
+    """A full (schema text, format name, record dict) triple."""
+    field_count = draw(st.integers(1, max_fields))
+    names = draw(
+        st.lists(_NAMES, min_size=field_count, max_size=field_count, unique=True)
+    )
+    lines: list[str] = []
+    record: dict = {}
+    for name in names:
+        line, (shape, values, count) = draw(element_spec(name))
+        lines.append("    " + line)
+        if shape == "scalar":
+            record[name] = draw(values)
+        elif shape == "charbuf":
+            record[name] = draw(values)
+        elif shape == "list":
+            record[name] = [draw(values) for _ in range(count)]
+        else:  # dynlist
+            length = draw(st.integers(0, 5))
+            record[name] = [draw(values) for _ in range(length)]
+            record[f"{name}_count"] = length
+    body = "\n".join(lines)
+    inner_block = ""
+    if nested:
+        nested_field = draw(_NAMES.filter(lambda n: n not in names))
+        inner_block = (
+            '  <xsd:complexType name="InnerT">\n'
+            '    <xsd:element name="iv" type="xsd:integer" />\n'
+            '    <xsd:element name="is" type="xsd:string" />\n'
+            "  </xsd:complexType>\n"
+        )
+        body += f'\n    <xsd:element name="{nested_field}" type="InnerT" />'
+        record[nested_field] = {
+            "iv": draw(st.integers(-(2**31), 2**31 - 1)),
+            "is": draw(st.one_of(st.none(), _ASCII_WORD)),
+        }
+    schema = (
+        '<?xml version="1.0"?>\n'
+        f'<xsd:schema xmlns:xsd="{_XSD}">\n'
+        f"{inner_block}"
+        '  <xsd:complexType name="PropT">\n'
+        f"{body}\n"
+        "  </xsd:complexType>\n"
+        "</xsd:schema>\n"
+    )
+    return schema, "PropT", record

@@ -1,0 +1,121 @@
+"""Fuzz-mutation properties: corruption never escapes the error types.
+
+For any valid message and any single-byte mutation, decoding must either
+succeed (payload-data mutations legitimately change values) or raise a
+typed :class:`~repro.errors.ReproError` — never an unhandled exception,
+never a hang.  Same for format metadata blocks and backbone envelopes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import IOContext, SPARC_32, X86_64, XML2Wire
+from repro.errors import ReproError
+from repro.events.remote import unpack_envelope
+from repro.pbio.format import IOFormat
+from repro.wire import CDRCodec, XDRCodec
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+RELAXED = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _fixture():
+    sender = IOContext(SPARC_32)
+    XML2Wire(sender).register_schema(ASDOFF_B_SCHEMA)
+    fmt = sender.lookup_format("ASDOffEvent")
+    record = AirlineWorkload(seed=123).record_b()
+    message = sender.encode(fmt, record)
+    receiver = IOContext(X86_64)
+    receiver.learn_format(fmt.to_wire_metadata())
+    return fmt, record, message, receiver
+
+
+FMT, RECORD, MESSAGE, RECEIVER = _fixture()
+METADATA = FMT.to_wire_metadata()
+XDR_WIRE = XDRCodec(FMT).encode(RECORD)
+CDR_WIRE = CDRCodec(FMT).encode(RECORD)
+
+
+def mutate(data: bytes, position: int, delta: int) -> bytes:
+    mutated = bytearray(data)
+    mutated[position % len(data)] = (mutated[position % len(data)] + delta) % 256
+    return bytes(mutated)
+
+
+class TestSingleByteMutations:
+    @RELAXED
+    @given(position=st.integers(0, len(MESSAGE) - 1), delta=st.integers(1, 255))
+    def test_ndr_message_mutation_contained(self, position, delta):
+        broken = mutate(MESSAGE, position, delta)
+        try:
+            RECEIVER.decode(broken)
+        except ReproError:
+            pass  # typed failure is fine
+
+    @RELAXED
+    @given(position=st.integers(0, len(METADATA) - 1), delta=st.integers(1, 255))
+    def test_metadata_mutation_contained(self, position, delta):
+        broken = mutate(METADATA, position, delta)
+        try:
+            IOFormat.from_wire_metadata(broken)
+        except ReproError:
+            pass
+
+    @RELAXED
+    @given(position=st.integers(0, len(XDR_WIRE) - 1), delta=st.integers(1, 255))
+    def test_xdr_mutation_contained(self, position, delta):
+        broken = mutate(XDR_WIRE, position, delta)
+        try:
+            XDRCodec(FMT).decode(broken)
+        except ReproError:
+            pass
+
+    @RELAXED
+    @given(position=st.integers(0, len(CDR_WIRE) - 1), delta=st.integers(1, 255))
+    def test_cdr_mutation_contained(self, position, delta):
+        broken = mutate(CDR_WIRE, position, delta)
+        try:
+            CDRCodec(FMT).decode(broken)
+        except ReproError:
+            pass
+
+    @RELAXED
+    @given(data=st.binary(max_size=64))
+    def test_envelope_garbage_contained(self, data):
+        try:
+            unpack_envelope(data)
+        except ReproError:
+            pass
+
+    @RELAXED
+    @given(data=st.binary(max_size=64))
+    def test_metadata_garbage_contained(self, data):
+        try:
+            IOFormat.from_wire_metadata(data)
+        except ReproError:
+            pass
+
+
+class TestTruncationSweep:
+    def test_every_prefix_of_every_artifact_contained(self):
+        artifacts = [
+            (MESSAGE, lambda d: RECEIVER.decode(d)),
+            (METADATA, IOFormat.from_wire_metadata),
+            (XDR_WIRE, XDRCodec(FMT).decode),
+            (CDR_WIRE, CDRCodec(FMT).decode),
+        ]
+        for data, decoder in artifacts:
+            for cut in range(len(data)):
+                try:
+                    decoder(data[:cut])
+                except ReproError:
+                    continue
+                except Exception as exc:  # pragma: no cover - the assertion
+                    pytest.fail(
+                        f"untyped {type(exc).__name__} at truncation {cut}: {exc}"
+                    )

@@ -1,0 +1,101 @@
+"""Property-based invariants of the struct layout engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import FieldDecl, layout_struct
+from repro.arch.layout import naive_layout_size
+from repro.arch.registry import all_architectures
+
+_TYPES = [
+    "char", "signed char", "unsigned char", "short", "int", "long",
+    "long long", "float", "double", "char*", "void*",
+]
+
+field_lists = st.lists(
+    st.tuples(
+        st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+        st.sampled_from(_TYPES),
+        st.one_of(st.none(), st.integers(1, 5)),
+    ),
+    min_size=1,
+    max_size=12,
+    unique_by=lambda t: t[0],
+)
+
+arches = st.sampled_from(all_architectures())
+
+QUICK = settings(max_examples=120, deadline=None)
+
+
+def build(arch, raw_fields):
+    decls = [FieldDecl(name, ctype, count) for name, ctype, count in raw_fields]
+    return layout_struct(arch, "P", decls), decls
+
+
+class TestLayoutInvariants:
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_every_field_is_aligned(self, arch, raw):
+        layout, _ = build(arch, raw)
+        for slot in layout.slots:
+            assert slot.offset % slot.alignment == 0
+
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_fields_do_not_overlap_and_preserve_order(self, arch, raw):
+        layout, _ = build(arch, raw)
+        cursor = 0
+        for slot in layout.slots:
+            assert slot.offset >= cursor
+            cursor = slot.offset + slot.size
+        assert cursor <= layout.size
+
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_size_is_multiple_of_alignment(self, arch, raw):
+        layout, _ = build(arch, raw)
+        assert layout.size % layout.alignment == 0
+
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_size_bounded_below_by_naive_sum(self, arch, raw):
+        layout, decls = build(arch, raw)
+        assert layout.size >= naive_layout_size(arch, decls)
+
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_padding_bounded_by_alignment_per_field(self, arch, raw):
+        """Total padding never exceeds (alignment - 1) per field plus
+        tail padding — the worst any C compiler inserts."""
+        layout, _ = build(arch, raw)
+        worst = sum(slot.alignment - 1 for slot in layout.slots) + (
+            layout.alignment - 1
+        )
+        assert layout.total_padding <= worst
+
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_layout_deterministic(self, arch, raw):
+        first, _ = build(arch, raw)
+        second, _ = build(arch, raw)
+        assert first == second
+
+    @QUICK
+    @given(arch=arches, raw=field_lists)
+    def test_nesting_is_size_transparent(self, arch, raw):
+        """Wrapping a struct as the single member of an outer struct
+        never changes its size."""
+        inner, _ = build(arch, raw)
+        outer = layout_struct(arch, "O", [FieldDecl("in_", inner)])
+        assert outer.size == inner.size
+        assert outer.alignment == inner.alignment
+
+    @QUICK
+    @given(arch=arches, raw=field_lists, count=st.integers(1, 4))
+    def test_arrays_tile_exactly(self, arch, raw, count):
+        """An array of N structs occupies exactly N * sizeof(struct) —
+        the reason tail padding exists."""
+        inner, _ = build(arch, raw)
+        outer = layout_struct(arch, "O", [FieldDecl("arr", inner, count)])
+        assert outer.slot("arr").size == count * inner.size

@@ -1,0 +1,87 @@
+"""Property-based invariants of the XML substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlparse import (
+    escape_attribute,
+    escape_text,
+    parse_document,
+    write_document,
+)
+from repro.xmlparse.tree import Element
+
+QUICK = settings(max_examples=120, deadline=None)
+
+xml_text = st.text(
+    alphabet=st.characters(
+        # Surrogates and control characters are not legal XML content;
+        # \t and \n are the whitespace controls XML does allow (\r is
+        # normalized away by design, so it cannot round-trip).
+        blacklist_categories=("Cs", "Cc"),
+        whitelist_characters="\t\n",
+    ),
+    max_size=60,
+).filter(lambda s: "]]>" not in s)
+
+names = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_.-]{0,10}", fullmatch=True)
+
+attr_values = st.text(
+    alphabet=st.characters(
+        # No controls at all here: tab/newline normalize to spaces in
+        # attribute values, so they cannot round-trip byte-exactly.
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    max_size=30,
+)
+
+
+@st.composite
+def elements(draw, depth=2):
+    element = Element(tag=draw(names))
+    element.attributes = dict(
+        draw(st.lists(st.tuples(names, attr_values), max_size=3, unique_by=lambda t: t[0]))
+    )
+    if depth > 0 and draw(st.booleans()):
+        element.children = draw(st.lists(elements(depth=depth - 1), max_size=3))
+    if not element.children:
+        element.text = draw(xml_text)
+    return element
+
+
+class TestEscaping:
+    @QUICK
+    @given(text=xml_text)
+    def test_escaped_text_roundtrips(self, text):
+        document = f"<a>{escape_text(text)}</a>"
+        assert parse_document(document).text == text.replace("\r", "\n")
+
+    @QUICK
+    @given(value=attr_values)
+    def test_escaped_attribute_roundtrips(self, value):
+        document = f'<a x="{escape_attribute(value)}"/>'
+        assert parse_document(document).get("x") == value
+
+
+class TestWriterParserInverse:
+    @QUICK
+    @given(root=elements())
+    def test_write_then_parse_preserves_structure(self, root):
+        reparsed = parse_document(write_document(root))
+        assert _shape(reparsed) == _shape(root)
+
+    @QUICK
+    @given(root=elements())
+    def test_serialization_is_stable(self, root):
+        once = write_document(root)
+        twice = write_document(parse_document(once))
+        assert once == twice
+
+
+def _shape(element):
+    return (
+        element.tag,
+        tuple(sorted(element.attributes.items())),
+        element.text if not element.children else "",
+        tuple(_shape(child) for child in element.children),
+    )

@@ -1,0 +1,93 @@
+"""Shared schema fixtures: the paper's Appendix A documents, verbatim.
+
+(The only edits relative to the printed figures are the removal of a
+stray space in the targetNamespace URL — an artifact of the PDF's
+typesetting — and, for Figure 9/12, nothing at all.)
+"""
+
+import pytest
+
+FIGURE_6 = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>
+      ASDOff
+    </xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" />
+    <xsd:element name="eta" type="xsd:unsigned-long" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+FIGURE_9 = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>
+      ASDOff
+    </xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+FIGURE_12 = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>
+      ASDOff
+    </xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="1" maxOccurs="*" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEvent" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEvent" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEvent" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+@pytest.fixture
+def figure6():
+    return FIGURE_6
+
+
+@pytest.fixture
+def figure9():
+    return FIGURE_9
+
+
+@pytest.fixture
+def figure12():
+    return FIGURE_12

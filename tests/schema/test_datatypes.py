@@ -1,0 +1,119 @@
+"""Unit tests for schema primitive datatypes."""
+
+import math
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import lookup_primitive
+from repro.schema.datatypes import LogicalKind, all_primitives, is_xsd_namespace
+
+
+class TestLookup:
+    def test_paper_draft_names_resolve(self):
+        """The hyphenated 1999-draft names used in the paper's figures."""
+        for name in ("string", "integer", "unsigned-long", "double", "float"):
+            assert lookup_primitive(name).name == name
+
+    def test_recommendation_names_resolve(self):
+        assert lookup_primitive("unsignedLong").kind == LogicalKind.UNSIGNED
+        assert lookup_primitive("unsignedInt").c_type == "unsigned int"
+
+    def test_unknown_type_raises_with_hint(self):
+        with pytest.raises(SchemaError, match="did you mean 'unsignedLong'"):
+            lookup_primitive("unsignedlong")
+
+    def test_unknown_type_raises_plain(self):
+        with pytest.raises(SchemaError, match="unknown XML Schema datatype"):
+            lookup_primitive("quaternion")
+
+    def test_default_c_types(self):
+        assert lookup_primitive("string").c_type == "char*"
+        assert lookup_primitive("integer").c_type == "int"
+        assert lookup_primitive("unsigned-long").c_type == "unsigned long"
+        assert lookup_primitive("double").c_type == "double"
+        assert lookup_primitive("char").c_type == "char"
+
+
+class TestNamespaceRecognition:
+    def test_all_three_xsd_namespaces(self):
+        assert is_xsd_namespace("http://www.w3.org/1999/XMLSchema")
+        assert is_xsd_namespace("http://www.w3.org/2000/10/XMLSchema")
+        assert is_xsd_namespace("http://www.w3.org/2001/XMLSchema")
+
+    def test_non_xsd_namespace(self):
+        assert not is_xsd_namespace("http://example.com")
+        assert not is_xsd_namespace(None)
+
+
+class TestLexicalValidation:
+    def test_integer_parsing(self):
+        t = lookup_primitive("integer")
+        assert t.validate_lexical("42") == 42
+        assert t.validate_lexical("-7") == -7
+        assert t.validate_lexical(" 13 ") == 13
+
+    def test_integer_rejects_garbage(self):
+        t = lookup_primitive("integer")
+        with pytest.raises(SchemaError):
+            t.validate_lexical("4.2")
+        with pytest.raises(SchemaError):
+            t.validate_lexical("abc")
+
+    def test_bounded_int_range_checked(self):
+        t = lookup_primitive("int")
+        assert t.validate_lexical("2147483647") == 2**31 - 1
+        with pytest.raises(SchemaError, match="above maximum"):
+            t.validate_lexical("2147483648")
+        with pytest.raises(SchemaError, match="below minimum"):
+            t.validate_lexical("-2147483649")
+
+    def test_unsigned_rejects_negative(self):
+        t = lookup_primitive("unsigned-long")
+        with pytest.raises(SchemaError, match="below minimum"):
+            t.validate_lexical("-1")
+
+    def test_float_parsing_including_specials(self):
+        t = lookup_primitive("double")
+        assert t.validate_lexical("3.25") == 3.25
+        assert t.validate_lexical("1e3") == 1000.0
+        assert t.validate_lexical("-INF") == float("-inf")
+        assert math.isnan(t.validate_lexical("NaN"))
+
+    def test_float_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            lookup_primitive("double").validate_lexical("1.2.3")
+
+    def test_boolean_forms(self):
+        t = lookup_primitive("boolean")
+        assert t.validate_lexical("true") is True
+        assert t.validate_lexical("0") is False
+        with pytest.raises(SchemaError):
+            t.validate_lexical("yes")
+
+    def test_char_single_character_only(self):
+        t = lookup_primitive("char")
+        assert t.validate_lexical("x") == "x"
+        with pytest.raises(SchemaError):
+            t.validate_lexical("xy")
+
+    def test_string_accepts_anything(self):
+        assert lookup_primitive("string").validate_lexical("") == ""
+
+
+class TestFormatting:
+    def test_roundtrip_via_format(self):
+        cases = [
+            ("integer", -42),
+            ("unsigned-long", 12345678901),
+            ("double", 2.5),
+            ("boolean", True),
+            ("string", "hello"),
+        ]
+        for name, value in cases:
+            t = lookup_primitive(name)
+            assert t.validate_lexical(t.format_value(value)) == value
+
+    def test_all_primitives_have_distinct_names(self):
+        names = [t.name for t in all_primitives()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,248 @@
+"""Unit tests for the schema parser (repro.schema.parser)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import parse_schema
+from repro.schema.datatypes import is_xsd_namespace
+
+XSD99 = "http://www.w3.org/1999/XMLSchema"
+XSD01 = "http://www.w3.org/2001/XMLSchema"
+
+
+def wrap(body, ns=XSD99, target="urn:test"):
+    return (
+        f'<?xml version="1.0"?>'
+        f'<xsd:schema xmlns:xsd="{ns}" targetNamespace="{target}">{body}</xsd:schema>'
+    )
+
+
+class TestPaperFigures:
+    def test_figure_6_structure_a(self, figure6):
+        schema = parse_schema(figure6)
+        assert schema.target_namespace == "http://www.cc.gatech.edu/pmw/schemas"
+        assert "ASDOff" in schema.documentation
+        ct = schema.complex_type("ASDOffEvent")
+        assert ct.element_names() == [
+            "cntrID", "arln", "fltNum", "equip", "org", "dest", "off", "eta",
+        ]
+        assert all(e.occurs.is_scalar for e in ct.elements)
+        assert ct.element("fltNum").type_name == "integer"
+        assert is_xsd_namespace(ct.element("off").type_namespace)
+        assert ct.element("off").type_name == "unsigned-long"
+
+    def test_figure_9_structure_b_arrays(self, figure9):
+        ct = parse_schema(figure9).complex_type("ASDOffEvent")
+        off = ct.element("off")
+        assert off.occurs.is_fixed_array
+        assert off.occurs.count == 5
+        eta = ct.element("eta")
+        assert eta.occurs.is_dynamic_array
+        assert eta.occurs.length_field == "eta_count"
+        assert eta.occurs.synthesized_length
+
+    def test_figure_12_nested_composition(self, figure12):
+        schema = parse_schema(figure12)
+        assert schema.type_names() == ["ASDOffEvent", "threeASDOffs"]
+        three = schema.complex_type("threeASDOffs")
+        one = three.element("one")
+        assert one.type_namespace is None
+        assert one.type_name == "ASDOffEvent"
+        assert three.element("bart").type_name == "double"
+
+
+class TestDialects:
+    def test_2001_namespace_accepted(self):
+        body = '<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType>'
+        schema = parse_schema(wrap(body, ns=XSD01))
+        assert schema.complex_type("T").element("x").type_name == "int"
+
+    def test_sequence_wrapper_accepted(self):
+        body = (
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:int"/>'
+            '<xsd:element name="y" type="xsd:double"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        ct = parse_schema(wrap(body)).complex_type("T")
+        assert ct.element_names() == ["x", "y"]
+
+    def test_unbounded_spelling_equals_star(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="v" type="xsd:double" maxOccurs="unbounded"/>'
+            "</xsd:complexType>"
+        )
+        element = parse_schema(wrap(body)).complex_type("T").element("v")
+        assert element.occurs.is_dynamic_array
+        assert element.occurs.length_field == "v_count"
+
+    def test_arbitrary_prefix_for_xsd_namespace(self):
+        source = (
+            '<s:schema xmlns:s="http://www.w3.org/1999/XMLSchema">'
+            '<s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>'
+            "</s:schema>"
+        )
+        assert parse_schema(source).complex_type("T").element("x").type_name == "int"
+
+
+class TestDynamicArrays:
+    def test_explicit_length_field_reference(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="n" type="xsd:integer"/>'
+            '<xsd:element name="data" type="xsd:double" maxOccurs="n"/>'
+            "</xsd:complexType>"
+        )
+        element = parse_schema(wrap(body)).complex_type("T").element("data")
+        assert element.occurs.is_dynamic_array
+        assert element.occurs.length_field == "n"
+        assert not element.occurs.synthesized_length
+
+    def test_star_adopts_declared_count_element(self):
+        """maxOccurs='*' with a declared <name>_count uses the declared field."""
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="data" type="xsd:double" maxOccurs="*"/>'
+            '<xsd:element name="data_count" type="xsd:integer"/>'
+            "</xsd:complexType>"
+        )
+        element = parse_schema(wrap(body)).complex_type("T").element("data")
+        assert element.occurs.is_dynamic_array
+        assert not element.occurs.synthesized_length
+
+    def test_missing_explicit_length_field_rejected(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="data" type="xsd:double" maxOccurs="nope"/>'
+            "</xsd:complexType>"
+        )
+        with pytest.raises(SchemaError, match="no such element"):
+            parse_schema(wrap(body))
+
+    def test_non_integer_length_field_rejected(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="n" type="xsd:string"/>'
+            '<xsd:element name="data" type="xsd:double" maxOccurs="n"/>'
+            "</xsd:complexType>"
+        )
+        with pytest.raises(SchemaError, match="must be an integer"):
+            parse_schema(wrap(body))
+
+    def test_array_length_field_must_be_scalar(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="n" type="xsd:integer" maxOccurs="3"/>'
+            '<xsd:element name="data" type="xsd:double" maxOccurs="n"/>'
+            "</xsd:complexType>"
+        )
+        with pytest.raises(SchemaError, match="must be a scalar"):
+            parse_schema(wrap(body))
+
+
+class TestSimpleTypes:
+    def test_enumeration_restriction(self):
+        body = (
+            '<xsd:simpleType name="Airline">'
+            '<xsd:restriction base="xsd:string">'
+            '<xsd:enumeration value="DL"/><xsd:enumeration value="UA"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            '<xsd:complexType name="T"><xsd:element name="a" type="Airline"/></xsd:complexType>'
+        )
+        schema = parse_schema(wrap(body))
+        simple = schema.simple_type("Airline")
+        assert simple.enumeration == ("DL", "UA")
+        assert simple.validate_lexical("DL") == "DL"
+        with pytest.raises(SchemaError, match="enumerated"):
+            simple.validate_lexical("AA")
+
+    def test_numeric_bounds_restriction(self):
+        body = (
+            '<xsd:simpleType name="Altitude">'
+            '<xsd:restriction base="xsd:integer">'
+            '<xsd:minInclusive value="0"/><xsd:maxInclusive value="60000"/>'
+            "</xsd:restriction></xsd:simpleType>"
+        )
+        simple = parse_schema(wrap(body)).simple_type("Altitude")
+        assert simple.validate_lexical("35000") == 35000
+        with pytest.raises(SchemaError, match="maxInclusive"):
+            simple.validate_lexical("99999")
+
+
+class TestErrors:
+    def test_non_schema_root_rejected(self):
+        with pytest.raises(SchemaError, match="xsd:schema root"):
+            parse_schema("<notaschema/>")
+
+    def test_wrong_namespace_root_rejected(self):
+        with pytest.raises(SchemaError, match="xsd:schema root"):
+            parse_schema('<x:schema xmlns:x="urn:other"/>')
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="no types"):
+            parse_schema(wrap(""))
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(SchemaError, match="unsupported schema construct"):
+            parse_schema(wrap("<xsd:attribute name='x'/>"))
+
+    def test_unknown_construct_in_complex_type_rejected(self):
+        body = '<xsd:complexType name="T"><xsd:choice/></xsd:complexType>'
+        with pytest.raises(SchemaError, match="unsupported construct"):
+            parse_schema(wrap(body))
+
+    def test_unknown_primitive_rejected(self):
+        body = '<xsd:complexType name="T"><xsd:element name="x" type="xsd:matrix"/></xsd:complexType>'
+        with pytest.raises(SchemaError, match="unknown XML Schema datatype"):
+            parse_schema(wrap(body))
+
+    def test_forward_type_reference_rejected(self):
+        """User types must be defined before use — the paper's Catalog is
+        built in a single pass over the document."""
+        body = (
+            '<xsd:complexType name="Outer"><xsd:element name="x" type="Inner"/></xsd:complexType>'
+            '<xsd:complexType name="Inner"><xsd:element name="y" type="xsd:int"/></xsd:complexType>'
+        )
+        with pytest.raises(SchemaError, match="before use"):
+            parse_schema(wrap(body))
+
+    def test_duplicate_complex_type_rejected(self):
+        body = (
+            '<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType>'
+            '<xsd:complexType name="T"><xsd:element name="y" type="xsd:int"/></xsd:complexType>'
+        )
+        with pytest.raises(SchemaError, match="duplicate complex type"):
+            parse_schema(wrap(body))
+
+    def test_duplicate_element_rejected(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="x" type="xsd:int"/><xsd:element name="x" type="xsd:int"/>'
+            "</xsd:complexType>"
+        )
+        with pytest.raises(SchemaError, match="duplicate element"):
+            parse_schema(wrap(body))
+
+    def test_element_missing_type_rejected(self):
+        body = '<xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType>'
+        with pytest.raises(Exception, match="missing required attribute"):
+            parse_schema(wrap(body))
+
+    def test_foreign_namespace_type_reference_rejected(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="x" type="o:Thing" xmlns:o="urn:other"/>'
+            "</xsd:complexType>"
+        )
+        with pytest.raises(SchemaError, match="foreign namespace"):
+            parse_schema(wrap(body))
+
+    def test_bad_min_occurs_rejected(self):
+        body = (
+            '<xsd:complexType name="T">'
+            '<xsd:element name="x" type="xsd:int" minOccurs="lots"/>'
+            "</xsd:complexType>"
+        )
+        with pytest.raises(SchemaError, match="minOccurs"):
+            parse_schema(wrap(body))

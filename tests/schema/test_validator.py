@@ -1,0 +1,114 @@
+"""Unit tests for instance validation and classification."""
+
+import pytest
+
+from repro.errors import SchemaValidationError
+from repro.schema import parse_schema, validate_instance
+from repro.schema.validator import classify_instance, collect_issues
+from repro.xmlparse import parse_document
+
+SCHEMA = parse_schema(
+    """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema" targetNamespace="urn:t">
+  <xsd:complexType name="Position">
+    <xsd:element name="lat" type="xsd:double"/>
+    <xsd:element name="lon" type="xsd:double"/>
+  </xsd:complexType>
+  <xsd:complexType name="Track">
+    <xsd:element name="flight" type="xsd:string"/>
+    <xsd:element name="where" type="Position"/>
+    <xsd:element name="alt" type="xsd:integer" minOccurs="3" maxOccurs="3"/>
+    <xsd:element name="speeds" type="xsd:double" minOccurs="0" maxOccurs="*"/>
+  </xsd:complexType>
+</xsd:schema>
+"""
+)
+TRACK = SCHEMA.complex_type("Track")
+POSITION = SCHEMA.complex_type("Position")
+
+
+def doc(body):
+    return parse_document(f"<msg>{body}</msg>")
+
+
+VALID = (
+    "<flight>DL123</flight>"
+    "<where><lat>33.6</lat><lon>-84.4</lon></where>"
+    "<alt>100</alt><alt>200</alt><alt>300</alt>"
+    "<speeds>1.5</speeds><speeds>2.5</speeds>"
+)
+
+
+class TestValidation:
+    def test_valid_instance_passes(self):
+        validate_instance(doc(VALID), TRACK, SCHEMA)
+
+    def test_empty_dynamic_array_ok(self):
+        body = VALID.replace("<speeds>1.5</speeds><speeds>2.5</speeds>", "")
+        validate_instance(doc(body), TRACK, SCHEMA)
+
+    def test_missing_required_element(self):
+        body = VALID.replace("<flight>DL123</flight>", "")
+        with pytest.raises(SchemaValidationError, match="flight"):
+            validate_instance(doc(body), TRACK, SCHEMA)
+
+    def test_wrong_fixed_array_count(self):
+        body = VALID.replace("<alt>300</alt>", "")
+        with pytest.raises(SchemaValidationError, match="at least 3"):
+            validate_instance(doc(body), TRACK, SCHEMA)
+
+    def test_bad_primitive_lexical_form(self):
+        body = VALID.replace("<lat>33.6</lat>", "<lat>north</lat>")
+        with pytest.raises(SchemaValidationError, match="float literal"):
+            validate_instance(doc(body), TRACK, SCHEMA)
+
+    def test_unexpected_element_reported(self):
+        issues = collect_issues(doc(VALID + "<bogus>1</bogus>"), TRACK, SCHEMA)
+        assert any("unexpected element" in issue.message for issue in issues)
+
+    def test_out_of_order_elements_rejected(self):
+        body = (
+            "<where><lat>1</lat><lon>2</lon></where><flight>DL1</flight>"
+            "<alt>1</alt><alt>2</alt><alt>3</alt>"
+        )
+        issues = collect_issues(doc(body), TRACK, SCHEMA)
+        assert issues
+
+    def test_nested_issue_path_includes_parent(self):
+        body = VALID.replace("<lon>-84.4</lon>", "")
+        issues = collect_issues(doc(body), TRACK, SCHEMA)
+        assert any("where/lon" in issue.path for issue in issues)
+
+    def test_primitive_with_children_rejected(self):
+        body = VALID.replace("<flight>DL123</flight>", "<flight><x/></flight>")
+        issues = collect_issues(doc(body), TRACK, SCHEMA)
+        assert any("child elements" in issue.message for issue in issues)
+
+    def test_all_issues_collected_not_just_first(self):
+        body = "<flight>DL1</flight>"
+        issues = collect_issues(doc(body), TRACK, SCHEMA)
+        assert len(issues) >= 2  # missing where and alt
+
+
+class TestClassification:
+    """The paper's use case: decide which format a live message fits."""
+
+    def test_classifies_to_matching_type(self):
+        name, issues = classify_instance(doc("<lat>1.0</lat><lon>2.0</lon>"), SCHEMA)
+        assert name == "Position"
+        assert issues == []
+
+    def test_classifies_to_closest_type(self):
+        name, _ = classify_instance(doc(VALID), SCHEMA)
+        assert name == "Track"
+
+    def test_partial_match_still_picks_best(self):
+        name, issues = classify_instance(doc("<lat>1.0</lat>"), SCHEMA)
+        assert name == "Position"
+        assert len(issues) == 1
+
+    def test_empty_schema_rejected(self):
+        from repro.schema.model import SchemaDocument
+
+        with pytest.raises(SchemaValidationError, match="no complex types"):
+            classify_instance(doc(""), SchemaDocument())

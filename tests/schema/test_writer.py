@@ -1,0 +1,100 @@
+"""Unit tests for schema serialization (repro.schema.writer)."""
+
+from repro.schema import parse_schema, schema_to_xml
+from repro.schema.datatypes import lookup_primitive
+from repro.schema.model import (
+    ComplexType,
+    ElementDecl,
+    Occurs,
+    SchemaDocument,
+    SimpleType,
+)
+
+XSD = "http://www.w3.org/1999/XMLSchema"
+
+
+def roundtrip(schema):
+    return parse_schema(schema_to_xml(schema))
+
+
+class TestSchemaWriter:
+    def test_minimal_schema_roundtrips(self):
+        schema = SchemaDocument(target_namespace="urn:t")
+        schema.complex_types["T"] = ComplexType(
+            "T",
+            (
+                ElementDecl("x", XSD, "integer"),
+                ElementDecl("y", XSD, "double"),
+            ),
+        )
+        again = roundtrip(schema)
+        assert again.target_namespace == "urn:t"
+        assert again.complex_type("T").element_names() == ["x", "y"]
+
+    def test_occurs_forms_roundtrip(self):
+        schema = SchemaDocument()
+        schema.complex_types["T"] = ComplexType(
+            "T",
+            (
+                ElementDecl("n", XSD, "integer"),
+                ElementDecl("fixed", XSD, "double", Occurs.fixed(5)),
+                ElementDecl("explicit", XSD, "double", Occurs.dynamic("n")),
+                ElementDecl(
+                    "implicit", XSD, "double", Occurs.dynamic("implicit_count", synthesized=True)
+                ),
+            ),
+        )
+        ct = roundtrip(schema).complex_type("T")
+        assert ct.element("fixed").occurs.count == 5
+        assert ct.element("explicit").occurs.length_field == "n"
+        implicit = ct.element("implicit").occurs
+        assert implicit.is_dynamic_array
+        assert implicit.synthesized_length
+
+    def test_nested_type_reference_roundtrips(self):
+        schema = SchemaDocument(target_namespace="urn:t")
+        schema.complex_types["Inner"] = ComplexType(
+            "Inner", (ElementDecl("v", XSD, "int"),)
+        )
+        schema.complex_types["Outer"] = ComplexType(
+            "Outer", (ElementDecl("in_", None, "Inner"),)
+        )
+        again = roundtrip(schema)
+        assert again.complex_type("Outer").element("in_").type_name == "Inner"
+
+    def test_documentation_roundtrips(self):
+        schema = SchemaDocument(documentation="stream metadata")
+        schema.complex_types["T"] = ComplexType(
+            "T", (ElementDecl("x", XSD, "int"),), documentation="one field"
+        )
+        again = roundtrip(schema)
+        assert "stream metadata" in again.documentation
+        assert "one field" in again.complex_type("T").documentation
+
+    def test_simple_type_roundtrips(self):
+        schema = SchemaDocument()
+        schema.simple_types["Airline"] = SimpleType(
+            "Airline", lookup_primitive("string"), enumeration=("DL", "UA")
+        )
+        schema.complex_types["T"] = ComplexType(
+            "T", (ElementDecl("a", None, "Airline"),)
+        )
+        again = roundtrip(schema)
+        assert again.simple_type("Airline").enumeration == ("DL", "UA")
+
+    def test_bounds_roundtrip(self):
+        schema = SchemaDocument()
+        schema.simple_types["Alt"] = SimpleType(
+            "Alt", lookup_primitive("integer"), min_inclusive=0, max_inclusive=60000
+        )
+        schema.complex_types["T"] = ComplexType("T", (ElementDecl("a", None, "Alt"),))
+        alt = roundtrip(schema).simple_type("Alt")
+        assert alt.min_inclusive == 0
+        assert alt.max_inclusive == 60000
+
+    def test_special_characters_in_names_escaped(self):
+        schema = SchemaDocument(target_namespace='urn:with"quote')
+        schema.complex_types["T"] = ComplexType("T", (ElementDecl("x", XSD, "int"),))
+        text = schema_to_xml(schema)
+        assert "&quot;" in text
+        assert roundtrip(schema).target_namespace == 'urn:with"quote'

@@ -1,0 +1,146 @@
+"""Unit tests for the command-line tools."""
+
+import pytest
+
+from repro.metaserver import MetadataServer
+from repro.tools import metaserve as metaserve_tool
+from repro.tools import validate as validate_tool
+from repro.tools import xml2wire as xml2wire_tool
+
+from tests.schema.conftest import FIGURE_9, FIGURE_12
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "asdoff.xsd"
+    path.write_text(FIGURE_9, encoding="utf-8")
+    return path
+
+
+class TestXml2WireTool:
+    def test_prints_pbio_metadata(self, schema_file, capsys):
+        assert xml2wire_tool.main([str(schema_file), "--arch", "sparc_32"]) == 0
+        out = capsys.readouterr().out
+        assert "IOField ASDOffEventFields[]" in out
+        assert '{ "eta", "unsigned integer[eta_count]", 4, 44 },' in out
+        assert "52 bytes on sparc_32" in out
+
+    def test_arch_changes_output(self, schema_file, capsys):
+        xml2wire_tool.main([str(schema_file), "--arch", "x86_64"])
+        out = capsys.readouterr().out
+        assert "96 bytes on x86_64" in out or "bytes on x86_64" in out
+        assert '{ "cntrID", "string", 8, 0 },' in out
+
+    def test_nested_schema_prints_all_formats(self, tmp_path, capsys):
+        path = tmp_path / "cd.xsd"
+        path.write_text(FIGURE_12, encoding="utf-8")
+        xml2wire_tool.main([str(path), "--arch", "sparc_32"])
+        out = capsys.readouterr().out
+        assert "IOField ASDOffEventFields[]" in out
+        assert "IOField threeASDOffsFields[]" in out
+        assert '{ "one", "ASDOffEvent", 52, 0 },' in out
+
+    def test_ids_flag(self, schema_file, capsys):
+        xml2wire_tool.main([str(schema_file), "--ids"])
+        assert "format id:" in capsys.readouterr().out
+
+    def test_stub_generation_to_file(self, schema_file, tmp_path, capsys):
+        out_path = tmp_path / "stubs.py"
+        assert xml2wire_tool.main([str(schema_file), "--stubs", str(out_path)]) == 0
+        source = out_path.read_text(encoding="utf-8")
+        assert "class ASDOffEvent:" in source
+        compile(source, str(out_path), "exec")
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(FIGURE_9))
+        assert xml2wire_tool.main(["-", "--arch", "sparc_32"]) == 0
+        assert "ASDOffEvent" in capsys.readouterr().out
+
+    def test_http_input(self, capsys):
+        with MetadataServer() as server:
+            url = server.publish_schema("/s.xsd", FIGURE_9)
+            assert xml2wire_tool.main([url, "--arch", "sparc_32"]) == 0
+        assert "ASDOffEvent" in capsys.readouterr().out
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        assert xml2wire_tool.main([str(tmp_path / "nope.xsd")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_schema_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.xsd"
+        path.write_text("<notaschema/>", encoding="utf-8")
+        assert xml2wire_tool.main([str(path)]) == 1
+
+
+class TestValidateTool:
+    INSTANCE = (
+        "<msg>"
+        "<cntrID>ZTL</cntrID><arln>DL</arln><fltNum>1</fltNum>"
+        "<equip>B7</equip><org>ATL</org><dest>LAX</dest>"
+        "<off>1</off><off>2</off><off>3</off><off>4</off><off>5</off>"
+        "<eta>9</eta>"
+        "</msg>"
+    )
+
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        path = tmp_path / "msg.xml"
+        path.write_text(self.INSTANCE, encoding="utf-8")
+        return path
+
+    def test_valid_instance(self, schema_file, instance_file, capsys):
+        code = validate_tool.main(
+            [str(schema_file), str(instance_file), "--type", "ASDOffEvent"]
+        )
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_instance(self, schema_file, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<msg><cntrID>ZTL</cntrID></msg>", encoding="utf-8")
+        code = validate_tool.main(
+            [str(schema_file), str(path), "--type", "ASDOffEvent"]
+        )
+        assert code == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_classify(self, schema_file, instance_file, capsys):
+        code = validate_tool.main(
+            [str(schema_file), str(instance_file), "--classify"]
+        )
+        assert code == 0
+        assert "best fit: ASDOffEvent" in capsys.readouterr().out
+
+    def test_unknown_type_is_usage_error(self, schema_file, instance_file, capsys):
+        code = validate_tool.main(
+            [str(schema_file), str(instance_file), "--type", "Nope"]
+        )
+        assert code == 2
+
+
+class TestMetaserveHelpers:
+    def test_publish_directory(self, tmp_path):
+        (tmp_path / "a.xsd").write_text(FIGURE_9, encoding="utf-8")
+        (tmp_path / "b.xsd").write_text(FIGURE_12, encoding="utf-8")
+        (tmp_path / "ignored.txt").write_text("x", encoding="utf-8")
+        server = MetadataServer()
+        urls = metaserve_tool.publish_directory(server, tmp_path, check=True)
+        assert len(urls) == 2
+        assert urls[0].endswith("/schemas/a.xsd")
+
+    def test_check_rejects_invalid_schema(self, tmp_path):
+        (tmp_path / "bad.xsd").write_text("<notaschema/>", encoding="utf-8")
+        server = MetadataServer()
+        with pytest.raises(Exception):
+            metaserve_tool.publish_directory(server, tmp_path, check=True)
+
+    def test_no_check_publishes_anything(self, tmp_path):
+        (tmp_path / "bad.xsd").write_text("<notaschema/>", encoding="utf-8")
+        server = MetadataServer()
+        urls = metaserve_tool.publish_directory(server, tmp_path, check=False)
+        assert len(urls) == 1
+
+    def test_main_rejects_missing_directory(self, tmp_path, capsys):
+        assert metaserve_tool.main([str(tmp_path / "absent")]) == 1

@@ -1,0 +1,154 @@
+"""Unit tests for the CDR (IIOP) baseline codec."""
+
+import struct
+
+import pytest
+
+from repro.arch import SPARC_32, X86_32, X86_64
+from repro.errors import WireError
+from repro.pbio import IOContext, IOField
+from repro.wire import CDRCodec, XDRCodec
+from repro.wire.cdr import cdr_encoded_size
+
+from tests.pbio.conftest import ASDOFF_RECORD, register_asdoff
+
+
+class TestRoundtrip:
+    def test_paper_structure_roundtrips(self, any_arch):
+        codec = CDRCodec(register_asdoff(IOContext(any_arch)))
+        assert codec.decode(codec.encode(ASDOFF_RECORD)) == ASDOFF_RECORD
+
+    def test_reader_makes_right_across_codecs(self):
+        """A little-endian sender's message decodes on a codec built for
+        a big-endian format: the flag byte carries the order."""
+        le_codec = CDRCodec(register_asdoff(IOContext(X86_32)))
+        be_codec = CDRCodec(register_asdoff(IOContext(SPARC_32)))
+        message = le_codec.encode(ASDOFF_RECORD)
+        assert message[0] == 1  # little-endian flag
+        assert be_codec.decode(message) == ASDOFF_RECORD
+        message = be_codec.encode(ASDOFF_RECORD)
+        assert message[0] == 0
+        assert le_codec.decode(message) == ASDOFF_RECORD
+
+    def test_nested_and_arrays(self, x86_context):
+        inner = x86_context.register_format(
+            "inner", [IOField("tag", "char[4]", 1, 0), IOField("v", "float", 4, 4)]
+        )
+        fmt = x86_context.register_format(
+            "outer",
+            [
+                IOField("pair", "inner[2]", 8, 0),
+                IOField("n", "integer", 4, 16),
+                IOField("data", "double[n]", 8, 24),
+                IOField("flag", "boolean", 1, 32),
+                IOField("c", "char", 1, 33),
+            ],
+            record_length=40,
+        )
+        record = {
+            "pair": [{"tag": "ab", "v": 0.5}, {"tag": "cd", "v": 1.5}],
+            "n": 2,
+            "data": [1.0, 2.0],
+            "flag": True,
+            "c": "Z",
+        }
+        codec = CDRCodec(fmt)
+        assert codec.decode(codec.encode(record)) == record
+
+
+class TestRepresentation:
+    def test_no_widening_unlike_xdr(self, x86_context):
+        """CDR keeps a short 2 bytes where XDR widens to 4."""
+        fmt = x86_context.register_format(
+            "t", [IOField("a", "integer", 2, 0), IOField("b", "integer", 2, 2)]
+        )
+        record = {"a": 1, "b": 2}
+        assert cdr_encoded_size(fmt, record) == 1 + 4  # flag + 2 shorts
+        assert len(XDRCodec(fmt).encode(record)) == 8
+
+    def test_natural_alignment_within_body(self, x86_context):
+        fmt = x86_context.register_format(
+            "t", [IOField("c", "char", 1, 0), IOField("d", "double", 8, 8)]
+        )
+        message = CDRCodec(fmt).encode({"c": "x", "d": 1.0})
+        # flag(1) + char(1) + pad to 8 within body + double(8)
+        assert len(message) == 1 + 8 + 8
+        (value,) = struct.unpack_from("<d", message, 9)
+        assert value == 1.0
+
+    def test_string_layout_with_nul(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("s", "string", 8, 0)])
+        message = CDRCodec(fmt).encode({"s": "hi"})
+        assert message[1:] == struct.pack("<I", 3) + b"hi\x00"
+
+    def test_null_vs_empty_string(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("s", "string", 8, 0)])
+        codec = CDRCodec(fmt)
+        assert codec.decode(codec.encode({"s": None})) == {"s": None}
+        assert codec.decode(codec.encode({"s": ""})) == {"s": ""}
+
+    def test_count_derived_when_missing(self, x86_context):
+        fmt = x86_context.register_format(
+            "t",
+            [IOField("n", "integer", 4, 0), IOField("d", "integer[n]", 4, 8)],
+            record_length=16,
+        )
+        codec = CDRCodec(fmt)
+        assert codec.decode(codec.encode({"d": [7, 8]}))["n"] == 2
+
+
+class TestErrors:
+    def test_bad_flag_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        with pytest.raises(WireError, match="byte-order flag"):
+            CDRCodec(fmt).decode(b"\x07\x00\x00\x00\x01")
+
+    def test_empty_message_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        with pytest.raises(WireError, match="empty"):
+            CDRCodec(fmt).decode(b"")
+
+    def test_trailing_bytes_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        codec = CDRCodec(fmt)
+        with pytest.raises(WireError, match="trailing"):
+            codec.decode(codec.encode({"v": 1}) + b"\x00")
+
+    def test_truncated_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "double", 8, 0)])
+        with pytest.raises(WireError, match="truncated"):
+            CDRCodec(fmt).decode(b"\x01\x00\x00")
+
+    def test_malformed_string_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("s", "string", 8, 0)])
+        # length says 3 but no NUL terminator at the end
+        with pytest.raises(WireError, match="malformed string"):
+            CDRCodec(fmt).decode(b"\x01" + struct.pack("<I", 3) + b"hiX")
+
+    def test_missing_field_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        with pytest.raises(WireError, match="missing field"):
+            CDRCodec(fmt).encode({})
+
+
+class TestSizeOrdering:
+    def test_cdr_between_ndr_and_xdr_for_small_fields(self, x86_context):
+        """For structures dominated by small fields: NDR <= CDR <= XDR
+        (CDR avoids widening, but both pay string length prefixes NDR
+        pays as offsets)."""
+        from repro.pbio.encode import encode_record
+
+        fmt = x86_context.register_format(
+            "t",
+            [
+                IOField("a", "integer", 2, 0),
+                IOField("b", "integer", 1, 2),
+                IOField("c", "boolean", 1, 3),
+                IOField("d", "integer", 2, 4),
+            ],
+        )
+        record = {"a": 1, "b": 2, "c": True, "d": 3}
+        cdr = cdr_encoded_size(fmt, record) - 1  # drop the flag byte
+        xdr = len(XDRCodec(fmt).encode(record))
+        ndr = len(encode_record(fmt, record))
+        assert ndr <= cdr <= xdr

@@ -1,0 +1,104 @@
+"""Unit tests for stream framing."""
+
+import io
+
+import pytest
+
+from repro.errors import ChannelClosedError, WireError
+from repro.wire import FrameDecoder, frame, read_frame, unframe
+
+
+def reader_over(data: bytes):
+    """A socket-style recv over a byte string."""
+    stream = io.BytesIO(data)
+    return lambda n: stream.read(n)
+
+
+class TestFrameUnframe:
+    def test_roundtrip(self):
+        message, rest = unframe(frame(b"hello"))
+        assert message == b"hello"
+        assert rest == b""
+
+    def test_concatenated_frames_split(self):
+        data = frame(b"one") + frame(b"two")
+        first, rest = unframe(data)
+        second, rest = unframe(rest)
+        assert (first, second, rest) == (b"one", b"two", b"")
+
+    def test_empty_message_allowed(self):
+        message, _ = unframe(frame(b""))
+        assert message == b""
+
+    def test_incomplete_header_rejected(self):
+        with pytest.raises(WireError, match="incomplete frame header"):
+            unframe(b"\x00\x00")
+
+    def test_incomplete_body_rejected(self):
+        with pytest.raises(WireError, match="incomplete frame body"):
+            unframe(frame(b"hello")[:-1])
+
+    def test_absurd_length_rejected_without_allocation(self):
+        with pytest.raises(WireError, match="exceeds limit"):
+            unframe(b"\xff\xff\xff\xff" + b"x")
+
+
+class TestReadFrame:
+    def test_reads_one_frame(self):
+        recv = reader_over(frame(b"payload"))
+        assert read_frame(recv) == b"payload"
+
+    def test_sequential_frames(self):
+        recv = reader_over(frame(b"a") + frame(b"bb"))
+        assert read_frame(recv) == b"a"
+        assert read_frame(recv) == b"bb"
+
+    def test_eof_at_boundary_is_channel_closed(self):
+        recv = reader_over(b"")
+        with pytest.raises(ChannelClosedError):
+            read_frame(recv)
+
+    def test_eof_mid_frame_is_wire_error(self):
+        recv = reader_over(frame(b"payload")[:-3])
+        with pytest.raises(WireError, match="mid-frame"):
+            read_frame(recv)
+
+    def test_short_reads_accumulate(self):
+        data = frame(b"abcdef")
+        offsets = iter(range(0, len(data) + 1))
+        next(offsets)
+
+        def dribble(n, _state={"pos": 0}):
+            pos = _state["pos"]
+            chunk = data[pos : pos + 1]
+            _state["pos"] = pos + 1
+            return chunk
+
+        assert read_frame(dribble) == b"abcdef"
+
+
+class TestFrameDecoder:
+    def test_whole_frames(self):
+        decoder = FrameDecoder()
+        decoder.feed(frame(b"x") + frame(b"yy"))
+        assert list(decoder.messages()) == [b"x", b"yy"]
+
+    def test_byte_by_byte_feeding(self):
+        decoder = FrameDecoder()
+        collected = []
+        for byte in frame(b"hello") + frame(b"world"):
+            decoder.feed(bytes([byte]))
+            collected.extend(decoder.messages())
+        assert collected == [b"hello", b"world"]
+
+    def test_pending_bytes_reported(self):
+        decoder = FrameDecoder()
+        decoder.feed(frame(b"hello")[:3])
+        assert list(decoder.messages()) == []
+        assert decoder.pending_bytes == 3
+
+    def test_oversize_frame_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\xff\xff\xff\xff")
+        with pytest.raises(WireError, match="exceeds limit"):
+            list(decoder.messages())

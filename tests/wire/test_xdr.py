@@ -1,0 +1,154 @@
+"""Unit tests for the XDR baseline codec."""
+
+import struct
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.errors import WireError
+from repro.pbio import IOContext, IOField
+from repro.wire import XDRCodec
+from repro.wire.xdr import xdr_encoded_size
+
+from tests.pbio.conftest import ASDOFF_RECORD, register_asdoff
+
+
+class TestRoundtrip:
+    def test_paper_structure_roundtrips(self, any_arch):
+        ctx = IOContext(any_arch)
+        fmt = register_asdoff(ctx)
+        codec = XDRCodec(fmt)
+        assert codec.decode(codec.encode(ASDOFF_RECORD)) == ASDOFF_RECORD
+
+    def test_encoding_is_architecture_independent(self):
+        """The whole point of a canonical format: identical bytes from
+        any sender whose C types have the same widths (an ILP32 SPARC and
+        an ILP32 x86 differ only in byte order and layout, which XDR
+        erases)."""
+        from repro.arch import X86_32
+
+        sparc = XDRCodec(register_asdoff(IOContext(SPARC_32)))
+        x86 = XDRCodec(register_asdoff(IOContext(X86_32)))
+        assert sparc.encode(ASDOFF_RECORD) == x86.encode(ASDOFF_RECORD)
+
+    def test_nested_and_arrays_roundtrip(self, x86_context):
+        inner = x86_context.register_format(
+            "inner",
+            [IOField("tag", "char[4]", 1, 0), IOField("v", "float", 4, 4)],
+        )
+        fmt = x86_context.register_format(
+            "outer",
+            [
+                IOField("pair", "inner[2]", 8, 0),
+                IOField("n", "integer", 4, 16),
+                IOField("data", "double[n]", 8, 24),
+                IOField("flag", "boolean", 1, 32),
+            ],
+            record_length=40,
+        )
+        record = {
+            "pair": [{"tag": "ab", "v": 0.5}, {"tag": "cd", "v": 1.5}],
+            "n": 2,
+            "data": [1.0, 2.0],
+            "flag": True,
+        }
+        codec = XDRCodec(fmt)
+        assert codec.decode(codec.encode(record)) == record
+
+
+class TestCanonicalRepresentation:
+    def test_everything_is_big_endian(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        assert XDRCodec(fmt).encode({"v": 1}) == b"\x00\x00\x00\x01"
+
+    def test_small_ints_widen_to_four_bytes(self, x86_context):
+        fmt = x86_context.register_format(
+            "t", [IOField("a", "integer", 2, 0), IOField("b", "integer", 1, 2)]
+        )
+        assert len(XDRCodec(fmt).encode({"a": 1, "b": 2})) == 8
+
+    def test_eight_byte_ints_become_hyper(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 8, 0)])
+        assert XDRCodec(fmt).encode({"v": -2}) == struct.pack(">q", -2)
+
+    def test_string_layout(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("s", "string", 8, 0)])
+        encoded = XDRCodec(fmt).encode({"s": "hello"})
+        assert encoded == b"\x00\x00\x00\x05hello\x00\x00\x00"
+
+    def test_null_string_sentinel(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("s", "string", 8, 0)])
+        codec = XDRCodec(fmt)
+        encoded = codec.encode({"s": None})
+        assert encoded == b"\xff\xff\xff\xff"
+        assert codec.decode(encoded) == {"s": None}
+
+    def test_dynamic_array_carries_inline_count(self, x86_context):
+        fmt = x86_context.register_format(
+            "t",
+            [IOField("n", "integer", 4, 0), IOField("d", "integer[n]", 4, 8)],
+            record_length=16,
+        )
+        encoded = XDRCodec(fmt).encode({"n": 2, "d": [7, 8]})
+        # n (4) + count (4) + two elements (8)
+        assert encoded == struct.pack(">iIii", 2, 2, 7, 8)
+
+    def test_char_widens_boolean_widens(self, x86_context):
+        fmt = x86_context.register_format(
+            "t", [IOField("c", "char", 1, 0), IOField("b", "boolean", 1, 1)]
+        )
+        encoded = XDRCodec(fmt).encode({"c": "Z", "b": True})
+        assert encoded == struct.pack(">ii", ord("Z"), 1)
+
+    def test_count_field_derived_when_missing(self, x86_context):
+        fmt = x86_context.register_format(
+            "t",
+            [IOField("n", "integer", 4, 0), IOField("d", "integer[n]", 4, 8)],
+            record_length=16,
+        )
+        codec = XDRCodec(fmt)
+        assert codec.decode(codec.encode({"d": [5, 6, 7]}))["n"] == 3
+
+
+class TestErrors:
+    def test_missing_field_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        with pytest.raises(WireError, match="missing field"):
+            XDRCodec(fmt).encode({})
+
+    def test_truncated_data_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "double", 8, 0)])
+        with pytest.raises(WireError, match="truncated"):
+            XDRCodec(fmt).decode(b"\x00\x00")
+
+    def test_trailing_bytes_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer", 4, 0)])
+        codec = XDRCodec(fmt)
+        with pytest.raises(WireError, match="trailing"):
+            codec.decode(codec.encode({"v": 1}) + b"\x00")
+
+    def test_truncated_string_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("s", "string", 8, 0)])
+        with pytest.raises(WireError, match="truncated string"):
+            XDRCodec(fmt).decode(b"\x00\x00\x00\x10ab")
+
+    def test_wrong_static_array_length_rejected(self, x86_context):
+        fmt = x86_context.register_format("t", [IOField("v", "integer[3]", 4, 0)])
+        with pytest.raises(WireError, match="expects 3"):
+            XDRCodec(fmt).encode({"v": [1, 2]})
+
+
+class TestSizes:
+    def test_xdr_never_smaller_than_packed_data(self, x86_context):
+        """Widening means XDR output is at least as large as the logical
+        data, typically larger for structures with small fields."""
+        fmt = x86_context.register_format(
+            "t",
+            [
+                IOField("a", "integer", 2, 0),
+                IOField("b", "char", 1, 2),
+                IOField("c", "boolean", 1, 3),
+            ],
+        )
+        record = {"a": 1, "b": "x", "c": False}
+        assert xdr_encoded_size(fmt, record) == 12  # 3 fields x 4 bytes

@@ -1,0 +1,128 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.core import XML2Wire
+from repro.pbio import IOContext
+from repro.workloads import (
+    ASDOFF_A_SCHEMA,
+    ASDOFF_B_SCHEMA,
+    ASDOFF_CD_SCHEMA,
+    AirlineWorkload,
+    MiningWorkload,
+    SyntheticWorkload,
+    WeatherWorkload,
+    make_synthetic_schema,
+)
+
+
+def register(schema, arch=SPARC_32):
+    tool = XML2Wire(IOContext(arch))
+    return tool, tool.register_schema(schema)
+
+
+class TestAirlineSchemas:
+    def test_table1_structure_sizes(self):
+        _, formats_a = register(ASDOFF_A_SCHEMA)
+        _, formats_b = register(ASDOFF_B_SCHEMA)
+        _, formats_cd = register(ASDOFF_CD_SCHEMA)
+        assert formats_a[0].record_length == 32
+        assert formats_b[0].record_length == 52
+        outer = formats_cd[1]
+        last = outer.field("three")
+        assert last.offset + last.size == 180
+
+    def test_records_encode_through_xml2wire_formats(self):
+        workload = AirlineWorkload(seed=1)
+        tool, _ = register(ASDOFF_B_SCHEMA)
+        message = tool.context.encode("ASDOffEvent", workload.record_b())
+        assert tool.context.decode(message).format_name == "ASDOffEvent"
+
+    def test_cd_records_encode(self):
+        workload = AirlineWorkload(seed=1)
+        tool, _ = register(ASDOFF_CD_SCHEMA)
+        record = workload.record_cd()
+        decoded = tool.context.decode(tool.context.encode("threeASDOffs", record))
+        assert decoded.values == record
+
+    def test_streams_are_deterministic_per_seed(self):
+        first = list(AirlineWorkload(seed=5).stream_a(10))
+        second = list(AirlineWorkload(seed=5).stream_a(10))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert list(AirlineWorkload(seed=1).stream_a(5)) != list(
+            AirlineWorkload(seed=2).stream_a(5)
+        )
+
+    def test_record_fields_plausible(self):
+        record = AirlineWorkload(seed=3).record_a()
+        assert 1 <= record["fltNum"] <= 9999
+        assert record["eta"] > record["off"]
+        assert len(record["org"]) == 3
+
+
+class TestWeatherWorkload:
+    def test_schema_registers_and_roundtrips(self):
+        workload = WeatherWorkload(seed=2)
+        tool, _ = register(workload.schema, X86_64)
+        record = workload.record()
+        decoded = tool.context.decode(tool.context.encode(workload.format_name, record))
+        assert decoded.values["station"] == record["station"]
+        assert decoded.values["cloud_layers"] == record["cloud_layers"]
+
+    def test_timestamps_monotonic(self):
+        workload = WeatherWorkload(seed=2)
+        times = [workload.record()["issued"] for _ in range(20)]
+        assert times == sorted(times)
+
+
+class TestMiningWorkload:
+    def test_schema_registers_and_roundtrips(self):
+        workload = MiningWorkload(seed=4)
+        tool, _ = register(workload.schema, X86_64)
+        record = workload.record(sample_count=8)
+        decoded = tool.context.decode(tool.context.encode(workload.format_name, record))
+        assert decoded.values == record
+
+    def test_rule_ids_increment(self):
+        workload = MiningWorkload()
+        assert [workload.record()["rule_id"] for _ in range(3)] == [1, 2, 3]
+
+    def test_confidence_bounded(self):
+        workload = MiningWorkload(seed=11)
+        for _ in range(50):
+            assert 0.0 <= workload.record()["confidence"] <= 1.0
+
+
+class TestSyntheticWorkload:
+    @pytest.mark.parametrize("field_count", [1, 4, 16, 64])
+    def test_schemas_register_for_any_field_count(self, field_count):
+        workload = SyntheticWorkload(field_count)
+        tool, formats = register(workload.schema, X86_64)
+        assert len(formats[0].fields) == field_count
+        record = workload.record()
+        assert tool.context.decode(tool.context.encode("Synthetic", record)).values == record
+
+    @pytest.mark.parametrize("mix", ["mixed", "numeric", "strings", "integers"])
+    def test_all_mixes_roundtrip(self, mix):
+        workload = SyntheticWorkload(6, mix=mix)
+        tool, _ = register(workload.schema, SPARC_32)
+        record = workload.record()
+        assert tool.context.decode(tool.context.encode("Synthetic", record)).values == record
+
+    def test_payload_sizing(self):
+        workload = SyntheticWorkload(2, array_field=True)
+        tool, _ = register(workload.schema, X86_64)
+        record = workload.record_of_payload(64 * 1024)
+        message = tool.context.encode("Synthetic", record)
+        assert len(message) == pytest.approx(64 * 1024, rel=0.05)
+
+    def test_payload_sizing_requires_array(self):
+        with pytest.raises(ValueError, match="array_field"):
+            SyntheticWorkload(2).record_of_payload(1000)
+
+    def test_zero_fields_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_schema(0)

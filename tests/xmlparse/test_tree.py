@@ -1,0 +1,135 @@
+"""Unit tests for the element tree and namespace handling."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlparse import parse_document
+from repro.xmlparse.namespaces import NamespaceScope, split_qname
+
+
+class TestTreeBuilding:
+    def test_root_and_children(self):
+        root = parse_document("<a><b/><c><d/></c></a>")
+        assert root.tag == "a"
+        assert [c.tag for c in root.children] == ["b", "c"]
+        assert root.children[1].children[0].tag == "d"
+
+    def test_text_accumulates_across_cdata(self):
+        root = parse_document("<a>one <![CDATA[<two>]]> three</a>")
+        assert root.text == "one <two> three"
+
+    def test_find_and_findall(self):
+        root = parse_document("<a><b i='1'/><c/><b i='2'/></a>")
+        assert root.find("b").get("i") == "1"
+        assert [e.get("i") for e in root.findall("b")] == ["1", "2"]
+        assert root.find("zzz") is None
+
+    def test_iter_is_depth_first(self):
+        root = parse_document("<a><b><c/></b><d/></a>")
+        assert [e.tag for e in root.iter()] == ["a", "b", "c", "d"]
+
+    def test_require_missing_attribute_raises(self):
+        root = parse_document("<a/>")
+        with pytest.raises(XMLError, match="missing required attribute"):
+            root.require("name")
+
+    def test_len_and_iteration(self):
+        root = parse_document("<a><b/><c/></a>")
+        assert len(root) == 2
+        assert [child.tag for child in root] == ["b", "c"]
+
+    def test_line_numbers_recorded(self):
+        root = parse_document("<a>\n<b/></a>")
+        assert root.line == 1
+        assert root.children[0].line == 2
+
+
+class TestNamespaceResolution:
+    DOC = (
+        '<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema" '
+        'xmlns="http://example.com/default">'
+        '<xsd:element name="f" type="xsd:string"/>'
+        "<plain/>"
+        "</xsd:schema>"
+    )
+
+    def test_prefixed_element_namespace(self):
+        root = parse_document(self.DOC)
+        assert root.namespace == "http://www.w3.org/1999/XMLSchema"
+        assert root.local == "schema"
+
+    def test_default_namespace_applies_to_unprefixed(self):
+        root = parse_document(self.DOC)
+        plain = root.find("plain")
+        assert plain.namespace == "http://example.com/default"
+
+    def test_attribute_value_qname_resolution(self):
+        root = parse_document(self.DOC)
+        element = root.find("element")
+        uri, local = element.resolve_value_qname(element.get("type"))
+        assert uri == "http://www.w3.org/1999/XMLSchema"
+        assert local == "string"
+
+    def test_unprefixed_value_resolves_to_none_namespace(self):
+        root = parse_document('<a xmlns:x="urn:x"><b t="UserType"/></a>')
+        uri, local = root.find("b").resolve_value_qname("UserType")
+        assert uri is None
+        assert local == "UserType"
+
+    def test_unbound_prefix_in_value_raises(self):
+        root = parse_document("<a><b t='nope:Type'/></a>")
+        with pytest.raises(XMLError, match="not bound"):
+            root.find("b").resolve_value_qname("nope:Type")
+
+    def test_unbound_element_prefix_raises(self):
+        with pytest.raises(XMLError, match="not bound"):
+            parse_document("<bad:a/>")
+
+    def test_nested_scopes_shadow(self):
+        root = parse_document(
+            '<a xmlns:p="urn:outer"><b xmlns:p="urn:inner"><p:c/></b><p:d/></a>'
+        )
+        inner = root.children[0].children[0]
+        outer = root.children[1]
+        assert inner.namespace == "urn:inner"
+        assert outer.namespace == "urn:outer"
+
+
+class TestNamespaceScopeUnit:
+    def test_split_qname(self):
+        assert split_qname("a:b") == ("a", "b")
+        assert split_qname("plain") == (None, "plain")
+
+    def test_split_rejects_double_colon(self):
+        with pytest.raises(XMLError):
+            split_qname("a:b:c")
+
+    def test_split_rejects_empty_halves(self):
+        with pytest.raises(XMLError):
+            split_qname(":b")
+
+    def test_xml_prefix_always_bound(self):
+        scope = NamespaceScope()
+        assert scope.resolve("xml") == "http://www.w3.org/XML/1998/namespace"
+
+    def test_rebinding_xml_prefix_rejected(self):
+        scope = NamespaceScope()
+        with pytest.raises(XMLError, match="may not be rebound"):
+            scope.push((("xmlns:xml", "urn:evil"),))
+
+    def test_empty_prefix_binding_rejected(self):
+        scope = NamespaceScope()
+        with pytest.raises(XMLError):
+            scope.push((("xmlns:p", ""),))
+
+    def test_pop_underflow_rejected(self):
+        scope = NamespaceScope()
+        with pytest.raises(XMLError, match="underflow"):
+            scope.pop()
+
+    def test_default_namespace_can_be_undeclared(self):
+        scope = NamespaceScope()
+        scope.push((("xmlns", "urn:d"),))
+        assert scope.resolve(None) == "urn:d"
+        scope.push((("xmlns", ""),))
+        assert scope.resolve(None) is None

@@ -1,0 +1,62 @@
+"""Unit tests for XML serialization (repro.xmlparse.writer)."""
+
+from repro.xmlparse import (
+    escape_attribute,
+    escape_text,
+    parse_document,
+    write_document,
+)
+
+
+class TestEscaping:
+    def test_text_escapes_markup(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_text_keeps_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('a "b" <c>') == "a &quot;b&quot; &lt;c&gt;"
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        source = '<?xml version="1.0"?><a x="1"><b>text</b><c/></a>'
+        root = parse_document(source)
+        assert write_document(root) == source
+
+    def test_special_characters_roundtrip(self):
+        root = parse_document('<a x="q&quot;&lt;">1 &amp; 2 &lt; 3</a>')
+        text = write_document(root)
+        again = parse_document(text)
+        assert again.text == root.text == "1 & 2 < 3"
+        assert again.get("x") == 'q"<'
+
+    def test_unicode_roundtrip(self):
+        root = parse_document("<a>héllo \U0001F600</a>")
+        again = parse_document(write_document(root))
+        assert again.text == "héllo \U0001F600"
+
+    def test_empty_element_collapses(self):
+        root = parse_document("<a></a>")
+        assert write_document(root, declaration=False) == "<a/>"
+
+    def test_declaration_optional(self):
+        root = parse_document("<a/>")
+        assert write_document(root, declaration=False) == "<a/>"
+        assert write_document(root).startswith("<?xml")
+
+
+class TestPrettyPrinting:
+    def test_indented_output_reparses_equivalently(self):
+        root = parse_document('<s><t name="x" type="y"/><u><v/></u></s>')
+        pretty = write_document(root, indent="  ")
+        assert "\n  <t" in pretty
+        again = parse_document(pretty)
+        assert [c.tag for c in again.children] == ["t", "u"]
+        assert again.find("t").get("name") == "x"
+
+    def test_indent_depth_grows(self):
+        root = parse_document("<a><b><c/></b></a>")
+        pretty = write_document(root, indent="    ")
+        assert "\n        <c/>" in pretty
