@@ -1,0 +1,143 @@
+"""Chaos benchmark — resilience of discovery under injected faults.
+
+The acceptance scenario for the fault-injection tentpole: with a
+metadata server failing half its requests, a DiscoveryChain backed by a
+retrying MetadataClient must complete 100 discoveries with zero
+caller-visible errors; with the server fully down, discovery must
+degrade to the compiled-in source within the retry budget instead of
+hanging.  The report prints attempt counts, stale serves and breaker
+trips so regressions in the resilience layer are visible as numbers,
+not just green checkmarks.
+
+All fault schedules are seeded (CHAOS_SEED) — rerunning produces the
+same faults, the same retries, the same counters.
+"""
+
+import time
+
+from repro import (
+    CompiledSource,
+    DiscoveryChain,
+    FlakyMetadataServer,
+    MetadataClient,
+    MetadataServer,
+    RetryPolicy,
+    URLSource,
+)
+from repro.faults import ServerFaultPlan
+from repro.workloads import ASDOFF_B_SCHEMA
+
+CHAOS_SEED = 20_260_806
+DISCOVERIES = 100
+
+
+def chaos_client(**kwargs):
+    kwargs.setdefault("timeout", 2.0)
+    kwargs.setdefault(
+        "retry", RetryPolicy(max_attempts=6, base_delay=0.001, cap_delay=0.002)
+    )
+    kwargs.setdefault("sleep", lambda seconds: None)
+    kwargs.setdefault("seed", CHAOS_SEED)
+    return MetadataClient(**kwargs)
+
+
+def report(title, lines):
+    print(f"\n== {title} ==")
+    for label, value in lines:
+        print(f"  {label:<32} {value}")
+
+
+def test_flaky_server_fifty_percent(capsys):
+    """100 discoveries against a 50%-failing server: zero visible errors."""
+    plan = ServerFaultPlan(seed=CHAOS_SEED, error=0.5)
+    with FlakyMetadataServer(plan=plan) as server:
+        url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+        client = chaos_client(ttl=0, breaker_threshold=50)
+        chain = DiscoveryChain(
+            [URLSource(url, client), CompiledSource(ASDOFF_B_SCHEMA)]
+        )
+        errors = 0
+        degraded = 0
+        started = time.perf_counter()
+        for _ in range(DISCOVERIES):
+            try:
+                result = chain.discover()
+            except Exception:
+                errors += 1
+                continue
+            degraded += bool(result.degraded)
+        elapsed = time.perf_counter() - started
+
+    attempts = client.fetches + client.retries
+    with capsys.disabled():
+        report(
+            f"flaky server (50% 5xx), {DISCOVERIES} discoveries",
+            [
+                ("caller-visible errors", errors),
+                ("degraded to compiled fallback", degraded),
+                ("network attempts", attempts),
+                ("retries beyond first attempt", client.retries),
+                ("server faults injected", server.faults_injected),
+                ("stale serves", client.stale_serves),
+                ("breaker trips", client.breaker_trips),
+                ("wall time", f"{elapsed:.3f}s"),
+            ],
+        )
+    assert errors == 0
+    assert client.retries > 0
+    assert server.faults_injected > 0
+
+
+def test_stale_serve_bridges_outage(capsys):
+    """Cached-but-expired metadata keeps consumers alive through an outage."""
+    clock_now = [0.0]
+    client = chaos_client(ttl=5, clock=lambda: clock_now[0])
+    server = FlakyMetadataServer().start()
+    url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+    client.get(url)  # warm
+    server.stop()
+    clock_now[0] += 10  # entry now expired, server gone
+    stale_ok = 0
+    for _ in range(DISCOVERIES):
+        result = client.get(url)
+        stale_ok += bool(result.stale)
+    with capsys.disabled():
+        report(
+            f"server down, {DISCOVERIES} fetches from expired cache",
+            [
+                ("stale serves", client.stale_serves),
+                ("fresh fetches", client.fetches),
+                ("breaker trips", client.breaker_trips),
+            ],
+        )
+    assert stale_ok == DISCOVERIES
+    assert client.breaker_trips >= 1  # the breaker shielded the dead host
+
+
+def test_fully_down_degrades_within_budget(capsys):
+    """A dead server must cost a bounded delay, then compiled fallback."""
+    server = MetadataServer().start()
+    url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+    server.stop()
+    client = chaos_client(
+        ttl=0,
+        timeout=0.5,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.01, cap_delay=0.05),
+        sleep=time.sleep,  # real backoff: measure the true budget
+    )
+    chain = DiscoveryChain([URLSource(url, client), CompiledSource(ASDOFF_B_SCHEMA)])
+    started = time.perf_counter()
+    result = chain.discover()
+    elapsed = time.perf_counter() - started
+    with capsys.disabled():
+        report(
+            "server fully down, one discovery",
+            [
+                ("source", result.source),
+                ("attempts", client.retries + 1),
+                ("degraded", result.degraded),
+                ("time to fallback", f"{elapsed * 1e3:.1f}ms"),
+            ],
+        )
+    assert result.source == "compiled:builtin"
+    assert elapsed < 1.0

@@ -34,16 +34,31 @@ from repro.core import (
     BoundFormat,
     CompiledSource,
     DiscoveryChain,
+    DiscoveryReport,
+    DiscoveryResult,
     FileSource,
     URLSource,
     XML2Wire,
     bind,
 )
 from repro.events import EventBackbone
-from repro.metaserver import MetadataClient, MetadataServer
+from repro.faults import FaultPlan, FaultyChannel, ServerFaultPlan
+from repro.metaserver import (
+    CircuitBreaker,
+    FlakyMetadataServer,
+    MetadataClient,
+    MetadataServer,
+    RetryPolicy,
+)
 from repro.pbio import FormatServer, IOContext, IOField, IOFormat
 from repro.schema import parse_schema, parse_schema_file
-from repro.transport import RecordConnection, connect, listen, make_pipe
+from repro.transport import (
+    ReconnectingTCPChannel,
+    RecordConnection,
+    connect,
+    listen,
+    make_pipe,
+)
 from repro.wire import XDRCodec, XMLTextCodec
 
 __version__ = "1.0.0"
@@ -60,11 +75,21 @@ __all__ = [
     # xml2wire core
     "XML2Wire",
     "DiscoveryChain",
+    "DiscoveryReport",
+    "DiscoveryResult",
     "URLSource",
     "FileSource",
     "CompiledSource",
     "BoundFormat",
     "bind",
+    # fault injection + resilience
+    "FaultPlan",
+    "FaultyChannel",
+    "ServerFaultPlan",
+    "FlakyMetadataServer",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReconnectingTCPChannel",
     # PBIO
     "IOContext",
     "IOField",

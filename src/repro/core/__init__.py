@@ -27,8 +27,12 @@ from repro.core.binding import BoundFormat, bind, validate_record
 from repro.core.catalog import Catalog, CatalogEntry
 from repro.core.discovery import (
     CompiledSource,
+    DiscoveryAttempt,
     DiscoveryChain,
+    DiscoveryReport,
+    DiscoveryResult,
     FileSource,
+    SourceHealth,
     URLSource,
 )
 from repro.core.mapping import map_primitive
@@ -41,8 +45,12 @@ __all__ = [
     "Catalog",
     "CatalogEntry",
     "CompiledSource",
+    "DiscoveryAttempt",
     "DiscoveryChain",
+    "DiscoveryReport",
+    "DiscoveryResult",
     "FileSource",
+    "SourceHealth",
     "URLSource",
     "map_primitive",
     "XML2Wire",

@@ -8,13 +8,29 @@ sources; :meth:`~DiscoveryChain.discover` returns the first source that
 yields a valid schema document, along with where it came from, and
 raises a :class:`~repro.errors.DiscoveryError` listing every failure if
 all sources are exhausted.
+
+Resilience semantics on top of plain first-success:
+
+- **per-source health** — every source carries a :class:`SourceHealth`
+  record (consecutive and total failures, successes); a source that
+  fails ``demote_after`` consecutive times is *demoted* for
+  ``demotion_period`` seconds: it moves to the back of the try order so
+  a known-dead metadata server stops costing a timeout on every
+  discovery, yet is still available as a last resort and is retried
+  (and, on success, restored) once the demotion expires;
+- **structured reporting** — each :meth:`~DiscoveryChain.discover`
+  produces a :class:`DiscoveryReport` listing every attempt (source,
+  outcome, error, elapsed seconds), attached to the
+  :class:`DiscoveryResult`, so degraded operation is observable rather
+  than silent.
 """
 
 from __future__ import annotations
 
 import abc
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.errors import DiscoveryError, ReproError
 from repro.schema.model import SchemaDocument
@@ -39,10 +55,14 @@ class URLSource(MetadataSource):
     def __init__(self, url: str, client) -> None:
         self.url = url
         self.client = client
+        self.last_stale = False
 
     def fetch(self) -> SchemaDocument:
         """Retrieve and parse the document from the URL."""
-        return self.client.get_schema(self.url)
+        schema = self.client.get_schema(self.url)
+        last = getattr(self.client, "last_result", None)
+        self.last_stale = bool(last is not None and last.stale)
+        return schema
 
     def describe(self) -> str:
         """``url:<location>``."""
@@ -87,6 +107,56 @@ class CompiledSource(MetadataSource):
         return f"compiled:{self.label}"
 
 
+@dataclass
+class SourceHealth:
+    """Rolling health of one source across discoveries."""
+
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    demoted_until: float = 0.0  # clock time; 0 when never demoted
+
+    def demoted(self, now: float) -> bool:
+        """True while the source is pushed to the back of the try order."""
+        return now < self.demoted_until
+
+
+@dataclass(frozen=True)
+class DiscoveryAttempt:
+    """One source tried during one discovery."""
+
+    source: str
+    ok: bool
+    error: str | None = None
+    elapsed: float = 0.0
+    stale: bool = False  # succeeded, but from an expired cache entry
+
+
+@dataclass
+class DiscoveryReport:
+    """Everything one :meth:`DiscoveryChain.discover` call tried."""
+
+    attempts: list[DiscoveryAttempt] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[DiscoveryAttempt]:
+        return [attempt for attempt in self.attempts if not attempt.ok]
+
+    @property
+    def tried(self) -> int:
+        return len(self.attempts)
+
+    def describe(self) -> str:
+        """One line per attempt, for logs."""
+        lines = []
+        for attempt in self.attempts:
+            status = "ok" if attempt.ok else f"failed: {attempt.error}"
+            if attempt.ok and attempt.stale:
+                status = "ok (stale)"
+            lines.append(f"{attempt.source} -> {status} ({attempt.elapsed * 1e3:.1f}ms)")
+        return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class DiscoveryResult:
     """A successful discovery: the schema plus provenance."""
@@ -94,43 +164,118 @@ class DiscoveryResult:
     schema: SchemaDocument
     source: str
     attempts: tuple[str, ...]  # sources tried before this one succeeded
+    report: DiscoveryReport | None = None
+    stale: bool = False  # schema came from an expired metadata cache
 
     @property
     def degraded(self) -> bool:
         """True if any earlier (preferred) source had to be skipped."""
-        return bool(self.attempts)
+        return bool(self.attempts) or self.stale
 
 
 class DiscoveryChain:
-    """Ordered metadata sources with first-success semantics."""
+    """Ordered metadata sources with first-success semantics.
 
-    def __init__(self, sources: list[MetadataSource] | None = None) -> None:
+    Parameters
+    ----------
+    demote_after:
+        Consecutive failures before a source is temporarily demoted
+        to the back of the try order.
+    demotion_period:
+        Seconds a demotion lasts; afterwards the source resumes its
+        configured position (and a success clears its failure streak).
+    clock:
+        Injectable monotonic clock, for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        sources: list[MetadataSource] | None = None,
+        *,
+        demote_after: int = 3,
+        demotion_period: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if demote_after < 1:
+            raise DiscoveryError("demote_after must be at least 1")
         self.sources: list[MetadataSource] = list(sources or [])
+        self.demote_after = demote_after
+        self.demotion_period = demotion_period
+        self._clock = clock
+        self._health: dict[int, SourceHealth] = {}
+        self.last_report: DiscoveryReport | None = None
 
     def add(self, source: MetadataSource) -> "DiscoveryChain":
         """Append a source (fluent)."""
         self.sources.append(source)
         return self
 
+    def health(self, source: MetadataSource) -> SourceHealth:
+        """The health record for ``source`` (created on first access)."""
+        record = self._health.get(id(source))
+        if record is None:
+            record = SourceHealth()
+            self._health[id(source)] = record
+        return record
+
+    def _try_order(self, now: float) -> list[MetadataSource]:
+        healthy = [s for s in self.sources if not self.health(s).demoted(now)]
+        demoted = [s for s in self.sources if self.health(s).demoted(now)]
+        return healthy + demoted
+
     def discover(self) -> DiscoveryResult:
         """Try each source in order; return the first schema found.
 
-        Raises :class:`~repro.errors.DiscoveryError` naming every failed
-        source and its reason when the chain is exhausted.
+        Demoted sources are tried last but never skipped outright, so a
+        chain whose preferred server is down still terminates at the
+        compiled-in fallback.  Raises
+        :class:`~repro.errors.DiscoveryError` naming every failed source
+        and its reason when the chain is exhausted.
         """
         if not self.sources:
             raise DiscoveryError("discovery chain has no sources")
+        now = self._clock()
+        report = DiscoveryReport()
+        self.last_report = report
         failures: list[str] = []
-        for source in self.sources:
+        for source in self._try_order(now):
+            health = self.health(source)
+            started = self._clock()
             try:
                 schema = source.fetch()
             except ReproError as exc:
+                health.consecutive_failures += 1
+                health.failures += 1
+                if health.consecutive_failures >= self.demote_after:
+                    health.demoted_until = self._clock() + self.demotion_period
                 failures.append(f"{source.describe()}: {exc}")
+                report.attempts.append(
+                    DiscoveryAttempt(
+                        source=source.describe(),
+                        ok=False,
+                        error=str(exc),
+                        elapsed=self._clock() - started,
+                    )
+                )
                 continue
+            health.consecutive_failures = 0
+            health.successes += 1
+            health.demoted_until = 0.0
+            stale = bool(getattr(source, "last_stale", False))
+            report.attempts.append(
+                DiscoveryAttempt(
+                    source=source.describe(),
+                    ok=True,
+                    elapsed=self._clock() - started,
+                    stale=stale,
+                )
+            )
             return DiscoveryResult(
                 schema=schema,
                 source=source.describe(),
                 attempts=tuple(failures),
+                report=report,
+                stale=stale,
             )
         details = "; ".join(failures)
         raise DiscoveryError(f"all metadata sources failed: {details}")

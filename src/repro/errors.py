@@ -12,9 +12,12 @@ The hierarchy mirrors the package layout:
 - :class:`PBIOError` family — binary I/O (format registration, encoding,
   decoding, conversion).
 - :class:`WireError` — baseline wire formats (XDR, text XML) and framing.
-- :class:`TransportError` — channel-level communication failures.
+- :class:`TransportError` — channel-level communication failures
+  (with :class:`ChannelClosedError` and :class:`TransportTimeoutError`).
 - :class:`DiscoveryError` — metadata discovery (all sources exhausted,
-  malformed documents, unreachable servers).
+  malformed documents, unreachable servers), with
+  :class:`MetadataHTTPError`, :class:`RetryExhaustedError` and
+  :class:`CircuitOpenError` for the resilient retrieval path.
 - :class:`BindingError` — associating formats with application data.
 """
 
@@ -87,8 +90,64 @@ class ChannelClosedError(TransportError):
     """The peer closed the channel (clean EOF or reset)."""
 
 
+class TransportTimeoutError(TransportError):
+    """A channel operation exceeded its deadline.
+
+    ``mid_frame`` is True when the timeout struck after part of a frame
+    had already been consumed, leaving the byte stream desynchronized:
+    the channel is then poisoned and refuses further reads rather than
+    decoding garbage.
+    """
+
+    def __init__(self, message: str, *, mid_frame: bool = False) -> None:
+        super().__init__(message)
+        self.mid_frame = mid_frame
+
+
 class DiscoveryError(ReproError):
     """Metadata discovery failed across all configured sources."""
+
+
+class MetadataHTTPError(DiscoveryError):
+    """The metadata server answered with a non-200 status.
+
+    Carries the ``status`` so retry policies can distinguish transient
+    server-side failures (5xx, worth retrying) from definitive answers
+    (404, not worth retrying).
+    """
+
+    def __init__(self, message: str, status: int) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class RetryExhaustedError(DiscoveryError):
+    """Every attempt allowed by the retry policy failed.
+
+    ``attempts`` is how many requests were actually made; ``last_error``
+    is the failure that ended the final attempt.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(DiscoveryError):
+    """The per-host circuit breaker is open: no request was attempted.
+
+    Raised *before* touching the network when a host has failed enough
+    consecutive times; ``retry_after`` says how long until the breaker
+    will allow a probe.
+    """
+
+    def __init__(self, message: str, *, host: str = "",
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.host = host
+        self.retry_after = retry_after
 
 
 class BindingError(ReproError):

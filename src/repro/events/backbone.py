@@ -73,10 +73,15 @@ class EventBackbone:
     :meth:`route` / :meth:`add_queue` plumbing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, sink_failure_limit: int = 3) -> None:
+        if sink_failure_limit < 1:
+            raise TransportError("sink_failure_limit must be at least 1")
         self._streams: dict[str, _Stream] = {}
         self._patterns: list[tuple[str, _SubscriberQueue]] = []
         self._lock = threading.Lock()
+        self.sink_failure_limit = sink_failure_limit
+        self._sink_failures: dict[int, int] = {}  # id(queue) -> consecutive
+        self.dropped_sinks = 0
 
     # -- high-level endpoints -----------------------------------------------
 
@@ -145,7 +150,10 @@ class EventBackbone:
         """Route one encoded message; returns delivery count.
 
         Format-metadata messages are cached per stream (keyed by content)
-        for replay to late subscribers.
+        for replay to late subscribers.  A sink whose ``put`` raises is
+        tolerated up to ``sink_failure_limit`` consecutive failures, then
+        detached (bounded failure handling: one wedged subscriber must
+        not take the broker down or stall other sinks forever).
         """
         kind, _, _, _, _ = IOContext.parse_header(message)
         with self._lock:
@@ -160,9 +168,21 @@ class EventBackbone:
                 stream.stats.data_messages += 1
             stream.stats.bytes_routed += len(message)
             queues = list(stream.queues)
+        delivered = 0
         for queue in queues:
-            queue.put(stream_name, message)
-        return len(queues)
+            try:
+                queue.put(stream_name, message)
+            except Exception:
+                failures = self._sink_failures.get(id(queue), 0) + 1
+                self._sink_failures[id(queue)] = failures
+                if failures >= self.sink_failure_limit:
+                    self.unsubscribe(queue)
+                    self._sink_failures.pop(id(queue), None)
+                    self.dropped_sinks += 1
+            else:
+                delivered += 1
+                self._sink_failures.pop(id(queue), None)
+        return delivered
 
     def unsubscribe(self, queue: _SubscriberQueue) -> None:
         """Detach a queue from every stream and pattern; closes it."""

@@ -36,7 +36,7 @@ from repro.events.endpoints import Event
 from repro.pbio.context import HEADER_SIZE, KIND_DATA, KIND_FORMAT, IOContext
 from repro.pbio.format import IOFormat
 from repro.transport.channel import Channel
-from repro.transport.tcp import TCPListener, connect
+from repro.transport.tcp import ReconnectingTCPChannel, TCPListener, connect
 
 OP_SUBSCRIBE = 1
 OP_PUBLISH = 2
@@ -153,7 +153,9 @@ class BrokerServer:
                     message = channel.recv(timeout=0.5)
                 except ChannelClosedError:
                     break
-                except TransportError:
+                except TransportError as exc:
+                    if getattr(exc, "mid_frame", False):
+                        break  # stream desynchronized: drop the connection
                     continue  # recv timeout: poll the stop flag
                 op, name, extra, payload = unpack_envelope(message)
                 if op == OP_SUBSCRIBE:
@@ -216,8 +218,32 @@ class RemoteBackboneClient:
         self.patterns: list[str] = []
 
     @classmethod
-    def connect(cls, host: str, port: int, context: IOContext) -> "RemoteBackboneClient":
-        return cls(connect(host, port), context)
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        context: IOContext,
+        *,
+        max_reconnects: int = 0,
+    ) -> "RemoteBackboneClient":
+        """Connect to a broker; ``max_reconnects > 0`` enables bounded
+        redial-on-failure with automatic re-subscription of this
+        client's patterns (events published while disconnected are
+        lost — at-most-once, like the socket itself)."""
+        if max_reconnects <= 0:
+            return cls(connect(host, port), context)
+        client_ref: list["RemoteBackboneClient"] = []
+
+        def resubscribe(fresh_channel) -> None:
+            for pattern in client_ref[0].patterns:
+                fresh_channel.send(pack_envelope(OP_SUBSCRIBE, pattern))
+
+        channel = ReconnectingTCPChannel(
+            host, port, max_reconnects=max_reconnects, on_reconnect=resubscribe
+        )
+        client = cls(channel, context)
+        client_ref.append(client)
+        return client
 
     # -- publishing ----------------------------------------------------------
 
@@ -274,6 +300,10 @@ class RemoteBackboneClient:
             else:
                 message = self.channel.recv(timeout)
             op, stream_name, _, payload = unpack_envelope(message)
+            if op in (OP_SUBSCRIBED, OP_PONG):
+                # Late acks (e.g. automatic re-subscription after a
+                # reconnect) are not events; skip them.
+                continue
             if op != OP_EVENT:
                 raise WireError(f"unexpected op {op} from broker")
             kind, _, _, length, _ = IOContext.parse_header(payload)

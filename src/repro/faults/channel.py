@@ -1,0 +1,103 @@
+"""A channel wrapper that injects faults according to a plan.
+
+:class:`FaultyChannel` sits between application code and any concrete
+:class:`~repro.transport.channel.Channel` (in-process pipe, TCP socket,
+reconnecting wrapper) and turns the plan's decisions into the same
+failure modes a hostile network produces:
+
+- ``reset`` — the inner channel is closed and
+  :class:`~repro.errors.ChannelClosedError` raised, exactly what a peer
+  RST looks like to the caller;
+- ``timeout`` — :class:`~repro.errors.TransportTimeoutError` without
+  touching the inner channel (the bytes are "still in flight");
+- ``drop`` — on send, the message is silently discarded; on recv, one
+  inbound message is consumed and thrown away, then the wrapper keeps
+  receiving (the message was "lost on the wire");
+- ``corrupt`` — a seeded single-byte flip applied to the payload
+  (send-side before framing, recv-side after deframing);
+- ``delay`` — ``delay_seconds`` of added latency, then the operation
+  proceeds normally.
+
+Determinism: both the fault schedule and the corruption byte positions
+derive from the plan's seed, so a chaos test run twice produces the
+same faults at the same operations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.errors import ChannelClosedError, TransportTimeoutError
+from repro.faults.plan import FaultPlan
+from repro.transport.channel import Channel
+
+
+def corrupt_bytes(message: bytes, rng: random.Random) -> bytes:
+    """Flip one random byte of ``message`` (empty messages pass through)."""
+    if not message:
+        return message
+    index = rng.randrange(len(message))
+    mutated = bytearray(message)
+    mutated[index] ^= 1 << rng.randrange(8)
+    return bytes(mutated)
+
+
+class FaultyChannel(Channel):
+    """Wrap ``inner`` so every operation first consults ``plan``."""
+
+    def __init__(self, inner: Channel, plan: FaultPlan | None = None) -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        self._corrupt_rng = random.Random(self.plan.seed ^ 0x5EED)
+        self.sent = 0
+        self.received = 0
+
+    # -- the faulted operations ----------------------------------------------
+
+    def send(self, message: bytes) -> None:
+        """Send through the inner channel, unless the plan says otherwise."""
+        kind = self.plan.decide("send")
+        if kind == "drop":
+            return  # lost on the wire; the caller believes it was sent
+        if kind == "reset":
+            self.inner.close()
+            raise ChannelClosedError("injected fault: connection reset on send")
+        if kind == "timeout":
+            raise TransportTimeoutError("injected fault: send timed out")
+        if kind == "corrupt":
+            message = corrupt_bytes(message, self._corrupt_rng)
+        elif kind == "delay":
+            time.sleep(self.plan.delay_seconds)
+        self.inner.send(message)
+        self.sent += 1
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Receive from the inner channel, unless the plan says otherwise."""
+        while True:
+            kind = self.plan.decide("recv")
+            if kind == "reset":
+                self.inner.close()
+                raise ChannelClosedError("injected fault: connection reset on recv")
+            if kind == "timeout":
+                raise TransportTimeoutError("injected fault: recv timed out")
+            if kind == "delay":
+                time.sleep(self.plan.delay_seconds)
+            message = self.inner.recv(timeout)
+            if kind == "drop":
+                continue  # that message was lost on the wire; wait for the next
+            if kind == "corrupt":
+                message = corrupt_bytes(message, self._corrupt_rng)
+            self.received += 1
+            return message
+
+    # -- passthrough ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the inner channel."""
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the inner channel is closed."""
+        return self.inner.closed

@@ -1,0 +1,216 @@
+"""Deterministic fault schedules for chaos testing.
+
+A fault plan answers one question — *should this operation fail, and
+how?* — in a way that is exactly reproducible from a seed.  Two kinds of
+consumers exist:
+
+- :class:`FaultPlan` drives :class:`~repro.faults.channel.FaultyChannel`:
+  per channel operation (``send`` / ``recv``) it may inject a connection
+  reset, a timeout, a silent message drop, byte corruption, or added
+  latency.
+- :class:`ServerFaultPlan` drives
+  :class:`~repro.metaserver.server.FlakyMetadataServer`: per HTTP
+  request it may substitute a 5xx error, hang before answering, or
+  truncate the response body.
+
+Both support the same two scheduling styles, which compose:
+
+- **explicit** — :meth:`on(n, kind)` injects ``kind`` on exactly the
+  *n*-th matching operation (1-based), for tests that need a fault at a
+  precise point;
+- **probabilistic** — per-kind rates drawn from a ``random.Random(seed)``
+  stream, for chaos runs; the same seed always produces the same fault
+  sequence.
+
+Explicit entries win over the probabilistic draw for their operation
+index.  Every decision is recorded in :attr:`injected` and per-kind
+:attr:`counts`, so harnesses can report exactly what was thrown at the
+system under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Channel fault kinds, in the order the probabilistic draw checks them.
+CHANNEL_FAULTS = ("reset", "timeout", "drop", "corrupt", "delay")
+
+#: Server fault kinds.
+SERVER_FAULTS = ("error", "hang", "truncate")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: which operation, which kind."""
+
+    index: int  # 1-based operation count at injection time
+    op: str  # "send" / "recv" for channels, "request" for servers
+    kind: str
+
+
+class _BasePlan:
+    """Shared scheduling machinery (explicit + seeded probabilistic)."""
+
+    kinds: tuple[str, ...] = ()
+
+    def __init__(self, seed: int, rates: dict[str, float]) -> None:
+        for kind, rate in rates.items():
+            if kind not in self.kinds:
+                raise ReproError(
+                    f"unknown fault kind {kind!r}; expected one of {self.kinds}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"rate for {kind!r} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.rates = dict(rates)
+        self._rng = random.Random(seed)
+        self._scheduled: dict[int, str] = {}
+        self._count = 0
+        self.counts: dict[str, int] = {kind: 0 for kind in self.kinds}
+        self.injected: list[FaultEvent] = []
+
+    def on(self, n: int, kind: str) -> "_BasePlan":
+        """Schedule ``kind`` on exactly the ``n``-th operation (fluent)."""
+        if kind not in self.kinds:
+            raise ReproError(
+                f"unknown fault kind {kind!r}; expected one of {self.kinds}"
+            )
+        if n < 1:
+            raise ReproError(f"operation indices are 1-based, got {n}")
+        self._scheduled[n] = kind
+        return self
+
+    @property
+    def operations(self) -> int:
+        """Operations decided so far (faulted or not)."""
+        return self._count
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected so far."""
+        return len(self.injected)
+
+    def _decide(self, op: str) -> str | None:
+        self._count += 1
+        kind = self._scheduled.get(self._count)
+        if kind is None:
+            # One draw per configured kind keeps the stream aligned no
+            # matter which rates are zero, so adding a rate later does
+            # not shift earlier decisions of other kinds.
+            for candidate in self.kinds:
+                rate = self.rates.get(candidate, 0.0)
+                draw = self._rng.random()
+                if kind is None and rate > 0.0 and draw < rate:
+                    kind = candidate
+        if kind is not None:
+            self.counts[kind] += 1
+            self.injected.append(FaultEvent(self._count, op, kind))
+        return kind
+
+    def reset(self) -> None:
+        """Rewind the plan to its initial state (same seed, same schedule)."""
+        self._rng = random.Random(self.seed)
+        self._count = 0
+        self.counts = {kind: 0 for kind in self.kinds}
+        self.injected = []
+
+
+class FaultPlan(_BasePlan):
+    """Fault schedule for a channel wrapper.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the probabilistic draw *and* the corruption byte-flipper.
+    reset, timeout, drop, corrupt, delay:
+        Per-operation probability of each fault kind (0 disables).
+    delay_seconds:
+        Added latency when a ``delay`` fault fires.
+    ops:
+        Which channel operations the plan applies to; operations outside
+        the set are passed through without consuming a decision.
+    """
+
+    kinds = CHANNEL_FAULTS
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        reset: float = 0.0,
+        timeout: float = 0.0,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.005,
+        ops: tuple[str, ...] = ("send", "recv"),
+    ) -> None:
+        super().__init__(
+            seed,
+            {
+                "reset": reset,
+                "timeout": timeout,
+                "drop": drop,
+                "corrupt": corrupt,
+                "delay": delay,
+            },
+        )
+        for op in ops:
+            if op not in ("send", "recv"):
+                raise ReproError(f"ops must be 'send'/'recv', got {op!r}")
+        if delay_seconds < 0:
+            raise ReproError("delay_seconds must be non-negative")
+        self.delay_seconds = delay_seconds
+        self.ops = tuple(ops)
+
+    def decide(self, op: str) -> str | None:
+        """The fault to inject on this operation, or None for passthrough."""
+        if op not in self.ops:
+            return None
+        return self._decide(op)
+
+
+class ServerFaultPlan(_BasePlan):
+    """Fault schedule for a metadata server.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the probabilistic draw.
+    error, hang, truncate:
+        Per-request probability of each fault kind.
+    error_status:
+        HTTP status served on an ``error`` fault.
+    hang_seconds:
+        How long a ``hang`` fault stalls before dropping the connection
+        without a response (pick this above the client timeout to
+        exercise the client's timeout path, below it to exercise the
+        closed-before-response path).
+    """
+
+    kinds = SERVER_FAULTS
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        error: float = 0.0,
+        hang: float = 0.0,
+        truncate: float = 0.0,
+        error_status: int = 503,
+        hang_seconds: float = 0.05,
+    ) -> None:
+        super().__init__(seed, {"error": error, "hang": hang, "truncate": truncate})
+        if error_status < 400 or error_status > 599:
+            raise ReproError(f"error_status must be a 4xx/5xx code, got {error_status}")
+        if hang_seconds < 0:
+            raise ReproError("hang_seconds must be non-negative")
+        self.error_status = error_status
+        self.hang_seconds = hang_seconds
+
+    def decide(self) -> str | None:
+        """The fault to inject on this request, or None for a clean answer."""
+        return self._decide("request")

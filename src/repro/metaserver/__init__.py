@@ -18,15 +18,25 @@ immediate next step of the implementation; this package builds it:
   across repeated lookups.
 """
 
-from repro.metaserver.client import MetadataClient, http_get
+from repro.metaserver.client import (
+    CircuitBreaker,
+    FetchResult,
+    MetadataClient,
+    RetryPolicy,
+    http_get,
+)
 from repro.metaserver.http import HTTPRequest, HTTPResponse, split_url
-from repro.metaserver.server import MetadataServer
+from repro.metaserver.server import FlakyMetadataServer, MetadataServer
 
 __all__ = [
+    "CircuitBreaker",
+    "FetchResult",
     "MetadataClient",
+    "RetryPolicy",
     "http_get",
     "HTTPRequest",
     "HTTPResponse",
     "split_url",
+    "FlakyMetadataServer",
     "MetadataServer",
 ]

@@ -1,24 +1,44 @@
-"""Metadata retrieval: HTTP GET with a TTL cache.
+"""Metadata retrieval: HTTP GET hardened for unreliable networks.
 
 :func:`http_get` performs one raw retrieval (used by the discovery chain
-and by format-id resolution).  :class:`MetadataClient` adds:
+and by format-id resolution).  :class:`MetadataClient` layers on the
+resilience the paper's §3.3 deployment regime demands:
 
-- parsing of retrieved documents into
-  :class:`~repro.schema.SchemaDocument` objects;
-- a TTL cache keyed by URL, so repeated discovery of the same stream's
-  metadata costs one network round-trip per TTL window (the paper:
-  "the infrequency with which message formats change works in favor of
-  a system using remote discovery");
-- retrieval of PBIO format metadata by id from a server's ``/formats/``
-  tree.
+- **retry with exponential backoff + jitter** (:class:`RetryPolicy`) —
+  transient connection failures and retryable 5xx statuses are retried
+  up to a budget; exhaustion raises
+  :class:`~repro.errors.RetryExhaustedError`;
+- **a per-host circuit breaker** (:class:`CircuitBreaker`) — a host that
+  keeps failing is not hammered: after ``failure_threshold`` consecutive
+  failures the breaker opens and requests fail fast with
+  :class:`~repro.errors.CircuitOpenError` until a cooldown passes, then
+  a single half-open probe decides whether to close it again;
+- **a bounded TTL + LRU cache with stale-while-revalidate** — repeated
+  discovery of the same stream costs one round-trip per TTL window (the
+  paper: "the infrequency with which message formats change works in
+  favor of a system using remote discovery"), the cache cannot grow
+  without bound, and when the server is unreachable an *expired* entry
+  is still served, flagged ``stale=True`` — the operational form of the
+  paper's format-change-infrequency argument.
+
+Counters (``hits`` / ``fetches`` / ``retries`` / ``stale_serves`` /
+``evictions`` and per-breaker ``trips``) make chaos runs reportable.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
-from repro.errors import DiscoveryError
+from repro.errors import (
+    CircuitOpenError,
+    DiscoveryError,
+    MetadataHTTPError,
+    RetryExhaustedError,
+)
 from repro.metaserver.http import (
     HTTPRequest,
     HTTPResponse,
@@ -33,8 +53,9 @@ from repro.schema.parser import parse_schema
 def http_get(url: str, timeout: float = 5.0) -> bytes:
     """Fetch ``url`` with a one-shot HTTP/1.0 GET; returns the body.
 
-    Raises :class:`~repro.errors.DiscoveryError` on connection failure,
-    malformed responses, or non-200 statuses.
+    Raises :class:`~repro.errors.DiscoveryError` on connection failure
+    or malformed responses, and :class:`~repro.errors.MetadataHTTPError`
+    (carrying the status) on non-200 answers.
     """
     host, port, path = split_url(url)
     request = HTTPRequest("GET", path, {"Host": f"{host}:{port}"})
@@ -52,42 +73,311 @@ def http_get(url: str, timeout: float = 5.0) -> bytes:
         sock.close()
     response = HTTPResponse.parse(raw)
     if response.status != 200:
-        raise DiscoveryError(
+        raise MetadataHTTPError(
             f"metadata server returned {response.status} for {url}: "
-            f"{response.body[:200].decode('utf-8', 'replace')}"
+            f"{response.body[:200].decode('utf-8', 'replace')}",
+            status=response.status,
+        )
+    length = response.header("Content-Length")
+    if length is not None and length.isdigit() and len(response.body) < int(length):
+        # A truncated body (server died mid-send) must not parse as a
+        # short-but-valid document.
+        raise DiscoveryError(
+            f"truncated response from {url}: got {len(response.body)} of "
+            f"{length} bytes"
         )
     return response.body
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :class:`MetadataClient` retries failed retrievals.
+
+    Delay before attempt *n*'s retry is
+    ``min(cap_delay, base_delay * multiplier**(n-1))``, then jittered by
+    up to ``jitter`` of itself (full-jitter style, seeded — chaos runs
+    are reproducible).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    cap_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    retryable_statuses: frozenset[int] = frozenset({500, 502, 503, 504})
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise DiscoveryError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.cap_delay < 0:
+            raise DiscoveryError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise DiscoveryError("jitter must be in [0, 1]")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay after failed attempt ``attempt`` (1-based)."""
+        delay = min(self.cap_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter and delay > 0:
+            delay -= rng.uniform(0, self.jitter * delay)
+        return delay
+
+    def is_retryable(self, exc: Exception) -> bool:
+        """Whether a failed attempt is worth repeating."""
+        if isinstance(exc, CircuitOpenError):
+            return False
+        if isinstance(exc, MetadataHTTPError):
+            return exc.status in self.retryable_statuses
+        # Connection refusals, timeouts, resets, truncated responses.
+        return isinstance(exc, DiscoveryError)
+
+
+#: Circuit breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one host.
+
+    CLOSED: requests flow, consecutive failures are counted.  Reaching
+    ``failure_threshold`` trips the breaker to OPEN: requests fail fast
+    for ``reset_timeout`` seconds.  The first request after the cooldown
+    runs as a HALF_OPEN probe — success closes the breaker, failure
+    re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise DiscoveryError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.trips = 0  # CLOSED/HALF_OPEN -> OPEN transitions
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open``, or ``half-open``."""
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now."""
+        self._maybe_half_open()
+        return self._state != OPEN
+
+    def retry_after(self) -> float:
+        """Seconds until an OPEN breaker will allow a probe."""
+        if self._state != OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.reset_timeout - self._clock())
+
+    def record_success(self) -> None:
+        """A request succeeded: close the breaker, clear the streak."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A request failed: count it, trip to OPEN at the threshold."""
+        self._maybe_half_open()
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN or (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """One retrieval outcome: the bytes plus how they were obtained."""
+
+    url: str
+    body: bytes
+    stale: bool = False  # served from an expired cache entry
+    cached: bool = False  # served from a fresh cache entry
+    attempts: int = 0  # network requests made (0 on a cache hit)
+
+
+@dataclass
+class _CacheEntry:
+    fetched_at: float
+    body: bytes
+
+
 class MetadataClient:
-    """Schema retrieval with TTL caching.
+    """Schema retrieval with retry, circuit breaking, and a bounded cache.
 
     Parameters
     ----------
     ttl:
-        Seconds a cached document stays fresh.  ``0`` disables caching.
+        Seconds a cached document stays fresh.  ``0`` disables caching
+        entirely (no fresh hits *and* no stale serves).
     timeout:
         Per-request socket timeout.
+    retry:
+        The :class:`RetryPolicy`; pass ``RetryPolicy(max_attempts=1)``
+        for the old single-shot behavior.
+    breaker_threshold / breaker_reset:
+        Per-host circuit breaker tuning (consecutive failures to trip,
+        seconds until a half-open probe).
+    max_entries:
+        LRU bound on the cache — a long-running consumer discovering
+        many streams cannot grow memory without limit.
+    stale_ttl:
+        How long past expiry an entry may still be stale-served;
+        ``None`` means for as long as it survives the LRU.
+    seed:
+        Seeds retry jitter (deterministic chaos runs).
     """
 
-    def __init__(self, *, ttl: float = 60.0, timeout: float = 5.0) -> None:
+    def __init__(
+        self,
+        *,
+        ttl: float = 60.0,
+        timeout: float = 5.0,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 1.0,
+        max_entries: int = 256,
+        stale_ttl: float | None = None,
+        seed: int = 0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if max_entries < 1:
+            raise DiscoveryError("max_entries must be at least 1")
         self.ttl = ttl
         self.timeout = timeout
-        self._cache: dict[str, tuple[float, bytes]] = {}
-        self.fetches = 0  # actual network retrievals (cache misses)
-        self.hits = 0
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_entries = max_entries
+        self.stale_ttl = stale_ttl
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset = breaker_reset
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._cache: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self.fetches = 0  # successful network retrievals (cache misses)
+        self.hits = 0  # fresh cache hits
+        self.retries = 0  # extra attempts beyond the first, per fetch
+        self.stale_serves = 0  # expired entries served on fetch failure
+        self.evictions = 0  # LRU evictions
+        self.last_result: FetchResult | None = None
+
+    # -- breakers ----------------------------------------------------------------
+
+    def breaker_for(self, host: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``host`` (created on first use)."""
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset,
+                clock=self._clock,
+            )
+            self._breakers[host] = breaker
+        return breaker
+
+    @property
+    def breaker_trips(self) -> int:
+        """Total breaker trips across every host."""
+        return sum(breaker.trips for breaker in self._breakers.values())
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def _fetch(self, url: str) -> tuple[bytes, int]:
+        """Retrieve ``url`` under the retry policy; returns (body, attempts)."""
+        host, port, _ = split_url(url)
+        breaker = self.breaker_for(f"{host}:{port}")
+        last_error: Exception | None = None
+        attempts = 0
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if not breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {host}:{port}; retry in "
+                    f"{breaker.retry_after():.3f}s",
+                    host=f"{host}:{port}",
+                    retry_after=breaker.retry_after(),
+                )
+            attempts += 1
+            if attempt > 1:
+                self.retries += 1
+            try:
+                body = http_get(url, timeout=self.timeout)
+            except DiscoveryError as exc:
+                breaker.record_failure()
+                last_error = exc
+                if attempt < self.retry.max_attempts and self.retry.is_retryable(exc):
+                    self._sleep(self.retry.delay_for(attempt, self._rng))
+                    continue
+                if not self.retry.is_retryable(exc):
+                    raise
+                break
+            breaker.record_success()
+            return body, attempts
+        raise RetryExhaustedError(
+            f"retrieval of {url} failed after {attempts} attempt(s): {last_error}",
+            attempts=attempts,
+            last_error=last_error,
+        )
+
+    def get(self, url: str) -> FetchResult:
+        """Fetch ``url``: fresh cache, then network, then stale cache."""
+        now = self._clock()
+        entry = self._cache.get(url)
+        if entry is not None and self.ttl > 0 and now - entry.fetched_at < self.ttl:
+            self._cache.move_to_end(url)
+            self.hits += 1
+            result = FetchResult(url, entry.body, cached=True)
+            self.last_result = result
+            return result
+        try:
+            body, attempts = self._fetch(url)
+        except DiscoveryError:
+            if entry is not None and self._stale_usable(entry, now):
+                self.stale_serves += 1
+                self._cache.move_to_end(url)
+                result = FetchResult(url, entry.body, stale=True)
+                self.last_result = result
+                return result
+            raise
+        self.fetches += 1
+        if self.ttl > 0:
+            self._cache[url] = _CacheEntry(self._clock(), body)
+            self._cache.move_to_end(url)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+        result = FetchResult(url, body, attempts=attempts)
+        self.last_result = result
+        return result
+
+    def _stale_usable(self, entry: _CacheEntry, now: float) -> bool:
+        if self.ttl <= 0:
+            return False
+        if self.stale_ttl is None:
+            return True
+        return now - entry.fetched_at < self.ttl + self.stale_ttl
 
     def get_bytes(self, url: str) -> bytes:
-        """Fetch ``url``, serving from cache while fresh."""
-        now = time.monotonic()
-        cached = self._cache.get(url)
-        if cached is not None and self.ttl > 0 and now - cached[0] < self.ttl:
-            self.hits += 1
-            return cached[1]
-        body = http_get(url, timeout=self.timeout)
-        self.fetches += 1
-        self._cache[url] = (now, body)
-        return body
+        """Fetch ``url``, serving from cache while fresh (body only)."""
+        return self.get(url).body
 
     def get_schema(self, url: str) -> SchemaDocument:
         """Fetch and parse a schema document."""
@@ -104,9 +394,23 @@ class MetadataClient:
         body = self.get_bytes(f"{base_url}/formats/{format_id.hex()}")
         return IOFormat.from_wire_metadata(body)
 
+    # -- cache management ---------------------------------------------------------
+
     def invalidate(self, url: str | None = None) -> None:
         """Drop one cached URL, or everything when ``url`` is None."""
         if url is None:
             self._cache.clear()
         else:
             self._cache.pop(url, None)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reporting: hits, fetches, retries, stale serves..."""
+        return {
+            "hits": self.hits,
+            "fetches": self.fetches,
+            "retries": self.retries,
+            "stale_serves": self.stale_serves,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+            "breaker_trips": self.breaker_trips,
+        }

@@ -23,7 +23,8 @@ manager in applications and tests.
 from __future__ import annotations
 
 import threading
-from typing import Callable
+import time
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DiscoveryError, TransportError
 from repro.metaserver.http import HTTPRequest, HTTPResponse, read_http_message
@@ -31,6 +32,9 @@ from repro.pbio.fmserver import FormatServer
 from repro.schema.model import SchemaDocument
 from repro.schema.writer import schema_to_xml
 from repro.transport.tcp import TCPListener
+
+if TYPE_CHECKING:
+    from repro.faults.plan import ServerFaultPlan
 
 DynamicHandler = Callable[[HTTPRequest], str]
 
@@ -131,7 +135,7 @@ class MetadataServer:
         try:
             raw = read_http_message(channel._sock.recv)
             response = self._respond(raw)
-            channel._sock.sendall(response.render())
+            self._transmit(channel, response)
             self.requests_served += 1
         except Exception:
             try:
@@ -140,6 +144,10 @@ class MetadataServer:
                 pass
         finally:
             channel.close()
+
+    def _transmit(self, channel, response: HTTPResponse) -> None:
+        """Send the rendered response (hook for fault-injecting subclasses)."""
+        channel._sock.sendall(response.render())
 
     def _respond(self, raw: bytes) -> HTTPResponse:
         try:
@@ -187,3 +195,64 @@ class MetadataServer:
         return HTTPResponse(
             200, {"Content-Type": "application/x-pbio-format"}, metadata
         )
+
+
+class FlakyMetadataServer(MetadataServer):
+    """A :class:`MetadataServer` that misbehaves on a deterministic schedule.
+
+    Each request consults a
+    :class:`~repro.faults.plan.ServerFaultPlan` and may, instead of the
+    clean answer:
+
+    - **error** — substitute a 5xx response (``plan.error_status``);
+    - **hang** — stall ``plan.hang_seconds`` and drop the connection
+      without sending anything, so the client sees a timeout or a
+      closed-before-response failure;
+    - **truncate** — send the headers (with the full ``Content-Length``)
+      but only half the body, then close: the client must detect the
+      short read rather than parse a cut-off document.
+
+    Faulted requests are counted in :attr:`faults_injected` and do *not*
+    increment ``requests_served``, so tests can assert exactly how many
+    clean answers went out.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        plan: "ServerFaultPlan | None" = None,
+    ) -> None:
+        from repro.faults.plan import ServerFaultPlan
+
+        super().__init__(host, port)
+        self.plan = plan if plan is not None else ServerFaultPlan()
+        self.faults_injected = 0
+
+    def _handle_connection(self, channel) -> None:
+        action = self.plan.decide()
+        if action is None:
+            super()._handle_connection(channel)
+            return
+        self.faults_injected += 1
+        try:
+            raw = read_http_message(channel._sock.recv)
+            if action == "error":
+                channel._sock.sendall(
+                    HTTPResponse(
+                        self.plan.error_status, body=b"injected server fault"
+                    ).render()
+                )
+            elif action == "hang":
+                time.sleep(self.plan.hang_seconds)
+                # fall through to close without a response
+            elif action == "truncate":
+                wire = self._respond(raw).render()
+                head_end = wire.find(b"\r\n\r\n") + 4
+                cut = head_end + max(1, (len(wire) - head_end) // 2)
+                channel._sock.sendall(wire[:cut])
+        except Exception:
+            pass
+        finally:
+            channel.close()

@@ -22,7 +22,13 @@ from repro.transport.channel import Channel
 from repro.transport.connection import RecordConnection
 from repro.transport.inproc import InprocChannel, make_pipe
 from repro.transport.netsim import NetworkModel, NetworkStats
-from repro.transport.tcp import TCPChannel, TCPListener, connect, listen
+from repro.transport.tcp import (
+    ReconnectingTCPChannel,
+    TCPChannel,
+    TCPListener,
+    connect,
+    listen,
+)
 
 __all__ = [
     "Channel",
@@ -31,6 +37,7 @@ __all__ = [
     "make_pipe",
     "NetworkModel",
     "NetworkStats",
+    "ReconnectingTCPChannel",
     "TCPChannel",
     "TCPListener",
     "connect",

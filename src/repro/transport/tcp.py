@@ -1,10 +1,33 @@
-"""TCP transport: real sockets with the shared message framing."""
+"""TCP transport: real sockets with the shared message framing.
+
+Failure semantics of :class:`TCPChannel.recv`:
+
+- a timeout *before any frame byte arrived* raises
+  :class:`~repro.errors.TransportTimeoutError` and the channel stays
+  usable — the stream is still at a frame boundary;
+- a timeout *mid-frame* leaves unread frame bytes on the socket, so any
+  further read would decode garbage from the middle of a message.  The
+  channel marks itself **poisoned**, raises ``TransportTimeoutError``
+  with ``mid_frame=True``, and refuses subsequent ``recv`` calls rather
+  than desynchronizing.
+
+:class:`ReconnectingTCPChannel` layers bounded reconnect-on-failure on
+top: a sink (publisher, broker client) survives a broken connection by
+redialing with backoff, up to a budget, instead of dying on the first
+reset.
+"""
 
 from __future__ import annotations
 
 import socket
+import time
 
-from repro.errors import ChannelClosedError, TransportError, WireError
+from repro.errors import (
+    ChannelClosedError,
+    TransportError,
+    TransportTimeoutError,
+    WireError,
+)
 from repro.transport.channel import Channel
 from repro.wire.framing import frame, read_frame
 
@@ -15,6 +38,7 @@ class TCPChannel(Channel):
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._closed = False
+        self._poisoned = False
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def send(self, message: bytes) -> None:
@@ -30,17 +54,50 @@ class TCPChannel(Channel):
     def recv(self, timeout: float | None = None) -> bytes:
         if self._closed:
             raise ChannelClosedError("cannot recv on a closed channel")
+        if self._poisoned:
+            raise TransportError(
+                "channel poisoned by an earlier mid-frame timeout; "
+                "the byte stream is desynchronized — close and reconnect"
+            )
+        consumed = 0
+
+        def tracking_recv(n: int) -> bytes:
+            nonlocal consumed
+            chunk = self._sock.recv(n)
+            consumed += len(chunk)
+            return chunk
+
+        prior_timeout = self._sock.gettimeout()
         self._sock.settimeout(timeout)
         try:
-            return read_frame(self._sock.recv)
+            return read_frame(tracking_recv)
         except socket.timeout as exc:
-            raise TransportError(f"recv timed out after {timeout}s") from exc
+            if consumed:
+                self._poisoned = True
+                raise TransportTimeoutError(
+                    f"recv timed out after {timeout}s with {consumed} frame "
+                    "byte(s) consumed; channel poisoned",
+                    mid_frame=True,
+                ) from exc
+            raise TransportTimeoutError(f"recv timed out after {timeout}s") from exc
         except ConnectionResetError as exc:
             raise ChannelClosedError(f"connection reset: {exc}") from exc
         except WireError:
             raise
         except OSError as exc:
             raise TransportError(f"recv failed: {exc}") from exc
+        finally:
+            # settimeout must not leak: interleaved timed/untimed calls
+            # (and sends on the same socket) see the prior deadline.
+            try:
+                self._sock.settimeout(prior_timeout)
+            except OSError:
+                pass
+
+    @property
+    def poisoned(self) -> bool:
+        """True once a mid-frame timeout desynchronized the inbound stream."""
+        return self._poisoned
 
     def close(self) -> None:
         if not self._closed:
@@ -115,3 +172,108 @@ def connect(host: str, port: int, timeout: float | None = 5.0) -> TCPChannel:
         raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
     sock.settimeout(None)
     return TCPChannel(sock)
+
+
+class ReconnectingTCPChannel(Channel):
+    """A channel that redials its peer on connection failure, with a budget.
+
+    Wraps the dial itself: construction connects immediately; a
+    :class:`~repro.errors.ChannelClosedError` (or a poisoned stream)
+    during ``send``/``recv`` triggers up to ``max_reconnects`` redial
+    attempts per operation, with exponential backoff between them.
+    Messages in flight when the connection broke are *not* replayed —
+    at-most-once, like the underlying socket; timeouts propagate as-is
+    (the connection is still healthy, the peer is just quiet).
+
+    ``on_reconnect`` (called with the fresh :class:`TCPChannel` after
+    each successful redial) lets session-level protocols restore state,
+    e.g. a broker client re-sending its SUBSCRIBE envelopes.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_reconnects: int = 3,
+        base_delay: float = 0.05,
+        connect_timeout: float | None = 5.0,
+        on_reconnect=None,
+        sleep=time.sleep,
+    ) -> None:
+        if max_reconnects < 0:
+            raise TransportError("max_reconnects must be non-negative")
+        self.host = host
+        self.port = port
+        self.max_reconnects = max_reconnects
+        self.base_delay = base_delay
+        self.connect_timeout = connect_timeout
+        self.on_reconnect = on_reconnect
+        self._sleep = sleep
+        self._closed = False
+        self.reconnects = 0  # successful redials over the channel's lifetime
+        self._channel: TCPChannel = connect(host, port, timeout=connect_timeout)
+
+    def _redial(self, budget_used: int) -> None:
+        """One backoff-then-redial step; raises TransportError on failure."""
+        self._sleep(self.base_delay * (2**budget_used))
+        self._channel.close()
+        self._channel = connect(self.host, self.port, timeout=self.connect_timeout)
+        self.reconnects += 1
+        if self.on_reconnect is not None:
+            self.on_reconnect(self._channel)
+
+    def _run(self, operation):
+        redials = 0
+        while True:
+            if self._closed:
+                raise ChannelClosedError("cannot use a closed channel")
+            try:
+                if self._channel.poisoned:
+                    raise ChannelClosedError("inbound stream poisoned")
+                return operation(self._channel)
+            except TransportTimeoutError:
+                raise  # peer is slow, not gone: no redial
+            except (ChannelClosedError, TransportError) as exc:
+                last_error: Exception = exc
+                # Burn redial budget until one dial succeeds, then retry
+                # the operation on the fresh connection.
+                while True:
+                    if redials >= self.max_reconnects:
+                        if last_error is exc:
+                            raise  # no budget was available: original error
+                        raise TransportError(
+                            f"reconnect budget ({self.max_reconnects}) "
+                            f"exhausted for {self.host}:{self.port}: "
+                            f"{last_error}"
+                        ) from last_error
+                    try:
+                        self._redial(redials)
+                        redials += 1
+                        break
+                    except TransportError as dial_exc:
+                        redials += 1
+                        last_error = dial_exc
+
+    def send(self, message: bytes) -> None:
+        """Send, redialing (within budget) if the connection broke."""
+        self._run(lambda channel: channel.send(message))
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Receive, redialing (within budget) if the connection broke."""
+        return self._run(lambda channel: channel.recv(timeout))
+
+    def close(self) -> None:
+        """Close; a closed reconnecting channel never redials."""
+        self._closed = True
+        self._channel.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        """The (host, port) of the current underlying socket."""
+        return self._channel.local_address

@@ -1,0 +1,140 @@
+"""Per-source health, temporary demotion, and structured reports."""
+
+import pytest
+
+from repro.core.discovery import (
+    CompiledSource,
+    DiscoveryChain,
+    MetadataSource,
+)
+from repro.errors import DiscoveryError
+from repro.workloads import ASDOFF_B_SCHEMA
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ScriptedSource(MetadataSource):
+    """Fails while ``broken`` is True, succeeds otherwise."""
+
+    def __init__(self, name="scripted", broken=True):
+        self.name = name
+        self.broken = broken
+        self.fetches = 0
+
+    def fetch(self):
+        self.fetches += 1
+        if self.broken:
+            raise DiscoveryError(f"{self.name} is down")
+        from repro.schema.parser import parse_schema
+
+        return parse_schema(ASDOFF_B_SCHEMA)
+
+    def describe(self):
+        return f"scripted:{self.name}"
+
+
+class TestHealthTracking:
+    def test_counts_accumulate(self):
+        source = ScriptedSource(broken=True)
+        chain = DiscoveryChain([source, CompiledSource(ASDOFF_B_SCHEMA)])
+        for _ in range(2):
+            chain.discover()
+        health = chain.health(source)
+        assert health.failures == 2
+        assert health.consecutive_failures == 2
+        assert health.successes == 0
+
+    def test_success_resets_streak(self):
+        source = ScriptedSource(broken=True)
+        chain = DiscoveryChain([source, CompiledSource(ASDOFF_B_SCHEMA)])
+        chain.discover()
+        source.broken = False
+        chain.discover()
+        health = chain.health(source)
+        assert health.consecutive_failures == 0
+        assert health.successes == 1
+        assert health.failures == 1
+
+
+class TestDemotion:
+    def test_demoted_source_moves_to_back(self):
+        clock = FakeClock()
+        source = ScriptedSource(broken=True)
+        compiled = CompiledSource(ASDOFF_B_SCHEMA)
+        chain = DiscoveryChain(
+            [source, compiled], demote_after=2, demotion_period=30, clock=clock
+        )
+        chain.discover()
+        chain.discover()  # second failure -> demoted
+        assert chain.health(source).demoted(clock())
+        # While demoted, the healthy fallback is tried first: the broken
+        # source is not touched because compiled succeeds immediately.
+        fetches_before = source.fetches
+        result = chain.discover()
+        assert result.source == "compiled:builtin"
+        assert not result.attempts  # compiled was first in try order
+        assert source.fetches == fetches_before
+
+    def test_demotion_expires_and_source_recovers(self):
+        clock = FakeClock()
+        source = ScriptedSource(broken=True)
+        chain = DiscoveryChain(
+            [source, CompiledSource(ASDOFF_B_SCHEMA)],
+            demote_after=1,
+            demotion_period=30,
+            clock=clock,
+        )
+        chain.discover()  # fails, demoted
+        source.broken = False
+        clock.advance(31)
+        result = chain.discover()
+        assert result.source == "scripted:scripted"
+        assert not chain.health(source).demoted(clock())
+
+    def test_demoted_source_still_last_resort(self):
+        clock = FakeClock()
+        source = ScriptedSource(broken=True)
+        chain = DiscoveryChain([source], demote_after=1, clock=clock)
+        with pytest.raises(DiscoveryError):
+            chain.discover()
+        # Demoted but it is the only source: still tried.
+        source.broken = False
+        assert chain.discover().source == "scripted:scripted"
+
+
+class TestReports:
+    def test_report_lists_every_attempt(self):
+        source = ScriptedSource(broken=True)
+        chain = DiscoveryChain([source, CompiledSource(ASDOFF_B_SCHEMA)])
+        result = chain.discover()
+        report = result.report
+        assert report.tried == 2
+        assert [a.ok for a in report.attempts] == [False, True]
+        assert "is down" in report.attempts[0].error
+        assert report.failures[0].source == "scripted:scripted"
+        assert "scripted" in report.describe()
+        assert chain.last_report is report
+
+    def test_clean_discovery_report(self):
+        chain = DiscoveryChain([CompiledSource(ASDOFF_B_SCHEMA)])
+        result = chain.discover()
+        assert result.report.tried == 1
+        assert result.report.attempts[0].ok
+        assert not result.degraded
+
+    def test_exhausted_chain_still_leaves_report(self):
+        source = ScriptedSource(broken=True)
+        chain = DiscoveryChain([source])
+        with pytest.raises(DiscoveryError):
+            chain.discover()
+        assert chain.last_report.tried == 1
+        assert not chain.last_report.attempts[0].ok

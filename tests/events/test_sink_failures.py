@@ -1,0 +1,86 @@
+"""Bounded failure handling for backbone sinks."""
+
+import pytest
+
+from repro import IOContext, SPARC_32, X86_64, XML2Wire
+from repro.errors import TransportError
+from repro.events import EventBackbone
+from repro.events.backbone import _SubscriberQueue
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+
+class WedgedQueue(_SubscriberQueue):
+    """A sink whose put raises — a subscriber that can't absorb events."""
+
+    def __init__(self, fail=True):
+        super().__init__()
+        self.fail = fail
+        self.attempts = 0
+
+    def put(self, stream, message):
+        self.attempts += 1
+        if self.fail:
+            raise RuntimeError("sink wedged")
+        super().put(stream, message)
+
+
+def make_publisher(backbone):
+    context = IOContext(SPARC_32)
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    publisher = backbone.publisher("flights.ATL", context)
+    record = AirlineWorkload(seed=5).record_b()
+    return publisher, record
+
+
+class TestSinkPruning:
+    def test_wedged_sink_detached_after_limit(self):
+        backbone = EventBackbone(sink_failure_limit=3)
+        wedged = WedgedQueue()
+        backbone.attach_queue("flights.*", wedged)
+        publisher, record = make_publisher(backbone)
+        for _ in range(5):
+            publisher.publish("ASDOffEvent", record)
+        # 1 metadata message + data messages until the limit hit.
+        assert wedged.attempts == 3
+        assert backbone.dropped_sinks == 1
+
+    def test_healthy_sinks_unaffected_by_wedged_peer(self):
+        backbone = EventBackbone(sink_failure_limit=2)
+        wedged = WedgedQueue()
+        backbone.attach_queue("flights.*", wedged)
+        receiver = IOContext(X86_64)
+        subscription = backbone.subscribe("flights.*", receiver)
+        publisher, record = make_publisher(backbone)
+        for _ in range(4):
+            publisher.publish("ASDOffEvent", record)
+        events = [subscription.next(timeout=1) for _ in range(4)]
+        assert all(event.format_name == "ASDOffEvent" for event in events)
+        assert backbone.dropped_sinks == 1
+
+    def test_intermittent_failures_below_limit_tolerated(self):
+        backbone = EventBackbone(sink_failure_limit=3)
+        flaky = WedgedQueue(fail=True)
+        backbone.attach_queue("flights.*", flaky)
+        publisher, record = make_publisher(backbone)
+        publisher.publish("ASDOffEvent", record)  # metadata + data: 2 failures
+        flaky.fail = False  # recovers before the third consecutive failure
+        publisher.publish("ASDOffEvent", record)
+        assert backbone.dropped_sinks == 0
+        assert len(flaky) == 1
+
+    def test_delivery_count_excludes_failed_sinks(self):
+        backbone = EventBackbone(sink_failure_limit=10)
+        wedged = WedgedQueue()
+        healthy = _SubscriberQueue()
+        backbone.attach_queue("s", wedged)
+        backbone.attach_queue("s", healthy)
+        publisher, record = make_publisher(backbone)
+        context = IOContext(SPARC_32)
+        XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+        fmt = context.lookup_format("ASDOffEvent")
+        delivered = backbone.route("s", context.encode(fmt, record))
+        assert delivered == 1
+
+    def test_limit_validated(self):
+        with pytest.raises(TransportError):
+            EventBackbone(sink_failure_limit=0)

@@ -1,0 +1,86 @@
+"""Fault plans must be deterministic, inspectable, and validated."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan, ServerFaultPlan
+
+
+class TestScheduling:
+    def test_explicit_nth_operation(self):
+        plan = FaultPlan().on(2, "reset").on(4, "drop")
+        decisions = [plan.decide("send") for _ in range(5)]
+        assert decisions == [None, "reset", None, "drop", None]
+
+    def test_explicit_wins_over_probabilistic(self):
+        plan = FaultPlan(seed=7, drop=1.0).on(1, "reset")
+        assert plan.decide("send") == "reset"
+        assert plan.decide("send") == "drop"
+
+    def test_same_seed_same_sequence(self):
+        first = FaultPlan(seed=42, reset=0.1, drop=0.3, corrupt=0.2)
+        second = FaultPlan(seed=42, reset=0.1, drop=0.3, corrupt=0.2)
+        a = [first.decide("send") for _ in range(200)]
+        b = [second.decide("send") for _ in range(200)]
+        assert a == b
+        assert any(kind is not None for kind in a)
+
+    def test_different_seed_different_sequence(self):
+        plan1 = FaultPlan(seed=1, drop=0.5)
+        plan2 = FaultPlan(seed=2, drop=0.5)
+        a = [plan1.decide("send") for _ in range(100)]
+        b = [plan2.decide("send") for _ in range(100)]
+        assert a != b
+
+    def test_zero_rates_never_fault(self):
+        plan = FaultPlan(seed=3)
+        assert all(plan.decide("recv") is None for _ in range(100))
+
+    def test_ops_filter_skips_other_operations(self):
+        plan = FaultPlan(ops=("recv",)).on(1, "timeout")
+        assert plan.decide("send") is None  # not counted, not faulted
+        assert plan.decide("recv") == "timeout"
+
+    def test_reset_rewinds_to_identical_stream(self):
+        plan = FaultPlan(seed=9, corrupt=0.4).on(3, "reset")
+        first = [plan.decide("send") for _ in range(50)]
+        plan.reset()
+        second = [plan.decide("send") for _ in range(50)]
+        assert first == second
+
+
+class TestAccounting:
+    def test_counts_and_events(self):
+        plan = FaultPlan().on(1, "drop").on(3, "drop").on(4, "delay")
+        for _ in range(5):
+            plan.decide("send")
+        assert plan.counts["drop"] == 2
+        assert plan.counts["delay"] == 1
+        assert plan.total_injected == 3
+        assert plan.operations == 5
+        assert [event.index for event in plan.injected] == [1, 3, 4]
+
+    def test_server_plan_counts(self):
+        plan = ServerFaultPlan(seed=5, error=0.5)
+        decisions = [plan.decide() for _ in range(100)]
+        errors = sum(1 for kind in decisions if kind == "error")
+        assert plan.counts["error"] == errors
+        assert 20 < errors < 80  # seeded, roughly half
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultPlan().on(1, "meltdown")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ReproError, match="rate"):
+            FaultPlan(drop=1.5)
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ReproError, match="1-based"):
+            FaultPlan().on(0, "drop")
+
+    def test_server_status_validated(self):
+        with pytest.raises(ReproError, match="4xx/5xx"):
+            ServerFaultPlan(error_status=200)

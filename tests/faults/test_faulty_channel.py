@@ -1,0 +1,112 @@
+"""FaultyChannel must turn plan decisions into real failure modes."""
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransportTimeoutError
+from repro.faults import FaultPlan, FaultyChannel
+from repro.transport import make_pipe
+
+
+def faulty_pipe(plan):
+    """An in-process pipe with faults injected on the left end."""
+    left, right = make_pipe()
+    return FaultyChannel(left, plan), right
+
+
+class TestSendFaults:
+    def test_clean_plan_passes_through(self):
+        channel, peer = faulty_pipe(FaultPlan())
+        channel.send(b"hello")
+        assert peer.recv(timeout=1) == b"hello"
+        assert channel.sent == 1
+
+    def test_drop_loses_the_message_silently(self):
+        channel, peer = faulty_pipe(FaultPlan(ops=("send",)).on(1, "drop"))
+        channel.send(b"lost")
+        channel.send(b"kept")
+        assert peer.recv(timeout=1) == b"kept"
+        assert channel.plan.counts["drop"] == 1
+
+    def test_reset_closes_and_raises(self):
+        channel, _ = faulty_pipe(FaultPlan(ops=("send",)).on(1, "reset"))
+        with pytest.raises(ChannelClosedError, match="injected"):
+            channel.send(b"x")
+        assert channel.closed
+
+    def test_timeout_raises_without_sending(self):
+        channel, peer = faulty_pipe(FaultPlan(ops=("send",)).on(1, "timeout"))
+        with pytest.raises(TransportTimeoutError):
+            channel.send(b"x")
+        channel.send(b"after")
+        assert peer.recv(timeout=1) == b"after"
+
+    def test_corrupt_flips_exactly_one_bit(self):
+        channel, peer = faulty_pipe(FaultPlan(seed=4, ops=("send",)).on(1, "corrupt"))
+        original = bytes(range(32))
+        channel.send(original)
+        received = peer.recv(timeout=1)
+        assert received != original
+        assert len(received) == len(original)
+        diff = [i for i in range(32) if received[i] != original[i]]
+        assert len(diff) == 1
+        assert bin(received[diff[0]] ^ original[diff[0]]).count("1") == 1
+
+    def test_corruption_is_seeded(self):
+        def run(seed):
+            channel, peer = faulty_pipe(
+                FaultPlan(seed=seed, ops=("send",)).on(1, "corrupt")
+            )
+            channel.send(bytes(64))
+            return peer.recv(timeout=1)
+
+        assert run(11) == run(11)
+
+
+class TestRecvFaults:
+    def test_recv_timeout_injected(self):
+        channel, peer = faulty_pipe(FaultPlan(ops=("recv",)).on(1, "timeout"))
+        peer.send(b"waiting")
+        with pytest.raises(TransportTimeoutError):
+            channel.recv(timeout=1)
+        assert channel.recv(timeout=1) == b"waiting"
+
+    def test_recv_drop_discards_one_message(self):
+        channel, peer = faulty_pipe(FaultPlan(ops=("recv",)).on(1, "drop"))
+        peer.send(b"first")
+        peer.send(b"second")
+        assert channel.recv(timeout=1) == b"second"
+
+    def test_recv_corrupt_mutates_payload(self):
+        channel, peer = faulty_pipe(FaultPlan(seed=2, ops=("recv",)).on(1, "corrupt"))
+        peer.send(bytes(16))
+        received = channel.recv(timeout=1)
+        assert received != bytes(16)
+        assert len(received) == 16
+
+    def test_recv_reset_closes(self):
+        channel, peer = faulty_pipe(FaultPlan(ops=("recv",)).on(1, "reset"))
+        peer.send(b"x")
+        with pytest.raises(ChannelClosedError, match="injected"):
+            channel.recv(timeout=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_trace(self):
+        def run():
+            plan = FaultPlan(seed=99, drop=0.3, corrupt=0.2, ops=("send",))
+            channel, peer = faulty_pipe(plan)
+            for i in range(50):
+                channel.send(bytes([i]) * 8)
+            received = []
+            while True:
+                try:
+                    received.append(peer.recv(timeout=0.05))
+                except Exception:
+                    break
+            return received, [e.kind for e in plan.injected]
+
+        first, first_trace = run()
+        second, second_trace = run()
+        assert first == second
+        assert first_trace == second_trace
+        assert len(first) < 50  # some messages really were dropped

@@ -1,0 +1,163 @@
+"""End-to-end degraded operation: the paper's §3.3 story under real faults.
+
+Remote discovery is primary; compiled-in metadata is the fallback when
+"a broken network link or hardware failure" strikes.  These tests kill
+and resurrect a real metadata server mid-run and assert the chain
+degrades and recovers, and that a flaky-but-alive server is absorbed by
+the retry layer without the caller ever seeing an error.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    CompiledSource,
+    DiscoveryChain,
+    FlakyMetadataServer,
+    IOContext,
+    MetadataClient,
+    MetadataServer,
+    RetryPolicy,
+    SPARC_32,
+    URLSource,
+    XML2Wire,
+)
+from repro.faults import ServerFaultPlan
+from repro.workloads import ASDOFF_B_SCHEMA
+
+SCHEMA_PATH = "/schemas/asdoff.xsd"
+
+
+def registers(result):
+    """The discovered schema must actually register and lay out."""
+    formats = XML2Wire(IOContext(SPARC_32)).register_schema(result.schema)
+    assert formats[0].record_length == 52
+
+
+class TestKillAndRecover:
+    def test_degrade_then_recover_when_server_returns(self):
+        server = MetadataServer().start()
+        url = server.publish_schema(SCHEMA_PATH, ASDOFF_B_SCHEMA)
+        host, port = server.address
+        client = MetadataClient(
+            ttl=0,
+            timeout=0.5,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.005),
+            sleep=lambda s: None,
+        )
+        remote = URLSource(url, client)
+        chain = DiscoveryChain(
+            [remote, CompiledSource(ASDOFF_B_SCHEMA)],
+            demote_after=2,
+            demotion_period=0.2,
+        )
+
+        # Phase 1: healthy — remote discovery wins.
+        result = chain.discover()
+        assert result.source == f"url:{url}"
+        assert not result.degraded
+        registers(result)
+
+        # Phase 2: the server dies mid-run — every discovery still
+        # succeeds, degraded to the compiled-in fallback.
+        server.stop()
+        for _ in range(3):
+            result = chain.discover()
+            assert result.source == "compiled:builtin"
+            registers(result)
+        assert chain.health(remote).consecutive_failures >= 2
+
+        # Phase 3: the server comes back on the same address; once the
+        # demotion lapses, remote discovery takes over again.
+        revived = MetadataServer(host, port).start()
+        try:
+            revived.publish_schema(SCHEMA_PATH, ASDOFF_B_SCHEMA)
+            time.sleep(0.25)  # let the demotion period expire
+            result = chain.discover()
+            assert result.source == f"url:{url}"
+            assert not result.degraded
+            registers(result)
+            assert chain.health(remote).consecutive_failures == 0
+        finally:
+            revived.stop()
+
+    def test_fully_down_degrades_within_retry_budget(self):
+        server = MetadataServer().start()
+        url = server.publish_schema(SCHEMA_PATH, ASDOFF_B_SCHEMA)
+        server.stop()
+        client = MetadataClient(
+            ttl=0,
+            timeout=0.5,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, cap_delay=0.05),
+        )
+        chain = DiscoveryChain(
+            [URLSource(url, client), CompiledSource(ASDOFF_B_SCHEMA)]
+        )
+        started = time.monotonic()
+        result = chain.discover()
+        elapsed = time.monotonic() - started
+        assert result.source == "compiled:builtin"
+        assert result.degraded
+        # Bounded: retries against a refused connection are fast; the
+        # whole degraded discovery must finish well under a second.
+        assert elapsed < 1.0
+        registers(result)
+
+    def test_stale_schema_bridges_an_outage(self):
+        server = MetadataServer().start()
+        url = server.publish_schema(SCHEMA_PATH, ASDOFF_B_SCHEMA)
+
+        class Clock:
+            now = 0.0
+
+            def __call__(self):
+                return Clock.now
+
+        clock = Clock()
+        client = MetadataClient(
+            ttl=5,
+            timeout=0.5,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.005),
+            sleep=lambda s: None,
+            clock=clock,
+        )
+        remote = URLSource(url, client)
+        chain = DiscoveryChain([remote, CompiledSource(ASDOFF_B_SCHEMA)])
+        assert not chain.discover().stale
+
+        server.stop()
+        Clock.now += 10  # cache entry expires during the outage
+        result = chain.discover()
+        # Served from the expired cache: still the *remote* document,
+        # flagged both stale and degraded.
+        assert result.source == f"url:{url}"
+        assert result.stale
+        assert result.degraded
+        assert result.report.attempts[0].stale
+        registers(result)
+        assert client.stale_serves == 1
+
+
+class TestFlakyServerAbsorbed:
+    def test_hundred_discoveries_zero_errors_at_fifty_percent_failure(self):
+        plan = ServerFaultPlan(seed=2026, error=0.5)
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema(SCHEMA_PATH, ASDOFF_B_SCHEMA)
+            client = MetadataClient(
+                ttl=0,
+                timeout=2.0,
+                retry=RetryPolicy(max_attempts=6, base_delay=0.001, cap_delay=0.002),
+                breaker_threshold=50,  # keep the breaker out of this test
+                sleep=lambda s: None,
+            )
+            chain = DiscoveryChain(
+                [URLSource(url, client), CompiledSource(ASDOFF_B_SCHEMA)]
+            )
+            sources = [chain.discover().source for _ in range(100)]
+        assert len(sources) == 100  # no exceptions escaped
+        assert server.faults_injected > 0
+        assert client.retries > 0
+        # With six attempts against 50% failure, essentially every
+        # discovery lands on the remote source.
+        assert sources.count(f"url:{url}") >= 95

@@ -1,0 +1,260 @@
+"""The resilient retrieval path: retry, circuit breaking, stale serving.
+
+These tests drive :class:`~repro.metaserver.MetadataClient` against a
+:class:`~repro.metaserver.FlakyMetadataServer` with deterministic fault
+schedules, plus unit-test the policy pieces with fake clocks so nothing
+here depends on wall time.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DiscoveryError,
+    MetadataHTTPError,
+    RetryExhaustedError,
+)
+from repro.faults import ServerFaultPlan
+from repro.metaserver import (
+    CircuitBreaker,
+    FlakyMetadataServer,
+    MetadataClient,
+    RetryPolicy,
+)
+from repro.workloads import ASDOFF_B_SCHEMA
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def fast_client(**kwargs):
+    """A client that never sleeps for real and never waits long."""
+    kwargs.setdefault("timeout", 2.0)
+    kwargs.setdefault("retry", RetryPolicy(base_delay=0.001, cap_delay=0.002))
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return MetadataClient(**kwargs)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, cap_delay=0.5, multiplier=2, jitter=0)
+        rng = random.Random(0)
+        delays = [policy.delay_for(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_shrinks_but_never_inflates(self):
+        policy = RetryPolicy(base_delay=1.0, cap_delay=1.0, jitter=0.5)
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = policy.delay_for(1, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_retryability(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(MetadataHTTPError("x", status=503))
+        assert not policy.is_retryable(MetadataHTTPError("x", status=404))
+        assert policy.is_retryable(DiscoveryError("connection refused"))
+        assert not policy.is_retryable(CircuitOpenError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+    def test_validation(self):
+        with pytest.raises(DiscoveryError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(DiscoveryError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.trips == 1
+        assert breaker.retry_after() == pytest.approx(10)
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5)
+        assert breaker.allow() and breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=5, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5)
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # a single half-open failure re-opens
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestRetryAgainstFlakyServer:
+    def test_scheduled_5xx_retried_to_success(self):
+        plan = ServerFaultPlan().on(1, "error").on(2, "error")
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(ttl=0)
+            schema = client.get_schema(url)
+        assert schema.complex_types
+        assert client.retries == 2
+        assert client.last_result.attempts == 3
+        assert server.faults_injected == 2
+
+    def test_truncated_body_detected_and_retried(self):
+        plan = ServerFaultPlan().on(1, "truncate")
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(ttl=0)
+            assert client.get_schema(url).complex_types
+        assert client.retries == 1
+
+    def test_hang_becomes_timeout_then_retry(self):
+        plan = ServerFaultPlan(hang_seconds=0.5).on(1, "hang")
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(ttl=0, timeout=0.1)
+            assert client.get_schema(url).complex_types
+        assert client.retries >= 1
+
+    def test_404_not_retried(self):
+        with FlakyMetadataServer() as server:
+            client = fast_client(ttl=0)
+            with pytest.raises(MetadataHTTPError) as excinfo:
+                client.get_bytes(server.url_for("/missing.xsd"))
+        assert excinfo.value.status == 404
+        assert client.retries == 0
+
+    def test_budget_exhaustion_raises_retry_exhausted(self):
+        plan = ServerFaultPlan(error=1.0)
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(ttl=0, retry=RetryPolicy(
+                max_attempts=3, base_delay=0.001))
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                client.get_bytes(url)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, MetadataHTTPError)
+
+    def test_breaker_opens_under_sustained_failure(self):
+        plan = ServerFaultPlan(error=1.0)
+        clock = FakeClock()
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(
+                ttl=0,
+                breaker_threshold=4,
+                breaker_reset=60,
+                clock=clock,
+                retry=RetryPolicy(max_attempts=6, base_delay=0.001),
+            )
+            with pytest.raises(DiscoveryError):
+                client.get_bytes(url)
+            assert client.breaker_trips == 1
+            # Breaker is open: the next call fails fast, no request made.
+            served_before = server.requests_served + server.faults_injected
+            with pytest.raises(CircuitOpenError):
+                client.get_bytes(url)
+            assert server.requests_served + server.faults_injected == served_before
+
+
+class TestCacheSemantics:
+    def test_fresh_hit_counts(self):
+        clock = FakeClock()
+        with FlakyMetadataServer() as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(ttl=60, clock=clock)
+            client.get_bytes(url)
+            client.get_bytes(url)
+        assert client.stats()["fetches"] == 1
+        assert client.stats()["hits"] == 1
+
+    def test_stale_served_when_server_unreachable(self):
+        clock = FakeClock()
+        server = FlakyMetadataServer().start()
+        url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+        client = fast_client(ttl=10, clock=clock)
+        fresh = client.get(url)
+        assert not fresh.stale
+        server.stop()
+        clock.advance(11)  # entry expired, server gone
+        result = client.get(url)
+        assert result.stale
+        assert result.body == fresh.body
+        assert client.stale_serves == 1
+
+    def test_stale_ttl_bounds_staleness(self):
+        clock = FakeClock()
+        server = FlakyMetadataServer().start()
+        url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+        client = fast_client(ttl=10, stale_ttl=5, clock=clock)
+        client.get(url)
+        server.stop()
+        clock.advance(16)  # past ttl + stale_ttl
+        with pytest.raises(DiscoveryError):
+            client.get(url)
+
+    def test_ttl_zero_disables_cache_and_stale(self):
+        clock = FakeClock()
+        server = FlakyMetadataServer().start()
+        url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+        client = fast_client(ttl=0, clock=clock)
+        client.get_bytes(url)
+        server.stop()
+        with pytest.raises(DiscoveryError):
+            client.get_bytes(url)
+
+    def test_lru_bound_and_eviction_counter(self):
+        with FlakyMetadataServer() as server:
+            urls = [
+                server.publish_schema(f"/s{i}.xsd", ASDOFF_B_SCHEMA)
+                for i in range(4)
+            ]
+            client = fast_client(ttl=60, max_entries=2)
+            for url in urls:
+                client.get_bytes(url)
+        stats = client.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 2
+
+    def test_lru_keeps_recently_used(self):
+        clock = FakeClock()
+        server = FlakyMetadataServer().start()
+        url_a = server.publish_schema("/a.xsd", ASDOFF_B_SCHEMA)
+        url_b = server.publish_schema("/b.xsd", ASDOFF_B_SCHEMA)
+        url_c = server.publish_schema("/c.xsd", ASDOFF_B_SCHEMA)
+        client = fast_client(ttl=60, max_entries=2, clock=clock)
+        client.get_bytes(url_a)
+        client.get_bytes(url_b)
+        client.get_bytes(url_a)  # refresh a's recency
+        client.get_bytes(url_c)  # evicts b
+        server.stop()
+        assert client.get(url_a).cached
+        with pytest.raises(DiscoveryError):
+            client.get(url_b)

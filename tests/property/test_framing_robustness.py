@@ -1,0 +1,127 @@
+"""Framing under truncation and corruption: fail typed, never hang.
+
+Satellite of the fault-injection tentpole: for any framed stream, any
+truncation point and any byte corruption, the framing layer must either
+return a frame whose length matches its (possibly corrupted) prefix or
+raise a typed :class:`~repro.errors.WireError` /
+:class:`~repro.errors.ChannelClosedError` — and must always terminate,
+because the ``recv`` callable these tests provide returns empty bytes at
+exhaustion (a hang would mean calling ``recv`` forever on empty input).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import ChannelClosedError, WireError
+from repro.wire.framing import (
+    MAX_FRAME_SIZE,
+    FrameDecoder,
+    frame,
+    read_frame,
+    unframe,
+)
+
+RELAXED = settings(max_examples=200, deadline=None)
+
+messages = st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=5)
+
+
+def drained_recv(data: bytes, chunk_size: int):
+    """A socket-style recv over a finite buffer; b'' at exhaustion."""
+    state = {"offset": 0, "calls": 0}
+
+    def recv(n: int) -> bytes:
+        state["calls"] += 1
+        assert state["calls"] < 10_000, "read loop did not terminate"
+        take = min(n, chunk_size)
+        chunk = data[state["offset"] : state["offset"] + take]
+        state["offset"] += len(chunk)
+        return chunk
+
+    return recv
+
+
+class TestTruncation:
+    @RELAXED
+    @given(messages, st.data())
+    def test_truncated_stream_raises_typed_error(self, msgs, data):
+        stream = b"".join(frame(m) for m in msgs)
+        cut = data.draw(st.integers(min_value=0, max_value=max(0, len(stream) - 1)))
+        chunk_size = data.draw(st.integers(min_value=1, max_value=16))
+        recv = drained_recv(stream[:cut], chunk_size)
+        recovered = []
+        with pytest.raises((WireError, ChannelClosedError)):
+            while True:
+                recovered.append(read_frame(recv))
+        # Everything recovered before the error is a prefix of the input.
+        assert recovered == msgs[: len(recovered)]
+
+    @RELAXED
+    @given(messages, st.data())
+    def test_decoder_never_yields_partial_frame(self, msgs, data):
+        stream = b"".join(frame(m) for m in msgs)
+        cut = data.draw(st.integers(min_value=0, max_value=len(stream)))
+        decoder = FrameDecoder()
+        decoder.feed(stream[:cut])
+        recovered = list(decoder.messages())
+        assert recovered == msgs[: len(recovered)]
+        # Feeding the rest completes the exact original sequence.
+        decoder.feed(stream[cut:])
+        recovered.extend(decoder.messages())
+        assert recovered == msgs
+        assert decoder.pending_bytes == 0
+
+    @RELAXED
+    @given(st.binary(max_size=3))
+    def test_unframe_rejects_short_input(self, data):
+        with pytest.raises(WireError):
+            unframe(data)
+
+
+class TestCorruption:
+    @RELAXED
+    @given(messages, st.data())
+    def test_corrupted_stream_never_hangs_or_mislengths(self, msgs, data):
+        stream = bytearray(b"".join(frame(m) for m in msgs))
+        position = data.draw(st.integers(min_value=0, max_value=len(stream) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        stream[position] ^= 1 << bit
+        recv = drained_recv(bytes(stream), chunk_size=7)
+        try:
+            while True:
+                result = read_frame(recv)
+                # Whatever came back must be internally consistent: its
+                # length was dictated by the prefix just consumed.
+                assert len(result) <= MAX_FRAME_SIZE
+        except (WireError, ChannelClosedError):
+            pass  # typed failure is the only acceptable non-success
+
+    @RELAXED
+    @given(st.data())
+    def test_hostile_length_prefix_rejected_before_allocation(self, data):
+        length = data.draw(
+            st.integers(min_value=MAX_FRAME_SIZE + 1, max_value=0xFFFFFFFF)
+        )
+        stream = length.to_bytes(4, "big") + b"payload"
+        recv = drained_recv(stream, chunk_size=16)
+        with pytest.raises(WireError, match="exceeds limit"):
+            read_frame(recv)
+        decoder = FrameDecoder()
+        decoder.feed(stream)
+        with pytest.raises(WireError, match="exceeds limit"):
+            list(decoder.messages())
+
+    @RELAXED
+    @given(messages, st.data())
+    def test_single_byte_corruption_in_decoder(self, msgs, data):
+        stream = bytearray(b"".join(frame(m) for m in msgs))
+        position = data.draw(st.integers(min_value=0, max_value=len(stream) - 1))
+        stream[position] ^= 0xFF
+        decoder = FrameDecoder()
+        decoder.feed(bytes(stream))
+        try:
+            for message in decoder.messages():
+                assert len(message) <= MAX_FRAME_SIZE
+        except WireError:
+            pass

@@ -1,0 +1,212 @@
+"""TCP channel failure semantics: timeouts, poisoning, reconnects."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ChannelClosedError,
+    TransportError,
+    TransportTimeoutError,
+)
+from repro.transport.tcp import ReconnectingTCPChannel, connect, listen
+
+
+@pytest.fixture
+def pair():
+    """A connected (client, server) TCPChannel pair over loopback."""
+    listener = listen()
+    host, port = listener.address
+    client = connect(host, port)
+    server = listener.accept(timeout=5)
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+class TestTimeoutHygiene:
+    def test_timeout_raises_distinct_type(self, pair):
+        client, _ = pair
+        with pytest.raises(TransportTimeoutError) as excinfo:
+            client.recv(timeout=0.05)
+        assert not excinfo.value.mid_frame
+        assert not client.poisoned
+
+    def test_socket_timeout_restored_after_timed_recv(self, pair):
+        client, server = pair
+        assert client._sock.gettimeout() is None
+        with pytest.raises(TransportTimeoutError):
+            client.recv(timeout=0.05)
+        # The 0.05 deadline must not leak into later calls: an untimed
+        # recv would otherwise spuriously time out.
+        assert client._sock.gettimeout() is None
+        server.send(b"late")
+        assert client.recv(timeout=5) == b"late"
+
+    def test_boundary_timeout_keeps_channel_usable(self, pair):
+        client, server = pair
+        for _ in range(3):
+            with pytest.raises(TransportTimeoutError):
+                client.recv(timeout=0.02)
+        server.send(b"finally")
+        assert client.recv(timeout=5) == b"finally"
+
+
+class TestPoisoning:
+    def test_mid_frame_timeout_poisons(self, pair):
+        client, server = pair
+        # A frame header promising 100 bytes, but only part of the body:
+        # the client's read stops mid-frame.
+        server._sock.sendall((100).to_bytes(4, "big") + b"partial")
+        time.sleep(0.05)
+        with pytest.raises(TransportTimeoutError) as excinfo:
+            client.recv(timeout=0.1)
+        assert excinfo.value.mid_frame
+        assert client.poisoned
+
+    def test_poisoned_channel_refuses_recv(self, pair):
+        client, server = pair
+        server._sock.sendall((100).to_bytes(4, "big") + b"partial")
+        time.sleep(0.05)
+        with pytest.raises(TransportTimeoutError):
+            client.recv(timeout=0.1)
+        # The rest of the frame arrives — too late, the stream cannot be
+        # trusted to be at a boundary anymore.
+        server._sock.sendall(b"x" * 93)
+        with pytest.raises(TransportError, match="poisoned"):
+            client.recv(timeout=1)
+
+    def test_unpoisoned_partial_header_also_poisons(self, pair):
+        client, server = pair
+        server._sock.sendall(b"\x00\x00")  # half a length prefix
+        time.sleep(0.05)
+        with pytest.raises(TransportTimeoutError) as excinfo:
+            client.recv(timeout=0.1)
+        assert excinfo.value.mid_frame
+
+
+class EchoServer:
+    """Accepts one connection at a time and echoes frames back."""
+
+    def __init__(self):
+        self.listener = listen()
+        self.address = self.listener.address
+        self.accepted = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                channel = self.listener.accept(timeout=0.2)
+            except TransportError:
+                continue
+            except Exception:
+                return
+            self.accepted += 1
+            threading.Thread(
+                target=self._echo, args=(channel,), daemon=True
+            ).start()
+
+    def _echo(self, channel):
+        try:
+            while True:
+                channel.send(channel.recv(timeout=5))
+        except Exception:
+            channel.close()
+
+    def stop(self):
+        self._stop.set()
+        self.listener.close()
+
+
+class TestReconnectingChannel:
+    def test_transparent_when_healthy(self):
+        server = EchoServer()
+        host, port = server.address
+        channel = ReconnectingTCPChannel(host, port, max_reconnects=2)
+        channel.send(b"ping")
+        assert channel.recv(timeout=5) == b"ping"
+        assert channel.reconnects == 0
+        channel.close()
+        server.stop()
+
+    def test_send_survives_peer_reset(self):
+        server = EchoServer()
+        host, port = server.address
+        channel = ReconnectingTCPChannel(
+            host, port, max_reconnects=3, base_delay=0.01
+        )
+        channel.send(b"one")
+        assert channel.recv(timeout=5) == b"one"
+        # Kill the server side of the current connection.
+        channel._channel._sock.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                channel.send(b"two")
+                break
+            except TransportError:
+                continue
+        assert channel.reconnects >= 1
+        assert channel.recv(timeout=5) == b"two"
+        assert server.accepted == 2
+        channel.close()
+        server.stop()
+
+    def test_budget_exhaustion_raises(self):
+        server = EchoServer()
+        host, port = server.address
+        channel = ReconnectingTCPChannel(
+            host, port, max_reconnects=2, base_delay=0.01
+        )
+        server.stop()
+        channel._channel.close()  # simulate the break
+        with pytest.raises(TransportError, match="budget"):
+            channel.send(b"x")
+        channel.close()
+
+    def test_zero_budget_propagates_original_error(self):
+        server = EchoServer()
+        host, port = server.address
+        channel = ReconnectingTCPChannel(host, port, max_reconnects=0)
+        channel._channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.send(b"x")
+        server.stop()
+
+    def test_timeout_does_not_trigger_redial(self):
+        server = EchoServer()
+        host, port = server.address
+        channel = ReconnectingTCPChannel(host, port, max_reconnects=3)
+        with pytest.raises(TransportTimeoutError):
+            channel.recv(timeout=0.05)
+        assert channel.reconnects == 0
+        channel.close()
+        server.stop()
+
+    def test_on_reconnect_callback_runs(self):
+        server = EchoServer()
+        host, port = server.address
+        fresh = []
+        channel = ReconnectingTCPChannel(
+            host,
+            port,
+            max_reconnects=3,
+            base_delay=0.01,
+            on_reconnect=lambda ch: fresh.append(ch),
+        )
+        channel._channel._sock.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                channel.send(b"hello")
+                break
+            except TransportError:
+                continue
+        assert fresh, "reconnect callback never ran"
+        channel.close()
+        server.stop()
