@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The airline stream consumed from the asyncio plane.
+
+The capture point is the paper's unchanged shape — a threaded socket
+client publishing NDR-encoded flight events — but the broker and the
+display point run on a single asyncio event loop (``repro.aio``).  No
+gateway, no re-encoding: both planes speak the identical wire format
+(docs/PROTOCOL.md §10), so a threaded publisher and an async subscriber
+meet on the same broker.
+
+Also shown: the async metadata client resolving the stream's schema
+with pipelined requests on one keep-alive connection.
+
+Run:  python examples/async_stream.py
+"""
+
+import asyncio
+import threading
+
+from repro import IOContext, XML2Wire, get_architecture
+from repro.aio import (
+    AsyncBackboneClient,
+    AsyncEventBroker,
+    AsyncMetadataClient,
+    AsyncMetadataServer,
+)
+from repro.events.remote import RemoteBackboneClient
+from repro.workloads import ASDOFF_B_SCHEMA, AirlineWorkload
+
+RECORDS = 8
+
+
+def sync_capture_point(host: str, port: int, records: list[dict]) -> None:
+    """A threaded capture point on a simulated big-endian SPARC."""
+    context = IOContext(get_architecture("sparc_32"))
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    client = RemoteBackboneClient.connect(host, port, context)
+    publisher = client.publisher("flights.departures")
+    for record in records:
+        publisher.publish("ASDOffEvent", record)
+    client.flush()  # barrier: every event routed before we disconnect
+    client.close()
+
+
+async def main() -> None:
+    async with AsyncMetadataServer() as metadata:
+        url = metadata.publish_schema("/flights.xsd", ASDOFF_B_SCHEMA)
+        print(f"schema published at {url}")
+
+        async with AsyncEventBroker() as broker:
+            host, port = broker.address
+            print(f"async event broker listening on {host}:{port}\n")
+
+            # The async display point subscribes first...
+            subscriber = await AsyncBackboneClient.connect(
+                host, port, IOContext(get_architecture("x86_64"))
+            )
+            await subscriber.subscribe("flights.*")
+
+            # ...then the sync capture point publishes from a thread.
+            workload = AirlineWorkload(seed=1204)
+            records = [workload.record_b() for _ in range(RECORDS)]
+            capture = threading.Thread(
+                target=sync_capture_point, args=(host, port, records)
+            )
+            capture.start()
+
+            print("async display point (x86_64) receives:")
+            received = []
+            for _ in range(RECORDS):
+                event = await subscriber.next_event(timeout=10)
+                values = event.values
+                received.append(values)
+                print(f"  {values['arln']}{values['fltNum']:<5} "
+                      f"{values['org']}->{values['dest']} "
+                      f"etas={len(values['eta'])}")
+            capture.join()
+            await subscriber.close()
+            assert received == records
+            print("\nsync-published stream decoded on the async plane: OK")
+
+        # A late joiner resolving metadata: one connection, one batch.
+        async with AsyncMetadataClient() as client:
+            bodies = await client.get_many([url] * 5)
+            print(f"pipelined metadata fetch: {len(bodies)} responses over "
+                  f"{client.connections_opened} keep-alive connection(s)")
+            assert client.connections_opened == 1
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

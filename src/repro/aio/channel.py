@@ -1,0 +1,298 @@
+"""Asyncio transport: framed message channels over asyncio streams.
+
+Speaks exactly the wire format of :mod:`repro.transport.tcp` — the
+big-endian u32 length prefix of :mod:`repro.wire.framing` — so an
+:class:`AsyncTCPChannel` on one end and a sync
+:class:`~repro.transport.tcp.TCPChannel` on the other are
+indistinguishable on the wire.
+
+Concurrency model (see docs/PROTOCOL.md §10):
+
+- **send lock** — concurrent ``send`` coroutines are serialized per
+  frame; frames from different senders interleave at frame boundaries,
+  never inside one.
+- **recv lock** — concurrent ``recv`` coroutines are serialized per
+  frame; each receives one whole frame, arrival order decides which.
+- **write coalescing** — frames smaller than ``coalesce_bytes`` are
+  parked in a user-space buffer and flushed in one transport write on
+  the next loop tick (or sooner, when the buffer fills).  Many small
+  publishes become one syscall instead of many.
+- **backpressure** — the transport's write-buffer high-water mark is set
+  to ``high_water``; every flush awaits ``drain()``, so a producer
+  outrunning a slow peer suspends instead of buffering without bound.
+
+Unlike the sync channel, a recv timeout here can never poison the
+stream: asyncio's ``StreamReader`` only consumes bytes once a full read
+is satisfied, so a cancelled mid-frame read leaves every byte buffered
+and the next ``recv`` resumes cleanly.  :attr:`AsyncTCPChannel.poisoned`
+exists for interface parity and is always ``False``.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+
+from repro.errors import (
+    ChannelClosedError,
+    TransportError,
+    TransportTimeoutError,
+    WireError,
+)
+from repro.wire.framing import MAX_FRAME_SIZE, _LENGTH, frame
+
+#: Frames at or above this many bytes bypass the coalescing buffer.
+DEFAULT_COALESCE_BYTES = 2048
+
+#: Transport write-buffer high-water mark: ``drain()`` suspends above it.
+DEFAULT_HIGH_WATER = 256 * 1024
+
+
+class AsyncChannel(abc.ABC):
+    """The async counterpart of :class:`repro.transport.channel.Channel`.
+
+    Same contract — one ``send`` is one ``recv``, whole messages, the
+    same error types — with coroutine methods.
+    """
+
+    @abc.abstractmethod
+    async def send(self, message: bytes) -> None:
+        """Deliver ``message`` to the peer (may buffer; see ``flush``)."""
+
+    @abc.abstractmethod
+    async def recv(self, timeout: float | None = None) -> bytes:
+        """Await the next message.
+
+        Raises :class:`~repro.errors.ChannelClosedError` on clean EOF,
+        :class:`~repro.errors.TransportTimeoutError` on timeout.
+        """
+
+    @abc.abstractmethod
+    async def close(self) -> None:
+        """Close this end; idempotent."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called on this end."""
+
+    async def flush(self) -> None:
+        """Force any buffered frames onto the wire (default: no-op)."""
+
+    async def __aenter__(self) -> "AsyncChannel":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class AsyncTCPChannel(AsyncChannel):
+    """A connected asyncio stream speaking length-prefixed messages."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        coalesce_bytes: int = DEFAULT_COALESCE_BYTES,
+        high_water: int = DEFAULT_HIGH_WATER,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+        self._send_lock = asyncio.Lock()
+        self._recv_lock = asyncio.Lock()
+        self._wbuf = bytearray()
+        self._flush_task: asyncio.Task | None = None
+        self.coalesce_bytes = coalesce_bytes
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.flushes = 0  # transport writes (each may carry many frames)
+        try:
+            writer.transport.set_write_buffer_limits(high=high_water)
+        except (AttributeError, NotImplementedError):  # e.g. test transports
+            pass
+
+    # -- sending ---------------------------------------------------------------
+
+    async def send(self, message: bytes) -> None:
+        framed = frame(message)
+        async with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError("cannot send on a closed channel")
+            self._wbuf += framed
+            self.frames_sent += 1
+            if len(self._wbuf) >= self.coalesce_bytes:
+                await self._flush_buffered()
+            elif self._flush_task is None:
+                # Park small frames until the loop comes back around, so
+                # a burst of sends in one tick costs one write.
+                self._flush_task = asyncio.ensure_future(self._deferred_flush())
+
+    async def _deferred_flush(self) -> None:
+        try:
+            async with self._send_lock:
+                await self._flush_buffered()
+        except (TransportError, OSError):
+            pass  # the next explicit send/flush surfaces the failure
+        finally:
+            self._flush_task = None
+
+    async def _flush_buffered(self) -> None:
+        """Write and drain the coalescing buffer; caller holds the send lock."""
+        if not self._wbuf or self._closed:
+            return
+        data = bytes(self._wbuf)
+        self._wbuf.clear()
+        try:
+            self._writer.write(data)
+            self.flushes += 1
+            await self._writer.drain()
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    async def flush(self) -> None:
+        """Push any coalesced frames onto the wire now."""
+        async with self._send_lock:
+            await self._flush_buffered()
+
+    # -- receiving -------------------------------------------------------------
+
+    async def recv(self, timeout: float | None = None) -> bytes:
+        if self._closed:
+            raise ChannelClosedError("cannot recv on a closed channel")
+        try:
+            return await asyncio.wait_for(self._recv_one(), timeout)
+        except asyncio.TimeoutError as exc:
+            # StreamReader buffers partial frames, so unlike the sync
+            # channel a timeout never desynchronizes the stream.
+            raise TransportTimeoutError(f"recv timed out after {timeout}s") from exc
+
+    async def _recv_one(self) -> bytes:
+        async with self._recv_lock:
+            try:
+                header = await self._reader.readexactly(_LENGTH.size)
+            except asyncio.IncompleteReadError as exc:
+                if not exc.partial:
+                    raise ChannelClosedError("peer closed the stream") from exc
+                raise WireError("stream ended mid-frame") from exc
+            except ConnectionResetError as exc:
+                raise ChannelClosedError(f"connection reset: {exc}") from exc
+            (length,) = _LENGTH.unpack(header)
+            if length > MAX_FRAME_SIZE:
+                raise WireError(f"frame length {length} exceeds limit")
+            try:
+                body = await self._reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise WireError("stream ended mid-frame") from exc
+            except ConnectionResetError as exc:
+                raise ChannelClosedError(f"connection reset: {exc}") from exc
+            self.frames_received += 1
+            return body
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def poisoned(self) -> bool:
+        """Always False: buffered reads make timeouts boundary-safe."""
+        return False
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            await self.flush()
+        except (TransportError, OSError):
+            pass
+        self._closed = True
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            self._flush_task = None
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        return self._writer.get_extra_info("sockname")[:2]
+
+
+class AsyncTCPListener:
+    """A listening server handing out :class:`AsyncTCPChannel` connections.
+
+    Built on ``asyncio.start_server``: inbound connections queue until
+    :meth:`accept` claims them.  Use :func:`listen` to construct.
+    """
+
+    def __init__(self, server: asyncio.base_events.Server, queue: asyncio.Queue) -> None:
+        self._server = server
+        self._queue = queue
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) actually bound (port 0 resolves here)."""
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def accept(self, timeout: float | None = None) -> AsyncTCPChannel:
+        """Await (and wrap) the next inbound connection."""
+        if self._closed:
+            raise ChannelClosedError("listener closed")
+        try:
+            return await asyncio.wait_for(self._queue.get(), timeout)
+        except asyncio.TimeoutError as exc:
+            raise TransportError(f"accept timed out after {timeout}s") from exc
+
+    async def close(self) -> None:
+        """Stop listening and drop queued, unclaimed connections."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.close()
+        await self._server.wait_closed()
+        while not self._queue.empty():
+            channel = self._queue.get_nowait()
+            await channel.close()
+
+    async def __aenter__(self) -> "AsyncTCPListener":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def listen(host: str = "127.0.0.1", port: int = 0) -> AsyncTCPListener:
+    """Open an async listener; ``port=0`` picks a free port."""
+    queue: asyncio.Queue = asyncio.Queue()
+
+    async def on_connection(reader, writer) -> None:
+        await queue.put(AsyncTCPChannel(reader, writer))
+
+    try:
+        server = await asyncio.start_server(on_connection, host, port)
+    except OSError as exc:
+        raise TransportError(f"cannot bind {host}:{port}: {exc}") from exc
+    return AsyncTCPListener(server, queue)
+
+
+async def connect(
+    host: str, port: int, timeout: float | None = 5.0
+) -> AsyncTCPChannel:
+    """Connect to a listener (sync or async) and return the channel."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except asyncio.TimeoutError as exc:
+        raise TransportError(f"connect to {host}:{port} timed out") from exc
+    except OSError as exc:
+        raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+    return AsyncTCPChannel(reader, writer)

@@ -1,0 +1,298 @@
+"""Async metadata retrieval: pooled connections, pipelined requests.
+
+The sync :class:`~repro.metaserver.client.MetadataClient` opens one
+connection per request — the right shape for one-shot discovery, wasteful
+for a receiver that must resolve *many* format ids at once (a late
+joiner on a busy backbone).  :class:`AsyncMetadataClient` keeps a small
+pool of persistent connections per host and **pipelines**: a batch of
+requests is written back-to-back on one socket, then the responses are
+read in order.  Against the async server that is one round-trip's
+latency for the whole batch.
+
+Interop with the threaded server is automatic: that server closes the
+connection after one response, so a pipelined batch sees EOF early.
+The client detects it, remembers the host as non-pipelining, and
+finishes the batch one-connection-per-request — same results, just
+without the latency win.  No configuration, no protocol negotiation:
+the wire decides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import DiscoveryError, MetadataHTTPError
+from repro.metaserver.http import (
+    HTTPRequest,
+    HTTPResponse,
+    _content_length,
+    split_url,
+)
+from repro.pbio.format import IOFormat
+
+
+class _PooledConnection:
+    """One persistent connection to a metadata host."""
+
+    def __init__(self, key: tuple[str, int], reader, writer) -> None:
+        self.key = key
+        self.reader = reader
+        self.writer = writer
+        self.reusable = True
+        self.fresh = True  # False once checked out from the idle pool
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+class AsyncMetadataClient:
+    """Pipelined, connection-pooling metadata retrieval.
+
+    Parameters
+    ----------
+    timeout:
+        Per-response deadline (connect shares it).
+    pool_size:
+        Idle connections kept per host; excess connections are closed
+        on check-in rather than pooled.
+    """
+
+    def __init__(self, *, timeout: float = 5.0, pool_size: int = 4) -> None:
+        if pool_size < 1:
+            raise DiscoveryError("pool_size must be at least 1")
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self._idle: dict[tuple[str, int], list[_PooledConnection]] = {}
+        self._no_pipeline: set[tuple[str, int]] = set()
+        self.requests_sent = 0
+        self.connections_opened = 0
+        self.pool_reuses = 0
+        self.pipeline_fallbacks = 0
+
+    # -- the public surface ------------------------------------------------------
+
+    async def get(self, url: str) -> bytes:
+        """Fetch one URL; returns the body (raises on non-200)."""
+        (body,) = await self.get_many([url])
+        return body
+
+    async def get_many(self, urls: list[str]) -> list[bytes]:
+        """Fetch every URL, pipelining per host; bodies in input order.
+
+        URLs on different hosts are fetched concurrently; URLs on one
+        host share a pipelined connection.  Any failure propagates (the
+        batch is all-or-nothing).
+        """
+        if not urls:
+            return []
+        groups: dict[tuple[str, int], list[int]] = {}
+        parsed = [split_url(url) for url in urls]
+        for index, (host, port, _) in enumerate(parsed):
+            groups.setdefault((host, port), []).append(index)
+        bodies: list[bytes | None] = [None] * len(urls)
+
+        async def fetch_group(key, indices):
+            paths = [parsed[i][2] for i in indices]
+            results = await self._fetch_host(key, paths)
+            for i, body in zip(indices, results):
+                bodies[i] = body
+
+        await asyncio.gather(
+            *(fetch_group(key, indices) for key, indices in groups.items())
+        )
+        return bodies  # type: ignore[return-value]
+
+    async def get_format(self, base_url: str, format_id: bytes) -> IOFormat:
+        """Fetch PBIO format metadata by id from a server's /formats tree."""
+        body = await self.get(f"{base_url}/formats/{format_id.hex()}")
+        return IOFormat.from_wire_metadata(body)
+
+    async def get_formats(
+        self, base_url: str, format_ids: list[bytes]
+    ) -> list[IOFormat]:
+        """Resolve many format ids in one pipelined batch."""
+        bodies = await self.get_many(
+            [f"{base_url}/formats/{fid.hex()}" for fid in format_ids]
+        )
+        return [IOFormat.from_wire_metadata(body) for body in bodies]
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        for connections in self._idle.values():
+            for connection in connections:
+                await connection.close()
+        self._idle.clear()
+
+    async def __aenter__(self) -> "AsyncMetadataClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- per-host fetching -------------------------------------------------------
+
+    async def _fetch_host(
+        self, key: tuple[str, int], paths: list[str]
+    ) -> list[bytes]:
+        if key in self._no_pipeline or len(paths) == 1:
+            return [await self._fetch_single(key, path) for path in paths]
+        remaining = list(paths)
+        bodies: list[bytes] = []
+        # A server that closes after each response (the threaded plane)
+        # truncates the pipeline; retry the unanswered tail without it.
+        connection = await self._checkout(key)
+        try:
+            try:
+                for path in remaining:
+                    self._write_request(connection, key, path)
+                await connection.writer.drain()
+                while remaining:
+                    response = await self._read_response(connection)
+                    bodies.append(self._body_of(response, key, remaining[0]))
+                    remaining.pop(0)
+                return bodies
+            except (DiscoveryError, OSError, ConnectionError) as exc:
+                # A one-shot server may close — or RST a socket still
+                # holding unread pipelined requests — at any point: the
+                # failure can surface from the response read
+                # (DiscoveryError) or from the write/drain side
+                # (ConnectionResetError).  Either way, finish the batch
+                # one-connection-per-request; against a genuinely dead
+                # server those fetches fail and the error propagates.
+                # An HTTP-level error (4xx/5xx) is a real answer, not a
+                # pipelining failure — let it propagate.
+                if isinstance(exc, MetadataHTTPError):
+                    raise
+                self._no_pipeline.add(key)
+                self.pipeline_fallbacks += 1
+                connection.reusable = False
+                tail = [
+                    await self._fetch_single(key, path)
+                    for path in remaining
+                ]
+                return bodies + tail
+        except BaseException:
+            # Aborting a pipeline can leave unread responses buffered on
+            # the socket; never return such a connection to the pool.
+            connection.reusable = False
+            raise
+        finally:
+            await self._checkin(connection)
+
+    async def _fetch_single(self, key: tuple[str, int], path: str) -> bytes:
+        for attempt in (1, 2):
+            connection = await self._checkout(key)
+            try:
+                try:
+                    self._write_request(connection, key, path)
+                    await connection.writer.drain()
+                except (OSError, ConnectionError) as exc:
+                    raise DiscoveryError(f"request write failed: {exc}") from exc
+                response = await self._read_response(connection)
+            except DiscoveryError:
+                connection.reusable = False
+                await self._checkin(connection)
+                # A pooled connection may have been closed by the server
+                # while idle; one retry on a fresh dial disambiguates.
+                if attempt == 1 and not connection.fresh:
+                    continue
+                raise
+            body = self._body_of(response, key, path)
+            await self._checkin(connection)
+            return body
+        raise DiscoveryError(f"retrieval from {key[0]}:{key[1]} failed")
+
+    def _write_request(
+        self, connection: _PooledConnection, key: tuple[str, int], path: str
+    ) -> None:
+        host, port = key
+        request = HTTPRequest("GET", path, {"Host": f"{host}:{port}"})
+        connection.writer.write(request.render())
+        self.requests_sent += 1
+
+    def _body_of(
+        self, response: HTTPResponse, key: tuple[str, int], path: str
+    ) -> bytes:
+        if response.status != 200:
+            raise MetadataHTTPError(
+                f"metadata server {key[0]}:{key[1]} returned {response.status} "
+                f"for {path}: {response.body[:200].decode('utf-8', 'replace')}",
+                status=response.status,
+            )
+        return response.body
+
+    async def _read_response(self, connection: _PooledConnection) -> HTTPResponse:
+        try:
+            head = await asyncio.wait_for(
+                connection.reader.readuntil(b"\r\n\r\n"), self.timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise DiscoveryError("connection closed before a response") from exc
+        except asyncio.TimeoutError as exc:
+            connection.reusable = False
+            raise DiscoveryError(f"no response within {self.timeout}s") from exc
+        except (OSError, ConnectionError, asyncio.LimitOverrunError) as exc:
+            raise DiscoveryError(f"response read failed: {exc}") from exc
+        length = _content_length(head.rstrip(b"\r\n"))
+        if length is None:
+            # HTTP/1.0 close-delimited body: the connection dies with it.
+            connection.reusable = False
+            try:
+                body = await asyncio.wait_for(
+                    connection.reader.read(-1), self.timeout
+                )
+            except (asyncio.TimeoutError, OSError, ConnectionError) as exc:
+                raise DiscoveryError(f"body read failed: {exc}") from exc
+        else:
+            try:
+                body = await asyncio.wait_for(
+                    connection.reader.readexactly(length), self.timeout
+                )
+            except asyncio.IncompleteReadError as exc:
+                raise DiscoveryError(
+                    f"truncated response: got {len(exc.partial)} of {length} bytes"
+                ) from exc
+            except asyncio.TimeoutError as exc:
+                connection.reusable = False
+                raise DiscoveryError(f"no response body within {self.timeout}s") from exc
+            except (OSError, ConnectionError) as exc:
+                raise DiscoveryError(f"body read failed: {exc}") from exc
+        return HTTPResponse.parse(head + body)
+
+    # -- the pool -----------------------------------------------------------------
+
+    async def _checkout(self, key: tuple[str, int]) -> _PooledConnection:
+        idle = self._idle.get(key)
+        if idle:
+            self.pool_reuses += 1
+            connection = idle.pop()
+            connection.fresh = False
+            return connection
+        host, port = key
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise DiscoveryError(f"connect to {host}:{port} timed out") from exc
+        except OSError as exc:
+            raise DiscoveryError(
+                f"cannot reach metadata server at {host}:{port}: {exc}"
+            ) from exc
+        self.connections_opened += 1
+        connection = _PooledConnection(key, reader, writer)
+        return connection
+
+    async def _checkin(self, connection: _PooledConnection) -> None:
+        if not connection.reusable or connection.reader.at_eof():
+            await connection.close()
+            return
+        idle = self._idle.setdefault(connection.key, [])
+        if len(idle) >= self.pool_size:
+            await connection.close()
+            return
+        idle.append(connection)

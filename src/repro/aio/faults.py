@@ -1,0 +1,87 @@
+"""Fault injection for the async plane.
+
+:class:`AsyncFaultyChannel` is the coroutine twin of
+:class:`~repro.faults.channel.FaultyChannel`: it wraps any
+:class:`~repro.aio.channel.AsyncChannel` and consults the *same*
+:class:`~repro.faults.plan.FaultPlan` type, with the same decision
+stream for a given seed — a chaos schedule developed against the sync
+plane replays fault-for-fault against the async one.  The only
+behavioral difference is that ``delay`` faults suspend the coroutine
+(``asyncio.sleep``) instead of blocking a thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.aio.channel import AsyncChannel
+from repro.errors import ChannelClosedError, TransportTimeoutError
+from repro.faults.channel import corrupt_bytes
+from repro.faults.plan import FaultPlan
+
+
+class AsyncFaultyChannel(AsyncChannel):
+    """Wrap ``inner`` so every operation first consults ``plan``."""
+
+    def __init__(self, inner: AsyncChannel, plan: FaultPlan | None = None) -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        # Same derivation as the sync wrapper: identical seeds corrupt
+        # identical byte positions on either plane.
+        self._corrupt_rng = random.Random(self.plan.seed ^ 0x5EED)
+        self.sent = 0
+        self.received = 0
+
+    # -- the faulted operations ----------------------------------------------
+
+    async def send(self, message: bytes) -> None:
+        """Send through the inner channel, unless the plan says otherwise."""
+        kind = self.plan.decide("send")
+        if kind == "drop":
+            return  # lost on the wire; the caller believes it was sent
+        if kind == "reset":
+            await self.inner.close()
+            raise ChannelClosedError("injected fault: connection reset on send")
+        if kind == "timeout":
+            raise TransportTimeoutError("injected fault: send timed out")
+        if kind == "corrupt":
+            message = corrupt_bytes(message, self._corrupt_rng)
+        elif kind == "delay":
+            await asyncio.sleep(self.plan.delay_seconds)
+        await self.inner.send(message)
+        self.sent += 1
+
+    async def recv(self, timeout: float | None = None) -> bytes:
+        """Receive from the inner channel, unless the plan says otherwise."""
+        while True:
+            kind = self.plan.decide("recv")
+            if kind == "reset":
+                await self.inner.close()
+                raise ChannelClosedError("injected fault: connection reset on recv")
+            if kind == "timeout":
+                raise TransportTimeoutError("injected fault: recv timed out")
+            if kind == "delay":
+                await asyncio.sleep(self.plan.delay_seconds)
+            message = await self.inner.recv(timeout)
+            if kind == "drop":
+                continue  # that message was lost on the wire; wait for the next
+            if kind == "corrupt":
+                message = corrupt_bytes(message, self._corrupt_rng)
+            self.received += 1
+            return message
+
+    # -- passthrough ----------------------------------------------------------
+
+    async def flush(self) -> None:
+        """Flush the inner channel's coalescing buffer."""
+        await self.inner.flush()
+
+    async def close(self) -> None:
+        """Close the inner channel."""
+        await self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the inner channel is closed."""
+        return self.inner.closed

@@ -1,0 +1,190 @@
+"""The asyncio metadata server: one loop, many connections, pipelining.
+
+Serves the same HTTP/1.0 subset as the threaded
+:class:`~repro.metaserver.server.MetadataServer`, out of the same
+:class:`~repro.metaserver.catalog.MetadataCatalog` — construct both over
+one catalog instance and the two planes publish identical documents.
+The differences are purely at the connection layer:
+
+- **persistent connections** — a client may send any number of requests
+  over one socket; the server answers in order and serves until the
+  client closes.  One-shot sync clients (:func:`~repro.metaserver.client.http_get`)
+  still work unchanged: every response carries ``Content-Length``, and
+  the client closing its socket ends the connection loop.
+- **pipelining** — requests already buffered behind the current one are
+  answered back-to-back without waiting for the client to read each
+  response first.  This is what makes many in-flight format resolutions
+  over one connection cheap.
+- **graceful drain** — :meth:`stop` stops accepting, lets every
+  *in-flight* request finish its response (shielded from cancellation),
+  then closes idle connections.  A deadline bounds how long a slow
+  client can hold shutdown hostage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import DiscoveryError
+from repro.metaserver.catalog import DynamicHandler, MetadataCatalog
+from repro.metaserver.http import HTTPResponse, _content_length
+from repro.pbio.fmserver import FormatServer
+from repro.schema.model import SchemaDocument
+
+
+class AsyncMetadataServer:
+    """Asyncio HTTP server for metadata documents."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        catalog: MetadataCatalog | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.catalog = catalog if catalog is not None else MetadataCatalog()
+        self._server: asyncio.base_events.Server | None = None
+        self._stopping = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
+        self.requests_served = 0
+        self.connections_served = 0
+
+    # -- publication (same surface as the threaded server) ---------------------
+
+    def publish_schema(self, path: str, schema: SchemaDocument | str) -> str:
+        """Publish a schema document at ``path``; returns its full URL."""
+        self.catalog.publish_schema(path, schema)
+        return self.url_for(path)
+
+    def publish_dynamic(self, path: str, handler: DynamicHandler) -> str:
+        """Publish a per-request generated document at ``path``."""
+        self.catalog.publish_dynamic(path, handler)
+        return self.url_for(path)
+
+    def unpublish(self, path: str) -> None:
+        """Remove a document; missing paths are a no-op."""
+        self.catalog.unpublish(path)
+
+    def attach_format_server(self, format_server: FormatServer) -> None:
+        """Expose ``format_server``'s formats under ``/formats/<hex id>``."""
+        self.catalog.attach_format_server(format_server)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise DiscoveryError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    def url_for(self, path: str) -> str:
+        """Absolute URL of ``path`` on this server."""
+        host, port = self.address
+        return f"http://{host}:{port}{path}"
+
+    async def start(self) -> "AsyncMetadataServer":
+        """Bind and begin accepting connections (fluent)."""
+        if self._server is not None:
+            raise DiscoveryError("server already started")
+        # A deep accept backlog is the async plane's point: one loop can
+        # absorb a synchronized connect storm from hundreds of clients.
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port, backlog=1024
+        )
+        return self
+
+    async def stop(self, drain: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, close connections.
+
+        Requests whose headers have been read finish their responses
+        (up to ``drain`` seconds); idle keep-alive connections are
+        closed immediately.
+        """
+        if self._server is None:
+            return
+        self._stopping.set()
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for task in list(self._tasks):
+            if task not in self._busy:
+                task.cancel()
+        if self._tasks:
+            _, pending = await asyncio.wait(list(self._tasks), timeout=drain)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(list(pending), timeout=1.0)
+        self._stopping = asyncio.Event()
+
+    async def __aenter__(self) -> "AsyncMetadataServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        self.connections_served += 1
+        try:
+            await self._serve_connection(task, reader, writer)
+        except asyncio.CancelledError:
+            pass  # drained during shutdown
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self._tasks.discard(task)
+            self._busy.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _serve_connection(self, task, reader, writer) -> None:
+        while not self._stopping.is_set():
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError:
+                return  # client closed between requests
+            except asyncio.LimitOverrunError:
+                writer.write(HTTPResponse(400, body=b"headers too large").render())
+                await writer.drain()
+                return
+            # Header read: this request is now in flight and survives a
+            # graceful drain.  Shield the answer so stop()'s cancellation
+            # of the connection task lands after the response is written.
+            self._busy.add(task)
+            try:
+                work = asyncio.ensure_future(
+                    self._answer(reader, writer, head)
+                )
+                try:
+                    await asyncio.shield(work)
+                except asyncio.CancelledError:
+                    await work
+                    raise
+            finally:
+                self._busy.discard(task)
+
+    async def _answer(self, reader, writer, head: bytes) -> None:
+        body = b""
+        try:
+            length = _content_length(head.rstrip(b"\r\n"))
+        except DiscoveryError:
+            writer.write(HTTPResponse(400, body=b"malformed request").render())
+            await writer.drain()
+            self.requests_served += 1
+            return
+        if length:
+            body = await reader.readexactly(length)
+        response = self.catalog.respond(head + body)
+        writer.write(response.render())
+        await writer.drain()
+        self.requests_served += 1

@@ -1,0 +1,73 @@
+"""Run async-plane components from synchronous code.
+
+Cross-plane deployments need an event loop *somewhere*: a threaded
+application serving metadata through an
+:class:`~repro.aio.metaserver.AsyncMetadataServer`, or a sync test
+driving an async broker.  :class:`BackgroundLoop` owns one event loop on
+one daemon thread and lets sync code submit coroutines to it::
+
+    with BackgroundLoop() as loop:
+        server = loop.run(AsyncMetadataServer().start())
+        url = server.publish_schema("/s.xsd", schema)   # sync call, safe
+        body = http_get(url)                            # sync client
+        loop.run(server.stop())
+
+Every ``run`` blocks the calling thread until the coroutine completes
+on the loop thread — the sync call surface over the async plane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Coroutine
+
+from repro.errors import TransportError
+
+
+class BackgroundLoop:
+    """An event loop on a daemon thread, driven from sync code."""
+
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run_forever, daemon=True)
+        self._started = threading.Event()
+        self._thread.start()
+        self._started.wait(timeout=5)
+
+    def _run_forever(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        self._loop.run_forever()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The underlying event loop (for ``call_soon_threadsafe`` etc.)."""
+        return self._loop
+
+    def run(self, coro: Coroutine[Any, Any, Any], timeout: float | None = 30.0):
+        """Run ``coro`` on the loop thread; block for (and return) its result."""
+        if not self._loop.is_running():
+            raise TransportError("background loop is not running")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    def submit(self, coro: Coroutine[Any, Any, Any]):
+        """Schedule ``coro`` without waiting; returns a concurrent Future."""
+        if not self._loop.is_running():
+            raise TransportError("background loop is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def stop(self) -> None:
+        """Stop the loop and join its thread; idempotent."""
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    def __enter__(self) -> "BackgroundLoop":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

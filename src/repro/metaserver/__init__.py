@@ -18,6 +18,7 @@ immediate next step of the implementation; this package builds it:
   across repeated lookups.
 """
 
+from repro.metaserver.catalog import MetadataCatalog
 from repro.metaserver.client import (
     CircuitBreaker,
     FetchResult,
@@ -30,6 +31,7 @@ from repro.metaserver.server import FlakyMetadataServer, MetadataServer
 
 __all__ = [
     "CircuitBreaker",
+    "MetadataCatalog",
     "FetchResult",
     "MetadataClient",
     "RetryPolicy",

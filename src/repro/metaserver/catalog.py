@@ -1,0 +1,131 @@
+"""The metadata catalog: server-independent document state and routing.
+
+Both serving planes — the threaded
+:class:`~repro.metaserver.server.MetadataServer` and the asyncio
+:class:`~repro.aio.metaserver.AsyncMetadataServer` — answer requests out
+of one of these.  A catalog owns the published documents (static schema
+text, dynamic per-request generators, and an attached
+:class:`~repro.pbio.fmserver.FormatServer` for ``/formats/<hex id>``)
+and the request → response logic; the servers own sockets, threads or
+tasks, and lifecycle.  Handing the *same* catalog to a threaded and an
+async server puts both front ends over identical state, which is how
+the cross-plane interop tests prove byte-identical behavior.
+
+Thread safety: publication and lookup take an internal lock, so a
+threaded server's worker threads and an event loop may share a catalog
+freely.  Dynamic handlers run outside the lock (they may be slow) and
+must be thread-safe themselves if the catalog is shared across planes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import DiscoveryError
+from repro.metaserver.http import HTTPRequest, HTTPResponse
+from repro.pbio.fmserver import FormatServer
+from repro.schema.model import SchemaDocument
+from repro.schema.writer import schema_to_xml
+
+DynamicHandler = Callable[[HTTPRequest], str]
+
+_XML_TYPE = "text/xml; charset=utf-8"
+
+
+class MetadataCatalog:
+    """Published metadata documents plus the request-answering logic."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, str] = {}
+        self._dynamic: dict[str, DynamicHandler] = {}
+        self._format_server: FormatServer | None = None
+        self._lock = threading.Lock()
+
+    # -- publication -----------------------------------------------------------
+
+    def publish_schema(self, path: str, schema: SchemaDocument | str) -> None:
+        """Publish a schema document (XML text or a parsed document)."""
+        if not path.startswith("/"):
+            raise DiscoveryError(f"paths must start with '/', got {path!r}")
+        text = schema if isinstance(schema, str) else schema_to_xml(schema)
+        with self._lock:
+            self._documents[path] = text
+
+    def publish_dynamic(self, path: str, handler: DynamicHandler) -> None:
+        """Publish a per-request generated document at ``path``."""
+        if not path.startswith("/"):
+            raise DiscoveryError(f"paths must start with '/', got {path!r}")
+        with self._lock:
+            self._dynamic[path] = handler
+
+    def unpublish(self, path: str) -> None:
+        """Remove a document (static or dynamic); missing paths are a no-op."""
+        with self._lock:
+            self._documents.pop(path, None)
+            self._dynamic.pop(path, None)
+
+    def attach_format_server(self, format_server: FormatServer) -> None:
+        """Expose ``format_server``'s formats under ``/formats/<hex id>``."""
+        self._format_server = format_server
+
+    @property
+    def format_server(self) -> FormatServer | None:
+        """The attached format server, if any."""
+        return self._format_server
+
+    def paths(self) -> list[str]:
+        """Every published path (static and dynamic)."""
+        with self._lock:
+            return sorted(set(self._documents) | set(self._dynamic))
+
+    # -- request handling ------------------------------------------------------
+
+    def respond(self, raw: bytes) -> HTTPResponse:
+        """Answer one raw HTTP request with a response (never raises)."""
+        try:
+            request = HTTPRequest.parse(raw)
+        except DiscoveryError:
+            return HTTPResponse(400, body=b"malformed request")
+        if request.method not in ("GET", "HEAD"):
+            return HTTPResponse(405, body=b"only GET is supported")
+        response = self.lookup(request)
+        if request.method == "HEAD":
+            response.headers.setdefault("Content-Length", str(len(response.body)))
+            response.body = b""
+        return response
+
+    def lookup(self, request: HTTPRequest) -> HTTPResponse:
+        """Resolve a parsed request against the published documents."""
+        path = request.path.split("?", 1)[0]
+        with self._lock:
+            document = self._documents.get(path)
+            handler = self._dynamic.get(path)
+        if document is not None:
+            return HTTPResponse(
+                200, {"Content-Type": _XML_TYPE}, document.encode("utf-8")
+            )
+        if handler is not None:
+            try:
+                generated = handler(request)
+            except Exception as exc:
+                return HTTPResponse(500, body=f"generator failed: {exc}".encode())
+            return HTTPResponse(
+                200, {"Content-Type": _XML_TYPE}, generated.encode("utf-8")
+            )
+        if path.startswith("/formats/") and self._format_server is not None:
+            return self._serve_format(path[len("/formats/"):])
+        return HTTPResponse(404, body=f"no document at {path}".encode())
+
+    def _serve_format(self, hex_id: str) -> HTTPResponse:
+        try:
+            format_id = bytes.fromhex(hex_id)
+        except ValueError:
+            return HTTPResponse(400, body=b"format ids are hex strings")
+        try:
+            metadata = self._format_server.resolve_metadata(format_id)
+        except Exception:
+            return HTTPResponse(404, body=f"unknown format {hex_id}".encode())
+        return HTTPResponse(
+            200, {"Content-Type": "application/x-pbio-format"}, metadata
+        )

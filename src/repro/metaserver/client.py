@@ -403,8 +403,16 @@ class MetadataClient:
         else:
             self._cache.pop(url, None)
 
-    def stats(self) -> dict[str, int]:
-        """Counters for reporting: hits, fetches, retries, stale serves..."""
+    def stats(self) -> dict:
+        """One reporting surface over every counter the client keeps.
+
+        Cache behavior (``hits`` / ``fetches`` / ``stale_serves`` /
+        ``evictions`` / ``entries``), retry effort (``retries``), and
+        breaker health — total ``breaker_trips`` plus a ``breakers``
+        mapping of host → current state (``closed``/``open``/``half-open``)
+        and per-host trip count — in a single dict a chaos harness or
+        operator dashboard can log wholesale.
+        """
         return {
             "hits": self.hits,
             "fetches": self.fetches,
@@ -413,4 +421,8 @@ class MetadataClient:
             "evictions": self.evictions,
             "entries": len(self._cache),
             "breaker_trips": self.breaker_trips,
+            "breakers": {
+                host: {"state": breaker.state, "trips": breaker.trips}
+                for host, breaker in self._breakers.items()
+            },
         }

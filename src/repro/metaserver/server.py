@@ -24,32 +24,38 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from repro.errors import DiscoveryError, TransportError
-from repro.metaserver.http import HTTPRequest, HTTPResponse, read_http_message
+from repro.metaserver.catalog import DynamicHandler, MetadataCatalog
+from repro.metaserver.http import HTTPResponse, read_http_message
 from repro.pbio.fmserver import FormatServer
 from repro.schema.model import SchemaDocument
-from repro.schema.writer import schema_to_xml
 from repro.transport.tcp import TCPListener
 
 if TYPE_CHECKING:
     from repro.faults.plan import ServerFaultPlan
 
-DynamicHandler = Callable[[HTTPRequest], str]
-
-_XML_TYPE = "text/xml; charset=utf-8"
+__all__ = ["DynamicHandler", "FlakyMetadataServer", "MetadataServer"]
 
 
 class MetadataServer:
-    """Threaded HTTP server for metadata documents."""
+    """Threaded HTTP server for metadata documents.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    Document state lives in a :class:`~repro.metaserver.catalog.MetadataCatalog`;
+    pass an existing one to serve the same documents as another front end
+    (e.g. an :class:`~repro.aio.metaserver.AsyncMetadataServer`).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        catalog: MetadataCatalog | None = None,
+    ) -> None:
         self._listener = TCPListener(host, port)
-        self._documents: dict[str, str] = {}
-        self._dynamic: dict[str, DynamicHandler] = {}
-        self._format_server: FormatServer | None = None
-        self._lock = threading.Lock()
+        self.catalog = catalog if catalog is not None else MetadataCatalog()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self.requests_served = 0
@@ -58,30 +64,21 @@ class MetadataServer:
 
     def publish_schema(self, path: str, schema: SchemaDocument | str) -> str:
         """Publish a schema document at ``path``; returns its full URL."""
-        if not path.startswith("/"):
-            raise DiscoveryError(f"paths must start with '/', got {path!r}")
-        text = schema if isinstance(schema, str) else schema_to_xml(schema)
-        with self._lock:
-            self._documents[path] = text
+        self.catalog.publish_schema(path, schema)
         return self.url_for(path)
 
     def publish_dynamic(self, path: str, handler: DynamicHandler) -> str:
         """Publish a per-request generated document at ``path``."""
-        if not path.startswith("/"):
-            raise DiscoveryError(f"paths must start with '/', got {path!r}")
-        with self._lock:
-            self._dynamic[path] = handler
+        self.catalog.publish_dynamic(path, handler)
         return self.url_for(path)
 
     def unpublish(self, path: str) -> None:
         """Remove a document (static or dynamic); missing paths are a no-op."""
-        with self._lock:
-            self._documents.pop(path, None)
-            self._dynamic.pop(path, None)
+        self.catalog.unpublish(path)
 
     def attach_format_server(self, format_server: FormatServer) -> None:
         """Expose ``format_server``'s formats under ``/formats/<hex id>``."""
-        self._format_server = format_server
+        self.catalog.attach_format_server(format_server)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -150,51 +147,7 @@ class MetadataServer:
         channel._sock.sendall(response.render())
 
     def _respond(self, raw: bytes) -> HTTPResponse:
-        try:
-            request = HTTPRequest.parse(raw)
-        except DiscoveryError:
-            return HTTPResponse(400, body=b"malformed request")
-        if request.method not in ("GET", "HEAD"):
-            return HTTPResponse(405, body=b"only GET is supported")
-        response = self._lookup(request)
-        if request.method == "HEAD":
-            response.headers.setdefault("Content-Length", str(len(response.body)))
-            response.body = b""
-        return response
-
-    def _lookup(self, request: HTTPRequest) -> HTTPResponse:
-        path = request.path.split("?", 1)[0]
-        with self._lock:
-            document = self._documents.get(path)
-            handler = self._dynamic.get(path)
-        if document is not None:
-            return HTTPResponse(
-                200, {"Content-Type": _XML_TYPE}, document.encode("utf-8")
-            )
-        if handler is not None:
-            try:
-                generated = handler(request)
-            except Exception as exc:
-                return HTTPResponse(500, body=f"generator failed: {exc}".encode())
-            return HTTPResponse(
-                200, {"Content-Type": _XML_TYPE}, generated.encode("utf-8")
-            )
-        if path.startswith("/formats/") and self._format_server is not None:
-            return self._serve_format(path[len("/formats/"):])
-        return HTTPResponse(404, body=f"no document at {path}".encode())
-
-    def _serve_format(self, hex_id: str) -> HTTPResponse:
-        try:
-            format_id = bytes.fromhex(hex_id)
-        except ValueError:
-            return HTTPResponse(400, body=b"format ids are hex strings")
-        try:
-            metadata = self._format_server.resolve_metadata(format_id)
-        except Exception:
-            return HTTPResponse(404, body=f"unknown format {hex_id}".encode())
-        return HTTPResponse(
-            200, {"Content-Type": "application/x-pbio-format"}, metadata
-        )
+        return self.catalog.respond(raw)
 
 
 class FlakyMetadataServer(MetadataServer):

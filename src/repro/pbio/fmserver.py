@@ -26,6 +26,7 @@ class FormatServer:
 
     def __init__(self) -> None:
         self._metadata: dict[bytes, bytes] = {}
+        self._decoded: dict[bytes, IOFormat] = {}
         self._lock = threading.Lock()
 
     def register(self, fmt: IOFormat) -> bytes:
@@ -37,21 +38,33 @@ class FormatServer:
         metadata = fmt.to_wire_metadata()
         with self._lock:
             self._metadata[fmt.format_id] = metadata
+            self._decoded.pop(fmt.format_id, None)
             for nested in fmt.nested_formats():
                 self._metadata[nested.format_id] = nested.to_wire_metadata()
+                self._decoded.pop(nested.format_id, None)
         return fmt.format_id
 
     def resolve(self, format_id: bytes) -> IOFormat:
         """Return the format registered under ``format_id``.
 
+        The decode of the wire metadata is cached: a server fielding many
+        resolutions of one hot format parses it once, not per call.  The
+        cache entry is invalidated when the id is re-registered.
+
         Raises :class:`~repro.errors.DecodeError` if the id is unknown —
         callers decide whether to fall back to in-band resolution.
         """
         with self._lock:
+            fmt = self._decoded.get(format_id)
+            if fmt is not None:
+                return fmt
             metadata = self._metadata.get(format_id)
         if metadata is None:
             raise DecodeError(f"format server has no format {format_id.hex()}")
-        return IOFormat.from_wire_metadata(metadata)
+        fmt = IOFormat.from_wire_metadata(metadata)
+        with self._lock:
+            self._decoded[format_id] = fmt
+        return fmt
 
     def resolve_metadata(self, format_id: bytes) -> bytes:
         """Return the raw metadata bytes for ``format_id``."""

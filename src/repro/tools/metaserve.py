@@ -11,12 +11,15 @@ paper's §4.4, as a command::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import signal
 import sys
 import threading
 from pathlib import Path
 
+from repro.aio import AsyncMetadataServer
 from repro.errors import ReproError
+from repro.metaserver.catalog import MetadataCatalog
 from repro.metaserver.server import MetadataServer
 from repro.schema.parser import parse_schema
 
@@ -35,11 +38,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate each document as a schema before publishing",
     )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve from the asyncio plane (keep-alive + pipelining)",
+    )
     return parser
 
 
-def publish_directory(server: MetadataServer, directory: Path, check: bool) -> list[str]:
-    """Publish every *.xsd in ``directory``; returns the URLs."""
+def publish_directory(
+    server: MetadataServer | MetadataCatalog, directory: Path, check: bool
+) -> list[str]:
+    """Publish every *.xsd in ``directory`` into ``server`` (a
+    :class:`MetadataServer` or a bare :class:`MetadataCatalog`);
+    returns one entry per published document (URLs for a server)."""
     urls = []
     for path in sorted(directory.glob("*.xsd")):
         text = path.read_text(encoding="utf-8")
@@ -49,6 +62,24 @@ def publish_directory(server: MetadataServer, directory: Path, check: bool) -> l
     return urls
 
 
+async def serve_async(args: argparse.Namespace, catalog: MetadataCatalog) -> int:
+    """Serve ``catalog`` from the asyncio plane until interrupted."""
+    server = await AsyncMetadataServer(args.host, args.port, catalog=catalog).start()
+    for path in catalog.paths():
+        print(f"serving {server.url_for(path)}")
+    host, port = server.address
+    print(f"metadata server listening on {host}:{port} "
+          f"(async plane, Ctrl-C to stop)")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    await server.stop()
+    print("stopped")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -56,6 +87,19 @@ def main(argv: list[str] | None = None) -> int:
     if not directory.is_dir():
         print(f"metaserve: error: {directory} is not a directory", file=sys.stderr)
         return 1
+    if args.use_async:
+        # Same catalog contents, served from the asyncio plane (the
+        # threaded server is never constructed: it would bind the port).
+        catalog = MetadataCatalog()
+        try:
+            published = publish_directory(catalog, directory, args.check)
+        except ReproError as exc:
+            print(f"metaserve: error: {exc}", file=sys.stderr)
+            return 1
+        if not published:
+            print(f"metaserve: warning: no *.xsd files in {directory}",
+                  file=sys.stderr)
+        return asyncio.run(serve_async(args, catalog))
     server = MetadataServer(args.host, args.port)
     try:
         urls = publish_directory(server, directory, args.check)

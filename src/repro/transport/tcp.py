@@ -20,6 +20,7 @@ reset.
 from __future__ import annotations
 
 import socket
+import threading
 import time
 
 from repro.errors import (
@@ -33,19 +34,34 @@ from repro.wire.framing import frame, read_frame
 
 
 class TCPChannel(Channel):
-    """A connected TCP socket speaking length-prefixed messages."""
+    """A connected TCP socket speaking length-prefixed messages.
+
+    Thread safety: one channel may be shared by multiple threads.
+    Concurrent ``send`` calls are serialized by an internal lock, so
+    frames from different threads never interleave on the wire.
+    Concurrent ``recv`` calls are serialized the same way — each caller
+    receives one whole frame; *which* frame is arrival order, so
+    multi-reader use only makes sense for work-sharing consumers.  A
+    ``recv(timeout=...)`` that cannot acquire the read lock within its
+    timeout raises :class:`~repro.errors.TransportTimeoutError` without
+    touching the socket (the stream stays at a frame boundary).
+    """
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._closed = False
         self._poisoned = False
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def send(self, message: bytes) -> None:
         if self._closed:
             raise ChannelClosedError("cannot send on a closed channel")
+        framed = frame(message)
         try:
-            self._sock.sendall(frame(message))
+            with self._send_lock:
+                self._sock.sendall(framed)
         except (BrokenPipeError, ConnectionResetError) as exc:
             raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
         except OSError as exc:
@@ -54,6 +70,19 @@ class TCPChannel(Channel):
     def recv(self, timeout: float | None = None) -> bytes:
         if self._closed:
             raise ChannelClosedError("cannot recv on a closed channel")
+        acquired = self._recv_lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        )
+        if not acquired:
+            raise TransportTimeoutError(
+                f"recv timed out after {timeout}s waiting for another reader"
+            )
+        try:
+            return self._recv_locked(timeout)
+        finally:
+            self._recv_lock.release()
+
+    def _recv_locked(self, timeout: float | None) -> bytes:
         if self._poisoned:
             raise TransportError(
                 "channel poisoned by an earlier mid-frame timeout; "

@@ -1,0 +1,18 @@
+"""Shared helpers for async-plane tests.
+
+No pytest-asyncio dependency: each test drives its coroutine with the
+``arun`` fixture (``asyncio.run`` plus a global deadline so a deadlock
+fails the test instead of hanging the suite).
+"""
+
+import asyncio
+
+import pytest
+
+
+@pytest.fixture
+def arun():
+    def runner(coro, timeout=30.0):
+        return asyncio.run(asyncio.wait_for(coro, timeout))
+
+    return runner

@@ -1,0 +1,212 @@
+"""AsyncEventBroker / AsyncBackboneClient: pub/sub across planes.
+
+The broker envelope protocol (docs/PROTOCOL.md §7) is plane-agnostic:
+an async client works against the threaded :class:`BrokerServer`, a
+sync client works against :class:`AsyncEventBroker`, and one
+:class:`EventBackbone` can sit behind a broker of each plane at once.
+Plus the async-only contract: bounded subscriber queues that detach a
+consumer that stops reading.
+"""
+
+import pytest
+
+from repro import aio
+from repro.arch import SPARC_32, X86_64
+from repro.events.backbone import EventBackbone
+from repro.events.remote import BrokerServer, RemoteBackboneClient
+from repro.pbio import IOContext, IOField
+
+
+def track_context(arch, register=True):
+    context = IOContext(arch)
+    if register:
+        context.register_format(
+            "track",
+            [
+                IOField("flight", "string", arch.pointer_size, 0),
+                IOField("alt", "integer", 4, arch.pointer_size),
+            ],
+        )
+    return context
+
+
+class TestAsyncPlane:
+    def test_publish_subscribe_roundtrip(self, arun):
+        async def scenario():
+            async with aio.AsyncEventBroker() as broker:
+                host, port = broker.address
+                subscriber = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(X86_64, register=False)
+                )
+                await subscriber.subscribe("flights.*")
+                publisher_client = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(SPARC_32)
+                )
+                publisher = publisher_client.publisher("flights.atl")
+                await publisher.publish("track", {"flight": "DL1", "alt": 31000})
+                event = await subscriber.next_event(timeout=5)
+                await subscriber.close()
+                await publisher_client.close()
+                return event
+
+        event = arun(scenario())
+        assert event.stream == "flights.atl"
+        assert event.values == {"flight": "DL1", "alt": 31000}
+
+    def test_many_events_in_order(self, arun):
+        async def scenario():
+            async with aio.AsyncEventBroker() as broker:
+                host, port = broker.address
+                subscriber = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(X86_64, register=False)
+                )
+                await subscriber.subscribe("s")
+                publisher_client = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(SPARC_32)
+                )
+                publisher = publisher_client.publisher("s")
+                for i in range(50):
+                    await publisher.publish("track", {"flight": f"F{i}", "alt": i})
+                alts = [
+                    (await subscriber.next_event(timeout=5)).values["alt"]
+                    for _ in range(50)
+                ]
+                await subscriber.close()
+                await publisher_client.close()
+                return alts
+
+        assert arun(scenario()) == list(range(50))
+
+    def test_late_joiner_gets_metadata_replay(self, arun):
+        async def scenario():
+            async with aio.AsyncEventBroker() as broker:
+                host, port = broker.address
+                publisher_client = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(SPARC_32)
+                )
+                publisher = publisher_client.publisher("s")
+                await publisher.publish("track", {"flight": "EARLY", "alt": 1})
+                await publisher_client.flush()  # EARLY routed (and dropped)
+
+                late = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(X86_64, register=False)
+                )
+                await late.subscribe("s")
+                await publisher.publish("track", {"flight": "LATE", "alt": 2})
+                event = await late.next_event(timeout=5)
+                await late.close()
+                await publisher_client.close()
+                return event
+
+        # The late joiner decodes thanks to the broker's metadata replay.
+        assert arun(scenario()).values["flight"] == "LATE"
+
+
+class TestCrossPlane:
+    def test_sync_publisher_to_async_subscriber(self):
+        with aio.BackgroundLoop() as bg:
+            broker = bg.run(aio.AsyncEventBroker().start())
+            host, port = broker.address
+            subscriber = bg.run(
+                aio.AsyncBackboneClient.connect(
+                    host, port, track_context(X86_64, register=False)
+                )
+            )
+            bg.run(subscriber.subscribe("s"))
+
+            sync_client = RemoteBackboneClient.connect(
+                host, port, track_context(SPARC_32)
+            )
+            publisher = sync_client.publisher("s")
+            for i in range(5):
+                publisher.publish("track", {"flight": f"S{i}", "alt": i})
+            flights = [
+                bg.run(subscriber.next_event(timeout=5)).values["flight"]
+                for _ in range(5)
+            ]
+            assert flights == [f"S{i}" for i in range(5)]
+            sync_client.close()
+            bg.run(subscriber.close())
+            bg.run(broker.stop())
+
+    def test_async_publisher_to_sync_subscriber(self, arun):
+        with BrokerServer() as broker:
+            host, port = broker.address
+            subscriber = RemoteBackboneClient.connect(
+                host, port, track_context(X86_64, register=False)
+            )
+            subscriber.subscribe("s")
+
+            async def publish():
+                client = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(SPARC_32)
+                )
+                publisher = client.publisher("s")
+                for i in range(3):
+                    await publisher.publish("track", {"flight": f"A{i}", "alt": i})
+                await client.flush()
+                await client.close()
+
+            arun(publish())
+            flights = [
+                subscriber.next_event(timeout=5).values["flight"] for _ in range(3)
+            ]
+            assert flights == ["A0", "A1", "A2"]
+            subscriber.close()
+
+    def test_shared_backbone_bridges_planes(self):
+        backbone = EventBackbone()
+        with BrokerServer(backbone=backbone) as threaded:
+            with aio.BackgroundLoop() as bg:
+                async_broker = bg.run(
+                    aio.AsyncEventBroker(backbone=backbone).start()
+                )
+                # Subscribe through the async front...
+                subscriber = bg.run(
+                    aio.AsyncBackboneClient.connect(
+                        *async_broker.address, track_context(X86_64, register=False)
+                    )
+                )
+                bg.run(subscriber.subscribe("s"))
+                # ...publish through the threaded front.
+                sync_client = RemoteBackboneClient.connect(
+                    *threaded.address, track_context(SPARC_32)
+                )
+                sync_client.publisher("s").publish(
+                    "track", {"flight": "BRIDGED", "alt": 7}
+                )
+                event = bg.run(subscriber.next_event(timeout=5))
+                assert event.values == {"flight": "BRIDGED", "alt": 7}
+                sync_client.close()
+                bg.run(subscriber.close())
+                bg.run(async_broker.stop())
+
+
+class TestBackpressure:
+    def test_non_reading_subscriber_is_detached(self, arun):
+        async def scenario():
+            async with aio.AsyncEventBroker(queue_limit=4) as broker:
+                host, port = broker.address
+                stalled = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(X86_64, register=False)
+                )
+                await stalled.subscribe("s")
+                # ...and never reads again: its socket fills, the
+                # delivery task blocks, its bounded queue overflows.
+                publisher_client = await aio.AsyncBackboneClient.connect(
+                    host, port, track_context(SPARC_32)
+                )
+                publisher = publisher_client.publisher("s")
+                # Enough bytes to overrun the stalled socket's kernel
+                # buffering, block the delivery task, and overflow the
+                # 4-message queue.
+                blob = "x" * 262144
+                for i in range(160):
+                    await publisher.publish("track", {"flight": blob, "alt": i})
+                await publisher_client.flush()  # every publish has routed
+                dropped = broker.backbone.dropped_sinks
+                await publisher_client.close()
+                await stalled.close()
+                return dropped
+
+        assert arun(scenario()) >= 1

@@ -1,0 +1,190 @@
+"""AsyncTCPChannel: framing parity with the sync plane, locks, coalescing.
+
+The interop contract under test: an async channel and a sync
+:class:`~repro.transport.tcp.TCPChannel` speak byte-identical frames, so
+either end of a connection can be on either plane.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import aio
+from repro.errors import ChannelClosedError, TransportTimeoutError, WireError
+from repro.transport import connect as sync_connect
+from repro.transport import listen as sync_listen
+from repro.wire.framing import frame
+
+
+async def async_pair():
+    """A connected (client, server) AsyncTCPChannel pair plus listener."""
+    listener = await aio.listen()
+    client_task = asyncio.ensure_future(aio.connect(*listener.address))
+    server = await listener.accept(timeout=5)
+    client = await client_task
+    return listener, client, server
+
+
+class TestAsyncToAsync:
+    def test_roundtrip_in_order(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            await client.send(b"one")
+            await client.send(b"two")
+            assert await server.recv(timeout=5) == b"one"
+            assert await server.recv(timeout=5) == b"two"
+            await server.send(b"pong")
+            assert await client.recv(timeout=5) == b"pong"
+            await client.close()
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+    def test_recv_after_peer_close_raises_cleanly(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            await client.close()
+            with pytest.raises(ChannelClosedError):
+                await server.recv(timeout=5)
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+    def test_concurrent_sends_never_interleave(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            payloads = [bytes([i]) * 30_000 for i in range(8)]
+
+            async def blast(payload):
+                for _ in range(10):
+                    await client.send(payload)
+
+            senders = [asyncio.ensure_future(blast(p)) for p in payloads]
+            received = [await server.recv(timeout=10) for _ in range(80)]
+            await asyncio.gather(*senders)
+            for message in received:
+                assert message == bytes([message[0]]) * 30_000
+            await client.close()
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+    def test_small_frames_coalesce_into_few_writes(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            for i in range(50):
+                await client.send(b"x%d" % i)  # all far below coalesce_bytes
+            received = [await server.recv(timeout=5) for i in range(50)]
+            assert received == [b"x%d" % i for i in range(50)]
+            # A burst in one tick lands in far fewer transport writes.
+            assert client.flushes < 50
+            assert client.frames_sent == 50
+            await client.close()
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+    def test_timeout_never_poisons_the_stream(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            with pytest.raises(TransportTimeoutError):
+                await server.recv(timeout=0.05)
+            assert not server.poisoned
+            await client.send(b"after the timeout")
+            assert await server.recv(timeout=5) == b"after the timeout"
+            await client.close()
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+    def test_oversized_frame_header_rejected(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            # A desynchronized length prefix must not trigger a huge read.
+            client._writer.write(b"\xff\xff\xff\xff")
+            await client._writer.drain()
+            with pytest.raises(WireError, match="exceeds limit"):
+                await server.recv(timeout=5)
+            await client.close()
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+
+class TestCrossPlane:
+    def test_async_sender_emits_byte_identical_frames(self, arun):
+        """Raw wire capture of the async sender equals frame() exactly."""
+        with sync_listen() as listener:
+            raw = {}
+
+            def capture():
+                channel = listener.accept(timeout=5)
+                raw["bytes"] = channel._sock.recv(1024)
+                channel.close()
+
+            collector = threading.Thread(target=capture)
+            collector.start()
+
+            async def send():
+                channel = await aio.connect(*listener.address)
+                await channel.send(b"alpha")
+                await channel.send(b"beta")
+                await channel.flush()
+                await asyncio.sleep(0.2)  # let the capture thread read
+                await channel.close()
+
+            arun(send())
+            collector.join()
+        assert raw["bytes"] == frame(b"alpha") + frame(b"beta")
+
+    def test_async_client_to_sync_server(self, arun):
+        with sync_listen() as listener:
+            result = {}
+
+            def serve():
+                channel = listener.accept(timeout=5)
+                result["got"] = channel.recv(timeout=5)
+                channel.send(b"reply from sync")
+                channel.close()
+
+            server_thread = threading.Thread(target=serve)
+            server_thread.start()
+
+            async def client():
+                channel = await aio.connect(*listener.address)
+                await channel.send(b"hello from async")
+                reply = await channel.recv(timeout=5)
+                await channel.close()
+                return reply
+
+            reply = arun(client())
+            server_thread.join()
+        assert result["got"] == b"hello from async"
+        assert reply == b"reply from sync"
+
+    def test_sync_client_to_async_server(self):
+        with aio.BackgroundLoop() as bg:
+            listener = bg.run(aio.listen())
+            host, port = listener.address
+
+            async def serve():
+                channel = await listener.accept(timeout=5)
+                message = await channel.recv(timeout=5)
+                await channel.send(message.upper())
+                await channel.flush()
+                return message
+
+            served = bg.submit(serve())
+            channel = sync_connect(host, port)
+            channel.send(b"shout this")
+            assert channel.recv(timeout=5) == b"SHOUT THIS"
+            channel.close()
+            assert served.result(timeout=5) == b"shout this"
+            bg.run(listener.close())

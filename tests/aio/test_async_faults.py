@@ -1,0 +1,183 @@
+"""AsyncFaultyChannel: PR 1's seeded fault plans replay on the async plane.
+
+The contract: a :class:`~repro.faults.plan.FaultPlan` is plane-agnostic.
+The same seed produces the same decision stream and the same corrupted
+byte positions whether the plan drives the sync
+:class:`~repro.faults.channel.FaultyChannel` or the async wrapper — a
+chaos schedule developed against one plane replays fault-for-fault
+against the other.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import aio
+from repro.arch import SPARC_32, X86_64
+from repro.errors import ChannelClosedError, TransportTimeoutError
+from repro.faults import FaultPlan, FaultyChannel
+from repro.pbio import IOContext, IOField
+from repro.transport import connect as sync_connect
+from repro.transport import listen as sync_listen
+
+
+async def async_pair():
+    listener = await aio.listen()
+    client_task = asyncio.ensure_future(aio.connect(*listener.address))
+    server = await listener.accept(timeout=5)
+    client = await client_task
+    return listener, client, server
+
+
+class TestSeedParity:
+    def test_same_seed_same_decision_stream(self, arun):
+        """30 sends under the same seeded plan inject identical faults."""
+
+        def sync_run(plan):
+            with sync_listen() as listener:
+                raw_client = sync_connect(*listener.address)
+                server = listener.accept(timeout=5)
+                channel = FaultyChannel(raw_client, plan)
+                for i in range(30):
+                    channel.send(b"m%d" % i)
+                channel.close()
+                server.close()
+            return plan.injected
+
+        async def async_run(plan):
+            listener, raw_client, server = await async_pair()
+            channel = aio.AsyncFaultyChannel(raw_client, plan)
+            for i in range(30):
+                await channel.send(b"m%d" % i)
+            await channel.close()
+            await server.close()
+            await listener.close()
+            return plan.injected
+
+        make_plan = lambda: FaultPlan(
+            seed=42, drop=0.3, corrupt=0.2, delay=0.1,
+            delay_seconds=0.0, ops=("send",),
+        )
+        sync_events = sync_run(make_plan())
+        async_events = arun(async_run(make_plan()))
+        assert sync_events == async_events
+        assert len(sync_events) > 0  # the rates actually fired
+
+    def test_same_seed_corrupts_identical_bytes(self, arun):
+        """The corruption RNG derives from the seed on both planes."""
+        payloads = [bytes(range(32)) for _ in range(10)]
+
+        def sync_run():
+            with sync_listen() as listener:
+                raw_client = sync_connect(*listener.address)
+                server = listener.accept(timeout=5)
+                channel = FaultyChannel(
+                    raw_client, FaultPlan(seed=7, corrupt=1.0, ops=("send",))
+                )
+                received = []
+                for payload in payloads:
+                    channel.send(payload)
+                    received.append(server.recv(timeout=5))
+                channel.close()
+                server.close()
+            return received
+
+        async def async_run():
+            listener, raw_client, server = await async_pair()
+            channel = aio.AsyncFaultyChannel(
+                raw_client, FaultPlan(seed=7, corrupt=1.0, ops=("send",))
+            )
+            received = []
+            for payload in payloads:
+                await channel.send(payload)
+                await channel.flush()
+                received.append(await server.recv(timeout=5))
+            await channel.close()
+            await server.close()
+            await listener.close()
+            return received
+
+        sync_received = sync_run()
+        async_received = arun(async_run())
+        assert sync_received == async_received
+        # And corruption really happened (same way on both planes).
+        assert all(got != sent for got, sent in zip(sync_received, payloads))
+
+
+class TestExplicitSchedules:
+    def test_scheduled_drops_against_async_broker(self, arun):
+        """Drop exactly publishes 3 and 7 of 8; the subscriber sees 6.
+
+        Send index accounting on the publisher connection: send 1 is the
+        stream's format metadata, sends 2-9 the data publishes, send 10
+        the flush PING — so ``on(4)``/``on(8)`` drop data events with
+        ``alt`` 2 and 6.
+        """
+        plan = FaultPlan(seed=0, ops=("send",)).on(4, "drop").on(8, "drop")
+
+        async def scenario():
+            async with aio.AsyncEventBroker() as broker:
+                host, port = broker.address
+                subscriber = await aio.AsyncBackboneClient.connect(
+                    host, port, IOContext(X86_64)
+                )
+                await subscriber.subscribe("s")
+
+                context = IOContext(SPARC_32)
+                context.register_format(
+                    "tick", [IOField("alt", "integer", 4, 0)]
+                )
+                publisher_client = aio.AsyncBackboneClient(
+                    aio.AsyncFaultyChannel(await aio.connect(host, port), plan),
+                    context,
+                )
+                publisher = publisher_client.publisher("s")
+                for i in range(8):
+                    await publisher.publish("tick", {"alt": i})
+                await publisher_client.flush()  # barrier: all routed
+
+                received = []
+                while True:
+                    try:
+                        event = await subscriber.next_event(timeout=0.3)
+                    except TransportTimeoutError:
+                        break
+                    received.append(event.values["alt"])
+                await subscriber.close()
+                await publisher_client.close()
+                return received
+
+        assert arun(scenario()) == [0, 1, 3, 4, 5, 7]
+        assert [e.kind for e in plan.injected] == ["drop", "drop"]
+
+    def test_injected_reset_closes_the_channel(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            channel = aio.AsyncFaultyChannel(
+                client, FaultPlan().on(1, "reset")
+            )
+            with pytest.raises(ChannelClosedError, match="injected"):
+                await channel.send(b"doomed")
+            assert channel.closed
+            await server.close()
+            await listener.close()
+
+        arun(scenario())
+
+    def test_injected_timeout_leaves_channel_usable(self, arun):
+        async def scenario():
+            listener, client, server = await async_pair()
+            channel = aio.AsyncFaultyChannel(
+                client, FaultPlan().on(1, "timeout")
+            )
+            with pytest.raises(TransportTimeoutError, match="injected"):
+                await channel.send(b"in flight forever")
+            # The fault was synthetic: the inner channel still works.
+            assert not channel.closed
+            await channel.send(b"second try")
+            assert await server.recv(timeout=5) == b"second try"
+            await channel.close()
+            await server.close()
+            await listener.close()
+
+        arun(scenario())

@@ -1,0 +1,177 @@
+"""AsyncMetadataServer / AsyncMetadataClient: cross-plane HTTP interop.
+
+Every combination of {sync, async} client x {threaded, async} server
+must produce identical documents — the servers share a
+:class:`~repro.metaserver.catalog.MetadataCatalog` and the clients speak
+one HTTP subset.  Plus the async-only behaviors: pipelining, connection
+pooling, and graceful drain.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import IOContext, SPARC_32, XML2Wire, aio
+from repro.errors import MetadataHTTPError
+from repro.metaserver import (
+    HTTPRequest,
+    MetadataCatalog,
+    MetadataClient,
+    MetadataServer,
+    http_get,
+)
+from repro.pbio.fmserver import FormatServer
+from repro.workloads import ASDOFF_A_SCHEMA, ASDOFF_B_SCHEMA
+
+
+class TestSharedCatalog:
+    def test_both_planes_serve_identical_documents(self, arun):
+        catalog = MetadataCatalog()
+        catalog.publish_schema("/shared.xsd", ASDOFF_B_SCHEMA)
+        with MetadataServer(catalog=catalog) as threaded:
+            sync_body = http_get(threaded.url_for("/shared.xsd"))
+
+            async def fetch_async_plane():
+                async with aio.AsyncMetadataServer(catalog=catalog) as server:
+                    async with aio.AsyncMetadataClient() as client:
+                        return await client.get(server.url_for("/shared.xsd"))
+
+            async_body = arun(fetch_async_plane())
+        assert sync_body == async_body
+
+    def test_publication_through_either_front_end_is_visible(self, arun):
+        catalog = MetadataCatalog()
+        with MetadataServer(catalog=catalog) as threaded:
+            async def scenario():
+                async with aio.AsyncMetadataServer(catalog=catalog) as server:
+                    # Publish through the async server, read via the threaded.
+                    server.publish_schema("/a.xsd", ASDOFF_A_SCHEMA)
+                    return http_get(threaded.url_for("/a.xsd"))
+
+            body = arun(scenario())
+        assert body.decode("utf-8") == ASDOFF_A_SCHEMA
+
+
+class TestCrossPlaneClients:
+    def test_sync_client_against_async_server(self):
+        with aio.BackgroundLoop() as bg:
+            server = bg.run(aio.AsyncMetadataServer().start())
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            body = http_get(url)
+            # The resilient sync client (cache, retries) works unchanged.
+            client = MetadataClient(ttl=60)
+            assert client.get_bytes(url) == body
+            assert client.get_bytes(url) == body
+            assert client.stats()["hits"] == 1
+            bg.run(server.stop())
+
+    def test_async_client_against_threaded_server_falls_back(self, arun):
+        with MetadataServer() as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+
+            async def scenario():
+                async with aio.AsyncMetadataClient() as client:
+                    bodies = await client.get_many([url] * 6)
+                    return bodies, client.pipeline_fallbacks
+
+            bodies, fallbacks = arun(scenario())
+        assert len(bodies) == 6
+        assert len(set(bodies)) == 1
+        # The threaded server closes per-response; the client noticed and
+        # finished the batch without pipelining.
+        assert fallbacks == 1
+
+    def test_head_and_404_parity(self, arun):
+        catalog = MetadataCatalog()
+        catalog.publish_schema("/here.xsd", ASDOFF_B_SCHEMA)
+
+        async def scenario():
+            async with aio.AsyncMetadataServer(catalog=catalog) as server:
+                async with aio.AsyncMetadataClient() as client:
+                    with pytest.raises(MetadataHTTPError) as err:
+                        await client.get(server.url_for("/missing.xsd"))
+                    return err.value.status
+
+        assert arun(scenario()) == 404
+
+
+class TestPipelining:
+    def test_many_requests_share_one_connection(self, arun):
+        async def scenario():
+            async with aio.AsyncMetadataServer() as server:
+                url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+                async with aio.AsyncMetadataClient() as client:
+                    bodies = await client.get_many([url] * 20)
+                    assert client.connections_opened == 1
+                    assert client.requests_sent == 20
+                    # A second batch reuses the pooled connection.
+                    await client.get_many([url] * 5)
+                    assert client.connections_opened == 1
+                    assert client.pool_reuses >= 1
+                return bodies, server.requests_served, server.connections_served
+
+        bodies, served, connections = arun(scenario())
+        assert len(bodies) == 20 and len(set(bodies)) == 1
+        assert served == 25
+        assert connections == 1
+
+    def test_pipelined_format_resolutions(self, arun):
+        format_server = FormatServer()
+        context = IOContext(SPARC_32)
+        XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+        fmt = context.lookup_format("ASDOffEvent")
+        ids = [format_server.register(fmt)]
+
+        async def scenario():
+            async with aio.AsyncMetadataServer() as server:
+                server.attach_format_server(format_server)
+                host, port = server.address
+                base = f"http://{host}:{port}"
+                async with aio.AsyncMetadataClient() as client:
+                    formats = await client.get_formats(base, ids * 8)
+                    assert client.connections_opened == 1
+                    return formats
+
+        formats = arun(scenario())
+        assert len(formats) == 8
+        assert all(f.format_id == fmt.format_id for f in formats)
+
+
+class TestGracefulDrain:
+    def test_in_flight_request_completes_while_idle_connection_drops(self):
+        started = threading.Event()
+
+        def slow_document(request: HTTPRequest) -> str:
+            started.set()
+            time.sleep(0.3)  # hold the in-flight request across stop()
+            return "<slow/>"
+
+        with aio.BackgroundLoop() as bg:
+            server = bg.run(aio.AsyncMetadataServer().start())
+            server.publish_dynamic("/slow.xml", slow_document)
+            host, port = server.address
+
+            idle = socket.create_connection((host, port), timeout=5)
+            busy = socket.create_connection((host, port), timeout=5)
+            busy.sendall(HTTPRequest("GET", "/slow.xml").render())
+            assert started.wait(timeout=5)
+            stopping = bg.submit(server.stop(drain=5.0))
+
+            busy.settimeout(5)
+            response = b""
+            while b"<slow/>" not in response:
+                chunk = busy.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+            stopping.result(timeout=10)
+
+            # The in-flight request got its full answer...
+            assert b"200 OK" in response and b"<slow/>" in response
+            # ...while the idle keep-alive connection was closed.
+            idle.settimeout(5)
+            assert idle.recv(1024) == b""
+            idle.close()
+            busy.close()

@@ -258,3 +258,44 @@ class TestCacheSemantics:
         assert client.get(url_a).cached
         with pytest.raises(DiscoveryError):
             client.get(url_b)
+
+
+class TestStatsSurface:
+    def test_stats_exposes_every_counter(self):
+        with FlakyMetadataServer() as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            client = fast_client(ttl=60)
+            client.get_bytes(url)
+            client.get_bytes(url)
+        stats = client.stats()
+        assert stats["fetches"] == 1
+        assert stats["hits"] == 1
+        assert stats["retries"] == 0
+        assert stats["stale_serves"] == 0
+        assert stats["evictions"] == 0
+        assert stats["entries"] == 1
+        assert stats["breaker_trips"] == 0
+        # One breaker was created for the server's host, currently closed.
+        assert len(stats["breakers"]) == 1
+        (breaker,) = stats["breakers"].values()
+        assert breaker == {"state": "closed", "trips": 0}
+
+    def test_stats_reports_retries_and_breaker_state(self):
+        clock = FakeClock()
+        plan = ServerFaultPlan(error=1.0)  # every request 503s
+        with FlakyMetadataServer(plan=plan) as server:
+            url = server.publish_schema("/s.xsd", ASDOFF_B_SCHEMA)
+            host = f"{server.address[0]}:{server.address[1]}"
+            client = fast_client(
+                ttl=0,
+                clock=clock,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.001, cap_delay=0.002),
+                breaker_threshold=3,
+            )
+            with pytest.raises(RetryExhaustedError):
+                client.get_bytes(url)
+        stats = client.stats()
+        assert stats["retries"] == 2  # attempts beyond the first
+        assert stats["breaker_trips"] == 1
+        assert stats["breakers"][host]["state"] == "open"
+        assert stats["breakers"][host]["trips"] == 1

@@ -1,0 +1,62 @@
+"""FormatServer registry semantics, including the resolve decode cache."""
+
+import pytest
+
+from repro.arch import SPARC_32
+from repro.errors import DecodeError
+from repro.pbio import IOContext, IOField
+from repro.pbio.fmserver import FormatServer
+
+
+def register_sample(server, name="sample"):
+    context = IOContext(SPARC_32)
+    fmt = context.register_format(
+        name,
+        [IOField("value", "integer", 4, 0)],
+        record_length=4,
+    )
+    server.register(fmt)
+    return fmt
+
+
+class TestFormatServer:
+    def test_resolve_round_trips(self):
+        server = FormatServer()
+        fmt = register_sample(server)
+        resolved = server.resolve(fmt.format_id)
+        assert resolved.format_id == fmt.format_id
+        assert resolved.name == fmt.name
+
+    def test_unknown_id_raises(self):
+        server = FormatServer()
+        with pytest.raises(DecodeError, match="no format"):
+            server.resolve(b"\x00" * 8)
+
+    def test_resolve_reuses_cached_decode(self):
+        server = FormatServer()
+        fmt = register_sample(server)
+        first = server.resolve(fmt.format_id)
+        second = server.resolve(fmt.format_id)
+        assert first is second  # decoded once, served from the cache
+
+    def test_reregistration_invalidates_the_cache(self):
+        server = FormatServer()
+        fmt = register_sample(server)
+        cached = server.resolve(fmt.format_id)
+        server.register(fmt)  # idempotent re-register of the same id
+        fresh = server.resolve(fmt.format_id)
+        assert fresh is not cached  # cache entry dropped on re-register
+        assert fresh.format_id == cached.format_id
+
+    def test_nested_formats_cache_independently(self):
+        server = FormatServer()
+        context = IOContext(SPARC_32)
+        inner = context.register_format(
+            "inner", [IOField("value", "integer", 4, 0)], record_length=4
+        )
+        outer = context.register_format(
+            "outer", [IOField("one", "inner", 4, 0)], record_length=4
+        )
+        server.register(outer)
+        assert server.resolve(inner.format_id) is server.resolve(inner.format_id)
+        assert server.resolve(outer.format_id) is server.resolve(outer.format_id)
