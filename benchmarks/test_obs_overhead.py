@@ -1,0 +1,92 @@
+"""Observability overhead smoke: instrumentation costs < 5 % on hot paths.
+
+The obs design doc promises the metrics layer is cheap enough to leave
+on: per-thread sharded counters, 1-in-16 duration sampling, and a
+single ``Registry.enabled`` check as the kill switch.  This smoke pins
+that promise on the paper's representative structure (CD, the 180 B
+Table 1 row) over a full encode + decode round trip.
+
+Methodology — built for a noisy shared host:
+
+- **CPU time, not wall time.**  ``time.thread_time`` excludes time the
+  scheduler gives to other processes, which on a contended box swamps
+  the ~1 µs/op effect under test (observed wall-clock swings: ±20 %).
+- **Adjacent A/B slice pairs, alternating order.**  Each pair samples
+  one instant of machine state; alternating which state runs first
+  cancels monotone drift (frequency scaling, thermal throttling).
+- **Median of paired ratios per round, minimum across rounds.**  On a
+  quiet machine every round reads the true overhead (~1-3 %); under
+  contention the noise is large and roughly symmetric, so the minimum
+  round is the least-contaminated reading.  The assert is a smoke
+  against gross regressions (an un-gated or per-call-timed hot path
+  reads 30-50 % here), not a precision measurement.
+"""
+
+import statistics
+import time
+
+from repro.obs import Registry, set_registry
+from repro.obs.metrics import get_registry
+
+from tests.golden import vectors
+
+ROUNDS = 5
+PAIRS_PER_ROUND = 12
+OPS_PER_SLICE = 300
+MAX_OVERHEAD = 0.05
+
+
+def round_trip_cpu_seconds(context, fmt, record, ops):
+    """One timed slice: CPU seconds for ``ops`` encode+decode round trips."""
+    encode = context.encode
+    decode = context.decode
+    started = time.thread_time()
+    for _ in range(ops):
+        decode(encode(fmt, record))
+    return time.thread_time() - started
+
+
+def test_instrumented_round_trip_overhead_under_5_percent():
+    context, fmt, record = vectors.build("asdoff_cd")
+    previous = get_registry()
+    registry = set_registry(Registry())
+    try:
+        # Warm both paths: converter build, codegen, metric families.
+        registry.enable()
+        round_trip_cpu_seconds(context, fmt, record, 200)
+        registry.disable()
+        round_trip_cpu_seconds(context, fmt, record, 200)
+
+        round_medians = []
+        for _ in range(ROUNDS):
+            ratios = []
+            for pair in range(PAIRS_PER_ROUND):
+                order = (True, False) if pair % 2 == 0 else (False, True)
+                elapsed = {}
+                for state in order:
+                    registry.enabled = state
+                    elapsed[state] = round_trip_cpu_seconds(
+                        context, fmt, record, OPS_PER_SLICE
+                    )
+                ratios.append(elapsed[True] / elapsed[False])
+            round_medians.append(statistics.median(ratios))
+    finally:
+        set_registry(previous)
+
+    overhead = min(round_medians) - 1.0
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumented round trip is {overhead:.1%} slower than disabled "
+        f"(round medians: {[f'{m - 1:+.1%}' for m in round_medians]}); "
+        f"budget is {MAX_OVERHEAD:.0%}"
+    )
+
+
+def test_disabled_registry_records_nothing():
+    context, fmt, record = vectors.build("asdoff_a")
+    previous = get_registry()
+    registry = set_registry(Registry(enabled=False))
+    try:
+        context.decode(context.encode(fmt, record))
+        assert registry.snapshot().get("pbio_encode_total", {}) == {}
+    finally:
+        set_registry(previous)

@@ -23,6 +23,10 @@ Public API highlights
   scenario.
 - :mod:`repro.metaserver` — HTTP metadata server enabling remote
   discovery with compiled-in fallback.
+- :mod:`repro.obs` — zero-dependency metrics registry and tracing,
+  instrumenting the encode/decode, transport, discovery, and event
+  fan-out hot paths on both serving planes (``/metrics`` on either
+  metadata server; opt-in cross-process trace propagation).
 
 See ``README.md`` for a tour and ``examples/quickstart.py`` for the
 end-to-end pipeline of Figure 2.
@@ -49,6 +53,15 @@ from repro.metaserver import (
     MetadataClient,
     MetadataServer,
     RetryPolicy,
+)
+from repro.obs import (
+    Registry,
+    TraceContext,
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_wire_tracing,
 )
 from repro.pbio import FormatServer, IOContext, IOField, IOFormat
 from repro.schema import parse_schema, parse_schema_file
@@ -106,6 +119,14 @@ __all__ = [
     "connect",
     "listen",
     "make_pipe",
+    # observability
+    "Registry",
+    "TraceContext",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_wire_tracing",
     # baselines
     "XDRCodec",
     "XMLTextCodec",

@@ -28,6 +28,7 @@ from repro.aio.channel import AsyncChannel, AsyncTCPChannel, connect
 from repro.errors import ChannelClosedError, TransportError, WireError
 from repro.events.backbone import EventBackbone
 from repro.events.endpoints import Event
+from repro.obs.propagate import extract, inject
 from repro.events.remote import (
     OP_ADVERTISE,
     OP_EVENT,
@@ -290,6 +291,7 @@ class AsyncBackboneClient:
                 continue  # late acks are not events
             if op != OP_EVENT:
                 raise WireError(f"unexpected op {op} from broker")
+            payload, trace = extract(payload)
             kind, _, _, length, _ = IOContext.parse_header(payload)
             if kind == KIND_FORMAT:
                 self.context.learn_format(payload[HEADER_SIZE : HEADER_SIZE + length])
@@ -301,6 +303,7 @@ class AsyncBackboneClient:
                 stream=stream_name,
                 format_name=decoded.format_name,
                 values=decoded.values,
+                trace=trace,
             )
 
     async def close(self) -> None:
@@ -336,7 +339,9 @@ class AsyncRemotePublisher:
             )
             self._announced.add(fmt.format_id)
         await self.client.channel.send(
-            pack_envelope(OP_PUBLISH, self.stream, payload=context.encode(fmt, record))
+            pack_envelope(
+                OP_PUBLISH, self.stream, payload=inject(context.encode(fmt, record))
+            )
         )
         self.published += 1
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 import asyncio
+from time import perf_counter
 
 from repro.errors import (
     ChannelClosedError,
@@ -39,7 +40,25 @@ from repro.errors import (
     TransportTimeoutError,
     WireError,
 )
+from repro.obs.instr import channel_handles
+from repro.obs.metrics import get_registry
 from repro.wire.framing import MAX_FRAME_SIZE, _LENGTH, frame
+
+# Memo of the bound series for the current default registry; swapped
+# registries (tests) re-resolve on first use.
+_obs_memo = [None]
+
+
+def _obs():
+    """The async plane's channel metric handles, or None if disabled."""
+    registry = get_registry()
+    if not registry.enabled:
+        return None
+    cached = _obs_memo[0]
+    if cached is None or cached[0] is not registry:
+        cached = (registry, channel_handles(registry, "async"))
+        _obs_memo[0] = cached
+    return cached[1]
 
 #: Frames at or above this many bytes bypass the coalescing buffer.
 DEFAULT_COALESCE_BYTES = 2048
@@ -117,6 +136,8 @@ class AsyncTCPChannel(AsyncChannel):
 
     async def send(self, message: bytes) -> None:
         framed = frame(message)
+        handles = _obs()
+        started = perf_counter() if handles is not None else 0.0
         async with self._send_lock:
             if self._closed:
                 raise ChannelClosedError("cannot send on a closed channel")
@@ -128,6 +149,10 @@ class AsyncTCPChannel(AsyncChannel):
                 # Park small frames until the loop comes back around, so
                 # a burst of sends in one tick costs one write.
                 self._flush_task = asyncio.ensure_future(self._deferred_flush())
+        if handles is not None:
+            handles.send_seconds.observe(perf_counter() - started)
+            handles.send_frames.inc()
+            handles.send_bytes.inc(len(message))
 
     async def _deferred_flush(self) -> None:
         try:
@@ -163,12 +188,19 @@ class AsyncTCPChannel(AsyncChannel):
     async def recv(self, timeout: float | None = None) -> bytes:
         if self._closed:
             raise ChannelClosedError("cannot recv on a closed channel")
+        handles = _obs()
+        started = perf_counter() if handles is not None else 0.0
         try:
-            return await asyncio.wait_for(self._recv_one(), timeout)
+            message = await asyncio.wait_for(self._recv_one(), timeout)
         except asyncio.TimeoutError as exc:
             # StreamReader buffers partial frames, so unlike the sync
             # channel a timeout never desynchronizes the stream.
             raise TransportTimeoutError(f"recv timed out after {timeout}s") from exc
+        if handles is not None:
+            handles.recv_seconds.observe(perf_counter() - started)
+            handles.recv_frames.inc()
+            handles.recv_bytes.inc(len(message))
+        return message
 
     async def _recv_one(self) -> bytes:
         async with self._recv_lock:

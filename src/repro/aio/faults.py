@@ -13,7 +13,6 @@ behavioral difference is that ``delay`` faults suspend the coroutine
 from __future__ import annotations
 
 import asyncio
-import random
 
 from repro.aio.channel import AsyncChannel
 from repro.errors import ChannelClosedError, TransportTimeoutError
@@ -27,9 +26,9 @@ class AsyncFaultyChannel(AsyncChannel):
     def __init__(self, inner: AsyncChannel, plan: FaultPlan | None = None) -> None:
         self.inner = inner
         self.plan = plan if plan is not None else FaultPlan()
-        # Same derivation as the sync wrapper: identical seeds corrupt
-        # identical byte positions on either plane.
-        self._corrupt_rng = random.Random(self.plan.seed ^ 0x5EED)
+        # Same derivation as the sync wrapper (FaultPlan.corruption_rng):
+        # identical seeds corrupt identical byte positions on either plane.
+        self._corrupt_rng = self.plan.corruption_rng()
         self.sent = 0
         self.received = 0
 

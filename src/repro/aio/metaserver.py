@@ -24,10 +24,12 @@ The differences are purely at the connection layer:
 from __future__ import annotations
 
 import asyncio
+from time import perf_counter
 
 from repro.errors import DiscoveryError
 from repro.metaserver.catalog import DynamicHandler, MetadataCatalog
 from repro.metaserver.http import HTTPResponse, _content_length
+from repro.metaserver.server import _observe_request
 from repro.pbio.fmserver import FormatServer
 from repro.schema.model import SchemaDocument
 
@@ -184,7 +186,9 @@ class AsyncMetadataServer:
             return
         if length:
             body = await reader.readexactly(length)
+        started = perf_counter()
         response = self.catalog.respond(head + body)
         writer.write(response.render())
         await writer.drain()
         self.requests_served += 1
+        _observe_request(started, "async")

@@ -7,6 +7,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.errors import TransportError
+from repro.obs.metrics import get_registry
 from repro.pbio.context import KIND_FORMAT, IOContext
 
 
@@ -168,6 +169,16 @@ class EventBackbone:
                 stream.stats.data_messages += 1
             stream.stats.bytes_routed += len(message)
             queues = list(stream.queues)
+        registry = get_registry()
+        if registry.enabled:
+            message_kind = "metadata" if kind == KIND_FORMAT else "data"
+            registry.counter(
+                "events_routed_total", "messages routed by the backbone",
+                ("stream", "kind"),
+            ).labels(stream_name, message_kind).inc()
+            registry.counter(
+                "events_routed_bytes_total", "message bytes routed", ("stream",)
+            ).labels(stream_name).inc(len(message))
         delivered = 0
         for queue in queues:
             try:
@@ -179,9 +190,21 @@ class EventBackbone:
                     self.unsubscribe(queue)
                     self._sink_failures.pop(id(queue), None)
                     self.dropped_sinks += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "events_dropped_sinks_total",
+                            "subscriber queues detached after repeated failures",
+                        ).inc()
             else:
                 delivered += 1
                 self._sink_failures.pop(id(queue), None)
+        if registry.enabled and queues:
+            # Deepest inbox after this fan-out: a rising value means a
+            # consumer is falling behind the publisher.
+            registry.gauge(
+                "events_queue_depth", "deepest subscriber inbox per stream",
+                ("stream",),
+            ).labels(stream_name).set(max(len(queue) for queue in queues))
         return delivered
 
     def unsubscribe(self, queue: _SubscriberQueue) -> None:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.propagate import extract, inject
+from repro.obs.trace import TraceContext
 from repro.pbio.context import HEADER_SIZE, KIND_DATA, KIND_FORMAT, IOContext
 from repro.pbio.format import IOFormat
 
@@ -30,7 +32,11 @@ class Publisher:
         if fmt.format_id not in self._announced:
             self.backbone.route(self.stream, self.context.format_message(fmt))
             self._announced.add(fmt.format_id)
-        return self.backbone.route(self.stream, self.context.encode(fmt, record))
+        # Injection after encode: subscribers on any plane strip the
+        # trace block back off and decode the identical NDR bytes.
+        return self.backbone.route(
+            self.stream, inject(self.context.encode(fmt, record))
+        )
 
     def advertise_metadata(self, url: str) -> None:
         """Advertise the stream's schema document URL on the backbone."""
@@ -44,6 +50,9 @@ class Event:
     stream: str
     format_name: str
     values: dict
+    #: Trace context piggybacked by the publisher, when wire tracing is
+    #: on at the sending end (None otherwise).
+    trace: TraceContext | None = None
 
     def __getitem__(self, name: str):
         return self.values[name]
@@ -77,6 +86,7 @@ class Subscription:
         """Block for the next data event on any matched stream."""
         while True:
             stream_name, message = self._queue.get(timeout)
+            message, trace = extract(message)
             kind, _, _, length, _ = IOContext.parse_header(message)
             if kind == KIND_FORMAT:
                 self.context.learn_format(message[HEADER_SIZE : HEADER_SIZE + length])
@@ -89,6 +99,7 @@ class Subscription:
                 stream=stream_name,
                 format_name=decoded.format_name,
                 values=decoded.values,
+                trace=trace,
             )
 
     def drain(self, limit: int, timeout: float | None = 1.0) -> list[Event]:

@@ -33,6 +33,7 @@ import threading
 from repro.errors import ChannelClosedError, TransportError, WireError
 from repro.events.backbone import EventBackbone, _SubscriberQueue
 from repro.events.endpoints import Event
+from repro.obs.propagate import extract, inject
 from repro.pbio.context import HEADER_SIZE, KIND_DATA, KIND_FORMAT, IOContext
 from repro.pbio.format import IOFormat
 from repro.transport.channel import Channel
@@ -306,6 +307,7 @@ class RemoteBackboneClient:
                 continue
             if op != OP_EVENT:
                 raise WireError(f"unexpected op {op} from broker")
+            payload, trace = extract(payload)
             kind, _, _, length, _ = IOContext.parse_header(payload)
             if kind == KIND_FORMAT:
                 self.context.learn_format(payload[HEADER_SIZE : HEADER_SIZE + length])
@@ -317,6 +319,7 @@ class RemoteBackboneClient:
                 stream=stream_name,
                 format_name=decoded.format_name,
                 values=decoded.values,
+                trace=trace,
             )
 
     def close(self) -> None:
@@ -352,7 +355,9 @@ class RemotePublisher:
             )
             self._announced.add(fmt.format_id)
         self.client._send(
-            pack_envelope(OP_PUBLISH, self.stream, payload=context.encode(fmt, record))
+            pack_envelope(
+                OP_PUBLISH, self.stream, payload=inject(context.encode(fmt, record))
+            )
         )
         self.published += 1
 

@@ -49,7 +49,7 @@ class FaultyChannel(Channel):
     def __init__(self, inner: Channel, plan: FaultPlan | None = None) -> None:
         self.inner = inner
         self.plan = plan if plan is not None else FaultPlan()
-        self._corrupt_rng = random.Random(self.plan.seed ^ 0x5EED)
+        self._corrupt_rng = self.plan.corruption_rng()
         self.sent = 0
         self.received = 0
 

@@ -172,6 +172,19 @@ class FaultPlan(_BasePlan):
             return None
         return self._decide(op)
 
+    def corruption_rng(self) -> random.Random:
+        """The byte-flipper RNG for this plan's corrupt faults.
+
+        Derived from the seed (not equal to it, so the decision stream
+        and the corruption stream never alias).  Both channel wrappers —
+        sync :class:`~repro.faults.channel.FaultyChannel` and async
+        :class:`~repro.aio.faults.AsyncFaultyChannel` — MUST obtain
+        their RNG here: one shared derivation is what makes a chaos
+        schedule replay corrupt-bit-for-corrupt-bit on either plane
+        (guarded by ``tests/faults/test_plane_parity.py``).
+        """
+        return random.Random(self.seed ^ 0x5EED)
+
 
 class ServerFaultPlan(_BasePlan):
     """Fault schedule for a metadata server.

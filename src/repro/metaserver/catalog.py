@@ -115,6 +115,16 @@ class MetadataCatalog:
             )
         if path.startswith("/formats/") and self._format_server is not None:
             return self._serve_format(path[len("/formats/"):])
+        if path == "/metrics":
+            # Both serving planes answer out of this catalog, so one
+            # handler here gives every front end the /metrics endpoint.
+            from repro.obs.metrics import get_registry
+
+            return HTTPResponse(
+                200,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                get_registry().render().encode("utf-8"),
+            )
         return HTTPResponse(404, body=f"no document at {path}".encode())
 
     def _serve_format(self, hex_id: str) -> HTTPResponse:

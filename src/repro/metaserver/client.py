@@ -39,6 +39,7 @@ from repro.errors import (
     MetadataHTTPError,
     RetryExhaustedError,
 )
+from repro.obs.metrics import get_registry
 from repro.metaserver.http import (
     HTTPRequest,
     HTTPResponse,
@@ -151,6 +152,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout: float = 1.0,
         clock=time.monotonic,
+        on_transition=None,
     ) -> None:
         if failure_threshold < 1:
             raise DiscoveryError("failure_threshold must be at least 1")
@@ -161,6 +163,16 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self.trips = 0  # CLOSED/HALF_OPEN -> OPEN transitions
+        #: Called with (old_state, new_state) on every state change;
+        #: MetadataClient hooks this into the metrics registry.
+        self.on_transition = on_transition
+
+    def _set_state(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        old_state, self._state = self._state, new_state
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     @property
     def state(self) -> str:
@@ -172,7 +184,7 @@ class CircuitBreaker:
         if self._state == OPEN and (
             self._clock() - self._opened_at >= self.reset_timeout
         ):
-            self._state = HALF_OPEN
+            self._set_state(HALF_OPEN)
 
     def allow(self) -> bool:
         """Whether a request may proceed right now."""
@@ -187,7 +199,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """A request succeeded: close the breaker, clear the streak."""
-        self._state = CLOSED
+        self._set_state(CLOSED)
         self._consecutive_failures = 0
 
     def record_failure(self) -> None:
@@ -197,7 +209,7 @@ class CircuitBreaker:
         if self._state == HALF_OPEN or (
             self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = OPEN
+            self._set_state(OPEN)
             self._opened_at = self._clock()
             self.trips += 1
 
@@ -290,9 +302,43 @@ class MetadataClient:
                 failure_threshold=self._breaker_threshold,
                 reset_timeout=self._breaker_reset,
                 clock=self._clock,
+                on_transition=self._breaker_transition_hook(host),
             )
             self._breakers[host] = breaker
         return breaker
+
+    @staticmethod
+    def _breaker_transition_hook(host: str):
+        def record(old_state: str, new_state: str) -> None:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "metaserver_breaker_transitions_total",
+                    "circuit breaker state changes",
+                    ("host", "to"),
+                ).labels(host, new_state).inc()
+
+        return record
+
+    @staticmethod
+    def _obs_request_latency(started: float, outcome: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "metaserver_client_request_seconds",
+                "wall time of one HTTP attempt",
+                ("outcome",),
+            ).labels(outcome).observe(time.perf_counter() - started)
+
+    @staticmethod
+    def _obs_cache_event(event: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "metaserver_client_cache_total",
+                "metadata client cache events",
+                ("event",),
+            ).labels(event).inc()
 
     @property
     def breaker_trips(self) -> int:
@@ -318,9 +364,17 @@ class MetadataClient:
             attempts += 1
             if attempt > 1:
                 self.retries += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "metaserver_client_retries_total",
+                        "fetch attempts beyond the first",
+                    ).inc()
+            started = time.perf_counter()
             try:
                 body = http_get(url, timeout=self.timeout)
             except DiscoveryError as exc:
+                self._obs_request_latency(started, "error")
                 breaker.record_failure()
                 last_error = exc
                 if attempt < self.retry.max_attempts and self.retry.is_retryable(exc):
@@ -329,6 +383,7 @@ class MetadataClient:
                 if not self.retry.is_retryable(exc):
                     raise
                 break
+            self._obs_request_latency(started, "ok")
             breaker.record_success()
             return body, attempts
         raise RetryExhaustedError(
@@ -344,6 +399,7 @@ class MetadataClient:
         if entry is not None and self.ttl > 0 and now - entry.fetched_at < self.ttl:
             self._cache.move_to_end(url)
             self.hits += 1
+            self._obs_cache_event("hit")
             result = FetchResult(url, entry.body, cached=True)
             self.last_result = result
             return result
@@ -352,18 +408,21 @@ class MetadataClient:
         except DiscoveryError:
             if entry is not None and self._stale_usable(entry, now):
                 self.stale_serves += 1
+                self._obs_cache_event("stale_serve")
                 self._cache.move_to_end(url)
                 result = FetchResult(url, entry.body, stale=True)
                 self.last_result = result
                 return result
             raise
         self.fetches += 1
+        self._obs_cache_event("fetch")
         if self.ttl > 0:
             self._cache[url] = _CacheEntry(self._clock(), body)
             self._cache.move_to_end(url)
             while len(self._cache) > self.max_entries:
                 self._cache.popitem(last=False)
                 self.evictions += 1
+                self._obs_cache_event("eviction")
         result = FetchResult(url, body, attempts=attempts)
         self.last_result = result
         return result

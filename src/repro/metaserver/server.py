@@ -39,6 +39,19 @@ if TYPE_CHECKING:
 __all__ = ["DynamicHandler", "FlakyMetadataServer", "MetadataServer"]
 
 
+def _observe_request(started: float, plane: str) -> None:
+    """Record one served request's latency (shared by both planes)."""
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.histogram(
+            "metaserver_request_seconds",
+            "request handling latency (parse to response written)",
+            ("plane",),
+        ).labels(plane).observe(time.perf_counter() - started)
+
+
 class MetadataServer:
     """Threaded HTTP server for metadata documents.
 
@@ -131,9 +144,11 @@ class MetadataServer:
     def _handle_connection(self, channel) -> None:
         try:
             raw = read_http_message(channel._sock.recv)
+            started = time.perf_counter()
             response = self._respond(raw)
             self._transmit(channel, response)
             self.requests_served += 1
+            _observe_request(started, "threaded")
         except Exception:
             try:
                 channel._sock.sendall(HTTPResponse(500).render())

@@ -1,0 +1,65 @@
+"""Observability: metrics registry, spans, and wire trace propagation.
+
+Three small, dependency-free pieces (ISSUE 4 tentpole):
+
+- :mod:`repro.obs.metrics` — :class:`Registry` of counters, gauges and
+  fixed-bucket histograms; per-thread sharded writes, snapshot on read,
+  Prometheus-style :meth:`Registry.render`.
+- :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer` with
+  contextvars propagation through both the threaded and asyncio planes.
+- :mod:`repro.obs.propagate` — the opt-in 16-byte trace block that
+  rides PBIO messages across processes without perturbing NDR bytes
+  (PROTOCOL §11; proven by the golden-vector suite).
+
+The built-in instrumentation (transport, pbio, metaserver, events)
+writes to :func:`get_registry` and is gated on its ``enabled`` flag.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    Registry,
+    get_registry,
+    set_enabled,
+    set_registry,
+)
+from repro.obs.propagate import TRACE_BLOCK_SIZE, TRACE_FLAG, extract, inject
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    current_span,
+    current_trace_context,
+    get_tracer,
+    set_tracer,
+    set_wire_tracing,
+    wire_tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "Registry",
+    "get_registry",
+    "set_enabled",
+    "set_registry",
+    "TRACE_BLOCK_SIZE",
+    "TRACE_FLAG",
+    "extract",
+    "inject",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "current_span",
+    "current_trace_context",
+    "get_tracer",
+    "set_tracer",
+    "set_wire_tracing",
+    "wire_tracing_enabled",
+]

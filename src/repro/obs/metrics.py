@@ -1,0 +1,422 @@
+"""Zero-dependency metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`Registry` owns named metric *families*; a family plus one
+concrete label-value tuple is a *series* (`family.labels(...)` returns a
+bound handle).  The design goals mirror the hot paths being measured:
+
+- **lock-free writes** — counters and histograms shard per thread: each
+  writing thread owns a private cell (a plain Python list it alone
+  mutates), registered once under a lock at first touch.  ``inc`` and
+  ``observe`` after that are pure local mutation — no lock, no CAS —
+  so instrumenting ``pbio.encode`` or a channel ``send`` does not
+  serialize threads that the transport layer deliberately keeps apart.
+  Snapshots sum across cells; a reader may see a write a beat late but
+  never torn (each cell has exactly one writer) and never lost.
+- **snapshot on read** — :meth:`Registry.snapshot` and
+  :meth:`Registry.render` aggregate on demand; nothing is aggregated on
+  the write path.
+- **a kill switch** — hot call sites gate on :attr:`Registry.enabled`
+  so a disabled registry costs one attribute check per operation; the
+  overhead benchmark (``benchmarks/test_obs_overhead.py``) holds the
+  enabled-vs-disabled delta under 5 %.
+
+Gauges are last-write-wins and rarely hot, so they take a small lock.
+
+The process-global default registry (:func:`get_registry` /
+:func:`set_registry`) is what the built-in instrumentation and the
+``/metrics`` endpoint on both metadata servers use; tests swap in a
+fresh one to isolate themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Default histogram bucket upper bounds, in seconds: 5 µs to 5 s, a
+#: span that resolves both a generated-converter decode and a slow
+#: metadata fetch through the retry policy.
+DEFAULT_BUCKETS = (
+    0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """One histogram series, aggregated across threads at read time."""
+
+    count: int
+    sum: float
+    #: (upper_bound, cumulative_count) pairs; the implicit +Inf bucket
+    #: is not listed — its cumulative count is :attr:`count`.
+    buckets: tuple[tuple[float, int], ...]
+
+
+class Counter:
+    """A monotonically increasing series, sharded per writing thread."""
+
+    __slots__ = ("_tl", "_cells", "_cells_lock")
+
+    def __init__(self) -> None:
+        self._tl = threading.local()
+        self._cells: list[list[float]] = []
+        self._cells_lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to this series."""
+        if amount < 0:
+            raise ReproError("counters only go up; use a gauge to decrease")
+        try:
+            cell = self._tl.cell
+        except AttributeError:
+            cell = self._tl.cell = [0]
+            with self._cells_lock:
+                self._cells.append(cell)
+        cell[0] += amount
+
+    def value(self) -> float:
+        """Current total, summed across every thread that ever wrote."""
+        with self._cells_lock:
+            cells = list(self._cells)
+        return sum(cell[0] for cell in cells)
+
+
+class Gauge:
+    """A point-in-time value: set, add, subtract."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount`` from the gauge."""
+        with self._lock:
+            self._value -= amount
+
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram, sharded per writing thread.
+
+    Each per-thread cell is ``[sum, c_0, ..., c_n]`` where ``c_i`` is
+    the *non-cumulative* count of bucket ``i`` and the last bucket is
+    the implicit +Inf overflow.  Cumulation happens at snapshot time.
+    """
+
+    __slots__ = ("bounds", "_tl", "_cells", "_cells_lock")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self._tl = threading.local()
+        self._cells: list[list[float]] = []
+        self._cells_lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        try:
+            cell = self._tl.cell
+        except AttributeError:
+            cell = self._tl.cell = [0.0] + [0] * (len(self.bounds) + 1)
+            with self._cells_lock:
+                self._cells.append(cell)
+        cell[0] += value
+        # bisect_left gives Prometheus "le" semantics: an observation
+        # exactly on a bound counts in that bound's bucket.
+        cell[1 + bisect_left(self.bounds, value)] += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Aggregate across threads into cumulative-bucket form."""
+        with self._cells_lock:
+            cells = [list(cell) for cell in self._cells]
+        total_sum = 0.0
+        per_bucket = [0] * (len(self.bounds) + 1)
+        for cell in cells:
+            total_sum += cell[0]
+            for index, count in enumerate(cell[1:]):
+                per_bucket[index] += count
+        cumulative: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, per_bucket):
+            running += count
+            cumulative.append((bound, running))
+        return HistogramSnapshot(
+            count=running + per_bucket[-1], sum=total_sum,
+            buckets=tuple(cumulative),
+        )
+
+
+class _Family:
+    """A named metric plus its per-label-value children."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "Registry", name: str, help_text: str,
+                 label_names: tuple[str, ...]) -> None:
+        self.registry = registry
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values) -> object:
+        """The series for one concrete label-value tuple (created once)."""
+        key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            if len(key) != len(self.label_names):
+                raise ReproError(
+                    f"metric {self.name!r} declares labels {self.label_names}, "
+                    f"got {len(key)} value(s)"
+                )
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def series(self) -> list[tuple[tuple[str, ...], object]]:
+        """Every (label values, child) pair, sorted by label values."""
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class CounterFamily(_Family):
+    """A named counter metric; :meth:`labels` binds concrete series."""
+
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: float = 1) -> None:
+        """Convenience for label-less counters."""
+        self.labels().inc(amount)
+
+    def value(self) -> float:
+        """Total across every series of this family."""
+        return sum(child.value() for _, child in self.series())
+
+
+class GaugeFamily(_Family):
+    """A named gauge metric; :meth:`labels` binds concrete series."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        """Convenience for label-less gauges."""
+        self.labels().set(value)
+
+
+class HistogramFamily(_Family):
+    """A named histogram metric with shared fixed bucket bounds."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help_text, label_names,
+                 buckets: tuple[float, ...]) -> None:
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise ReproError("histograms need at least one bucket bound")
+        super().__init__(registry, name, help_text, label_names)
+        self.buckets = bounds
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Convenience for label-less histograms."""
+        self.labels().observe(value)
+
+
+class Registry:
+    """Named metric families plus text exposition.
+
+    ``enabled`` is the cooperative kill switch: the registry itself
+    always accepts writes, but every built-in instrumentation site
+    checks the flag first, so ``Registry(enabled=False)`` (or
+    :meth:`disable`) reduces the whole observability layer to one
+    attribute test per hot operation.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn the cooperative kill switch on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn the cooperative kill switch off (instrumentation no-ops)."""
+        self.enabled = False
+
+    # -- family creation ----------------------------------------------------
+
+    def _family(self, cls, name: str, help_text: str,
+                label_names: tuple[str, ...], **extra) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = cls(self, name, help_text, tuple(label_names), **extra)
+                    self._families[name] = family
+        if not isinstance(family, cls):
+            raise ReproError(
+                f"metric {name!r} already registered as a {family.kind}"
+            )
+        if tuple(label_names) != family.label_names:
+            raise ReproError(
+                f"metric {name!r} already registered with labels "
+                f"{family.label_names}, not {tuple(label_names)}"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: tuple[str, ...] = ()) -> CounterFamily:
+        """Get or create a counter family (idempotent per name)."""
+        return self._family(CounterFamily, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: tuple[str, ...] = ()) -> GaugeFamily:
+        """Get or create a gauge family."""
+        return self._family(GaugeFamily, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> HistogramFamily:
+        """Get or create a histogram family with fixed bucket bounds."""
+        return self._family(HistogramFamily, name, help_text, labels,
+                            buckets=buckets)
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every series' current value, keyed ``name -> {labels: value}``.
+
+        Counter and gauge series map to floats; histogram series map to
+        :class:`HistogramSnapshot`.  Label keys are tuples of
+        ``(label_name, value)`` pairs.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        out: dict[str, dict] = {}
+        for family in families:
+            series: dict[tuple, object] = {}
+            for values, child in family.series():
+                key = tuple(zip(family.label_names, values))
+                if isinstance(child, Histogram):
+                    series[key] = child.snapshot()
+                else:
+                    series[key] = child.value()
+            out[family.name] = series
+        return out
+
+    def render(self) -> str:
+        """Text exposition (Prometheus 0.0.4 style)."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        lines: list[str] = []
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family.series():
+                label_text = _render_labels(family.label_names, values)
+                if isinstance(child, Histogram):
+                    snap = child.snapshot()
+                    for bound, cumulative in snap.buckets:
+                        bucket_labels = _render_labels(
+                            family.label_names + ("le",),
+                            values + (_format_bound(bound),),
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{bucket_labels} {cumulative}"
+                        )
+                    inf_labels = _render_labels(
+                        family.label_names + ("le",), values + ("+Inf",)
+                    )
+                    lines.append(f"{family.name}_bucket{inf_labels} {snap.count}")
+                    lines.append(f"{family.name}_sum{label_text} {_format_value(snap.sum)}")
+                    lines.append(f"{family.name}_count{label_text} {snap.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{label_text} {_format_value(child.value())}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_bound(bound: float) -> str:
+    return repr(bound)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+# -- the process-global default registry -----------------------------------
+
+_default_registry = Registry()
+
+
+def get_registry() -> Registry:
+    """The registry the built-in instrumentation writes to."""
+    return _default_registry
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Swap the default registry (tests install a fresh one); fluent."""
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable/disable the default registry's hot-path instrumentation."""
+    _default_registry.enabled = flag

@@ -1,0 +1,191 @@
+"""Spans and trace propagation for both serving planes.
+
+A :class:`Span` is a named interval with a 64-bit trace id shared by
+every span in one causal chain and a 64-bit span id of its own.  The
+*current* span rides a :mod:`contextvars` variable, which gives both
+planes the right semantics for free: asyncio tasks inherit (and
+isolate) their context automatically, and each thread starts fresh.
+
+Cross-process propagation does not happen here — spans only carry ids.
+:mod:`repro.obs.propagate` packs the current ``(trace_id, span_id)``
+into a trailing block on wire messages when the feature flag
+(:func:`set_wire_tracing`) is on; the endpoint layers call it.
+
+Ids come from a module-level ``random.Random`` behind a lock rather
+than ``random.getrandbits`` so tests can seed the tracer and get
+reproducible ids without disturbing the global RNG.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The minimal cross-process identity of a span: two u64 ids."""
+
+    trace_id: int
+    span_id: int
+
+
+@dataclass
+class Span:
+    """One named interval in a trace; a context manager."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None = None
+    start: float = 0.0
+    end: float | None = None
+    tags: dict[str, object] = field(default_factory=dict)
+    _tracer: "Tracer | None" = field(default=None, repr=False)
+    _token: contextvars.Token | None = field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float | None:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def context(self) -> TraceContext:
+        """This span's propagatable identity."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def set_tag(self, key: str, value: object) -> "Span":
+        """Attach a key/value annotation; fluent."""
+        self.tags[key] = value
+        return self
+
+    def finish(self) -> None:
+        """End the span, deactivate it, and record it (idempotent)."""
+        if self.end is not None:
+            return
+        self.end = time.monotonic()
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        if self._tracer is not None:
+            self._tracer._record(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+
+#: The active span for the current thread / asyncio task.
+_current_span: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> Span | None:
+    """The span active in this thread or task, if any."""
+    return _current_span.get()
+
+
+def current_trace_context() -> TraceContext | None:
+    """The (trace id, span id) to propagate from this context, if any."""
+    span = _current_span.get()
+    if span is None:
+        return None
+    return span.context()
+
+
+class Tracer:
+    """Creates spans and keeps a bounded ring of finished ones."""
+
+    def __init__(self, *, max_finished: int = 256, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self._finished_lock = threading.Lock()
+
+    def _new_id(self) -> int:
+        with self._rng_lock:
+            # Never zero: propagation treats trace_id 0 as "absent".
+            return self._rng.randrange(1, 1 << 64)
+
+    def _record(self, span: Span) -> None:
+        with self._finished_lock:
+            self.finished.append(span)
+
+    def start_span(self, name: str, *,
+                   parent: TraceContext | Span | None = None,
+                   activate: bool = True) -> Span:
+        """Start a span, child of ``parent`` or of the current span.
+
+        ``activate=True`` (default) installs it as the context's
+        current span until :meth:`Span.finish` / ``with`` exit.
+        """
+        if parent is None:
+            parent = _current_span.get()
+        if isinstance(parent, Span):
+            parent = parent.context()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._new_id()
+            parent_id = None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            start=time.monotonic(),
+            _tracer=self,
+        )
+        if activate:
+            span._token = _current_span.set(span)
+        return span
+
+    def drain_finished(self) -> list[Span]:
+        """Pop and return every finished span recorded so far."""
+        with self._finished_lock:
+            spans = list(self.finished)
+            self.finished.clear()
+        return spans
+
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The tracer the built-in instrumentation uses."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (tests install a seeded one); fluent."""
+    global _default_tracer
+    _default_tracer = tracer
+    return tracer
+
+
+# -- wire-propagation feature flag ------------------------------------------
+#
+# Off by default: the golden-vector suite proves the wire is
+# byte-identical either way, but pre-obs peers should never see the
+# trailing block unless an operator asked for it.
+
+_wire_tracing = False
+
+
+def set_wire_tracing(flag: bool) -> None:
+    """Enable/disable piggybacking trace context on wire messages."""
+    global _wire_tracing
+    _wire_tracing = bool(flag)
+
+
+def wire_tracing_enabled() -> bool:
+    """Whether wire messages carry the trailing trace block."""
+    return _wire_tracing

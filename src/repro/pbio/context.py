@@ -25,9 +25,13 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from time import perf_counter
+
 from repro.arch.model import ArchitectureModel
 from repro.arch.registry import NATIVE
 from repro.errors import DecodeError, FormatRegistrationError
+from repro.obs import metrics as _metrics
+from repro.obs.instr import SAMPLE_MASK, pbio_handles
 from repro.pbio.decode import ConverterCache
 from repro.pbio.encode import encode_record, get_encode_plan, get_generated_encoder
 from repro.pbio.field import IOField
@@ -44,6 +48,10 @@ KIND_REQUEST = 3
 PROTOCOL_VERSION = 1
 
 _NULL_ID = b"\x00" * 8
+
+# Sampling tick for decode-duration observations (see repro.obs.instr);
+# racy updates only jitter the sampling phase, counters stay exact.
+_decode_tick = [0]
 
 
 @dataclass(frozen=True)
@@ -242,12 +250,28 @@ class IOContext:
         wire_format = self.wire_format(format_id)
         target = self.lookup_format(expect) if expect is not None else None
         converter = self._converters.lookup(wire_format, target, mode)
+        # Direct global read; get_registry()'s call overhead is real on
+        # this path (see the obs overhead benchmark).
+        registry = _metrics._default_registry
+        handles = started = None
+        if registry.enabled:
+            # Inline fast path of pbio_handles: one getattr, no call.
+            handles = getattr(wire_format, "_obs_pbio", None)
+            if handles is None or handles.registry is not registry:
+                handles = pbio_handles(wire_format, registry)
+            _decode_tick[0] += 1
+            if not _decode_tick[0] & SAMPLE_MASK:
+                started = perf_counter()
         try:
             values = converter(bytes(payload))
         except (IndexError, ValueError, struct.error) as exc:
             raise DecodeError(
                 f"corrupt payload for format {wire_format.name!r}: {exc}"
             ) from exc
+        if handles is not None:
+            if started is not None:
+                handles.decode_observe(perf_counter() - started)
+            handles.decode_inc()
         name = target.name if target is not None else wire_format.name
         return DecodedRecord(format_name=name, values=values, wire_format=wire_format)
 
@@ -293,6 +317,16 @@ class IOContext:
     def converter_builds(self) -> int:
         """How many converters this context has generated (amortization)."""
         return self._converters.builds
+
+    @property
+    def converter_cache_hits(self) -> int:
+        """How many decodes reused a cached converter.
+
+        Kept as a plain counter on the cache (not a registry series) so
+        the per-decode hot path stays free of metrics work; the registry
+        still records the rare ``converter``/``miss`` build events.
+        """
+        return self._converters.hits
 
     def encoded_size(self, fmt: IOFormat | str, record: dict) -> int:
         """Total framed size of ``record`` (header + NDR payload)."""

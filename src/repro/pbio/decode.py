@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import DecodeError
+from repro.obs.metrics import get_registry
 from repro.pbio.codegen import make_generated_converter, make_interpreted_converter
 from repro.pbio.evolution import make_projection
 from repro.pbio.format import IOFormat
@@ -40,6 +41,8 @@ class ConverterCache:
     def __init__(self) -> None:
         self._converters: dict[tuple[bytes, bytes | None, str], Converter] = {}
         self.builds = 0  # observable for amortization experiments
+        self.hits = 0  # cache hits; kept as a plain int so the per-decode
+        # hot path never touches the registry (misses, being rare, do)
 
     def lookup(
         self,
@@ -56,10 +59,18 @@ class ConverterCache:
             mode,
         )
         converter = self._converters.get(key)
-        if converter is None:
-            converter = self._build(wire_format, target_format, mode)
-            self._converters[key] = converter
-            self.builds += 1
+        if converter is not None:
+            self.hits += 1
+            return converter
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "pbio_codegen_total", "converter/encoder cache events",
+                ("kind", "event"),
+            ).labels("converter", "miss").inc()
+        converter = self._build(wire_format, target_format, mode)
+        self._converters[key] = converter
+        self.builds += 1
         return converter
 
     def _build(

@@ -28,8 +28,13 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from time import perf_counter
+
 from repro.arch.model import TypeKind
 from repro.errors import EncodeError
+from repro.obs import metrics as _metrics
+from repro.obs.instr import SAMPLE_MASK, pbio_handles
+from repro.obs.metrics import get_registry
 from repro.pbio.format import CompiledField, IOFormat
 
 
@@ -468,9 +473,20 @@ def get_generated_encoder(fmt: IOFormat):
     if encoder is None:
         from repro.pbio.codegen import make_generated_encoder
 
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "pbio_codegen_total", "converter/encoder cache events",
+                ("kind", "event"),
+            ).labels("encoder", "miss").inc()
         encoder = make_generated_encoder(fmt)
         fmt._generated_encoder = encoder  # type: ignore[attr-defined]
     return encoder
+
+
+# Shared sampling tick for encode-duration observations; racy updates
+# only jitter the sampling phase, never the exact operation counters.
+_encode_tick = [0]
 
 
 def encode_record(fmt: IOFormat, record: dict, *, mode: str = "generated") -> bytes:
@@ -480,7 +496,27 @@ def encode_record(fmt: IOFormat, record: dict, *, mode: str = "generated") -> by
     ``"interpreted"`` encoder kept for the sender-side ablation.
     """
     if mode == "generated":
-        return get_generated_encoder(fmt)(record)
-    if mode == "interpreted":
-        return get_encode_plan(fmt).encode(record)
-    raise EncodeError(f"unknown encode mode {mode!r}")
+        encoder = get_generated_encoder(fmt)
+    elif mode == "interpreted":
+        encoder = get_encode_plan(fmt).encode
+    else:
+        raise EncodeError(f"unknown encode mode {mode!r}")
+    # Read the default-registry global directly: the function call that
+    # get_registry() costs is measurable inside the <5 % overhead budget.
+    registry = _metrics._default_registry
+    if not registry.enabled:
+        return encoder(record)
+    # Inline fast path of pbio_handles: one getattr, no call.
+    handles = getattr(fmt, "_obs_pbio", None)
+    if handles is None or handles.registry is not registry:
+        handles = pbio_handles(fmt, registry)
+    _encode_tick[0] += 1
+    if _encode_tick[0] & SAMPLE_MASK:
+        payload = encoder(record)
+        handles.encode_inc()
+        return payload
+    started = perf_counter()
+    payload = encoder(record)
+    handles.encode_observe(perf_counter() - started)
+    handles.encode_inc()
+    return payload

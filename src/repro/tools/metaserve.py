@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve from the asyncio plane (keep-alive + pipelining)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="announce the /metrics endpoint (Prometheus text format) "
+        "at startup; the endpoint itself is always served",
+    )
     return parser
 
 
@@ -67,6 +73,8 @@ async def serve_async(args: argparse.Namespace, catalog: MetadataCatalog) -> int
     server = await AsyncMetadataServer(args.host, args.port, catalog=catalog).start()
     for path in catalog.paths():
         print(f"serving {server.url_for(path)}")
+    if args.metrics:
+        print(f"metrics at {server.url_for('/metrics')}")
     host, port = server.address
     print(f"metadata server listening on {host}:{port} "
           f"(async plane, Ctrl-C to stop)")
@@ -111,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
     server.start()
     for url in urls:
         print(f"serving {url}")
+    if args.metrics:
+        print(f"metrics at {server.url_for('/metrics')}")
     host, port = server.address
     print(f"metadata server listening on {host}:{port} (Ctrl-C to stop)")
     stop = threading.Event()

@@ -41,6 +41,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--limit", type=int, default=0, help="stop after N records (0 = all)"
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="after the dump, print the metrics collected while reading "
+        "(decode counts and durations, codegen cache events)",
+    )
     return parser
 
 
@@ -79,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
     except (ReproError, OSError) as exc:
         print(f"pbdump: error: {exc}", file=sys.stderr)
         return 1
+    if args.stats:
+        from repro.obs.metrics import get_registry
+
+        print("# --- metrics ---")
+        print(get_registry().render(), end="")
     return 0
 
 

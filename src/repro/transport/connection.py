@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import DecodeError, TransportError
+from repro.obs.propagate import extract, inject
+from repro.obs.trace import TraceContext
 from repro.pbio.context import (
     HEADER_SIZE,
     KIND_DATA,
@@ -40,12 +42,17 @@ class RecordConnection:
         self.context = context
         self.channel = channel
         self._announced: set[bytes] = set()
-        self._parked: deque[bytes] = deque()
+        # Parked data messages await their format metadata; each rides
+        # with the trace context (if any) it arrived with.
+        self._parked: deque[tuple[bytes, TraceContext | None]] = deque()
         # Traffic accounting (bytes on the wire, split by purpose).
         self.data_bytes = 0
         self.metadata_bytes = 0
         self.data_messages = 0
         self.metadata_messages = 0
+        #: Trace context piggybacked on the last data message received
+        #: (None when the sender did not propagate one).
+        self.last_trace: TraceContext | None = None
 
     # -- sending -----------------------------------------------------------
 
@@ -54,7 +61,10 @@ class RecordConnection:
         if isinstance(fmt, str):
             fmt = self.context.lookup_format(fmt)
         self.announce(fmt)
-        message = self.context.encode(fmt, record)
+        # Trace injection happens here, after encode: NDR bytes are
+        # never perturbed, only the wire message grows a trailing block
+        # (PROTOCOL §11) when the feature flag is on.
+        message = inject(self.context.encode(fmt, record))
         self.channel.send(message)
         self.data_bytes += len(message)
         self.data_messages += 1
@@ -95,12 +105,13 @@ class RecordConnection:
             # Deliver the oldest parked data message once its format is
             # known — preserving FIFO order across the resolution stall.
             if self._parked:
-                head = self._parked[0]
+                head, head_trace = self._parked[0]
                 _, _, _, _, head_id = IOContext.parse_header(head)
                 if self.context.knows_format_id(head_id) or self._try_server(head_id):
                     self._parked.popleft()
+                    self.last_trace = head_trace
                     return self.context.decode(head, expect=expect, mode=mode)
-            message = self.channel.recv(timeout)
+            message, trace = extract(self.channel.recv(timeout))
             kind, _, _, length, format_id = IOContext.parse_header(message)
             if kind == KIND_FORMAT:
                 self.context.learn_format(message[HEADER_SIZE : HEADER_SIZE + length])
@@ -113,11 +124,12 @@ class RecordConnection:
             if self.context.knows_format_id(format_id) or self._try_server(format_id):
                 if self._parked:
                     # An earlier record is still stalled; keep order.
-                    self._parked.append(message)
+                    self._parked.append((message, trace))
                     continue
+                self.last_trace = trace
                 return self.context.decode(message, expect=expect, mode=mode)
             self.channel.send(self.context.request_message(format_id))
-            self._parked.append(message)
+            self._parked.append((message, trace))
 
     def _try_server(self, format_id: bytes) -> bool:
         try:
@@ -154,7 +166,7 @@ class RecordConnection:
         sender endpoint answer format requests without a full recv loop.
         """
         try:
-            message = self.channel.recv(timeout)
+            message, trace = extract(self.channel.recv(timeout))
         except TransportError:
             return False
         kind, _, _, length, format_id = IOContext.parse_header(message)
@@ -163,7 +175,7 @@ class RecordConnection:
         elif kind == KIND_REQUEST:
             self._answer_request(format_id)
         else:
-            self._parked.append(message)
+            self._parked.append((message, trace))
         return True
 
     def close(self) -> None:

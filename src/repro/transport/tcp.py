@@ -29,8 +29,26 @@ from repro.errors import (
     TransportTimeoutError,
     WireError,
 )
+from repro.obs.instr import channel_handles
+from repro.obs.metrics import get_registry
 from repro.transport.channel import Channel
 from repro.wire.framing import frame, read_frame
+
+# Memo of the bound series for the current default registry; swapped
+# registries (tests) re-resolve on first use.
+_obs_memo = [None]
+
+
+def _obs():
+    """The threaded plane's channel metric handles, or None if disabled."""
+    registry = get_registry()
+    if not registry.enabled:
+        return None
+    cached = _obs_memo[0]
+    if cached is None or cached[0] is not registry:
+        cached = (registry, channel_handles(registry, "threaded"))
+        _obs_memo[0] = cached
+    return cached[1]
 
 
 class TCPChannel(Channel):
@@ -59,6 +77,8 @@ class TCPChannel(Channel):
         if self._closed:
             raise ChannelClosedError("cannot send on a closed channel")
         framed = frame(message)
+        handles = _obs()
+        started = time.perf_counter() if handles is not None else 0.0
         try:
             with self._send_lock:
                 self._sock.sendall(framed)
@@ -66,6 +86,10 @@ class TCPChannel(Channel):
             raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
+        if handles is not None:
+            handles.send_seconds.observe(time.perf_counter() - started)
+            handles.send_frames.inc()
+            handles.send_bytes.inc(len(message))
 
     def recv(self, timeout: float | None = None) -> bytes:
         if self._closed:
@@ -77,10 +101,17 @@ class TCPChannel(Channel):
             raise TransportTimeoutError(
                 f"recv timed out after {timeout}s waiting for another reader"
             )
+        handles = _obs()
+        started = time.perf_counter() if handles is not None else 0.0
         try:
-            return self._recv_locked(timeout)
+            message = self._recv_locked(timeout)
         finally:
             self._recv_lock.release()
+        if handles is not None:
+            handles.recv_seconds.observe(time.perf_counter() - started)
+            handles.recv_frames.inc()
+            handles.recv_bytes.inc(len(message))
+        return message
 
     def _recv_locked(self, timeout: float | None) -> bytes:
         if self._poisoned:

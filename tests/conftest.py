@@ -1,8 +1,11 @@
 """Top-level shared fixtures: architecture contexts used across suites."""
 
+import asyncio
+
 import pytest
 
 from repro.arch import ALPHA, SPARC_32, SPARC_64, X86_32, X86_64
+from repro.obs import Registry, Tracer, set_registry, set_tracer, set_wire_tracing
 from repro.pbio import IOContext
 
 ALL_ARCHES = [X86_32, X86_64, SPARC_32, SPARC_64, ALPHA]
@@ -24,3 +27,40 @@ def sparc_context():
 def x86_context():
     """A little-endian LP64 endpoint (a modern host)."""
     return IOContext(X86_64)
+
+
+@pytest.fixture
+def arun():
+    """Drive a coroutine to completion with a global deadline.
+
+    Same contract as the async-plane suite's fixture (no pytest-asyncio
+    dependency), available repo-wide for cross-plane tests.
+    """
+    def runner(coro, timeout=30.0):
+        return asyncio.run(asyncio.wait_for(coro, timeout))
+
+    return runner
+
+
+@pytest.fixture
+def fresh_registry():
+    """Install an isolated metrics registry (and seeded tracer) for one test.
+
+    The default registry is process-global, so observability tests swap
+    in a fresh one and restore the original afterwards; wire tracing is
+    always forced back off.
+    """
+    from repro.obs import metrics as metrics_mod
+    from repro.obs import trace as trace_mod
+
+    previous_registry = metrics_mod.get_registry()
+    previous_tracer = trace_mod.get_tracer()
+    registry = set_registry(Registry())
+    set_tracer(Tracer(seed=1204))
+    set_wire_tracing(False)
+    try:
+        yield registry
+    finally:
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)
+        set_wire_tracing(False)

@@ -1,0 +1,185 @@
+"""Sync/async fault-wrapper parity: one plan, one decision stream.
+
+A chaos schedule developed against :class:`FaultyChannel` must replay
+fault-for-fault — and corrupt-bit-for-corrupt-bit — through
+:class:`AsyncFaultyChannel`.  These tests drive the *same* scripted
+operation sequence through both wrappers over behavior-identical
+loopback stubs and assert the observable outcomes, the recorded
+``plan.injected`` events, and the exact corrupted payload bytes all
+match.  This pins the shared-seed contract of
+:meth:`FaultPlan.corruption_rng` (the fix for the wrappers previously
+deriving their corruption RNGs independently).
+"""
+
+import asyncio
+from collections import deque
+
+import pytest
+
+from repro.aio.faults import AsyncFaultyChannel
+from repro.faults import FaultPlan, FaultyChannel
+
+
+class SyncLoopback:
+    """Deterministic in-memory channel: scripted inbox, recorded outbox."""
+
+    def __init__(self, inbox):
+        self.inbox = deque(inbox)
+        self.outbox = []
+        self._closed = False
+
+    def send(self, message):
+        from repro.errors import ChannelClosedError
+
+        if self._closed:
+            raise ChannelClosedError("stub closed")
+        self.outbox.append(message)
+
+    def recv(self, timeout=None):
+        from repro.errors import ChannelClosedError, TransportTimeoutError
+
+        if self._closed:
+            raise ChannelClosedError("stub closed")
+        if not self.inbox:
+            raise TransportTimeoutError("stub inbox empty")
+        return self.inbox.popleft()
+
+    def close(self):
+        self._closed = True
+
+    @property
+    def closed(self):
+        return self._closed
+
+
+class AsyncLoopback:
+    """Coroutine twin of :class:`SyncLoopback` — same visible behavior."""
+
+    def __init__(self, inbox):
+        self.inbox = deque(inbox)
+        self.outbox = []
+        self._closed = False
+
+    async def send(self, message):
+        from repro.errors import ChannelClosedError
+
+        if self._closed:
+            raise ChannelClosedError("stub closed")
+        self.outbox.append(message)
+
+    async def recv(self, timeout=None):
+        from repro.errors import ChannelClosedError, TransportTimeoutError
+
+        if self._closed:
+            raise ChannelClosedError("stub closed")
+        if not self.inbox:
+            raise TransportTimeoutError("stub inbox empty")
+        return self.inbox.popleft()
+
+    async def flush(self):
+        pass
+
+    async def close(self):
+        self._closed = True
+
+    @property
+    def closed(self):
+        return self._closed
+
+
+def script(ops=40):
+    """Alternating sends (distinct payloads) and recvs."""
+    steps = []
+    for index in range(ops):
+        if index % 2 == 0:
+            steps.append(("send", bytes([index % 256]) * 24))
+        else:
+            steps.append(("recv", None))
+    return steps
+
+
+def inbox(messages=80):
+    """Plenty of distinct inbound messages (drop faults consume extras)."""
+    return [b"m%03d" % index + bytes(20) for index in range(messages)]
+
+
+def drive_sync(plan, steps):
+    inner = SyncLoopback(inbox())
+    channel = FaultyChannel(inner, plan)
+    outcomes = []
+    for op, payload in steps:
+        try:
+            if op == "send":
+                channel.send(payload)
+                outcomes.append(("send", None))
+            else:
+                outcomes.append(("recv", channel.recv(timeout=0)))
+        except Exception as exc:  # noqa: BLE001 — parity compares the type
+            outcomes.append((op + "-error", type(exc).__name__))
+    return outcomes, inner.outbox
+
+
+def drive_async(plan, steps):
+    async def scenario():
+        inner = AsyncLoopback(inbox())
+        channel = AsyncFaultyChannel(inner, plan)
+        outcomes = []
+        for op, payload in steps:
+            try:
+                if op == "send":
+                    await channel.send(payload)
+                    outcomes.append(("send", None))
+                else:
+                    outcomes.append(("recv", await channel.recv(timeout=0)))
+            except Exception as exc:  # noqa: BLE001
+                outcomes.append((op + "-error", type(exc).__name__))
+        return outcomes, inner.outbox
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1204, 0xC0FFEE])
+def test_shared_seed_replays_identically_on_both_planes(seed):
+    make_plan = lambda: FaultPlan(  # noqa: E731 — two identical plans
+        seed,
+        reset=0.02, timeout=0.05, drop=0.1, corrupt=0.25, delay=0.05,
+        delay_seconds=0.0,
+    )
+    steps = script()
+    sync_plan, async_plan = make_plan(), make_plan()
+    sync_outcomes, sync_outbox = drive_sync(sync_plan, steps)
+    async_outcomes, async_outbox = drive_async(async_plan, steps)
+
+    # Same decisions, at the same operations, of the same kinds…
+    assert sync_plan.injected == async_plan.injected
+    assert sync_plan.counts == async_plan.counts
+    # …with the same visible effects, including corrupted recv payloads…
+    assert sync_outcomes == async_outcomes
+    # …and byte-identical corrupted sends on the wire.
+    assert sync_outbox == async_outbox
+
+
+def test_explicit_corrupt_schedule_flips_identical_bits():
+    steps = [("send", b"\x00" * 64)] * 4
+    sync_plan = FaultPlan(99).on(2, "corrupt").on(4, "corrupt")
+    async_plan = FaultPlan(99).on(2, "corrupt").on(4, "corrupt")
+    _, sync_outbox = drive_sync(sync_plan, steps)
+    _, async_outbox = drive_async(async_plan, steps)
+    assert sync_outbox == async_outbox
+    # The corrupted messages really are corrupted (exactly one bit each).
+    for message in (sync_outbox[1], sync_outbox[3]):
+        flipped = [byte for byte in message if byte]
+        assert len(flipped) == 1
+        assert bin(flipped[0]).count("1") == 1
+
+
+def test_corruption_rng_is_a_seed_derivation_not_the_seed():
+    plan = FaultPlan(seed=5)
+    derived = plan.corruption_rng()
+    import random
+
+    assert derived.getstate() != random.Random(5).getstate()
+    # Stable across calls: every wrapper constructed from this plan sees
+    # the same corruption stream.
+    again = plan.corruption_rng()
+    assert derived.getstate() == again.getstate()

@@ -1,0 +1,1 @@
+"""Golden-wire conformance vectors (see vectors.py / make_vectors.py)."""

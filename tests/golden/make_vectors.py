@@ -1,0 +1,36 @@
+"""Regenerate the golden ``.bin`` wire vectors.
+
+Run only after an *intentional* wire-format change, then commit the
+updated files together with the change that motivated them::
+
+    PYTHONPATH=src python tests/golden/make_vectors.py
+
+The conformance suite (``tests/wire/test_golden_vectors.py``) fails
+loudly when current encode output stops matching these files — that is
+the suite doing its job, not a reason to regenerate.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from golden import vectors  # noqa: E402  (path bootstrap above)
+
+
+def main() -> int:
+    """Write every vector's data and metadata message; returns 0."""
+    for name in vectors.VECTOR_NAMES:
+        context, fmt, record = vectors.build(name)
+        data = context.encode(fmt, record)
+        meta = context.format_message(fmt)
+        vectors.data_path(name).write_bytes(data)
+        vectors.meta_path(name).write_bytes(meta)
+        print(f"{name}: data {len(data)} B, metadata {len(meta)} B")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

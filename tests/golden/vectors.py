@@ -1,0 +1,240 @@
+"""Golden-wire vector definitions: formats, records, and file naming.
+
+Each vector pins one format's *exact* wire bytes — the framed data
+message for a fixed record plus the framed metadata message — on the
+Table 1 reference architecture (big-endian ILP32 SPARC).  The ``.bin``
+files checked in next to this module are the contract: any refactor of
+the encoder, the framing layer, or the observability instrumentation
+must keep producing byte-identical output, with wire tracing enabled
+*and* disabled (trace context rides after the body and never changes
+the encoded message itself).
+
+The three ASDOff structures are the paper's Table 1 rows (Figures 6, 9
+and 12); ``telemetry`` adds a standalone dynamic-array format so the
+variable-length encode path is pinned independently of the airline
+schemas.  Definitions are deliberately self-contained (mirroring
+``benchmarks/conftest.py`` rather than importing it — test runs must
+not depend on the benchmark tree).
+
+Regenerate after an *intentional* wire change with::
+
+    PYTHONPATH=src python tests/golden/make_vectors.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import IOContext, SPARC_32
+from repro.arch import FieldDecl, layout_struct
+from repro.pbio import IOField, IOFormat
+
+VECTOR_DIR = Path(__file__).parent
+
+#: Every vector name, in registration-complexity order.
+VECTOR_NAMES = ("asdoff_a", "asdoff_b", "asdoff_cd", "telemetry")
+
+
+def _asdoff_a_fields(arch):
+    lay = layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrID", "char*"), FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"), FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"), FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long"), FieldDecl("eta", "unsigned long"),
+        ],
+    )
+    p, ul, i = arch.pointer_size, arch.sizeof("unsigned long"), arch.sizeof("int")
+    fields = [
+        IOField("cntrID", "string", p, lay.offsetof("cntrID")),
+        IOField("arln", "string", p, lay.offsetof("arln")),
+        IOField("fltNum", "integer", i, lay.offsetof("fltNum")),
+        IOField("equip", "string", p, lay.offsetof("equip")),
+        IOField("org", "string", p, lay.offsetof("org")),
+        IOField("dest", "string", p, lay.offsetof("dest")),
+        IOField("off", "unsigned integer", ul, lay.offsetof("off")),
+        IOField("eta", "unsigned integer", ul, lay.offsetof("eta")),
+    ]
+    return fields, lay.size
+
+
+def _asdoff_b_fields(arch):
+    lay = layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrID", "char*"), FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"), FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"), FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long", count=5),
+            FieldDecl("eta", "unsigned long*"), FieldDecl("eta_count", "int"),
+        ],
+    )
+    p, ul, i = arch.pointer_size, arch.sizeof("unsigned long"), arch.sizeof("int")
+    fields = [
+        IOField("cntrID", "string", p, lay.offsetof("cntrID")),
+        IOField("arln", "string", p, lay.offsetof("arln")),
+        IOField("fltNum", "integer", i, lay.offsetof("fltNum")),
+        IOField("equip", "string", p, lay.offsetof("equip")),
+        IOField("org", "string", p, lay.offsetof("org")),
+        IOField("dest", "string", p, lay.offsetof("dest")),
+        IOField("off", "unsigned integer[5]", ul, lay.offsetof("off")),
+        IOField("eta", "unsigned integer[eta_count]", ul, lay.offsetof("eta")),
+        IOField("eta_count", "integer", i, lay.offsetof("eta_count")),
+    ]
+    return fields, lay.size
+
+
+def register_asdoff_a(arch=SPARC_32) -> tuple[IOContext, IOFormat]:
+    """Structure A (Figure 6): scalars only, 32 B native."""
+    context = IOContext(arch)
+    fields, size = _asdoff_a_fields(arch)
+    return context, context.register_format("ASDOffEvent", fields, record_length=size)
+
+
+def register_asdoff_b(arch=SPARC_32) -> tuple[IOContext, IOFormat]:
+    """Structure B (Figure 9): static + dynamic arrays, 52 B native."""
+    context = IOContext(arch)
+    fields, size = _asdoff_b_fields(arch)
+    return context, context.register_format("ASDOffEvent", fields, record_length=size)
+
+
+def register_asdoff_cd(arch=SPARC_32) -> tuple[IOContext, IOFormat]:
+    """Structures C/D (Figure 12): three nested Bs, 180 B native."""
+    context = IOContext(arch)
+    fields, size = _asdoff_b_fields(arch)
+    context.register_format("ASDOffEvent", fields, record_length=size)
+    double_size = arch.sizeof("double")
+    inner = layout_struct(
+        arch,
+        "asdOff",
+        [
+            FieldDecl("cntrID", "char*"), FieldDecl("arln", "char*"),
+            FieldDecl("fltNum", "int"), FieldDecl("equip", "char*"),
+            FieldDecl("org", "char*"), FieldDecl("dest", "char*"),
+            FieldDecl("off", "unsigned long", count=5),
+            FieldDecl("eta", "unsigned long*"), FieldDecl("eta_count", "int"),
+        ],
+    )
+    outer = layout_struct(
+        arch,
+        "threeASDOffs",
+        [
+            FieldDecl("one", inner), FieldDecl("bart", "double"),
+            FieldDecl("two", inner), FieldDecl("lisa", "double"),
+            FieldDecl("three", inner),
+        ],
+    )
+    outer_fields = [
+        IOField("one", "ASDOffEvent", size, outer.offsetof("one")),
+        IOField("bart", "double", double_size, outer.offsetof("bart")),
+        IOField("two", "ASDOffEvent", size, outer.offsetof("two")),
+        IOField("lisa", "double", double_size, outer.offsetof("lisa")),
+        IOField("three", "ASDOffEvent", size, outer.offsetof("three")),
+    ]
+    return context, context.register_format(
+        "threeASDOffs", outer_fields, record_length=outer.size
+    )
+
+
+def register_telemetry(arch=SPARC_32) -> tuple[IOContext, IOFormat]:
+    """A standalone dynamic-array format: a batch of double samples."""
+    context = IOContext(arch)
+    lay = layout_struct(
+        arch,
+        "telemetryBatch",
+        [
+            FieldDecl("stream", "char*"),
+            FieldDecl("count", "int"),
+            FieldDecl("samples", "double*"),
+        ],
+    )
+    fields = [
+        IOField("stream", "string", arch.pointer_size, lay.offsetof("stream")),
+        IOField("count", "integer", arch.sizeof("int"), lay.offsetof("count")),
+        IOField("samples", "double[count]", arch.sizeof("double"),
+                lay.offsetof("samples")),
+    ]
+    return context, context.register_format(
+        "TelemetryBatch", fields, record_length=lay.size
+    )
+
+
+# -- the pinned records ------------------------------------------------------
+#
+# Every value is chosen to be representation-exact: integers, ASCII
+# strings, and doubles with finite binary expansions, so the golden
+# bytes cannot drift with float formatting or locale.
+
+RECORD_A = {
+    "cntrID": "ZTL", "arln": "DL", "fltNum": 1202,
+    "equip": "B757", "org": "ATL", "dest": "MCO",
+    "off": 954547200, "eta": 954554400,
+}
+
+_RECORD_B_ONE = {
+    "cntrID": "ZNY", "arln": "UA", "fltNum": 88,
+    "equip": "B737", "org": "EWR", "dest": "ORD",
+    "off": [954550800, 954550860, 954550920, 954550980, 954551040],
+    "eta": [954554400, 954554700, 954555000],
+    "eta_count": 3,
+}
+
+_RECORD_B_TWO = {
+    "cntrID": "ZAU", "arln": "AA", "fltNum": 4097,
+    "equip": "MD80", "org": "ORD", "dest": "DFW",
+    "off": [954552000, 954552060, 954552120, 954552180, 954552240],
+    "eta": [954559200],
+    "eta_count": 1,
+}
+
+_RECORD_B_THREE = {
+    "cntrID": "ZLA", "arln": "WN", "fltNum": 711,
+    "equip": "B737", "org": "LAX", "dest": "PHX",
+    "off": [954553800, 954553860, 954553920, 954553980, 954554040],
+    "eta": [954556200, 954556500, 954556800, 954557100],
+    "eta_count": 4,
+}
+
+RECORD_B = _RECORD_B_ONE
+
+RECORD_CD = {
+    "one": _RECORD_B_ONE,
+    "bart": 0.5,
+    "two": _RECORD_B_TWO,
+    "lisa": -2.25,
+    "three": _RECORD_B_THREE,
+}
+
+RECORD_TELEMETRY = {
+    "stream": "engine-2/egt",
+    "count": 4,
+    "samples": [0.5, 1.25, -3.75, 1024.0],
+}
+
+#: name -> (registrar, pinned record)
+VECTORS = {
+    "asdoff_a": (register_asdoff_a, RECORD_A),
+    "asdoff_b": (register_asdoff_b, RECORD_B),
+    "asdoff_cd": (register_asdoff_cd, RECORD_CD),
+    "telemetry": (register_telemetry, RECORD_TELEMETRY),
+}
+
+
+def build(name: str) -> tuple[IOContext, IOFormat, dict]:
+    """Fresh (context, format, record) for one vector name."""
+    registrar, record = VECTORS[name]
+    context, fmt = registrar()
+    return context, fmt, record
+
+
+def data_path(name: str) -> Path:
+    """Checked-in framed data message for ``name``."""
+    return VECTOR_DIR / f"{name}.data.bin"
+
+
+def meta_path(name: str) -> Path:
+    """Checked-in framed metadata message for ``name``."""
+    return VECTOR_DIR / f"{name}.meta.bin"

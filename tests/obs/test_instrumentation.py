@@ -1,0 +1,118 @@
+"""Hot-path instrumentation: the right series move, and only when enabled."""
+
+import threading
+
+from repro import IOContext, SPARC_32
+from repro.events import EventBackbone
+from repro.obs import TraceContext, inject
+from repro.transport import RecordConnection, connect, listen, make_pipe
+
+from tests.golden import vectors
+
+
+def counter_total(registry, name):
+    """Sum of every series of a counter family (0 if never created)."""
+    series = registry.snapshot().get(name, {})
+    return sum(series.values())
+
+
+class TestPbioInstrumentation:
+    def test_encode_and_decode_counted_per_format(self, fresh_registry):
+        context, fmt, record = vectors.build("asdoff_a")
+        for _ in range(3):
+            message = context.encode(fmt, record)
+        context.decode(message)
+        snap = fresh_registry.snapshot()
+        key = (("format", fmt.name),)
+        assert snap["pbio_encode_total"][key] == 3
+        assert snap["pbio_decode_total"][key] == 1
+
+    def test_codegen_cache_events(self, fresh_registry):
+        context, fmt, record = vectors.build("asdoff_a")
+        message = context.encode(fmt, record)
+        context.decode(message)  # first decode builds the converter
+        context.decode(message)  # second hits the cache
+        snap = fresh_registry.snapshot()["pbio_codegen_total"]
+        # Misses (builds) are registry events; hits stay a plain counter
+        # on the cache so the per-decode hot path never touches metrics.
+        assert snap[(("kind", "converter"), ("event", "miss"))] == 1
+        assert (("kind", "converter"), ("event", "hit")) not in snap
+        assert context.converter_cache_hits == 1
+
+    def test_disabled_registry_freezes_counters(self, fresh_registry):
+        context, fmt, record = vectors.build("asdoff_a")
+        context.encode(fmt, record)
+        fresh_registry.disable()
+        context.encode(fmt, record)
+        fresh_registry.enable()
+        assert counter_total(fresh_registry, "pbio_encode_total") == 1
+
+    def test_duration_sampling_keeps_counter_exact(self, fresh_registry):
+        context, fmt, record = vectors.build("asdoff_a")
+        for _ in range(40):
+            context.encode(fmt, record)
+        snap = fresh_registry.snapshot()
+        key = (("format", fmt.name),)
+        assert snap["pbio_encode_total"][key] == 40
+        # Durations are sampled 1-in-16: some but not all encodes timed.
+        timed = snap["pbio_encode_seconds"][key].count
+        assert 0 < timed < 40
+
+
+class TestTransportInstrumentation:
+    def test_tcp_send_recv_frames_and_bytes(self, fresh_registry):
+        listener = listen()
+        result = {}
+
+        def serve():
+            server = listener.accept(timeout=5)
+            result["got"] = server.recv(timeout=5)
+            server.close()
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        client = connect(*listener.address)
+        client.send(b"x" * 100)
+        thread.join()
+        client.close()
+        listener.close()
+        assert result["got"] == b"x" * 100
+        snap = fresh_registry.snapshot()
+        frames = snap["transport_frames_total"]
+        assert frames[(("plane", "threaded"), ("direction", "send"))] == 1
+        assert frames[(("plane", "threaded"), ("direction", "recv"))] == 1
+        sent = snap["transport_bytes_total"][
+            (("plane", "threaded"), ("direction", "send"))
+        ]
+        assert sent == 100
+
+    def test_record_connection_surfaces_peer_trace(self, fresh_registry):
+        context, fmt, record = vectors.build("asdoff_a")
+        left_chan, right_chan = make_pipe()
+        left = RecordConnection(context, left_chan)
+        receiver_context, _, _ = vectors.build("asdoff_a")
+        right = RecordConnection(receiver_context, right_chan)
+        peer = TraceContext(trace_id=11, span_id=22)
+        left.channel.send(inject(context.encode(fmt, record), peer))
+        decoded = right.recv(timeout=5)
+        assert decoded["fltNum"] == record["fltNum"]
+        assert right.last_trace == peer
+
+
+class TestEventsInstrumentation:
+    def test_fanout_counters_and_queue_depth(self, fresh_registry):
+        backbone = EventBackbone()
+        context, fmt, record = vectors.build("asdoff_a")
+        publisher = backbone.publisher("flights.off", context)
+        subscriber_context = IOContext(SPARC_32)
+        subscription = backbone.subscribe("flights.*", subscriber_context)
+        publisher.publish(fmt, record)
+        snap = fresh_registry.snapshot()
+        routed = snap["events_routed_total"]
+        assert routed[(("stream", "flights.off"), ("kind", "metadata"))] >= 1
+        assert routed[(("stream", "flights.off"), ("kind", "data"))] == 1
+        # Queue depth was gauged after fan-out, before the subscriber drained.
+        assert snap["events_queue_depth"][(("stream", "flights.off"),)] >= 1
+        event = subscription.next(timeout=5)
+        assert event["fltNum"] == record["fltNum"]
+        subscription.cancel()

@@ -1,0 +1,165 @@
+"""Registry, counters, gauges, histograms: semantics and exposition."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import DEFAULT_BUCKETS, HistogramSnapshot, Registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = Registry()
+        frames = registry.counter("frames_total", "frames")
+        assert frames.value() == 0
+        frames.inc()
+        frames.inc(4)
+        assert frames.value() == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Registry().counter("c").labels()
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        registry = Registry()
+        family = registry.counter("bytes_total", labels=("direction",))
+        family.labels("send").inc(10)
+        family.labels("recv").inc(3)
+        assert family.labels("send").value() == 10
+        assert family.labels("recv").value() == 3
+        assert family.value() == 13
+
+    def test_label_values_coerced_to_str(self):
+        family = Registry().counter("c", labels=("code",))
+        family.labels(200).inc()
+        assert family.labels("200").value() == 1
+
+    def test_wrong_label_arity_rejected(self):
+        family = Registry().counter("c", labels=("a", "b"))
+        with pytest.raises(ReproError):
+            family.labels("only-one")
+
+    def test_concurrent_increments_never_lost(self):
+        counter = Registry().counter("c").labels()
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(10_000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Registry().gauge("depth").labels()
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value() == 5
+
+
+class TestHistogram:
+    def test_snapshot_buckets_are_cumulative(self):
+        family = Registry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        h = family.labels()
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert isinstance(snap, HistogramSnapshot)
+        assert snap.count == 5
+        assert snap.sum == pytest.approx(56.05)
+        assert snap.buckets == ((0.1, 1), (1.0, 3), (10.0, 4))
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are le (inclusive upper bound).
+        h = Registry().histogram("h", buckets=(1.0, 2.0)).labels()
+        h.observe(1.0)
+        assert h.snapshot().buckets == ((1.0, 1), (2.0, 1))
+
+    def test_bounds_sorted_and_deduplicated(self):
+        family = Registry().histogram("h", buckets=(5.0, 1.0, 5.0))
+        assert family.buckets == (1.0, 5.0)
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ReproError):
+            Registry().histogram("h", buckets=())
+
+    def test_default_buckets_cover_micro_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-5
+        assert DEFAULT_BUCKETS[-1] >= 1.0
+
+
+class TestRegistry:
+    def test_family_creation_is_idempotent(self):
+        registry = Registry()
+        a = registry.counter("hits_total", "hits")
+        b = registry.counter("hits_total", "different help ignored")
+        assert a is b
+
+    def test_kind_clash_rejected(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_label_clash_rejected(self):
+        registry = Registry()
+        registry.counter("x", labels=("a",))
+        with pytest.raises(ReproError):
+            registry.counter("x", labels=("b",))
+
+    def test_enable_disable_flag(self):
+        registry = Registry(enabled=False)
+        assert not registry.enabled
+        registry.enable()
+        assert registry.enabled
+        registry.disable()
+        assert not registry.enabled
+
+    def test_snapshot_shape(self):
+        registry = Registry()
+        registry.counter("c", labels=("k",)).labels("v").inc(2)
+        registry.gauge("g").set(1.5)
+        snap = registry.snapshot()
+        assert snap["c"][(("k", "v"),)] == 2
+        assert snap["g"][()] == 1.5
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        registry = Registry()
+        registry.counter("frames_total", "frames seen",
+                         labels=("plane",)).labels("async").inc(3)
+        registry.gauge("depth", "queue depth").set(2.5)
+        text = registry.render()
+        assert "# HELP frames_total frames seen" in text
+        assert "# TYPE frames_total counter" in text
+        assert 'frames_total{plane="async"} 3' in text
+        assert "depth 2.5" in text
+
+    def test_histogram_exposition(self):
+        registry = Registry()
+        h = registry.histogram("lat", "latency", buckets=(0.5, 1.0))
+        h.observe(0.25)
+        h.observe(2.0)
+        text = registry.render()
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2.25" in text
+        assert "lat_count 2" in text
+
+    def test_label_values_escaped(self):
+        registry = Registry()
+        registry.counter("c", labels=("path",)).labels('a"b\\c\nd').inc()
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert Registry().render() == ""

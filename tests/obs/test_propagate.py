@@ -1,0 +1,94 @@
+"""Trace piggyback on framed messages: inject/extract invariants."""
+
+import struct
+
+from repro.obs import (
+    TRACE_BLOCK_SIZE,
+    TRACE_FLAG,
+    TraceContext,
+    extract,
+    get_tracer,
+    inject,
+    set_wire_tracing,
+)
+from repro.pbio.context import HEADER, HEADER_SIZE, KIND_DATA, KIND_FORMAT
+
+CTX = TraceContext(trace_id=0x1122334455667788, span_id=0x99AABBCCDDEEFF00)
+
+
+def data_message(body=b"payload"):
+    return HEADER.pack(KIND_DATA, 1, 0, len(body), b"\x01" * 8) + body
+
+
+class TestInject:
+    def test_appends_block_and_sets_flag(self):
+        message = data_message()
+        tagged = inject(message, CTX)
+        assert len(tagged) == len(message) + TRACE_BLOCK_SIZE
+        _, _, reserved, length, _ = HEADER.unpack_from(tagged, 0)
+        assert reserved & TRACE_FLAG
+        assert length == len(message) - HEADER_SIZE  # body length unchanged
+        trace_id, span_id = struct.unpack(">QQ", tagged[-TRACE_BLOCK_SIZE:])
+        assert (trace_id, span_id) == (CTX.trace_id, CTX.span_id)
+
+    def test_explicit_context_ignores_feature_flag(self, fresh_registry):
+        assert inject(data_message(), CTX) != data_message()
+
+    def test_without_flag_or_span_is_identity(self, fresh_registry):
+        message = data_message()
+        assert inject(message) is message
+
+    def test_flag_on_but_no_active_span_is_identity(self, fresh_registry):
+        set_wire_tracing(True)
+        message = data_message()
+        assert inject(message) is message
+
+    def test_flag_on_with_active_span_injects(self, fresh_registry):
+        set_wire_tracing(True)
+        with get_tracer().start_span("op") as span:
+            tagged = inject(data_message())
+        _, context = extract(tagged)
+        assert context == span.context()
+
+    def test_non_data_kinds_untouched(self):
+        meta = HEADER.pack(KIND_FORMAT, 1, 0, 4, b"\x00" * 8) + b"meta"
+        assert inject(meta, CTX) is meta
+
+    def test_short_message_untouched(self):
+        assert inject(b"tiny", CTX) == b"tiny"
+
+    def test_already_flagged_message_not_double_tagged(self):
+        tagged = inject(data_message(), CTX)
+        assert inject(tagged, TraceContext(1, 2)) is tagged
+
+
+class TestExtract:
+    def test_round_trip(self):
+        message = data_message()
+        recovered, context = extract(inject(message, CTX))
+        assert recovered == message
+        assert context == CTX
+
+    def test_unflagged_message_passes_through(self):
+        message = data_message()
+        recovered, context = extract(message)
+        assert recovered is message
+        assert context is None
+
+    def test_extraction_independent_of_feature_flag(self, fresh_registry):
+        tagged = inject(data_message(), CTX)
+        set_wire_tracing(False)
+        _, context = extract(tagged)
+        assert context == CTX
+
+    def test_malformed_flagged_message_tolerated(self):
+        # Flag bit set but no room for a trace block: pass through.
+        short = HEADER.pack(KIND_DATA, 1, TRACE_FLAG, 2, b"\x01" * 8) + b"xy"
+        recovered, context = extract(short)
+        assert recovered is short
+        assert context is None
+
+    def test_short_message_tolerated(self):
+        recovered, context = extract(b"x")
+        assert recovered == b"x"
+        assert context is None

@@ -1,0 +1,113 @@
+"""Spans, context propagation, and the wire-tracing feature flag."""
+
+import asyncio
+import threading
+
+from repro.obs import (
+    TraceContext,
+    Tracer,
+    current_span,
+    current_trace_context,
+    set_wire_tracing,
+    wire_tracing_enabled,
+)
+
+
+class TestSpanLifecycle:
+    def test_root_span_gets_fresh_trace_id(self):
+        tracer = Tracer(seed=7)
+        with tracer.start_span("root") as span:
+            assert span.trace_id != 0
+            assert span.span_id != 0
+            assert span.parent_id is None
+            assert current_span() is span
+        assert current_span() is None
+        assert span.duration is not None and span.duration >= 0
+
+    def test_child_inherits_trace_id(self):
+        tracer = Tracer(seed=7)
+        with tracer.start_span("parent") as parent:
+            with tracer.start_span("child") as child:
+                assert child.trace_id == parent.trace_id
+                assert child.parent_id == parent.span_id
+                assert child.span_id != parent.span_id
+            assert current_span() is parent
+
+    def test_explicit_parent_context(self):
+        tracer = Tracer(seed=7)
+        remote = TraceContext(trace_id=42, span_id=99)
+        span = tracer.start_span("server-side", parent=remote, activate=False)
+        assert span.trace_id == 42
+        assert span.parent_id == 99
+        span.finish()
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(seed=7)
+        span = tracer.start_span("once", activate=False)
+        span.finish()
+        first_end = span.end
+        span.finish()
+        assert span.end == first_end
+        assert len(tracer.drain_finished()) == 1
+
+    def test_tags_and_context(self):
+        tracer = Tracer(seed=7)
+        span = tracer.start_span("tagged", activate=False).set_tag("plane", "async")
+        assert span.tags == {"plane": "async"}
+        assert span.context() == TraceContext(span.trace_id, span.span_id)
+        span.finish()
+
+    def test_seeded_tracer_is_reproducible(self):
+        ids_a = [Tracer(seed=1204).start_span("x", activate=False).span_id
+                 for _ in range(1)]
+        ids_b = [Tracer(seed=1204).start_span("x", activate=False).span_id
+                 for _ in range(1)]
+        assert ids_a == ids_b
+
+    def test_finished_ring_is_bounded(self):
+        tracer = Tracer(max_finished=4, seed=7)
+        for index in range(10):
+            tracer.start_span(f"s{index}", activate=False).finish()
+        drained = tracer.drain_finished()
+        assert len(drained) == 4
+        assert [span.name for span in drained] == ["s6", "s7", "s8", "s9"]
+
+
+class TestContextIsolation:
+    def test_threads_do_not_inherit_spans(self):
+        tracer = Tracer(seed=7)
+        seen = []
+        with tracer.start_span("main-thread"):
+            thread = threading.Thread(target=lambda: seen.append(current_span()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_asyncio_tasks_inherit_then_isolate(self):
+        tracer = Tracer(seed=7)
+
+        async def child():
+            inherited = current_trace_context()
+            with tracer.start_span("child"):
+                inner = current_span()
+            return inherited, inner
+
+        async def scenario():
+            with tracer.start_span("parent") as parent:
+                inherited, inner = await asyncio.create_task(child())
+                # The task saw the parent at creation time…
+                assert inherited == parent.context()
+                # …but its own span never leaked back here.
+                assert current_span() is parent
+                assert inner.parent_id == parent.span_id
+
+        asyncio.run(scenario())
+
+
+class TestWireTracingFlag:
+    def test_flag_round_trip(self, fresh_registry):
+        assert not wire_tracing_enabled()
+        set_wire_tracing(True)
+        assert wire_tracing_enabled()
+        set_wire_tracing(False)
+        assert not wire_tracing_enabled()

@@ -1,0 +1,132 @@
+"""Metrics invariants under arbitrary inputs and real concurrency.
+
+Satellites of the observability tentpole: for any observation sequence a
+histogram's cumulative bucket counts are monotone, bounded by the total
+count, and its sum matches the observations; and per-thread sharding
+never loses a counter increment no matter how writers interleave —
+whether the writers are OS threads or asyncio tasks spread over
+threads.
+"""
+
+import asyncio
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Registry
+
+RELAXED = settings(max_examples=150, deadline=None)
+
+#: Observation values spanning the interesting range around any bound
+#: set, including negatives (below every bucket) and huge overflows.
+observations = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6,
+        allow_nan=False, allow_infinity=False,
+    ),
+    max_size=200,
+)
+
+bucket_bounds = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=12,
+)
+
+
+class TestHistogramInvariants:
+    @RELAXED
+    @given(values=observations, bounds=bucket_bounds)
+    def test_buckets_monotone_and_consistent(self, values, bounds):
+        histogram = Registry().histogram(
+            "h", buckets=tuple(bounds)
+        ).labels()
+        for value in values:
+            histogram.observe(value)
+        snap = histogram.snapshot()
+
+        assert snap.count == len(values)
+        assert snap.sum == sum(values)
+
+        previous = 0
+        for bound, cumulative in snap.buckets:
+            assert cumulative >= previous, "cumulative counts must be monotone"
+            previous = cumulative
+        assert previous <= snap.count, "+Inf bucket may not shrink the total"
+
+        # Every bucket's cumulative count equals the number of
+        # observations at or below its bound (le semantics).
+        for bound, cumulative in snap.buckets:
+            assert cumulative == sum(1 for v in values if v <= bound)
+
+    @RELAXED
+    @given(values=observations)
+    def test_default_buckets_preserve_count_and_sum(self, values):
+        histogram = Registry().histogram("h").labels()
+        for value in values:
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap.count == len(values)
+        assert snap.sum == sum(values)
+
+
+class TestCounterConcurrency:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        writers=st.integers(min_value=2, max_value=8),
+        per_writer=st.integers(min_value=1, max_value=2_000),
+    )
+    def test_threaded_increments_never_lost(self, writers, per_writer):
+        counter = Registry().counter("c").labels()
+        barrier = threading.Barrier(writers)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_writer):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == writers * per_writer
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        tasks=st.integers(min_value=2, max_value=16),
+        per_task=st.integers(min_value=1, max_value=500),
+    )
+    def test_async_task_increments_never_lost(self, tasks, per_task):
+        counter = Registry().counter("c").labels()
+
+        async def hammer():
+            for index in range(per_task):
+                counter.inc()
+                if index % 50 == 0:
+                    await asyncio.sleep(0)  # force interleaving
+
+        async def scenario():
+            await asyncio.gather(*(hammer() for _ in range(tasks)))
+
+        asyncio.run(scenario())
+        assert counter.value() == tasks * per_task
+
+    def test_mixed_amounts_sum_exactly(self):
+        counter = Registry().counter("c").labels()
+        amounts = [1, 2.5, 0.25, 100]
+
+        def hammer(amount):
+            for _ in range(1_000):
+                counter.inc(amount)
+
+        threads = [
+            threading.Thread(target=hammer, args=(amount,))
+            for amount in amounts
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 1_000 * sum(amounts)

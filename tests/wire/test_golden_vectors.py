@@ -1,0 +1,179 @@
+"""Golden-wire conformance: encode output is byte-pinned, on every plane.
+
+The ``.bin`` files under ``tests/golden/`` are the wire contract.  For
+each vector this suite asserts:
+
+- ``IOContext.encode`` reproduces the golden data message *exactly* —
+  with wire tracing disabled and enabled (trace context is injected at
+  the connection/endpoint layer, never inside ``encode``, so the NDR
+  bytes must not move);
+- ``IOContext.format_message`` reproduces the golden metadata message;
+- a receiver that learns the golden metadata decodes the golden data
+  message back to the pinned record, after transiting a real channel on
+  the threaded plane and on the asyncio plane;
+- a trace-flagged copy of the golden message still decodes, and
+  ``extract`` recovers the golden bytes exactly.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import aio
+from repro.obs import (
+    TraceContext,
+    extract,
+    get_tracer,
+    inject,
+    set_wire_tracing,
+)
+from repro.pbio.context import HEADER_SIZE, IOContext
+from repro.transport import make_pipe
+
+from tests.golden import vectors
+
+
+def golden_bytes(name):
+    """The checked-in (data message, metadata message) pair."""
+    return vectors.data_path(name).read_bytes(), vectors.meta_path(name).read_bytes()
+
+
+def assert_matches_record(decoded, record):
+    """Decoded values equal the pinned record, field for field."""
+    for key, expected in record.items():
+        actual = decoded[key]
+        if isinstance(expected, list):
+            assert list(actual) == expected, key
+        else:
+            assert actual == expected, key
+
+
+@pytest.fixture(params=vectors.VECTOR_NAMES)
+def vector(request):
+    """(name, context, fmt, record, golden_data, golden_meta)."""
+    name = request.param
+    context, fmt, record = vectors.build(name)
+    golden_data, golden_meta = golden_bytes(name)
+    return name, context, fmt, record, golden_data, golden_meta
+
+
+class TestByteExactEncode:
+    def test_data_message_matches_golden(self, vector, fresh_registry):
+        _, context, fmt, record, golden_data, _ = vector
+        assert context.encode(fmt, record) == golden_data
+
+    def test_metadata_message_matches_golden(self, vector, fresh_registry):
+        _, context, fmt, _, _, golden_meta = vector
+        assert context.format_message(fmt) == golden_meta
+
+    def test_encode_identical_with_wire_tracing_enabled(
+        self, vector, fresh_registry
+    ):
+        _, context, fmt, record, golden_data, golden_meta = vector
+        set_wire_tracing(True)
+        with get_tracer().start_span("golden-encode"):
+            assert context.encode(fmt, record) == golden_data
+            assert context.format_message(fmt) == golden_meta
+
+    def test_encode_identical_with_registry_disabled(self, vector, fresh_registry):
+        _, context, fmt, record, golden_data, _ = vector
+        fresh_registry.disable()
+        assert context.encode(fmt, record) == golden_data
+
+
+class TestGoldenDecode:
+    def test_receiver_decodes_golden_bytes(self, vector, fresh_registry):
+        name, _, _, record, golden_data, golden_meta = vector
+        receiver = IOContext()
+        _, _, _, length, _ = receiver.parse_header(golden_meta)
+        receiver.learn_format(golden_meta[HEADER_SIZE:HEADER_SIZE + length])
+        decoded = receiver.decode(golden_data)
+        assert_matches_record(decoded, record)
+
+    def test_interpreted_converter_agrees(self, vector, fresh_registry):
+        _, _, _, record, golden_data, golden_meta = vector
+        receiver = IOContext()
+        _, _, _, length, _ = receiver.parse_header(golden_meta)
+        receiver.learn_format(golden_meta[HEADER_SIZE:HEADER_SIZE + length])
+        decoded = receiver.decode(golden_data, mode="interpreted")
+        assert_matches_record(decoded, record)
+
+
+class TestTracePiggyback:
+    def test_inject_extract_recovers_golden_exactly(self, vector, fresh_registry):
+        _, _, _, _, golden_data, _ = vector
+        context_in = TraceContext(trace_id=0xDEAD, span_id=0xBEEF)
+        tagged = inject(golden_data, context_in)
+        assert tagged != golden_data
+        assert len(tagged) == len(golden_data) + 16
+        recovered, context_out = extract(tagged)
+        assert recovered == golden_data
+        assert context_out == context_in
+
+    def test_trace_flagged_message_still_decodes(self, vector, fresh_registry):
+        _, _, _, record, golden_data, golden_meta = vector
+        tagged = inject(golden_data, TraceContext(7, 9))
+        receiver = IOContext()
+        _, _, _, length, _ = receiver.parse_header(golden_meta)
+        receiver.learn_format(golden_meta[HEADER_SIZE:HEADER_SIZE + length])
+        # The header's length field still frames the NDR body, so even a
+        # receiver that skips extract() decodes the payload correctly.
+        assert_matches_record(receiver.decode(tagged), record)
+
+    def test_metadata_messages_never_carry_trace(self, vector, fresh_registry):
+        _, _, _, _, _, golden_meta = vector
+        set_wire_tracing(True)
+        with get_tracer().start_span("meta"):
+            assert inject(golden_meta) == golden_meta
+
+
+class TestGoldenAcrossChannels:
+    def test_threaded_plane_transits_golden_bytes(self, vector, fresh_registry):
+        _, _, _, record, golden_data, golden_meta = vector
+        left, right = make_pipe()
+        left.send(golden_meta)
+        left.send(golden_data)
+        receiver = IOContext()
+        meta = right.recv(timeout=5)
+        assert meta == golden_meta
+        _, _, _, length, _ = receiver.parse_header(meta)
+        receiver.learn_format(meta[HEADER_SIZE:HEADER_SIZE + length])
+        data = right.recv(timeout=5)
+        assert data == golden_data
+        assert_matches_record(receiver.decode(data), record)
+
+    @pytest.mark.parametrize("tracing", [False, True], ids=["plain", "traced"])
+    def test_async_plane_transits_golden_bytes(
+        self, vector, fresh_registry, arun, tracing
+    ):
+        _, _, _, record, golden_data, golden_meta = vector
+
+        async def scenario():
+            listener = await aio.listen()
+            client_task = asyncio.ensure_future(aio.connect(*listener.address))
+            server = await listener.accept(timeout=5)
+            client = await client_task
+            try:
+                payload = (
+                    inject(golden_data, TraceContext(3, 5))
+                    if tracing else golden_data
+                )
+                await client.send(golden_meta)
+                await client.send(payload)
+                meta = await server.recv(timeout=5)
+                data = await server.recv(timeout=5)
+            finally:
+                await client.close()
+                await server.close()
+                await listener.close()
+            return meta, data
+
+        meta, data = arun(scenario())
+        assert meta == golden_meta
+        message, trace = extract(data)
+        assert message == golden_data
+        assert trace == (TraceContext(3, 5) if tracing else None)
+        receiver = IOContext()
+        _, _, _, length, _ = receiver.parse_header(meta)
+        receiver.learn_format(meta[HEADER_SIZE:HEADER_SIZE + length])
+        assert_matches_record(receiver.decode(message), record)
