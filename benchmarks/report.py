@@ -13,6 +13,13 @@ Prints:
 - **Ablation A1** — generated vs interpreted conversion.
 
 Run:  python benchmarks/report.py [--quick]
+
+With ``--pr5`` the script instead runs the zero-copy hot-path suite
+(allocation churn A/B, batched-send throughput A/B, pool steady state —
+see :mod:`benchmarks.test_zero_copy`) and writes ``BENCH_PR5.json``
+next to this file; ``--check`` additionally exits non-zero if a result
+regresses past the acceptance floors, which is what CI's perf-smoke job
+runs.
 """
 
 from __future__ import annotations
@@ -285,9 +292,69 @@ def ablation_codegen():
         print(f"{fields:>7}{t_gen:>14.2f}{t_int:>16.2f}{t_int / t_gen:>6.1f}x")
 
 
+def pr5_report(check: bool) -> int:
+    """Zero-copy hot-path numbers -> BENCH_PR5.json (and the console).
+
+    ``check`` turns the run into a no-regression gate: exit status 1 if
+    allocation churn is not down by half or batched sends are not 1.3x
+    per-message sends (the PR's acceptance floors).
+    """
+    import json
+    import os
+
+    from benchmarks.test_zero_copy import (
+        run_alloc_ab,
+        run_pool_steady_state,
+        run_throughput_ab,
+    )
+
+    heading("PR5 — allocation-free hot path")
+    alloc = run_alloc_ab()
+    throughput = run_throughput_ab()
+    pool = run_pool_steady_state()
+    print(f"{'allocation churn, copying path':<38}"
+          f"{alloc['copy_churn_bytes_per_message']:>10.0f} B/msg")
+    print(f"{'allocation churn, zero-copy path':<38}"
+          f"{alloc['zero_copy_churn_bytes_per_message']:>10.0f} B/msg")
+    print(f"{'churn reduction':<38}{alloc['churn_reduction']:>10.0%}")
+    print(f"{'pipeline pool hit rate':<38}{alloc['pool_hit_rate']:>10.0%}")
+    print(f"{'per-message sends':<38}"
+          f"{throughput['per_message_mps']:>10.0f} msg/s")
+    print(f"{'batched send_many':<38}{throughput['batched_mps']:>10.0f} msg/s")
+    print(f"{'batched speedup':<38}{throughput['speedup']:>10.2f}x")
+    print(f"{'pool steady-state hit rate':<38}{pool['hit_rate']:>10.0%}")
+    results = {
+        "allocation": alloc,
+        "throughput": throughput,
+        "pool_steady_state": pool,
+    }
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_PR5.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    if not check:
+        return 0
+    failures = []
+    if alloc["churn_reduction"] < 0.5:
+        failures.append(
+            f"churn reduction {alloc['churn_reduction']:.0%} < 50%"
+        )
+    if throughput["speedup"] < 1.3:
+        failures.append(f"send_many speedup {throughput['speedup']:.2f}x < 1.3x")
+    if pool["hit_rate"] < 0.9:
+        failures.append(f"pool hit rate {pool['hit_rate']:.0%} < 90%")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
 def main():
     print("repro benchmark report — paper: Widener/Schwan/Eisenhauer, "
           "ICDCS 2001 (GIT-CC-00-21)")
+    if "--pr5" in sys.argv:
+        raise SystemExit(pr5_report(check="--check" in sys.argv))
     print(f"mode: {'quick' if QUICK else 'full'}")
     table1()
     claims_performance()

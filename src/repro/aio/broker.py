@@ -26,7 +26,7 @@ from collections import deque
 
 from repro.aio.channel import AsyncChannel, AsyncTCPChannel, connect
 from repro.errors import ChannelClosedError, TransportError, WireError
-from repro.events.backbone import EventBackbone
+from repro.events.backbone import EventBackbone, RoutedFrame
 from repro.events.endpoints import Event
 from repro.obs.propagate import extract, inject
 from repro.events.remote import (
@@ -65,7 +65,7 @@ class _AsyncSinkQueue:
         self._ready = asyncio.Event()
         self._closed = False
 
-    def put(self, stream: str, message: bytes) -> None:
+    def put(self, stream: str, message) -> None:
         with self._mutex:
             if self._closed:
                 return
@@ -76,7 +76,7 @@ class _AsyncSinkQueue:
             self._items.append((stream, message))
         self._loop.call_soon_threadsafe(self._ready.set)
 
-    async def get(self) -> tuple[str, bytes]:
+    async def _pop(self) -> tuple[str, object]:
         while True:
             with self._mutex:
                 if self._items:
@@ -85,6 +85,24 @@ class _AsyncSinkQueue:
                     raise TransportError("subscription cancelled")
                 self._ready.clear()
             await self._ready.wait()
+
+    async def get(self) -> tuple[str, bytes]:
+        stream, item = await self._pop()
+        if isinstance(item, RoutedFrame):
+            return stream, item.message
+        return stream, item
+
+    async def get_frame(self) -> RoutedFrame:
+        """The shared :class:`~repro.events.backbone.RoutedFrame`.
+
+        Lets the delivery loop reuse the envelope cached across every
+        sink of a fan-out; raw-bytes items (metadata replay) are wrapped
+        on the way out.
+        """
+        stream, item = await self._pop()
+        if isinstance(item, RoutedFrame):
+            return item
+        return RoutedFrame(stream, item)
 
     def close(self) -> None:
         with self._mutex:
@@ -211,10 +229,10 @@ class AsyncEventBroker:
     async def _delivery_loop(self, channel: AsyncTCPChannel, queue) -> None:
         try:
             while True:
-                stream_name, payload = await queue.get()
-                await channel.send(
-                    pack_envelope(OP_EVENT, stream_name, payload=payload)
-                )
+                frame = await queue.get_frame()
+                # envelope() is cached on the shared frame: the first
+                # sink of a fan-out builds it, the rest reuse it.
+                await channel.send(frame.envelope())
         except (TransportError, ChannelClosedError, OSError):
             return  # subscription cancelled or peer gone
 

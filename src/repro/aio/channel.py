@@ -42,7 +42,7 @@ from repro.errors import (
 )
 from repro.obs.instr import channel_handles
 from repro.obs.metrics import get_registry
-from repro.wire.framing import MAX_FRAME_SIZE, _LENGTH, frame
+from repro.wire.framing import MAX_FRAME_SIZE, _LENGTH, frame_iov
 
 # Memo of the bound series for the current default registry; swapped
 # registries (tests) re-resolve on first use.
@@ -121,7 +121,11 @@ class AsyncTCPChannel(AsyncChannel):
         self._closed = False
         self._send_lock = asyncio.Lock()
         self._recv_lock = asyncio.Lock()
-        self._wbuf = bytearray()
+        # Coalescing buffer as an iovec: (header, payload) pairs are
+        # appended by reference and handed to writelines() at flush — no
+        # per-frame concatenation copy.
+        self._wbufs: list = []
+        self._wbuf_len = 0
         self._flush_task: asyncio.Task | None = None
         self.coalesce_bytes = coalesce_bytes
         self.frames_sent = 0
@@ -135,15 +139,24 @@ class AsyncTCPChannel(AsyncChannel):
     # -- sending ---------------------------------------------------------------
 
     async def send(self, message: bytes) -> None:
-        framed = frame(message)
+        """Deliver ``message`` (may coalesce; see :meth:`flush`).
+
+        The payload is buffered **by reference** until the flush that
+        carries it: a caller handing in a mutable buffer (``bytearray``,
+        ``memoryview`` over a pooled encode buffer) must not reuse it
+        before ``await flush()`` returns.
+        """
+        header, payload = frame_iov(message)
         handles = _obs()
         started = perf_counter() if handles is not None else 0.0
         async with self._send_lock:
             if self._closed:
                 raise ChannelClosedError("cannot send on a closed channel")
-            self._wbuf += framed
+            self._wbufs.append(header)
+            self._wbufs.append(payload)
+            self._wbuf_len += len(header) + len(payload)
             self.frames_sent += 1
-            if len(self._wbuf) >= self.coalesce_bytes:
+            if self._wbuf_len >= self.coalesce_bytes:
                 await self._flush_buffered()
             elif self._flush_task is None:
                 # Park small frames until the loop comes back around, so
@@ -153,6 +166,40 @@ class AsyncTCPChannel(AsyncChannel):
             handles.send_seconds.observe(perf_counter() - started)
             handles.send_frames.inc()
             handles.send_bytes.inc(len(message))
+
+    async def send_many(self, messages) -> int:
+        """Send a batch as one vectored write; returns the frame count.
+
+        All frames join the iovec under one lock acquisition and are
+        flushed immediately with a single ``writelines`` + ``drain`` —
+        the async counterpart of the sync channel's scatter-gather
+        ``send_many``.
+        """
+        iov: list = []
+        count = 0
+        total_bytes = 0
+        for message in messages:
+            header, payload = frame_iov(message)
+            iov.append(header)
+            iov.append(payload)
+            total_bytes += len(payload)
+            count += 1
+        if not count:
+            return 0
+        handles = _obs()
+        started = perf_counter() if handles is not None else 0.0
+        async with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError("cannot send on a closed channel")
+            self._wbufs.extend(iov)
+            self._wbuf_len += total_bytes + _LENGTH.size * count
+            self.frames_sent += count
+            await self._flush_buffered()
+        if handles is not None:
+            handles.send_seconds.observe(perf_counter() - started)
+            handles.send_frames.inc(count)
+            handles.send_bytes.inc(total_bytes)
+        return count
 
     async def _deferred_flush(self) -> None:
         try:
@@ -164,13 +211,14 @@ class AsyncTCPChannel(AsyncChannel):
             self._flush_task = None
 
     async def _flush_buffered(self) -> None:
-        """Write and drain the coalescing buffer; caller holds the send lock."""
-        if not self._wbuf or self._closed:
+        """Vectored write + drain of the iovec; caller holds the send lock."""
+        if not self._wbuf_len or self._closed:
             return
-        data = bytes(self._wbuf)
-        self._wbuf.clear()
+        buffers = self._wbufs
+        self._wbufs = []
+        self._wbuf_len = 0
         try:
-            self._writer.write(data)
+            self._writer.writelines(buffers)
             self.flushes += 1
             await self._writer.drain()
         except (BrokenPipeError, ConnectionResetError) as exc:

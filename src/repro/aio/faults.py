@@ -8,6 +8,10 @@ stream for a given seed — a chaos schedule developed against the sync
 plane replays fault-for-fault against the async one.  The only
 behavioral difference is that ``delay`` faults suspend the coroutine
 (``asyncio.sleep``) instead of blocking a thread.
+
+Zero-copy messages (``memoryview``) pass through untouched on the clean
+path; only a message selected for corruption is materialized, inside the
+shared :func:`~repro.faults.channel.corrupt_bytes` helper.
 """
 
 from __future__ import annotations

@@ -31,22 +31,54 @@ class _Stream:
     metadata_url: str | None = None
 
 
+class RoutedFrame:
+    """One routed message, shared by every subscriber of a fan-out.
+
+    The backbone wraps each message in a single :class:`RoutedFrame`
+    before delivery, so all N subscriber queues hold the *same* object.
+    Remote broker fronts call :meth:`envelope` to get the OP_EVENT wire
+    frame — built lazily and cached on the shared object, so a stream
+    with N remote subscribers serializes the envelope once instead of N
+    times.  Frames are immutable by convention: sinks treat ``message``
+    and the envelope as read-only.
+    """
+
+    __slots__ = ("stream", "message", "_envelope")
+
+    def __init__(self, stream: str, message: bytes) -> None:
+        self.stream = stream
+        self.message = message
+        self._envelope: bytes | None = None
+
+    def envelope(self) -> bytes:
+        """The cached OP_EVENT envelope carrying this frame."""
+        env = self._envelope
+        if env is None:
+            # Imported here: remote depends on backbone, not vice versa.
+            from repro.events.remote import OP_EVENT, pack_envelope
+
+            env = pack_envelope(OP_EVENT, self.stream, payload=self.message)
+            # Benign race: concurrent builders produce identical bytes.
+            self._envelope = env
+        return env
+
+
 class _SubscriberQueue:
-    """One subscriber's inbox: (stream, message) pairs."""
+    """One subscriber's inbox: (stream, message-or-frame) pairs."""
 
     def __init__(self) -> None:
-        self._items: list[tuple[str, bytes]] = []
+        self._items: list[tuple[str, object]] = []
         self._condition = threading.Condition()
         self._closed = False
 
-    def put(self, stream: str, message: bytes) -> None:
+    def put(self, stream: str, message) -> None:
         with self._condition:
             if self._closed:
                 return
             self._items.append((stream, message))
             self._condition.notify()
 
-    def get(self, timeout: float | None = None) -> tuple[str, bytes]:
+    def _pop(self, timeout: float | None) -> tuple[str, object]:
         with self._condition:
             if not self._condition.wait_for(
                 lambda: self._items or self._closed, timeout=timeout
@@ -55,6 +87,24 @@ class _SubscriberQueue:
             if self._items:
                 return self._items.pop(0)
             raise TransportError("subscription cancelled")
+
+    def get(self, timeout: float | None = None) -> tuple[str, bytes]:
+        stream, item = self._pop(timeout)
+        if isinstance(item, RoutedFrame):
+            return stream, item.message
+        return stream, item
+
+    def get_frame(self, timeout: float | None = None) -> RoutedFrame:
+        """Like :meth:`get`, but returns the shared :class:`RoutedFrame`.
+
+        Used by remote broker fronts so sibling delivery loops reuse one
+        cached envelope.  Items enqueued as raw bytes (metadata replay)
+        are wrapped on the way out.
+        """
+        stream, item = self._pop(timeout)
+        if isinstance(item, RoutedFrame):
+            return item
+        return RoutedFrame(stream, item)
 
     def close(self) -> None:
         with self._condition:
@@ -155,7 +205,18 @@ class EventBackbone:
         tolerated up to ``sink_failure_limit`` consecutive failures, then
         detached (bounded failure handling: one wedged subscriber must
         not take the broker down or stall other sinks forever).
+
+        The message is wrapped in one shared :class:`RoutedFrame` for
+        the whole fan-out — every subscriber (and every remote delivery
+        loop) sees the same object, so the OP_EVENT envelope is built at
+        most once per publish, not once per sink.
         """
+        # Store-and-forward takes ownership: a view into a reusable
+        # transport/encode buffer must be pinned before queues hold it
+        # past this call.  (bytes messages — the common case — pass
+        # through untouched.)
+        if not isinstance(message, bytes):
+            message = bytes(message)
         kind, _, _, _, _ = IOContext.parse_header(message)
         with self._lock:
             stream = self._stream(stream_name)
@@ -180,9 +241,10 @@ class EventBackbone:
                 "events_routed_bytes_total", "message bytes routed", ("stream",)
             ).labels(stream_name).inc(len(message))
         delivered = 0
+        frame = RoutedFrame(stream_name, message)
         for queue in queues:
             try:
-                queue.put(stream_name, message)
+                queue.put(stream_name, frame)
             except Exception:
                 failures = self._sink_failures.get(id(queue), 0) + 1
                 self._sink_failures[id(queue)] = failures

@@ -189,14 +189,17 @@ class BrokerServer:
     def _delivery_loop(self, channel: Channel, queue: _SubscriberQueue, lock) -> None:
         while not self._stop.is_set():
             try:
-                stream_name, payload = queue.get(timeout=0.5)
+                frame = queue.get_frame(timeout=0.5)
             except TransportError as exc:
                 if "cancelled" in str(exc):
                     return
                 continue
             try:
                 with lock:
-                    channel.send(pack_envelope(OP_EVENT, stream_name, payload=payload))
+                    # envelope() is cached on the frame shared by every
+                    # subscriber of this publish: serialized once, sent N
+                    # times — no per-sink re-framing.
+                    channel.send(frame.envelope())
             except (ChannelClosedError, TransportError, OSError):
                 return
 

@@ -33,9 +33,17 @@ from repro.faults.plan import FaultPlan
 from repro.transport.channel import Channel
 
 
-def corrupt_bytes(message: bytes, rng: random.Random) -> bytes:
-    """Flip one random byte of ``message`` (empty messages pass through)."""
-    if not message:
+def corrupt_bytes(message, rng: random.Random) -> bytes:
+    """Flip one random byte of ``message`` (empty messages pass through).
+
+    Accepts any buffer (``bytes``, ``bytearray``, ``memoryview``): the
+    zero-copy send/recv paths hand views through the fault wrappers, and
+    only a message actually selected for corruption is materialized
+    (the ``bytearray(message)`` copy below).  The original buffer is
+    never mutated in place — a corrupted copy is returned — so a pooled
+    receive buffer is not damaged for subsequent frames.
+    """
+    if not len(message):
         return message
     index = rng.randrange(len(message))
     mutated = bytearray(message)

@@ -40,12 +40,31 @@ from repro.pbio.format import IOFormat
 Converter = Callable[[bytes], dict]
 
 
-def _read_string(payload: bytes, offset: int) -> str | None:
-    """Shared helper injected into generated code: NUL-terminated string."""
+def _read_string(payload, offset: int) -> str | None:
+    """Shared helper injected into generated code: NUL-terminated string.
+
+    Accepts any buffer (``bytes``, ``bytearray``, ``memoryview``).
+    ``memoryview`` has no ``index``, so the terminator scan copies small
+    windows (128 bytes) instead of the whole payload — strings stay
+    cheap on the zero-copy receive path.
+    """
     if offset == 0:
         return None
-    end = payload.index(0, offset)
-    return payload[offset:end].decode("utf-8")
+    try:
+        end = payload.index(0, offset)
+    except AttributeError:
+        position = offset
+        total = len(payload)
+        while True:
+            window_end = min(position + 128, total)
+            found = bytes(payload[position:window_end]).find(0)
+            if found >= 0:
+                end = position + found
+                break
+            if window_end == total:
+                raise ValueError("unterminated string in payload") from None
+            position = window_end
+    return str(payload[offset:end], "utf-8")
 
 
 def generate_converter_source(wire_format: IOFormat, function_name: str = "convert") -> str:
@@ -251,13 +270,31 @@ def _container_get_expr(prefix: tuple[str, ...], name: str) -> str:
     return f"{container}.get({name!r})"
 
 
-def generate_encoder_source(fmt: IOFormat, function_name: str = "encode") -> str:
-    """Produce Python source for a specialized encoder for ``fmt``."""
+def generate_encoder_source(
+    fmt: IOFormat, function_name: str = "encode", *, into: bool = False
+) -> str:
+    """Produce Python source for a specialized encoder for ``fmt``.
+
+    With ``into=True`` the generated function has the signature
+    ``(record, buffer, offset)`` and writes the payload in place with
+    ``pack_into`` — the sender-side zero-copy path — instead of
+    returning freshly concatenated ``bytes``.
+    """
     plan = get_encode_plan(fmt)
     order = "<" if fmt.arch.is_little_endian else ">"
+    if into:
+        signature = (
+            f"def {function_name}(record, buffer, offset, "
+            f"pack_into=pack_into, pack_arr=pack_arr, "
+            f"_chr=_chr, _buf=_buf, len=len):"
+        )
+    else:
+        signature = (
+            f"def {function_name}(record, pack=pack, pack_arr=pack_arr, "
+            f"_chr=_chr, _buf=_buf, len=len):"
+        )
     lines = [
-        f"def {function_name}(record, pack=pack, pack_arr=pack_arr, "
-        f"_chr=_chr, _buf=_buf, len=len):",
+        signature,
         "    var = []",
         f"    cursor = {fmt.record_length}",
     ]
@@ -354,7 +391,28 @@ def generate_encoder_source(fmt: IOFormat, function_name: str = "encode") -> str
         else:
             args.append(value)
     joined = ",\n        ".join(args)
-    lines.append(f"    return pack(\n        {joined},\n    ) + b''.join(var)")
+    if into:
+        lines += [
+            "    if len(buffer) - offset < cursor:",
+            f"        _e = EncodeError(\"format {fmt.name!r}: buffer has "
+            f"%d bytes free, payload needs %d\""
+            f" % (len(buffer) - offset, cursor))",
+            "        _e.needed = cursor",
+            "        raise _e",
+            f"    pack_into(\n        buffer, offset,\n        {joined},\n    )",
+            f"    pos = offset + {fmt.record_length}",
+            # Write var parts through a memoryview: bytearray slice
+            # assignment materializes a temporary copy of the source,
+            # a view assignment is a straight memcpy.
+            "    mv = memoryview(buffer)",
+            "    for d in var:",
+            "        _n = len(d)",
+            "        mv[pos:pos + _n] = d",
+            "        pos += _n",
+            "    return cursor",
+        ]
+    else:
+        lines.append(f"    return pack(\n        {joined},\n    ) + b''.join(var)")
     return "\n".join(lines) + "\n"
 
 
@@ -394,6 +452,53 @@ def make_generated_encoder(fmt: IOFormat):
             return plan.encode(record)
 
     return encode
+
+
+def make_generated_encoder_into(fmt: IOFormat):
+    """Compile the in-place encoder; falls back to the plan on errors.
+
+    Same contract as :meth:`EncodePlan.encode_into` (byte-identical
+    output, capacity :class:`EncodeError` with ``.needed`` raised before
+    anything is written), but with every field expression inlined so the
+    steady-state sender pays no plan-walking allocations.
+    """
+    plan = get_encode_plan(fmt)
+    source = generate_encoder_source(fmt, "encode_into", into=True)
+    from repro.errors import EncodeError
+    from repro.pbio.encode import ndarray_wire_bytes
+
+    namespace = {
+        "pack_into": plan.fixed_struct.pack_into,
+        "pack_arr": struct.pack,
+        "_chr": _char_byte,
+        "_buf": _char_buffer,
+        "_nd": ndarray_wire_bytes,
+        "EncodeError": EncodeError,
+    }
+    try:
+        exec(
+            compile(source, f"<pbio encode_into for {fmt.name}>", "exec"),
+            namespace,
+        )
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise ConversionError(
+            f"generated encode_into for {fmt.name!r} failed to compile: "
+            f"{exc}\n{source}"
+        ) from exc
+    fast = namespace["encode_into"]
+    encode_error = namespace["EncodeError"]
+
+    def encode_into(record: dict, buffer, offset: int = 0) -> int:
+        try:
+            return fast(record, buffer, offset)
+        except encode_error:
+            raise
+        except Exception:
+            # Re-run through the plan for a precise diagnostic (or, in
+            # the unexpected case the plan succeeds, its result).
+            return plan.encode_into(record, buffer, offset)
+
+    return encode_into
 
 
 # -- interpreted converter (ablation baseline) --------------------------------

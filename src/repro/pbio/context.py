@@ -33,7 +33,12 @@ from repro.errors import DecodeError, FormatRegistrationError
 from repro.obs import metrics as _metrics
 from repro.obs.instr import SAMPLE_MASK, pbio_handles
 from repro.pbio.decode import ConverterCache
-from repro.pbio.encode import encode_record, get_encode_plan, get_generated_encoder
+from repro.pbio.encode import (
+    encode_record,
+    get_encode_plan,
+    get_generated_encode_into,
+    get_generated_encoder,
+)
 from repro.pbio.field import IOField
 from repro.pbio.fmserver import FormatServer
 from repro.pbio.format import IOFormat
@@ -158,6 +163,7 @@ class IOContext:
         # keeping the per-message path free of first-use spikes.
         get_encode_plan(fmt)
         get_generated_encoder(fmt)
+        get_generated_encode_into(fmt)
 
     def lookup_format(self, name: str) -> IOFormat:
         """Return a locally registered format by name."""
@@ -211,6 +217,26 @@ class IOContext:
         )
         return header + payload
 
+    def encode_into(self, fmt: IOFormat | str, record: dict, buffer, offset: int = 0) -> int:
+        """Encode ``record`` as a framed data message into ``buffer``.
+
+        In-place counterpart of :meth:`encode`: header and NDR payload
+        are written at ``offset`` via ``pack_into`` (byte-identical to
+        :meth:`encode`'s output), and the total framed length is
+        returned.  ``buffer`` is any writable buffer — in the
+        allocation-free path, a pooled ``bytearray`` from
+        :func:`repro.wire.bufpool.get_pool`.  Raises
+        :class:`~repro.errors.EncodeError` (with ``.needed`` set to the
+        payload size) if the buffer is too small.
+        """
+        if isinstance(fmt, str):
+            fmt = self.lookup_format(fmt)
+        length = get_generated_encode_into(fmt)(record, buffer, offset + HEADER_SIZE)
+        HEADER.pack_into(
+            buffer, offset, KIND_DATA, PROTOCOL_VERSION, 0, length, fmt.format_id
+        )
+        return HEADER_SIZE + length
+
     def format_message(self, fmt: IOFormat | str) -> bytes:
         """Frame ``fmt``'s metadata as a format message."""
         if isinstance(fmt, str):
@@ -241,6 +267,8 @@ class IOContext:
             raise DecodeError(
                 f"expected a data message, got message kind {kind}"
             )
+        if isinstance(message, bytearray):
+            message = memoryview(message)  # keep the payload slice zero-copy
         payload = message[HEADER_SIZE : HEADER_SIZE + length]
         if len(payload) != length:
             raise DecodeError(
@@ -263,7 +291,8 @@ class IOContext:
             if not _decode_tick[0] & SAMPLE_MASK:
                 started = perf_counter()
         try:
-            values = converter(bytes(payload))
+            # Converters consume memoryviews directly — no bytes() round-trip.
+            values = converter(payload)
         except (IndexError, ValueError, struct.error) as exc:
             raise DecodeError(
                 f"corrupt payload for format {wire_format.name!r}: {exc}"
@@ -283,6 +312,12 @@ class IOContext:
         few fields of wide records.  The wire format resolves the same
         way :meth:`decode` resolves it (learned metadata or the format
         server).
+
+        A ``memoryview`` message stays a view all the way into the
+        :class:`~repro.pbio.RecordView` (zero-copy): the view must then
+        outlive the record view per the ownership contract in
+        PROTOCOL §12 — e.g. don't ``recv`` again on the channel that
+        handed out the buffer while the record is still in use.
         """
         from repro.pbio.view import RecordView
 
@@ -290,7 +325,9 @@ class IOContext:
         if kind != KIND_DATA:
             raise DecodeError(f"expected a data message, got message kind {kind}")
         wire_format = self.wire_format(format_id)
-        payload = bytes(message[HEADER_SIZE : HEADER_SIZE + length])
+        if isinstance(message, bytearray):
+            message = memoryview(message)
+        payload = message[HEADER_SIZE : HEADER_SIZE + length]
         if len(payload) != length:
             raise DecodeError(
                 f"truncated message: header promises {length} bytes, "

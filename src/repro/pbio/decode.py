@@ -113,7 +113,9 @@ def decode_payload(
     owner = cache if cache is not None else ConverterCache()
     converter = owner.lookup(wire_format, target_format, mode)
     try:
-        return converter(bytes(payload))
+        # Converters accept any buffer (bytes/bytearray/memoryview) —
+        # views from the zero-copy receive path pass through uncopied.
+        return converter(payload)
     except (IndexError, ValueError) as exc:
         raise DecodeError(
             f"corrupt payload for format {wire_format.name!r}: {exc}"

@@ -295,6 +295,63 @@ class EncodePlan:
             ) from exc
         return fixed + b"".join(var_parts)
 
+    def encode_into(self, record: dict, buffer, offset: int = 0) -> int:
+        """Encode ``record`` into ``buffer`` at ``offset``; returns length.
+
+        Byte-identical output to :meth:`encode`, written in place with
+        ``pack_into`` on a caller-supplied writable buffer (typically a
+        pooled ``bytearray`` — see :mod:`repro.wire.bufpool`), so the
+        steady-state sender allocates no payload bytes.
+
+        If the buffer cannot hold the payload an
+        :class:`~repro.errors.EncodeError` is raised *before anything is
+        written*, carrying the required size as its ``needed`` attribute
+        so callers can re-acquire and retry.
+        """
+        pointer_values: dict[tuple[str, ...], int] = {}
+        var_parts: list[bytes] = []
+        cursor = self.format.record_length
+        for item in self.var_items:
+            data, is_null = self._render_var_item(item, record)
+            if is_null:
+                pointer_values[item.path] = 0
+                continue
+            aligned = _align_up(cursor, item.alignment)
+            if aligned != cursor:
+                var_parts.append(b"\x00" * (aligned - cursor))
+                cursor = aligned
+            pointer_values[item.path] = cursor
+            var_parts.append(data)
+            cursor += len(data)
+        total = cursor
+        if len(buffer) - offset < total:
+            error = EncodeError(
+                f"format {self.format.name!r}: buffer has "
+                f"{len(buffer) - offset} bytes free, payload needs {total}"
+            )
+            error.needed = total  # type: ignore[attr-defined]
+            raise error
+        values = [
+            self._leaf_value(leaf, record, pointer_values) for leaf in self.leaves
+        ]
+        try:
+            self.fixed_struct.pack_into(
+                buffer, offset, *[v for vs in values for v in vs]
+            )
+        except struct.error as exc:
+            raise EncodeError(
+                f"format {self.format.name!r}: cannot pack record: {exc}"
+            ) from exc
+        position = offset + self.format.record_length
+        # A memoryview assignment is a straight memcpy; bytearray slice
+        # assignment would materialize a temporary copy of each part.
+        target = memoryview(buffer)
+        for part in var_parts:
+            end = position + len(part)
+            target[position:end] = part
+            position = end
+        return total
+
     def encoded_size(self, record: dict) -> int:
         """Size in bytes of the payload :meth:`encode` would produce."""
         return len(self.encode(record))
@@ -481,6 +538,30 @@ def get_generated_encoder(fmt: IOFormat):
             ).labels("encoder", "miss").inc()
         encoder = make_generated_encoder(fmt)
         fmt._generated_encoder = encoder  # type: ignore[attr-defined]
+    return encoder
+
+
+def get_generated_encode_into(fmt: IOFormat):
+    """Return (building if necessary) the cached generated in-place encoder.
+
+    The ``encode_into`` counterpart of :func:`get_generated_encoder`:
+    byte-identical to :meth:`EncodePlan.encode_into` (including the
+    capacity :class:`EncodeError` carrying ``.needed``), with the plan
+    walk compiled away so the zero-copy sender allocates only the
+    variable-section parts it must render.
+    """
+    encoder = getattr(fmt, "_generated_encode_into", None)
+    if encoder is None:
+        from repro.pbio.codegen import make_generated_encoder_into
+
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "pbio_codegen_total", "converter/encoder cache events",
+                ("kind", "event"),
+            ).labels("encode_into", "miss").inc()
+        encoder = make_generated_encoder_into(fmt)
+        fmt._generated_encode_into = encoder  # type: ignore[attr-defined]
     return encoder
 
 

@@ -34,7 +34,14 @@ class RecordView(Mapping):
 
     __slots__ = ("_payload", "_format", "_base", "_order", "_cache")
 
-    def __init__(self, fmt: IOFormat, payload: bytes, *, base: int = 0) -> None:
+    def __init__(self, fmt: IOFormat, payload, *, base: int = 0) -> None:
+        """``payload`` may be ``bytes``, ``bytearray``, or ``memoryview``.
+
+        A view payload is read in place (zero-copy) and must stay valid
+        — i.e. the channel buffer it aliases must not be overwritten by
+        another ``recv`` — for the life of this record view
+        (PROTOCOL §12).
+        """
         if len(payload) < base + fmt.record_length:
             raise DecodeError(
                 f"payload too short for a {fmt.name!r} view "
@@ -94,7 +101,8 @@ class RecordView(Mapping):
             strings = [_read_string(self._payload, p) for p in pointers]
             return strings[0] if field.static_count == 1 else strings
         if field.kind == TypeKind.CHAR and field.type.is_static_array:
-            raw = self._payload[offset : offset + field.static_count]
+            # bytes() the (small, bounded) slice: memoryview has no split.
+            raw = bytes(self._payload[offset : offset + field.static_count])
             return raw.split(b"\x00", 1)[0].decode("utf-8")
         if field.type.is_static_array:
             code = self._scalar_code(field)
@@ -147,10 +155,13 @@ class RecordView(Mapping):
         return f"<RecordView of {self._format.name!r}, {len(self)} fields>"
 
 
-def view_message(fmt: IOFormat, message: bytes) -> RecordView:
+def view_message(fmt: IOFormat, message) -> RecordView:
     """View a framed data message (header + payload) without copying.
 
-    Validates the header's format id against ``fmt``.
+    Validates the header's format id against ``fmt``.  The message is
+    wrapped in a ``memoryview`` so slicing off the header copies nothing
+    regardless of the input type; the returned record view reads fields
+    in place from the caller's buffer.
     """
     from repro.pbio.context import HEADER_SIZE, KIND_DATA, IOContext
 
@@ -162,4 +173,5 @@ def view_message(fmt: IOFormat, message: bytes) -> RecordView:
             f"message carries format {format_id.hex()}, not "
             f"{fmt.name!r} ({fmt.format_id.hex()})"
         )
-    return RecordView(fmt, message[HEADER_SIZE : HEADER_SIZE + length])
+    view = memoryview(message) if not isinstance(message, memoryview) else message
+    return RecordView(fmt, view[HEADER_SIZE : HEADER_SIZE + length])

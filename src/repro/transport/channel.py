@@ -30,6 +30,29 @@ class Channel(abc.ABC):
         :class:`~repro.errors.TransportError` on timeout.
         """
 
+    def send_many(self, messages) -> int:
+        """Deliver every message in ``messages``; returns the count.
+
+        The base implementation loops :meth:`send`.  Transports that can
+        batch (scatter-gather sockets) override this to put N frames on
+        the wire in one syscall.
+        """
+        count = 0
+        for message in messages:
+            self.send(message)
+            count += 1
+        return count
+
+    def recv_view(self, timeout: float | None = None):
+        """Receive one message as a buffer (``bytes`` or ``memoryview``).
+
+        Zero-copy transports override this to return a ``memoryview``
+        into their receive buffer, valid only until the next receive on
+        the same channel (PROTOCOL §12).  The base implementation simply
+        returns :meth:`recv`'s owned bytes.
+        """
+        return self.recv(timeout)
+
     @abc.abstractmethod
     def close(self) -> None:
         """Close this end; idempotent."""

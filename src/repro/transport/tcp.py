@@ -19,6 +19,7 @@ reset.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
@@ -32,7 +33,17 @@ from repro.errors import (
 from repro.obs.instr import channel_handles
 from repro.obs.metrics import get_registry
 from repro.transport.channel import Channel
-from repro.wire.framing import frame, read_frame
+from repro.wire.bufpool import get_pool
+from repro.wire.framing import ReceiveBuffer, frame_iov, read_frame_into
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+try:
+    _IOV_MAX = os.sysconf("SC_IOV_MAX")
+    if _IOV_MAX <= 0:
+        _IOV_MAX = 1024
+except (AttributeError, ValueError, OSError):
+    _IOV_MAX = 1024
 
 # Memo of the bound series for the current default registry; swapped
 # registries (tests) re-resolve on first use.
@@ -71,17 +82,40 @@ class TCPChannel(Channel):
         self._poisoned = False
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self._rbuf = ReceiveBuffer(get_pool())
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def _sendall_vectored(self, buffers) -> None:
+        """Put every buffer on the wire via scatter-gather ``sendmsg``.
+
+        Handles partial sends by advancing through the iov list; falls
+        back to a joined ``sendall`` where ``sendmsg`` is unavailable.
+        Caller holds the send lock.
+        """
+        if not _HAS_SENDMSG:
+            self._sock.sendall(b"".join(buffers))
+            return
+        iov = [memoryview(buffer) for buffer in buffers if len(buffer)]
+        while iov:
+            sent = self._sock.sendmsg(iov[:_IOV_MAX])
+            while sent:
+                head = iov[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    del iov[0]
+                else:
+                    iov[0] = head[sent:]
+                    sent = 0
 
     def send(self, message: bytes) -> None:
         if self._closed:
             raise ChannelClosedError("cannot send on a closed channel")
-        framed = frame(message)
+        header, payload = frame_iov(message)
         handles = _obs()
         started = time.perf_counter() if handles is not None else 0.0
         try:
             with self._send_lock:
-                self._sock.sendall(framed)
+                self._sendall_vectored((header, payload))
         except (BrokenPipeError, ConnectionResetError) as exc:
             raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
         except OSError as exc:
@@ -91,7 +125,57 @@ class TCPChannel(Channel):
             handles.send_frames.inc()
             handles.send_bytes.inc(len(message))
 
+    def send_many(self, messages) -> int:
+        """Send every message as one scatter-gather batch; returns count.
+
+        All frames go out in (at most a few) ``sendmsg`` syscalls under
+        one lock acquisition, so frames from a batch never interleave
+        with other senders and the per-message syscall cost is amortized
+        across the batch.
+        """
+        if self._closed:
+            raise ChannelClosedError("cannot send on a closed channel")
+        buffers: list = []
+        count = 0
+        total_bytes = 0
+        for message in messages:
+            header, payload = frame_iov(message)
+            buffers.append(header)
+            buffers.append(payload)
+            total_bytes += len(payload)
+            count += 1
+        if not count:
+            return 0
+        handles = _obs()
+        started = time.perf_counter() if handles is not None else 0.0
+        try:
+            with self._send_lock:
+                self._sendall_vectored(buffers)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+        if handles is not None:
+            handles.send_seconds.observe(time.perf_counter() - started)
+            handles.send_frames.inc(count)
+            handles.send_bytes.inc(total_bytes)
+        return count
+
     def recv(self, timeout: float | None = None) -> bytes:
+        return self._recv_outer(timeout, copy=True)
+
+    def recv_view(self, timeout: float | None = None) -> memoryview:
+        """Zero-copy receive: a ``memoryview`` into the channel's buffer.
+
+        The view is valid only until the next ``recv``/``recv_view`` on
+        this channel (or its close) overwrites the buffer under it —
+        decode or ``bytes()`` it before reading again (PROTOCOL §12).
+        Intended for single-reader consumers; with competing readers,
+        use :meth:`recv`.
+        """
+        return self._recv_outer(timeout, copy=False)
+
+    def _recv_outer(self, timeout: float | None, *, copy: bool):
         if self._closed:
             raise ChannelClosedError("cannot recv on a closed channel")
         acquired = self._recv_lock.acquire(
@@ -104,7 +188,8 @@ class TCPChannel(Channel):
         handles = _obs()
         started = time.perf_counter() if handles is not None else 0.0
         try:
-            message = self._recv_locked(timeout)
+            view = self._recv_locked(timeout)
+            message = bytes(view) if copy else view
         finally:
             self._recv_lock.release()
         if handles is not None:
@@ -113,7 +198,7 @@ class TCPChannel(Channel):
             handles.recv_bytes.inc(len(message))
         return message
 
-    def _recv_locked(self, timeout: float | None) -> bytes:
+    def _recv_locked(self, timeout: float | None) -> memoryview:
         if self._poisoned:
             raise TransportError(
                 "channel poisoned by an earlier mid-frame timeout; "
@@ -121,16 +206,16 @@ class TCPChannel(Channel):
             )
         consumed = 0
 
-        def tracking_recv(n: int) -> bytes:
+        def tracking_recv_into(view: memoryview) -> int:
             nonlocal consumed
-            chunk = self._sock.recv(n)
-            consumed += len(chunk)
-            return chunk
+            count = self._sock.recv_into(view)
+            consumed += count
+            return count
 
         prior_timeout = self._sock.gettimeout()
         self._sock.settimeout(timeout)
         try:
-            return read_frame(tracking_recv)
+            return read_frame_into(tracking_recv_into, self._rbuf)
         except socket.timeout as exc:
             if consumed:
                 self._poisoned = True
@@ -167,6 +252,7 @@ class TCPChannel(Channel):
             except OSError:
                 pass
             self._sock.close()
+            self._rbuf.close()
 
     @property
     def closed(self) -> bool:
@@ -318,6 +404,16 @@ class ReconnectingTCPChannel(Channel):
     def send(self, message: bytes) -> None:
         """Send, redialing (within budget) if the connection broke."""
         self._run(lambda channel: channel.send(message))
+
+    def send_many(self, messages) -> int:
+        """Batched send with redial-on-failure.
+
+        The batch is materialized first so a redial mid-operation can
+        resend it whole; at-most-once still applies — frames flushed
+        before the break are not un-sent.
+        """
+        batch = list(messages)
+        return self._run(lambda channel: channel.send_many(batch))
 
     def recv(self, timeout: float | None = None) -> bytes:
         """Receive, redialing (within budget) if the connection broke."""

@@ -21,16 +21,31 @@ dominated 2001 practice:
 all three wire formats share on the transports.
 """
 
+from repro.wire.bufpool import BufferPool, get_pool, set_pool
 from repro.wire.cdr import CDRCodec
-from repro.wire.framing import FrameDecoder, frame, read_frame, unframe
+from repro.wire.framing import (
+    FrameDecoder,
+    ReceiveBuffer,
+    frame,
+    frame_iov,
+    read_frame,
+    read_frame_into,
+    unframe,
+)
 from repro.wire.xdr import XDRCodec
 from repro.wire.xmltext import XMLTextCodec
 
 __all__ = [
+    "BufferPool",
     "CDRCodec",
     "FrameDecoder",
+    "ReceiveBuffer",
     "frame",
+    "frame_iov",
+    "get_pool",
     "read_frame",
+    "read_frame_into",
+    "set_pool",
     "unframe",
     "XDRCodec",
     "XMLTextCodec",

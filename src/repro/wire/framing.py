@@ -4,17 +4,33 @@ Every wire format in this repo is message-oriented; TCP and the in-process
 pipe are byte streams.  Frames bridge the two: a big-endian u32 length
 followed by the message bytes.
 
-Two consumption styles are provided:
+Three consumption styles are provided:
 
-- blocking: :func:`read_frame` over a file-like/socket-like ``recv``
-  callable;
+- blocking, copying: :func:`read_frame` over a file-like/socket-like
+  ``recv`` callable;
+- blocking, zero-copy: :func:`read_frame_into` over a ``recv_into``
+  callable and a :class:`ReceiveBuffer`, yielding a ``memoryview`` of
+  the message without intermediate chunk allocations;
 - incremental: :class:`FrameDecoder`, fed arbitrary chunks, yielding
   complete messages — the style a non-blocking event loop needs.
+
+On the send side, :func:`frame_iov` produces the (header, payload) pair
+for scatter-gather writes (``socket.sendmsg``, ``writelines``) so the
+payload is never copied into a concatenated frame.
+
+Buffer ownership (the zero-copy contract, PROTOCOL §12): a
+``memoryview`` returned by :func:`read_frame_into` aliases the
+:class:`ReceiveBuffer` and is valid only until the next read into the
+same buffer; a view yielded by a ``copy=False`` :class:`FrameDecoder`
+aliases a fed chunk and stays valid as long as the consumer holds it,
+provided the feeder does not mutate the chunk it fed.  Consumers that
+need a message beyond that window must ``bytes()`` it.
 """
 
 from __future__ import annotations
 
 import struct
+from collections import deque
 from typing import Callable, Iterator
 
 from repro.errors import ChannelClosedError, WireError
@@ -28,18 +44,48 @@ MAX_FRAME_SIZE = 256 * 1024 * 1024
 
 
 def frame(message: bytes) -> bytes:
-    """Wrap ``message`` in a length prefix."""
+    """Wrap ``message`` in a length prefix (one concatenation copy).
+
+    The copying path; the transports use :func:`frame_iov` instead.
+    """
     if len(message) > MAX_FRAME_SIZE:
         raise WireError(f"message of {len(message)} bytes exceeds frame limit")
     return _LENGTH.pack(len(message)) + message
 
 
-def unframe(data: bytes) -> tuple[bytes, bytes]:
+def frame_iov(message) -> tuple[bytes, bytes]:
+    """Vectored framing: the ``(header, payload)`` pair for one frame.
+
+    The payload is returned as-is (any bytes-like object), never copied
+    — hand both elements to a scatter-gather write
+    (``socket.sendmsg``, ``StreamWriter.writelines``) and the wire
+    carries exactly what :func:`frame` would have produced, without the
+    concatenation allocation.
+    """
+    length = len(message)
+    if length > MAX_FRAME_SIZE:
+        raise WireError(f"message of {length} bytes exceeds frame limit")
+    return _LENGTH.pack(length), message
+
+
+def unframe(data) -> tuple:
     """Split one frame off the front of ``data``; returns (message, rest).
+
+    Accepts ``bytes``, ``bytearray``, or ``memoryview``.  For ``bytes``
+    input both results are ``bytes`` (slices copy — unavoidable for the
+    immutable type).  For ``bytearray`` and ``memoryview`` input both
+    results are **zero-copy memoryviews into the caller's buffer**: they
+    are valid only while the caller keeps the underlying buffer alive
+    and unmodified.  In particular, a view obtained from a channel's
+    receive buffer must not be held across the next ``recv`` — the
+    transport will overwrite the bytes under it.  Call ``bytes(view)``
+    to take ownership.
 
     Raises :class:`~repro.errors.WireError` if ``data`` does not contain
     a complete frame.
     """
+    if isinstance(data, (bytearray, memoryview)):
+        data = memoryview(data)
     if len(data) < _LENGTH.size:
         raise WireError("incomplete frame header")
     (length,) = _LENGTH.unpack_from(data, 0)
@@ -79,32 +125,198 @@ def _read_exactly(recv: Callable[[int], bytes], needed: int, *, at_boundary: boo
     return b"".join(chunks)
 
 
+class ReceiveBuffer:
+    """A reusable, growable receive buffer, optionally pool-backed.
+
+    One lives on each channel that reads zero-copy: the frame body is
+    received directly into it (``recv_into``) and handed to the caller
+    as a ``memoryview``.  The buffer grows to fit the largest frame seen
+    (swapping through the :class:`~repro.wire.bufpool.BufferPool` when
+    one is attached) and is otherwise reused verbatim — steady state
+    allocates nothing.
+    """
+
+    __slots__ = ("_pool", "_data", "_initial", "header")
+
+    def __init__(self, pool=None, *, initial: int = 4096) -> None:
+        self._pool = pool
+        self._data: bytearray | None = None
+        self._initial = initial
+        #: 4-byte scratch for the length prefix, reused per frame.
+        self.header = memoryview(bytearray(_LENGTH.size))
+
+    def reserve(self, size: int) -> memoryview:
+        """A writable view of exactly ``size`` bytes, growing if needed.
+
+        Growing invalidates (overwrites do too) any previously returned
+        view — see the ownership contract in the module docstring.
+        """
+        data = self._data
+        if data is None or len(data) < size:
+            if data is not None and self._pool is not None:
+                self._pool.release(data)
+            wanted = max(size, self._initial)
+            data = (
+                self._pool.acquire(wanted)
+                if self._pool is not None
+                else bytearray(wanted)
+            )
+            self._data = data
+        return memoryview(data)[:size]
+
+    @property
+    def capacity(self) -> int:
+        """Bytes currently backing this buffer (0 before first use)."""
+        return 0 if self._data is None else len(self._data)
+
+    def close(self) -> None:
+        """Return the backing buffer to the pool; idempotent."""
+        if self._data is not None and self._pool is not None:
+            self._pool.release(self._data)
+        self._data = None
+
+
+def read_frame_into(
+    recv_into: Callable[[memoryview], int], buffer: ReceiveBuffer
+) -> memoryview:
+    """Read exactly one frame into ``buffer``; returns the message view.
+
+    ``recv_into(view)`` fills some prefix of ``view`` and returns the
+    byte count (0 for EOF) — ``socket.recv_into`` semantics.  The
+    returned ``memoryview`` aliases ``buffer`` and is valid only until
+    the next :func:`read_frame_into` on the same buffer.
+
+    EOF raises :class:`~repro.errors.ChannelClosedError` at a frame
+    boundary and :class:`~repro.errors.WireError` mid-frame, exactly
+    like :func:`read_frame`.
+    """
+    header = buffer.header
+    _fill_exactly(recv_into, header, at_boundary=True)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_SIZE:
+        raise WireError(f"frame length {length} exceeds limit")
+    body = buffer.reserve(length)
+    _fill_exactly(recv_into, body, at_boundary=False)
+    return body
+
+
+def _fill_exactly(
+    recv_into: Callable[[memoryview], int], view: memoryview, *, at_boundary: bool
+) -> None:
+    total = len(view)
+    filled = 0
+    while filled < total:
+        count = recv_into(view[filled:] if filled else view)
+        if count == 0:
+            if at_boundary and filled == 0:
+                raise ChannelClosedError("peer closed the stream")
+            raise WireError("stream ended mid-frame")
+        filled += count
+
+
 class FrameDecoder:
-    """Incremental frame decoder: feed chunks, iterate complete messages."""
+    """Incremental frame decoder: feed chunks, iterate complete messages.
 
-    def __init__(self) -> None:
-        self._buffer = bytearray()
+    By default each complete message is yielded as an owned ``bytes``
+    copy.  With ``copy=False`` a message that lies within a single fed
+    chunk is yielded as a **zero-copy memoryview of that chunk** (only
+    messages spanning a chunk boundary are assembled); the feeder must
+    then not mutate a fed ``bytearray`` until the views taken from it
+    are dropped (``bytes`` chunks are immutable and always safe).
+    """
 
-    def feed(self, chunk: bytes) -> None:
-        """Append raw stream bytes."""
-        self._buffer.extend(chunk)
+    def __init__(self, *, copy: bool = True) -> None:
+        self._chunks: deque[memoryview] = deque()
+        self._offset = 0  # consumed bytes of the head chunk
+        self._size = 0  # total unconsumed bytes
+        self._copy = copy
+
+    def feed(self, chunk) -> None:
+        """Append raw stream bytes (any bytes-like object)."""
+        if not len(chunk):
+            return
+        if self._copy and not isinstance(chunk, bytes):
+            # Copy-mode keeps the pre-zero-copy contract: the caller may
+            # reuse a mutable chunk buffer immediately after feeding.
+            chunk = bytes(chunk)
+        self._chunks.append(memoryview(chunk))
+        self._size += len(chunk)
 
     def messages(self) -> Iterator[bytes]:
         """Yield every complete message currently buffered."""
         while True:
-            if len(self._buffer) < _LENGTH.size:
+            if self._size < _LENGTH.size:
                 return
-            (length,) = _LENGTH.unpack_from(self._buffer, 0)
+            length = self._peek_length()
             if length > MAX_FRAME_SIZE:
                 raise WireError(f"frame length {length} exceeds limit")
-            end = _LENGTH.size + length
-            if len(self._buffer) < end:
+            if self._size < _LENGTH.size + length:
                 return
-            message = bytes(self._buffer[_LENGTH.size : end])
-            del self._buffer[:end]
-            yield message
+            self._skip(_LENGTH.size)
+            message = self._take(length)
+            yield bytes(message) if self._copy else message
+
+    # -- chunk-list plumbing -------------------------------------------------
+
+    def _peek_length(self) -> int:
+        """The head frame's length prefix, without consuming it."""
+        head = self._chunks[0]
+        if len(head) - self._offset >= _LENGTH.size:
+            return _LENGTH.unpack_from(head, self._offset)[0]
+        scratch = bytearray(_LENGTH.size)
+        position = 0
+        offset = self._offset
+        for chunk in self._chunks:
+            take = min(_LENGTH.size - position, len(chunk) - offset)
+            scratch[position : position + take] = chunk[offset : offset + take]
+            position += take
+            offset = 0
+            if position == _LENGTH.size:
+                break
+        return _LENGTH.unpack(scratch)[0]
+
+    def _skip(self, count: int) -> None:
+        self._size -= count
+        while count:
+            head = self._chunks[0]
+            available = len(head) - self._offset
+            if available > count:
+                self._offset += count
+                return
+            count -= available
+            self._chunks.popleft()
+            self._offset = 0
+
+    def _take(self, count: int) -> memoryview:
+        """Consume ``count`` bytes: a sub-view when contiguous, else joined."""
+        if count == 0:
+            return memoryview(b"")
+        head = self._chunks[0]
+        if len(head) - self._offset >= count:
+            view = head[self._offset : self._offset + count]
+            self._offset += count
+            self._size -= count
+            if self._offset == len(head):
+                self._chunks.popleft()
+                self._offset = 0
+            return view
+        assembled = bytearray(count)
+        position = 0
+        while position < count:
+            head = self._chunks[0]
+            take = min(len(head) - self._offset, count - position)
+            assembled[position : position + take] = head[
+                self._offset : self._offset + take
+            ]
+            position += take
+            self._offset += take
+            if self._offset == len(head):
+                self._chunks.popleft()
+                self._offset = 0
+        self._size -= count
+        return memoryview(assembled)
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete message."""
-        return len(self._buffer)
+        return self._size

@@ -20,6 +20,26 @@ class TestSendFaults:
         assert peer.recv(timeout=1) == b"hello"
         assert channel.sent == 1
 
+    def test_clean_path_passes_memoryview_through_uncoerced(self):
+        sent_types = []
+
+        class Recorder:
+            closed = False
+
+            def send(self, message):
+                sent_types.append(type(message))
+
+            def recv(self, timeout=None):  # pragma: no cover - unused
+                raise AssertionError
+
+            def close(self):  # pragma: no cover - unused
+                pass
+
+        channel = FaultyChannel(Recorder(), FaultPlan())
+        view = memoryview(b"zero-copy message")
+        channel.send(view)
+        assert sent_types == [memoryview]  # no bytes() on the clean path
+
     def test_drop_loses_the_message_silently(self):
         channel, peer = faulty_pipe(FaultPlan(ops=("send",)).on(1, "drop"))
         channel.send(b"lost")
@@ -50,6 +70,15 @@ class TestSendFaults:
         diff = [i for i in range(32) if received[i] != original[i]]
         assert len(diff) == 1
         assert bin(received[diff[0]] ^ original[diff[0]]).count("1") == 1
+
+    def test_corrupt_tolerates_memoryview_without_mutating_source(self):
+        channel, peer = faulty_pipe(FaultPlan(seed=4, ops=("send",)).on(1, "corrupt"))
+        backing = bytearray(range(32))
+        channel.send(memoryview(backing))
+        received = peer.recv(timeout=1)
+        assert received != bytes(backing)
+        # The corruption copy never touches the pooled source buffer.
+        assert backing == bytearray(range(32))
 
     def test_corruption_is_seeded(self):
         def run(seed):

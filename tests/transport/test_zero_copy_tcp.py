@@ -1,0 +1,128 @@
+"""Zero-copy TCP paths: scatter-gather sends, batched send_many, recv_view."""
+
+import threading
+
+import pytest
+
+from repro.errors import ChannelClosedError
+from repro.transport import connect, listen, make_pipe
+
+
+@pytest.fixture
+def tcp_pair():
+    with listen() as listener:
+        host, port = listener.address
+        accepted = {}
+
+        def acceptor():
+            accepted["channel"] = listener.accept(timeout=5.0)
+
+        thread = threading.Thread(target=acceptor)
+        thread.start()
+        client = connect(host, port)
+        thread.join(timeout=5.0)
+        server = accepted["channel"]
+        try:
+            yield client, server
+        finally:
+            client.close()
+            server.close()
+
+
+class TestScatterGatherSend:
+    def test_roundtrip(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(b"via sendmsg")
+        assert server.recv(timeout=5.0) == b"via sendmsg"
+
+    def test_memoryview_message(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(memoryview(b"a view payload"))
+        assert server.recv(timeout=5.0) == b"a view payload"
+
+    def test_bytearray_message(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(bytearray(b"mutable payload"))
+        assert server.recv(timeout=5.0) == b"mutable payload"
+
+    def test_empty_message(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(b"")
+        assert server.recv(timeout=5.0) == b""
+
+    def test_large_message_partial_sends(self, tcp_pair):
+        client, server = tcp_pair
+        big = bytes(range(256)) * 8192  # 2 MiB: exceeds socket buffers
+        received = {}
+
+        def reader():
+            received["message"] = server.recv(timeout=10.0)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        client.send(big)
+        thread.join(timeout=10.0)
+        assert received["message"] == big
+
+
+class TestSendMany:
+    def test_batch_arrives_as_individual_frames(self, tcp_pair):
+        client, server = tcp_pair
+        messages = [b"frame-%d" % i for i in range(10)]
+        assert client.send_many(messages) == 10
+        for expected in messages:
+            assert server.recv(timeout=5.0) == expected
+
+    def test_empty_batch(self, tcp_pair):
+        client, server = tcp_pair
+        assert client.send_many([]) == 0
+
+    def test_batch_of_views(self, tcp_pair):
+        client, server = tcp_pair
+        messages = [memoryview(b"v" * n) for n in (1, 100, 1000)]
+        assert client.send_many(messages) == 3
+        for expected in messages:
+            assert server.recv(timeout=5.0) == bytes(expected)
+
+    def test_closed_channel_rejected(self, tcp_pair):
+        client, server = tcp_pair
+        client.close()
+        with pytest.raises(ChannelClosedError):
+            client.send_many([b"x"])
+
+    def test_inproc_default_loops_send(self):
+        a, b = make_pipe()
+        assert a.send_many([b"one", b"two"]) == 2
+        assert b.recv() == b"one"
+        assert b.recv() == b"two"
+
+
+class TestRecvView:
+    def test_returns_view_of_message(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(b"look, no copy")
+        view = server.recv_view(timeout=5.0)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"look, no copy"
+
+    def test_view_invalidated_by_next_recv(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        client.send(b"bbbb")
+        first = server.recv_view(timeout=5.0)
+        server.recv_view(timeout=5.0)
+        # The ownership contract: the old view now reads the new frame.
+        assert bytes(first) == b"bbbb"
+
+    def test_recv_still_returns_owned_bytes(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        client.send(b"bbbb")
+        first = server.recv(timeout=5.0)
+        server.recv(timeout=5.0)
+        assert first == b"aaaa"
+
+    def test_inproc_default_returns_bytes(self):
+        a, b = make_pipe()
+        a.send(b"plain")
+        assert b.recv_view() == b"plain"

@@ -1,0 +1,132 @@
+"""Unit tests for the size-classed buffer pool."""
+
+import threading
+
+from repro.obs.metrics import Registry, set_registry
+from repro.wire.bufpool import (
+    MAX_CLASS,
+    MIN_CLASS,
+    BufferPool,
+    _class_for,
+    get_pool,
+    set_pool,
+)
+
+
+class TestSizeClasses:
+    def test_rounds_up_to_power_of_two(self):
+        assert _class_for(1) == MIN_CLASS
+        assert _class_for(MIN_CLASS) == MIN_CLASS
+        assert _class_for(MIN_CLASS + 1) == MIN_CLASS * 2
+        assert _class_for(1000) == 1024
+        assert _class_for(1024) == 1024
+        assert _class_for(1025) == 2048
+
+    def test_acquire_returns_class_sized_buffer(self):
+        pool = BufferPool()
+        buffer = pool.acquire(300)
+        assert isinstance(buffer, bytearray)
+        assert len(buffer) == 512
+
+
+class TestReuse:
+    def test_release_then_acquire_is_a_hit(self):
+        pool = BufferPool()
+        first = pool.acquire(100)
+        assert pool.misses == 1
+        pool.release(first)
+        second = pool.acquire(200)  # same 256-byte class
+        assert second is first
+        assert pool.hits == 1
+
+    def test_different_classes_do_not_mix(self):
+        pool = BufferPool()
+        small = pool.acquire(100)
+        pool.release(small)
+        big = pool.acquire(5000)
+        assert big is not small
+        assert len(big) == 8192
+
+    def test_oversize_never_pooled(self):
+        pool = BufferPool()
+        huge = pool.acquire(MAX_CLASS + 1)
+        assert len(huge) == MAX_CLASS + 1
+        pool.release(huge)
+        assert pool.stats()["pooled_buffers"] == 0
+        again = pool.acquire(MAX_CLASS + 1)
+        assert again is not huge
+
+    def test_odd_sized_release_ignored(self):
+        pool = BufferPool()
+        pool.release(bytearray(300))  # not a size class
+        assert pool.stats()["pooled_buffers"] == 0
+
+    def test_per_class_cap_respected(self):
+        pool = BufferPool(max_per_class=2)
+        buffers = [bytearray(MIN_CLASS) for _ in range(5)]
+        for buffer in buffers:
+            pool.release(buffer)
+        assert pool.stats()["pooled_buffers"] == 2
+
+    def test_hit_rate(self):
+        pool = BufferPool()
+        assert pool.hit_rate == 0.0
+        buffer = pool.acquire(10)
+        pool.release(buffer)
+        pool.acquire(10)
+        assert pool.hit_rate == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_acquire_release(self):
+        pool = BufferPool(max_per_class=32)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    buffer = pool.acquire(1024)
+                    buffer[0] = 1
+                    pool.release(buffer)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = pool.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200
+
+
+class TestObservability:
+    def test_hit_miss_counters_mirrored_to_registry(self, fresh_registry):
+        pool = BufferPool()
+        buffer = pool.acquire(100)
+        pool.release(buffer)
+        pool.acquire(100)
+        series = fresh_registry.snapshot()["bufpool_events_total"]
+        assert series[(("event", "hit"),)] == 1
+        assert series[(("event", "miss"),)] == 1
+
+    def test_disabled_registry_still_counts_locally(self):
+        previous = set_registry(Registry(enabled=False))
+        try:
+            pool = BufferPool()
+            pool.acquire(100)
+            assert pool.misses == 1
+        finally:
+            set_registry(previous)
+
+
+class TestDefaultPool:
+    def test_get_set_roundtrip(self):
+        original = get_pool()
+        try:
+            fresh = BufferPool()
+            assert set_pool(fresh) is fresh
+            assert get_pool() is fresh
+        finally:
+            set_pool(original)

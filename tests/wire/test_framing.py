@@ -5,13 +5,28 @@ import io
 import pytest
 
 from repro.errors import ChannelClosedError, WireError
-from repro.wire import FrameDecoder, frame, read_frame, unframe
+from repro.wire import (
+    BufferPool,
+    FrameDecoder,
+    ReceiveBuffer,
+    frame,
+    frame_iov,
+    read_frame,
+    read_frame_into,
+    unframe,
+)
 
 
 def reader_over(data: bytes):
     """A socket-style recv over a byte string."""
     stream = io.BytesIO(data)
     return lambda n: stream.read(n)
+
+
+def recv_into_over(data: bytes):
+    """A socket-style recv_into over a byte string."""
+    stream = io.BytesIO(data)
+    return lambda view: stream.readinto(view)
 
 
 class TestFrameUnframe:
@@ -99,6 +114,162 @@ class TestFrameDecoder:
 
     def test_oversize_frame_rejected(self):
         decoder = FrameDecoder()
+        decoder.feed(b"\xff\xff\xff\xff")
+        with pytest.raises(WireError, match="exceeds limit"):
+            list(decoder.messages())
+
+
+class TestFrameIov:
+    def test_equivalent_to_frame(self):
+        header, payload = frame_iov(b"hello")
+        assert header + payload == frame(b"hello")
+
+    def test_payload_not_copied(self):
+        message = b"payload bytes"
+        _, payload = frame_iov(message)
+        assert payload is message
+
+    def test_accepts_memoryview(self):
+        view = memoryview(b"viewed")
+        header, payload = frame_iov(view)
+        assert header + bytes(payload) == frame(b"viewed")
+
+    def test_oversize_rejected(self):
+        class Huge:
+            def __len__(self):
+                return 1 << 30
+
+        with pytest.raises(WireError, match="exceeds frame limit"):
+            frame_iov(Huge())
+
+
+class TestUnframeZeroCopy:
+    def test_memoryview_input_yields_views(self):
+        data = memoryview(frame(b"one") + frame(b"two"))
+        message, rest = unframe(data)
+        assert isinstance(message, memoryview)
+        assert isinstance(rest, memoryview)
+        assert bytes(message) == b"one"
+        second, rest = unframe(rest)
+        assert bytes(second) == b"two"
+        assert len(rest) == 0
+
+    def test_bytearray_input_yields_views_without_copy(self):
+        buffer = bytearray(frame(b"mutable"))
+        message, _ = unframe(buffer)
+        assert isinstance(message, memoryview)
+        # Proof of aliasing: mutating the buffer shows through the view.
+        buffer[4] = ord("M")
+        assert bytes(message) == b"Mutable"
+
+    def test_bytes_input_keeps_bytes_results(self):
+        message, rest = unframe(frame(b"plain"))
+        assert isinstance(message, bytes)
+        assert isinstance(rest, bytes)
+
+    def test_errors_match_bytes_path(self):
+        with pytest.raises(WireError, match="incomplete frame header"):
+            unframe(memoryview(b"\x00\x00"))
+        with pytest.raises(WireError, match="incomplete frame body"):
+            unframe(memoryview(frame(b"hello")[:-1]))
+
+
+class TestReadFrameInto:
+    def test_reads_one_frame(self):
+        buffer = ReceiveBuffer()
+        view = read_frame_into(recv_into_over(frame(b"payload")), buffer)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"payload"
+
+    def test_sequential_frames_reuse_buffer(self):
+        buffer = ReceiveBuffer()
+        recv_into = recv_into_over(frame(b"first!") + frame(b"second"))
+        first = bytes(read_frame_into(recv_into, buffer))
+        capacity = buffer.capacity
+        second = read_frame_into(recv_into, buffer)
+        assert (first, bytes(second)) == (b"first!", b"second")
+        assert buffer.capacity == capacity  # no new allocation
+
+    def test_next_read_overwrites_prior_view(self):
+        buffer = ReceiveBuffer()
+        recv_into = recv_into_over(frame(b"aaaa") + frame(b"bbbb"))
+        first = read_frame_into(recv_into, buffer)
+        read_frame_into(recv_into, buffer)
+        # The ownership contract: the old view now shows the new bytes.
+        assert bytes(first) == b"bbbb"
+
+    def test_eof_at_boundary_is_channel_closed(self):
+        with pytest.raises(ChannelClosedError):
+            read_frame_into(recv_into_over(b""), ReceiveBuffer())
+
+    def test_eof_mid_frame_is_wire_error(self):
+        recv_into = recv_into_over(frame(b"payload")[:-3])
+        with pytest.raises(WireError, match="mid-frame"):
+            read_frame_into(recv_into, ReceiveBuffer())
+
+    def test_oversize_length_rejected(self):
+        recv_into = recv_into_over(b"\xff\xff\xff\xff")
+        with pytest.raises(WireError, match="exceeds limit"):
+            read_frame_into(recv_into, ReceiveBuffer())
+
+    def test_empty_frame(self):
+        view = read_frame_into(recv_into_over(frame(b"")), ReceiveBuffer())
+        assert bytes(view) == b""
+
+    def test_pool_backed_growth_swaps_through_pool(self):
+        pool = BufferPool()
+        buffer = ReceiveBuffer(pool, initial=256)
+        recv_into = recv_into_over(frame(b"x" * 100) + frame(b"y" * 5000))
+        read_frame_into(recv_into, buffer)
+        read_frame_into(recv_into, buffer)
+        assert buffer.capacity >= 5000
+        # The outgrown 256-byte buffer went back to the pool.
+        assert pool.releases == 1
+        buffer.close()
+        assert pool.stats()["pooled_buffers"] == 2
+
+
+class TestFrameDecoderZeroCopy:
+    def test_single_chunk_message_is_a_view(self):
+        decoder = FrameDecoder(copy=False)
+        decoder.feed(frame(b"zero-copy"))
+        (message,) = decoder.messages()
+        assert isinstance(message, memoryview)
+        assert bytes(message) == b"zero-copy"
+
+    def test_spanning_message_is_assembled(self):
+        decoder = FrameDecoder(copy=False)
+        data = frame(b"spans-two-chunks")
+        decoder.feed(data[:7])
+        decoder.feed(data[7:])
+        (message,) = decoder.messages()
+        assert bytes(message) == b"spans-two-chunks"
+
+    def test_byte_by_byte_feeding(self):
+        decoder = FrameDecoder(copy=False)
+        collected = []
+        for byte in frame(b"hello") + frame(b"world"):
+            decoder.feed(bytes([byte]))
+            collected.extend(bytes(m) for m in decoder.messages())
+        assert collected == [b"hello", b"world"]
+
+    def test_views_survive_later_feeds(self):
+        decoder = FrameDecoder(copy=False)
+        decoder.feed(frame(b"first"))
+        (first,) = decoder.messages()
+        decoder.feed(frame(b"second"))
+        (second,) = decoder.messages()
+        assert (bytes(first), bytes(second)) == (b"first", b"second")
+
+    def test_copy_mode_defends_against_mutable_chunks(self):
+        decoder = FrameDecoder()  # copy=True default
+        chunk = bytearray(frame(b"abc"))
+        decoder.feed(chunk)
+        chunk[:] = b"\x00" * len(chunk)  # caller reuses the buffer
+        assert list(decoder.messages()) == [b"abc"]
+
+    def test_oversize_frame_rejected(self):
+        decoder = FrameDecoder(copy=False)
         decoder.feed(b"\xff\xff\xff\xff")
         with pytest.raises(WireError, match="exceeds limit"):
             list(decoder.messages())

@@ -81,6 +81,107 @@ class TestByteExactEncode:
         assert context.encode(fmt, record) == golden_data
 
 
+class TestEncodeInto:
+    """The in-place encoder is held to the same byte-pinned contract."""
+
+    def test_byte_identical_to_encode(self, vector, fresh_registry):
+        _, context, fmt, record, golden_data, _ = vector
+        buffer = bytearray(len(golden_data) + 64)
+        written = context.encode_into(fmt, record, buffer)
+        assert bytes(buffer[:written]) == golden_data
+
+    def test_byte_identical_at_nonzero_offset(self, vector, fresh_registry):
+        _, context, fmt, record, golden_data, _ = vector
+        buffer = bytearray(len(golden_data) + 128)
+        written = context.encode_into(fmt, record, buffer, offset=32)
+        assert bytes(buffer[32:32 + written]) == golden_data
+
+    def test_byte_identical_with_wire_tracing_enabled(
+        self, vector, fresh_registry
+    ):
+        _, context, fmt, record, golden_data, _ = vector
+        set_wire_tracing(True)
+        with get_tracer().start_span("golden-encode-into"):
+            buffer = bytearray(len(golden_data))
+            written = context.encode_into(fmt, record, buffer)
+            assert bytes(buffer[:written]) == golden_data
+
+    def test_byte_identical_with_registry_disabled(self, vector, fresh_registry):
+        _, context, fmt, record, golden_data, _ = vector
+        fresh_registry.disable()
+        buffer = bytearray(len(golden_data))
+        written = context.encode_into(fmt, record, buffer)
+        assert bytes(buffer[:written]) == golden_data
+
+    def test_undersized_buffer_rejected_with_needed_size(
+        self, vector, fresh_registry
+    ):
+        from repro.errors import EncodeError
+        from repro.pbio.context import HEADER_SIZE as HDR
+
+        _, context, fmt, record, golden_data, _ = vector
+        with pytest.raises(EncodeError) as excinfo:
+            context.encode_into(fmt, record, bytearray(HDR))
+        assert excinfo.value.needed == len(golden_data) - HDR
+
+    def test_threaded_plane_transits_encode_into_view(
+        self, vector, fresh_registry
+    ):
+        _, context, fmt, record, golden_data, golden_meta = vector
+        buffer = bytearray(len(golden_data))
+        written = context.encode_into(fmt, record, buffer)
+        left, right = make_pipe()
+        left.send(golden_meta)
+        left.send(memoryview(buffer)[:written])
+        receiver = IOContext()
+        meta = right.recv(timeout=5)
+        _, _, _, length, _ = receiver.parse_header(meta)
+        receiver.learn_format(meta[HEADER_SIZE:HEADER_SIZE + length])
+        data = right.recv(timeout=5)
+        assert data == golden_data
+        assert_matches_record(receiver.decode(data), record)
+
+    @pytest.mark.parametrize("tracing", [False, True], ids=["plain", "traced"])
+    def test_async_plane_transits_encode_into_view(
+        self, vector, fresh_registry, arun, tracing
+    ):
+        _, context, fmt, record, golden_data, golden_meta = vector
+        buffer = bytearray(len(golden_data))
+        written = context.encode_into(fmt, record, buffer)
+        message = memoryview(buffer)[:written]
+
+        async def scenario():
+            listener = await aio.listen()
+            client_task = asyncio.ensure_future(aio.connect(*listener.address))
+            server = await listener.accept(timeout=5)
+            client = await client_task
+            try:
+                payload = (
+                    inject(bytes(message), TraceContext(3, 5))
+                    if tracing else message
+                )
+                await client.send(golden_meta)
+                await client.send(payload)
+                await client.flush()
+                meta = await server.recv(timeout=5)
+                data = await server.recv(timeout=5)
+            finally:
+                await client.close()
+                await server.close()
+                await listener.close()
+            return meta, data
+
+        meta, data = arun(scenario())
+        assert meta == golden_meta
+        recovered, trace = extract(data)
+        assert recovered == golden_data
+        assert trace == (TraceContext(3, 5) if tracing else None)
+        receiver = IOContext()
+        _, _, _, length, _ = receiver.parse_header(meta)
+        receiver.learn_format(meta[HEADER_SIZE:HEADER_SIZE + length])
+        assert_matches_record(receiver.decode(recovered), record)
+
+
 class TestGoldenDecode:
     def test_receiver_decodes_golden_bytes(self, vector, fresh_registry):
         name, _, _, record, golden_data, golden_meta = vector
