@@ -37,6 +37,7 @@ from repro.aio.channel import (
     listen,
 )
 from repro.aio.client import AsyncMetadataClient
+from repro.aio.cluster import AsyncClusterClient
 from repro.aio.faults import AsyncFaultyChannel
 from repro.aio.metaserver import AsyncMetadataServer
 from repro.aio.runner import BackgroundLoop
@@ -44,6 +45,7 @@ from repro.aio.runner import BackgroundLoop
 __all__ = [
     "AsyncBackboneClient",
     "AsyncChannel",
+    "AsyncClusterClient",
     "AsyncEventBroker",
     "AsyncFaultyChannel",
     "AsyncMetadataClient",

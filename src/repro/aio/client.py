@@ -120,6 +120,16 @@ class AsyncMetadataClient:
         )
         return [IOFormat.from_wire_metadata(body) for body in bodies]
 
+    async def post(self, url: str, body: bytes) -> bytes:
+        """POST ``body`` to one URL over a pooled connection.
+
+        Used for the idempotent ``/cluster/*`` peer-sync messages
+        (PROTOCOL.md §13), so the single retry on a stale pooled
+        connection is safe.  Never pipelined: a write is one exchange.
+        """
+        host, port, path = split_url(url)
+        return await self._fetch_single((host, port), path, method="POST", body=body)
+
     async def close(self) -> None:
         """Close every pooled connection."""
         for connections in self._idle.values():
@@ -183,12 +193,19 @@ class AsyncMetadataClient:
         finally:
             await self._checkin(connection)
 
-    async def _fetch_single(self, key: tuple[str, int], path: str) -> bytes:
+    async def _fetch_single(
+        self,
+        key: tuple[str, int],
+        path: str,
+        *,
+        method: str = "GET",
+        body: bytes = b"",
+    ) -> bytes:
         for attempt in (1, 2):
             connection = await self._checkout(key)
             try:
                 try:
-                    self._write_request(connection, key, path)
+                    self._write_request(connection, key, path, method=method, body=body)
                     await connection.writer.drain()
                 except (OSError, ConnectionError) as exc:
                     raise DiscoveryError(f"request write failed: {exc}") from exc
@@ -201,16 +218,25 @@ class AsyncMetadataClient:
                 if attempt == 1 and not connection.fresh:
                     continue
                 raise
-            body = self._body_of(response, key, path)
+            answer = self._body_of(response, key, path)
             await self._checkin(connection)
-            return body
+            return answer
         raise DiscoveryError(f"retrieval from {key[0]}:{key[1]} failed")
 
     def _write_request(
-        self, connection: _PooledConnection, key: tuple[str, int], path: str
+        self,
+        connection: _PooledConnection,
+        key: tuple[str, int],
+        path: str,
+        *,
+        method: str = "GET",
+        body: bytes = b"",
     ) -> None:
         host, port = key
-        request = HTTPRequest("GET", path, {"Host": f"{host}:{port}"})
+        headers = {"Host": f"{host}:{port}"}
+        if body:
+            headers["Content-Type"] = "application/json"
+        request = HTTPRequest(method, path, headers, body)
         connection.writer.write(request.render())
         self.requests_sent += 1
 

@@ -1,0 +1,167 @@
+"""The asyncio face of the sharded metadata plane.
+
+:class:`AsyncClusterClient` is the coroutine counterpart of
+:class:`~repro.cluster.client.ClusterClient`: the same
+:class:`~repro.cluster.client.ShardRouter` routing (identical ring, so
+sync and async clients agree on every key's owner), the same W-of-N
+quorum semantics and :class:`~repro.cluster.client.QuorumResult`
+reporting — but the write fan-out runs **concurrently**: one
+``asyncio.gather`` POSTs the entry to every replica at once, so a slow
+or dead replica costs max(latency), not sum.
+
+Per-replica requests ride an
+:class:`~repro.aio.client.AsyncMetadataClient` (pooled, pipelining
+connections).  That client has no cache or breakers — the async plane's
+resilience is the router's replica fallback itself plus the server-side
+anti-entropy repair; callers needing stale-serve semantics use the sync
+client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.aio.client import AsyncMetadataClient
+from repro.cluster.client import QuorumResult, QuorumWriteError, ShardRouter, majority
+from repro.cluster.ring import ClusterMap
+from repro.cluster.store import CatalogEntry
+from repro.errors import DiscoveryError
+from repro.obs.metrics import get_registry
+
+
+class AsyncClusterClient:
+    """Sharded, replicated metadata access for asyncio callers.
+
+    Same parameters as :class:`~repro.cluster.client.ClusterClient`;
+    ``client`` is an :class:`~repro.aio.client.AsyncMetadataClient`.
+    """
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        *,
+        client: AsyncMetadataClient | None = None,
+        write_quorum: int | None = None,
+        origin: str = "async-cluster-client",
+    ) -> None:
+        self.router = ShardRouter(cluster_map)
+        self.client = client if client is not None else AsyncMetadataClient()
+        widest = max(len(s.replicas) for s in cluster_map.shards)
+        if write_quorum is None:
+            write_quorum = majority(widest)
+        if not 1 <= write_quorum <= widest:
+            raise DiscoveryError(
+                f"write_quorum must be in [1, {widest}], got {write_quorum}"
+            )
+        self.write_quorum = write_quorum
+        self.origin = origin
+        self._version = 0
+        self.stats: dict[str, int] = {
+            "shard_routes": 0,
+            "replica_failovers": 0,
+            "quorum_ok": 0,
+            "quorum_partial": 0,
+            "quorum_failed": 0,
+        }
+
+    @property
+    def cluster_map(self) -> ClusterMap:
+        return self.router.cluster_map
+
+    async def close(self) -> None:
+        """Close the underlying connection pool."""
+        await self.client.close()
+
+    async def __aenter__(self) -> "AsyncClusterClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- reads -------------------------------------------------------------------
+
+    async def get(self, path: str) -> bytes:
+        """Fetch ``path``, failing over across the owning shard's replicas."""
+        shard, replicas = self.router.route(path)
+        self.stats["shard_routes"] += 1
+        last_error: DiscoveryError | None = None
+        for index, replica in enumerate(replicas):
+            try:
+                body = await self.client.get(f"http://{replica}{path}")
+            except DiscoveryError as exc:
+                last_error = exc
+                self.stats["replica_failovers"] += 1
+                self._count(
+                    "cluster_client_failovers_total", ("shard",), (shard.name,)
+                )
+                continue
+            outcome = "fallback" if index else "primary"
+            self._count("cluster_client_reads_total", ("outcome",), (outcome,))
+            return body
+        self._count("cluster_client_reads_total", ("outcome",), ("error",))
+        raise DiscoveryError(
+            f"all {len(replicas)} replicas of shard {shard.name} failed for "
+            f"{path}: {last_error}"
+        ) from last_error
+
+    # -- writes ------------------------------------------------------------------
+
+    async def publish(self, path: str, text: str) -> QuorumResult:
+        """Replicate a document to the owning shard; W-of-N quorum."""
+        if not path.startswith("/"):
+            raise DiscoveryError(f"paths must start with '/', got {path!r}")
+        return await self._write(self._stamp(path, text, deleted=False))
+
+    async def unpublish(self, path: str) -> QuorumResult:
+        """Replicate a tombstone for ``path`` (same quorum rules)."""
+        return await self._write(self._stamp(path, "", deleted=True))
+
+    def _stamp(self, path: str, text: str, *, deleted: bool) -> CatalogEntry:
+        self._version += 1
+        return CatalogEntry(
+            path=path, text=text, version=self._version,
+            origin=self.origin, deleted=deleted,
+        )
+
+    async def _write(self, entry: CatalogEntry) -> QuorumResult:
+        shard, replicas = self.router.route(entry.path)
+        quorum = min(self.write_quorum, len(replicas))
+        body = json.dumps({"entries": [entry.to_json()]}).encode("utf-8")
+
+        async def deliver(replica: str) -> str | None:
+            try:
+                await self.client.post(f"http://{replica}/cluster/entries", body)
+                return None
+            except DiscoveryError as exc:
+                return f"{replica}: {exc}"
+
+        # Concurrent fan-out: every replica sees the write at once, so
+        # quorum latency is the fastest W replicas, not a serial walk.
+        outcomes = await asyncio.gather(*(deliver(r) for r in replicas))
+        failures = tuple(o for o in outcomes if o is not None)
+        result = QuorumResult(
+            path=entry.path, shard=shard.name, acks=len(replicas) - len(failures),
+            replicas=len(replicas), quorum=quorum, failures=failures,
+        )
+        self.stats[f"quorum_{result.outcome}"] += 1
+        self._count(
+            "cluster_client_quorum_writes_total", ("outcome",), (result.outcome,)
+        )
+        if not result.ok:
+            raise QuorumWriteError(
+                f"write of {entry.path} reached {result.acks}/{result.replicas} "
+                f"replicas of shard {shard.name} (quorum {quorum}): "
+                f"{'; '.join(failures)}",
+                result=result,
+            )
+        return result
+
+    @staticmethod
+    def _count(name: str, label_names: tuple[str, ...],
+               labels: tuple[str, ...]) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                name, "cluster client routing/fan-out outcomes", label_names
+            ).labels(*labels).inc()

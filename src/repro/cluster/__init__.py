@@ -1,0 +1,60 @@
+"""``repro.cluster`` — the sharded, replicated metadata plane.
+
+The single metadata server is the paper architecture's one outage
+domain: every client resolves formats against it.  This package removes
+that domain by splitting the catalog across **consistent-hash shards**,
+each served by **N replicas**, with the client routing around dead
+replicas and the servers repairing divergence behind the scenes:
+
+- :class:`ClusterMap` / :class:`HashRing` (:mod:`~repro.cluster.ring`)
+  — the shared, coordination-free layout: a stable-hash ring with
+  virtual nodes that every client and server computes identically;
+- :class:`CatalogEntry` / :class:`ReplicaStore`
+  (:mod:`~repro.cluster.store`) — versioned documents with
+  last-writer-wins merge and per-shard digests, projected into a
+  :class:`~repro.metaserver.catalog.MetadataCatalog` so plain HTTP
+  reads serve replicated state unchanged;
+- :class:`ClusterNode` (:mod:`~repro.cluster.node`) — the
+  ``/cluster/*`` peer protocol (served by either plane's front end),
+  the digest-exchange anti-entropy loop, and the rebalance path that
+  streams entries to new owners on a map change;
+- :class:`ClusterClient` / :class:`ShardRouter`
+  (:mod:`~repro.cluster.client`) — quorum (W-of-N) write fan-out and
+  read failover, riding the resilient
+  :class:`~repro.metaserver.client.MetadataClient` so breakers, retry,
+  and the stale-serve cache apply per replica.
+
+The asyncio counterpart is
+:class:`~repro.aio.cluster.AsyncClusterClient`.  Single-server
+deployments are untouched: everything here is opt-in, and a catalog
+without an attached node serves exactly as before.
+
+See docs/PROTOCOL.md §13 for the peer-sync message formats, quorum
+semantics, and ring layout.
+"""
+
+from repro.cluster.client import (
+    ClusterClient,
+    QuorumResult,
+    QuorumWriteError,
+    ShardRouter,
+    majority,
+)
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import ClusterMap, HashRing, Shard, stable_hash
+from repro.cluster.store import CatalogEntry, ReplicaStore
+
+__all__ = [
+    "CatalogEntry",
+    "ClusterClient",
+    "ClusterMap",
+    "ClusterNode",
+    "HashRing",
+    "QuorumResult",
+    "QuorumWriteError",
+    "ReplicaStore",
+    "Shard",
+    "ShardRouter",
+    "majority",
+    "stable_hash",
+]

@@ -1,0 +1,403 @@
+"""One metadata replica's cluster brain: peer sync, anti-entropy, rebalance.
+
+A :class:`ClusterNode` attaches to a
+:class:`~repro.metaserver.catalog.MetadataCatalog` and gives whichever
+front end serves that catalog — the threaded
+:class:`~repro.metaserver.server.MetadataServer`, the asyncio
+:class:`~repro.aio.metaserver.AsyncMetadataServer`, or both at once —
+the ``/cluster/*`` peer-protocol endpoints (PROTOCOL.md §13):
+
+- ``GET  /cluster/info``              — identity, map version, entry count
+- ``GET  /cluster/digest?shard=S``    — per-shard content fingerprint
+- ``GET  /cluster/entries?shard=S``   — full entry dump for one shard
+- ``POST /cluster/entries``           — merge a batch of versioned entries
+- ``POST /cluster/map``               — install a newer cluster map
+
+Everything rides the same HTTP/1.0 subset as document retrieval, so the
+peer protocol needs no new transport and works identically against
+either serving plane.  ``POST /cluster/entries`` is **idempotent** (the
+store's LWW merge ignores re-deliveries), which is what makes client
+retries and multi-path delivery — quorum fan-out, anti-entropy pull
+*and* push, rebalance streaming — safe to overlap arbitrarily.
+
+**Anti-entropy** (:meth:`anti_entropy_round`): for every shard this node
+replicates, compare per-shard digests with each peer replica; on
+mismatch, pull the peer's entries, merge, and push the merged set back.
+One successful exchange converges both sides (LWW merge is commutative
+and idempotent), so a partitioned-then-healed pair needs exactly one
+clean round.  Peer failures are counted, never raised — a dead peer
+makes a round *degraded*, not broken.  Run rounds manually for
+deterministic tests, or :meth:`start` the background loop.
+
+**Rebalance** (:meth:`set_cluster_map`): installing a newer map streams
+every entry this node no longer owns to the new owner shard's replicas,
+then drops the local copy — but only after at least one new owner
+acknowledged it, so a failed hand-off never loses data (the entry is
+retried on the next map install or picked up by anti-entropy).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from urllib.parse import parse_qs
+
+from repro.cluster.ring import ClusterMap
+from repro.cluster.store import CatalogEntry, ReplicaStore
+from repro.errors import DiscoveryError, ReproError
+from repro.metaserver.catalog import MetadataCatalog
+from repro.metaserver.http import HTTPRequest, HTTPResponse
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+_JSON_TYPE = "application/json; charset=utf-8"
+
+
+def _json_response(status: int, payload: dict) -> HTTPResponse:
+    return HTTPResponse(
+        status, {"Content-Type": _JSON_TYPE}, json.dumps(payload).encode("utf-8")
+    )
+
+
+class ClusterNode:
+    """The cluster-protocol endpoint set and sync loops for one replica.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identity for logs, /cluster/info, and obs labels.
+    address:
+        This replica's ``host:port`` as it appears in the cluster map —
+        how the node recognizes which shards it owns and skips itself
+        when iterating a shard's replicas.
+    cluster_map:
+        The initial layout; replaced wholesale by rebalances.
+    catalog / store:
+        Attach to an existing catalog (and optionally an existing
+        :class:`~repro.cluster.store.ReplicaStore`); by default a fresh
+        pair is created.  The node registers its HTTP handler on the
+        catalog so any server fronting it serves ``/cluster/*``.
+    interval:
+        Background anti-entropy period in seconds (:meth:`start`).
+    timeout:
+        Per-peer-request socket timeout.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        address: str,
+        cluster_map: ClusterMap,
+        *,
+        catalog: MetadataCatalog | None = None,
+        store: ReplicaStore | None = None,
+        interval: float = 1.0,
+        timeout: float = 2.0,
+    ) -> None:
+        if store is not None:
+            self.store = store
+        else:
+            self.store = ReplicaStore(catalog)
+        if catalog is not None and store is not None and store.catalog is not catalog:
+            raise DiscoveryError("catalog and store.catalog must be the same object")
+        self.node_id = node_id
+        self.address = address
+        self.cluster_map = cluster_map
+        self.interval = interval
+        self.timeout = timeout
+        self.catalog = self.store.catalog
+        self.catalog.attach_cluster_handler(self.handle)
+        self.rounds = 0  # anti-entropy rounds completed
+        self.peer_errors = 0  # unreachable/failed peer exchanges
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- HTTP endpoint surface ---------------------------------------------------
+
+    def handle(self, request: HTTPRequest) -> HTTPResponse:
+        """Answer one ``/cluster/*`` request (registered on the catalog)."""
+        path, _, query = request.path.partition("?")
+        params = parse_qs(query)
+        if path == "/cluster/info" and request.method in ("GET", "HEAD"):
+            return _json_response(200, self.info())
+        if path == "/cluster/digest" and request.method in ("GET", "HEAD"):
+            return self._handle_digest(params)
+        if path == "/cluster/entries" and request.method in ("GET", "HEAD"):
+            return self._handle_entries_get(params)
+        if path == "/cluster/entries" and request.method == "POST":
+            return self._handle_entries_post(request)
+        if path == "/cluster/map" and request.method == "POST":
+            return self._handle_map_post(request)
+        if request.method not in ("GET", "HEAD", "POST"):
+            return HTTPResponse(405, body=b"unsupported cluster method")
+        return HTTPResponse(404, body=f"no cluster endpoint at {path}".encode())
+
+    def info(self) -> dict:
+        """The /cluster/info payload."""
+        return {
+            "node": self.node_id,
+            "address": self.address,
+            "map_version": self.cluster_map.version,
+            "entries": len(self.store),
+            "shards": [s.name for s in self.cluster_map.shards_of(self.address)],
+            "rounds": self.rounds,
+        }
+
+    def _shard_param(self, params: dict) -> str:
+        values = params.get("shard", [])
+        if len(values) != 1:
+            raise DiscoveryError("exactly one shard=NAME parameter is required")
+        self.cluster_map.shard(values[0])  # raises for unknown shards
+        return values[0]
+
+    def _handle_digest(self, params: dict) -> HTTPResponse:
+        try:
+            shard = self._shard_param(params)
+        except DiscoveryError as exc:
+            return _json_response(400, {"error": str(exc)})
+        entries = self.store.entries_for_shard(self.cluster_map, shard)
+        return _json_response(
+            200,
+            {
+                "shard": shard,
+                "digest": self.store.digest(self.cluster_map, shard),
+                "count": len(entries),
+                "map_version": self.cluster_map.version,
+            },
+        )
+
+    def _handle_entries_get(self, params: dict) -> HTTPResponse:
+        try:
+            shard = self._shard_param(params)
+        except DiscoveryError as exc:
+            return _json_response(400, {"error": str(exc)})
+        entries = self.store.entries_for_shard(self.cluster_map, shard)
+        return _json_response(
+            200, {"shard": shard, "entries": [e.to_json() for e in entries]}
+        )
+
+    def _handle_entries_post(self, request: HTTPRequest) -> HTTPResponse:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+            entries = [CatalogEntry.from_json(obj) for obj in payload["entries"]]
+        except (ValueError, KeyError, TypeError, DiscoveryError) as exc:
+            return _json_response(400, {"error": f"malformed entry batch: {exc}"})
+        applied, ignored = self.store.apply_many(entries)
+        self._count_applied(applied, ignored)
+        return _json_response(
+            200, {"node": self.node_id, "applied": applied, "ignored": ignored}
+        )
+
+    def _handle_map_post(self, request: HTTPRequest) -> HTTPResponse:
+        try:
+            new_map = ClusterMap.from_json(json.loads(request.body.decode("utf-8")))
+        except (ValueError, DiscoveryError) as exc:
+            return _json_response(400, {"error": f"malformed cluster map: {exc}"})
+        if new_map.version <= self.cluster_map.version:
+            return _json_response(
+                200, {"installed": False, "map_version": self.cluster_map.version}
+            )
+        report = self.set_cluster_map(new_map)
+        return _json_response(200, {"installed": True, **report})
+
+    # -- anti-entropy ------------------------------------------------------------
+
+    def anti_entropy_round(self) -> dict:
+        """Digest-compare with every peer; reconcile divergence both ways.
+
+        Returns a report dict (``peers_checked`` / ``in_sync`` /
+        ``synced`` / ``pulled`` / ``pushed`` / ``errors``).  Never
+        raises: unreachable peers are counted in ``errors`` and retried
+        on the next round.
+        """
+        from repro.metaserver.client import http_get, http_post
+
+        report = {
+            "peers_checked": 0,
+            "in_sync": 0,
+            "synced": 0,
+            "pulled": 0,
+            "pushed": 0,
+            "errors": 0,
+        }
+        cluster_map = self.cluster_map
+        with get_tracer().start_span("cluster.anti_entropy") as span:
+            for shard in cluster_map.shards_of(self.address):
+                for peer in shard.replicas:
+                    if peer == self.address:
+                        continue
+                    report["peers_checked"] += 1
+                    try:
+                        self._sync_with_peer(
+                            peer, shard.name, cluster_map, report, http_get, http_post
+                        )
+                    except ReproError:
+                        report["errors"] += 1
+                        self.peer_errors += 1
+            span.set_tag("node", self.node_id)
+            span.set_tag("synced", report["synced"])
+            span.set_tag("errors", report["errors"])
+        self.rounds += 1
+        self._count_round(report)
+        return report
+
+    def _sync_with_peer(
+        self, peer: str, shard_name: str, cluster_map: ClusterMap,
+        report: dict, http_get, http_post,
+    ) -> None:
+        local_digest = self.store.digest(cluster_map, shard_name)
+        from urllib.parse import quote
+
+        shard_q = quote(shard_name, safe="")
+        raw = http_get(
+            f"http://{peer}/cluster/digest?shard={shard_q}", timeout=self.timeout
+        )
+        try:
+            remote = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise DiscoveryError(f"peer {peer} sent a malformed digest") from exc
+        if remote.get("digest") == local_digest:
+            report["in_sync"] += 1
+            return
+        # Divergence: pull the peer's slice, merge, push the merged set
+        # back.  LWW makes the double delivery harmless and the exchange
+        # symmetric — one clean round converges both replicas.
+        raw = http_get(
+            f"http://{peer}/cluster/entries?shard={shard_q}", timeout=self.timeout
+        )
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            theirs = [CatalogEntry.from_json(obj) for obj in payload["entries"]]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise DiscoveryError(f"peer {peer} sent malformed entries") from exc
+        applied, _ = self.store.apply_many(theirs)
+        report["pulled"] += applied
+        merged = self.store.entries_for_shard(cluster_map, shard_name)
+        http_post(
+            f"http://{peer}/cluster/entries",
+            json.dumps({"entries": [e.to_json() for e in merged]}).encode("utf-8"),
+            timeout=self.timeout,
+        )
+        report["pushed"] += len(merged)
+        report["synced"] += 1
+
+    # -- rebalance ---------------------------------------------------------------
+
+    def set_cluster_map(self, new_map: ClusterMap) -> dict:
+        """Install a new layout, streaming disowned entries to new owners.
+
+        Entries whose owner shard no longer includes this node are
+        POSTed to every replica of the new owner; the local copy is
+        dropped only once at least one new owner acknowledged, so a
+        fully-partitioned hand-off keeps the data here (and a later
+        rebalance or an operator retry can move it).
+        """
+        from repro.metaserver.client import http_post
+
+        self.cluster_map = new_map
+        report = {"map_version": new_map.version, "moved": 0, "dropped": 0,
+                  "kept": 0, "errors": 0}
+        # Group disowned entries by their new owner shard so each target
+        # replica receives one batch per shard, not one POST per entry.
+        outgoing: dict[str, list[CatalogEntry]] = {}
+        for entry in self.store.entries():
+            shard = new_map.shard_for(entry.path)
+            if self.address in shard.replicas:
+                continue
+            outgoing.setdefault(shard.name, []).append(entry)
+        for shard_name, entries in outgoing.items():
+            replicas = new_map.shard(shard_name).replicas
+            body = json.dumps(
+                {"entries": [e.to_json() for e in entries]}
+            ).encode("utf-8")
+            acks = 0
+            for replica in replicas:
+                try:
+                    http_post(
+                        f"http://{replica}/cluster/entries", body,
+                        timeout=self.timeout,
+                    )
+                    acks += 1
+                except ReproError:
+                    report["errors"] += 1
+            if acks:
+                report["moved"] += len(entries)
+                for entry in entries:
+                    self.store.drop(entry.path)
+                    report["dropped"] += 1
+            else:
+                report["kept"] += len(entries)
+        self._count_rebalance(report)
+        return report
+
+    # -- background loop ---------------------------------------------------------
+
+    def start(self) -> "ClusterNode":
+        """Run :meth:`anti_entropy_round` every ``interval`` seconds."""
+        if self._thread is not None:
+            raise DiscoveryError("cluster node already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background anti-entropy loop."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ClusterNode":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.anti_entropy_round()
+
+    # -- observability -----------------------------------------------------------
+
+    def _count_applied(self, applied: int, ignored: int) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            family = registry.counter(
+                "cluster_entries_applied_total",
+                "replicated entries merged (applied) or already-known (ignored)",
+                ("result",),
+            )
+            if applied:
+                family.labels("applied").inc(applied)
+            if ignored:
+                family.labels("ignored").inc(ignored)
+
+    def _count_round(self, report: dict) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            if report["errors"]:
+                outcome = "degraded"
+            elif report["synced"]:
+                outcome = "synced"
+            else:
+                outcome = "clean"
+            registry.counter(
+                "cluster_anti_entropy_rounds_total",
+                "anti-entropy rounds by outcome",
+                ("outcome",),
+            ).labels(outcome).inc()
+
+    def _count_rebalance(self, report: dict) -> None:
+        registry = get_registry()
+        if registry.enabled and (report["moved"] or report["kept"]):
+            family = registry.counter(
+                "cluster_rebalance_entries_total",
+                "entries streamed to new owners (moved) or retained after "
+                "failed hand-off (kept)",
+                ("action",),
+            )
+            if report["moved"]:
+                family.labels("moved").inc(report["moved"])
+            if report["kept"]:
+                family.labels("kept").inc(report["kept"])

@@ -1,0 +1,208 @@
+"""Consistent-hash shard ring and the cluster layout it routes over.
+
+The metadata plane scales out by splitting the key space (document
+paths, format names) across **shards**, each served by **N replicas**.
+Two structures express that layout:
+
+- :class:`HashRing` — a classic consistent-hash ring over shard names
+  with virtual nodes.  Every shard contributes ``vnodes`` points placed
+  by a *stable* hash (BLAKE2b, not Python's per-process ``hash``), so
+  every client and every server computes the identical key → shard
+  mapping with no coordination.  Virtual nodes keep the per-shard load
+  within a small factor of fair share, and adding or removing one shard
+  moves only the keys that fall between its points and their successors
+  — roughly ``1/shards`` of the key space (the minimal-movement
+  property the hypothesis suite pins down).
+- :class:`ClusterMap` — the shard → replica-address assignment plus a
+  monotonically increasing ``version``.  A map is an immutable value:
+  topology changes (join/leave) produce a *new* map, and
+  :meth:`ClusterNode.set_cluster_map <repro.cluster.node.ClusterNode.set_cluster_map>`
+  reconciles a node from one map to the next by streaming entries it no
+  longer owns to the new owners.
+
+Replica *preference order* for a key is the shard's replica list rotated
+by the key's hash: every replica is primary for an equal slice of its
+shard's keys, so read load spreads without any shared state.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Sequence
+
+from repro.errors import DiscoveryError
+
+#: Virtual nodes per shard; 64 keeps the max/mean key imbalance well
+#: under 2x for any realistic shard count while the ring stays tiny.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(data: str | bytes) -> int:
+    """A 64-bit hash that is identical across processes and runs.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so
+    it can never be used for routing decisions that clients and servers
+    must agree on.  BLAKE2b truncated to 8 bytes is stable, fast, and
+    well distributed.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping keys onto shard names."""
+
+    def __init__(self, shards: Iterable[str], *, vnodes: int = DEFAULT_VNODES) -> None:
+        names = list(shards)
+        if not names:
+            raise DiscoveryError("a hash ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise DiscoveryError(f"duplicate shard names in {names}")
+        if vnodes < 1:
+            raise DiscoveryError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for name in names:
+            for vnode in range(vnodes):
+                points.append((stable_hash(f"{name}\x00{vnode}"), name))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+        self.shards = tuple(sorted(names))
+
+    def shard_for(self, key: str | bytes) -> str:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        index = bisect.bisect_right(self._hashes, stable_hash(key))
+        if index == len(self._hashes):
+            index = 0  # wrap past the highest point
+        return self._owners[index]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard: a name on the ring plus its replica addresses."""
+
+    name: str
+    replicas: tuple[str, ...]  # "host:port" of each replica's HTTP server
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise DiscoveryError(f"shard {self.name!r} has no replicas")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise DiscoveryError(f"shard {self.name!r} repeats a replica")
+
+
+@dataclass(frozen=True)
+class ClusterMap:
+    """The versioned shard layout every participant routes by."""
+
+    shards: tuple[Shard, ...]
+    version: int = 1
+    vnodes: int = DEFAULT_VNODES
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise DiscoveryError("a cluster map needs at least one shard")
+
+    @cached_property
+    def ring(self) -> HashRing:
+        return HashRing((shard.name for shard in self.shards), vnodes=self.vnodes)
+
+    @cached_property
+    def _by_name(self) -> dict[str, Shard]:
+        return {shard.name: shard for shard in self.shards}
+
+    def shard(self, name: str) -> Shard:
+        """The shard called ``name`` (raises for unknown names)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DiscoveryError(f"no shard named {name!r}") from None
+
+    def shard_for(self, key: str | bytes) -> Shard:
+        """The shard owning ``key``."""
+        return self._by_name[self.ring.shard_for(key)]
+
+    def replicas_for(self, key: str | bytes) -> tuple[str, ...]:
+        """Replica addresses for ``key``, in preference order.
+
+        The owning shard's replica list rotated by the key hash: each
+        replica is the preferred (first-tried) one for an equal share of
+        the shard's keys, and every client computes the same order.
+        """
+        replicas = self.shard_for(key).replicas
+        start = stable_hash(key) % len(replicas)
+        return replicas[start:] + replicas[:start]
+
+    def addresses(self) -> tuple[str, ...]:
+        """Every distinct replica address, sorted."""
+        seen: set[str] = set()
+        for shard in self.shards:
+            seen.update(shard.replicas)
+        return tuple(sorted(seen))
+
+    def shards_of(self, address: str) -> tuple[Shard, ...]:
+        """The shards ``address`` replicates."""
+        return tuple(s for s in self.shards if address in s.replicas)
+
+    # -- construction and wire form ---------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        addresses: Sequence[str],
+        *,
+        shards: int,
+        replicas: int,
+        version: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> "ClusterMap":
+        """Partition ``shards * replicas`` addresses into an S×R layout."""
+        if shards < 1 or replicas < 1:
+            raise DiscoveryError("shards and replicas must be at least 1")
+        if len(addresses) != shards * replicas:
+            raise DiscoveryError(
+                f"need exactly {shards * replicas} addresses for a "
+                f"{shards}x{replicas} cluster, got {len(addresses)}"
+            )
+        return cls(
+            shards=tuple(
+                Shard(
+                    name=f"s{index}",
+                    replicas=tuple(addresses[index * replicas:(index + 1) * replicas]),
+                )
+                for index in range(shards)
+            ),
+            version=version,
+            vnodes=vnodes,
+        )
+
+    def to_json(self) -> dict:
+        """A JSON-serializable form (the POST /cluster/map body)."""
+        return {
+            "version": self.version,
+            "vnodes": self.vnodes,
+            "shards": [
+                {"name": shard.name, "replicas": list(shard.replicas)}
+                for shard in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ClusterMap":
+        """Rebuild a map from :meth:`to_json` output."""
+        try:
+            return cls(
+                shards=tuple(
+                    Shard(name=s["name"], replicas=tuple(s["replicas"]))
+                    for s in obj["shards"]
+                ),
+                version=int(obj["version"]),
+                vnodes=int(obj.get("vnodes", DEFAULT_VNODES)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DiscoveryError(f"malformed cluster map: {exc}") from exc

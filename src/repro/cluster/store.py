@@ -1,0 +1,178 @@
+"""Versioned catalog entries and the replica-local store that merges them.
+
+Replication needs more than the catalog's ``path → text`` mapping: when
+two replicas diverge (a write landed on one while the other was dead),
+merging them must be **deterministic, commutative, and idempotent** so
+anti-entropy converges every replica to the same state no matter the
+order peers exchange entries.  A :class:`CatalogEntry` therefore carries
+a total-orderable stamp:
+
+``(version, origin)`` — the writer's monotonically increasing sequence
+number, tie-broken by the writer's id.  Last-writer-wins: an incoming
+entry replaces the local one iff its stamp is strictly greater.  Deletes
+are **tombstones** (``deleted=True`` with the same stamp discipline) so
+an unpublish replicates and survives merges exactly like a publish.
+
+:class:`ReplicaStore` holds one replica's entries, projects the live
+ones into a :class:`~repro.metaserver.catalog.MetadataCatalog` (so the
+ordinary ``GET /path`` read path serves replicated documents with zero
+changes), and answers the two questions anti-entropy asks:
+
+- :meth:`digest` — a per-shard BLAKE2b fingerprint over the sorted
+  ``(path, version, origin, deleted, text-hash)`` tuples.  Equal digests
+  ⇒ byte-identical shard contents; replicas compare digests first and
+  exchange entries only on mismatch.
+- :meth:`entries_for_shard` — the full entry list for one shard, for
+  the mismatch (and rebalance-streaming) path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+from repro.cluster.ring import ClusterMap
+from repro.errors import DiscoveryError
+from repro.metaserver.catalog import MetadataCatalog
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One replicated document (or its tombstone) with an LWW stamp."""
+
+    path: str
+    text: str
+    version: int
+    origin: str
+    deleted: bool = False
+
+    @property
+    def stamp(self) -> tuple[int, str]:
+        """The last-writer-wins ordering key."""
+        return (self.version, self.origin)
+
+    def to_json(self) -> dict:
+        """The JSON-object form carried by ``/cluster/entries`` bodies."""
+        return {
+            "path": self.path,
+            "text": self.text,
+            "version": self.version,
+            "origin": self.origin,
+            "deleted": self.deleted,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CatalogEntry":
+        try:
+            return cls(
+                path=str(obj["path"]),
+                text=str(obj["text"]),
+                version=int(obj["version"]),
+                origin=str(obj["origin"]),
+                deleted=bool(obj.get("deleted", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DiscoveryError(f"malformed catalog entry: {exc}") from exc
+
+
+class ReplicaStore:
+    """One replica's versioned entries, projected into a catalog.
+
+    Thread safe: the anti-entropy thread, server worker threads, and an
+    event loop may all apply entries concurrently.
+    """
+
+    def __init__(self, catalog: MetadataCatalog | None = None) -> None:
+        self.catalog = catalog if catalog is not None else MetadataCatalog()
+        self._entries: dict[str, CatalogEntry] = {}
+        self._lock = threading.Lock()
+        self.applied = 0  # entries that won the LWW comparison
+        self.ignored = 0  # entries that lost (stale or duplicate)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, path: str) -> CatalogEntry | None:
+        """The stored entry (live or tombstone) at ``path``."""
+        with self._lock:
+            return self._entries.get(path)
+
+    def entries(self) -> list[CatalogEntry]:
+        """Every stored entry, tombstones included, sorted by path."""
+        with self._lock:
+            return [self._entries[path] for path in sorted(self._entries)]
+
+    def apply(self, entry: CatalogEntry) -> bool:
+        """Merge one entry; returns True iff it replaced local state.
+
+        Strictly-greater ``(version, origin)`` wins; equal stamps are
+        idempotent re-deliveries and are ignored.  Winning entries are
+        projected into the catalog (publish, or unpublish for a
+        tombstone) so plain HTTP reads see them immediately.
+        """
+        with self._lock:
+            current = self._entries.get(entry.path)
+            if current is not None and entry.stamp <= current.stamp:
+                self.ignored += 1
+                return False
+            self._entries[entry.path] = entry
+            self.applied += 1
+        if entry.deleted:
+            self.catalog.unpublish(entry.path)
+        else:
+            self.catalog.publish_schema(entry.path, entry.text)
+        return True
+
+    def apply_many(self, entries: list[CatalogEntry]) -> tuple[int, int]:
+        """Merge a batch; returns ``(applied, ignored)`` counts."""
+        applied = 0
+        for entry in entries:
+            if self.apply(entry):
+                applied += 1
+        return applied, len(entries) - applied
+
+    def drop(self, path: str) -> bool:
+        """Forget ``path`` entirely (rebalance hand-off, not a delete).
+
+        Unlike a tombstone this erases the entry and its history: the
+        path now belongs to another shard and this replica must stop
+        answering for it.
+        """
+        with self._lock:
+            removed = self._entries.pop(path, None)
+        if removed is not None and not removed.deleted:
+            self.catalog.unpublish(path)
+        return removed is not None
+
+    # -- per-shard views ---------------------------------------------------------
+
+    def entries_for_shard(
+        self, cluster_map: ClusterMap, shard_name: str
+    ) -> list[CatalogEntry]:
+        """Entries owned by ``shard_name`` under ``cluster_map``."""
+        ring = cluster_map.ring
+        with self._lock:
+            paths = sorted(
+                path for path in self._entries if ring.shard_for(path) == shard_name
+            )
+            return [self._entries[path] for path in paths]
+
+    def digest(self, cluster_map: ClusterMap, shard_name: str) -> str:
+        """Hex fingerprint of this replica's slice of one shard.
+
+        Computed over the sorted entries' stamps and text hashes; two
+        replicas with equal digests hold byte-identical shard contents.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        for entry in self.entries_for_shard(cluster_map, shard_name):
+            text_hash = hashlib.blake2b(
+                entry.text.encode("utf-8"), digest_size=16
+            ).hexdigest()
+            record = (
+                f"{entry.path}\x01{entry.version}\x01{entry.origin}"
+                f"\x01{int(entry.deleted)}\x01{text_hash}\x00"
+            )
+            hasher.update(record.encode("utf-8"))
+        return hasher.hexdigest()

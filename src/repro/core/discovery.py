@@ -184,6 +184,17 @@ class DiscoveryChain:
     demotion_period:
         Seconds a demotion lasts; afterwards the source resumes its
         configured position (and a success clears its failure streak).
+    reprobe_interval:
+        Seconds between background re-probes of demoted sources.  A
+        demoted source is normally only restored when a discovery
+        reaches it — which never happens while an earlier source keeps
+        succeeding, and leaves a *fully*-demoted chain waiting out every
+        demotion period even after the servers came back.  With an
+        interval set, :meth:`discover` re-probes demoted sources (at
+        most once per interval) and a successful probe restores the
+        source's health immediately — a revived metadata server regains
+        its configured position without a process restart.  ``None``
+        disables re-probing (the pre-existing behavior).
     clock:
         Injectable monotonic clock, for deterministic tests.
     """
@@ -194,15 +205,21 @@ class DiscoveryChain:
         *,
         demote_after: int = 3,
         demotion_period: float = 30.0,
+        reprobe_interval: float | None = None,
         clock=time.monotonic,
     ) -> None:
         if demote_after < 1:
             raise DiscoveryError("demote_after must be at least 1")
+        if reprobe_interval is not None and reprobe_interval <= 0:
+            raise DiscoveryError("reprobe_interval must be positive")
         self.sources: list[MetadataSource] = list(sources or [])
         self.demote_after = demote_after
         self.demotion_period = demotion_period
-        self._clock = clock
+        self.reprobe_interval = reprobe_interval
+        self._last_reprobe = float("-inf")
+        self.reprobes = 0  # re-probe fetches attempted
         self._health: dict[int, SourceHealth] = {}
+        self._clock = clock
         self.last_report: DiscoveryReport | None = None
 
     def add(self, source: MetadataSource) -> "DiscoveryChain":
@@ -223,6 +240,45 @@ class DiscoveryChain:
         demoted = [s for s in self.sources if self.health(s).demoted(now)]
         return healthy + demoted
 
+    def reprobe(self) -> int:
+        """Probe every currently-demoted source; restore the revived ones.
+
+        Each demoted source gets one :meth:`~MetadataSource.fetch`; a
+        success clears its failure streak and demotion (the source
+        resumes its configured position on the next discovery), a
+        failure re-arms the demotion window from now.  Returns how many
+        sources were restored.  Safe to call from a timer thread; also
+        invoked automatically by :meth:`discover` when
+        ``reprobe_interval`` is set.
+        """
+        now = self._clock()
+        restored = 0
+        for source in self.sources:
+            health = self.health(source)
+            if not health.demoted(now):
+                continue
+            self.reprobes += 1
+            try:
+                source.fetch()
+            except ReproError:
+                health.failures += 1
+                health.consecutive_failures += 1
+                health.demoted_until = self._clock() + self.demotion_period
+                continue
+            health.consecutive_failures = 0
+            health.successes += 1
+            health.demoted_until = 0.0
+            restored += 1
+        return restored
+
+    def _maybe_reprobe(self, now: float) -> None:
+        if self.reprobe_interval is None:
+            return
+        if now - self._last_reprobe < self.reprobe_interval:
+            return
+        self._last_reprobe = now
+        self.reprobe()
+
     def discover(self) -> DiscoveryResult:
         """Try each source in order; return the first schema found.
 
@@ -235,6 +291,7 @@ class DiscoveryChain:
         if not self.sources:
             raise DiscoveryError("discovery chain has no sources")
         now = self._clock()
+        self._maybe_reprobe(now)
         report = DiscoveryReport()
         self.last_report = report
         failures: list[str] = []

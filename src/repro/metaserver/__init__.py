@@ -25,6 +25,7 @@ from repro.metaserver.client import (
     MetadataClient,
     RetryPolicy,
     http_get,
+    http_post,
 )
 from repro.metaserver.http import HTTPRequest, HTTPResponse, split_url
 from repro.metaserver.server import FlakyMetadataServer, MetadataServer
@@ -36,6 +37,7 @@ __all__ = [
     "MetadataClient",
     "RetryPolicy",
     "http_get",
+    "http_post",
     "HTTPRequest",
     "HTTPResponse",
     "split_url",

@@ -40,6 +40,7 @@ class MetadataCatalog:
         self._documents: dict[str, str] = {}
         self._dynamic: dict[str, DynamicHandler] = {}
         self._format_server: FormatServer | None = None
+        self._cluster_handler: Callable[[HTTPRequest], HTTPResponse] | None = None
         self._lock = threading.Lock()
 
     # -- publication -----------------------------------------------------------
@@ -74,6 +75,19 @@ class MetadataCatalog:
         """The attached format server, if any."""
         return self._format_server
 
+    def attach_cluster_handler(
+        self, handler: Callable[[HTTPRequest], HTTPResponse]
+    ) -> None:
+        """Route ``/cluster/*`` requests (including POST) to ``handler``.
+
+        Registered by a :class:`~repro.cluster.node.ClusterNode`; every
+        front end serving this catalog then speaks the peer-sync
+        protocol of PROTOCOL.md §13.  Catalogs without a handler answer
+        404 for ``/cluster/*`` exactly as before, so single-server
+        deployments are unaffected.
+        """
+        self._cluster_handler = handler
+
     def paths(self) -> list[str]:
         """Every published path (static and dynamic)."""
         with self._lock:
@@ -87,6 +101,15 @@ class MetadataCatalog:
             request = HTTPRequest.parse(raw)
         except DiscoveryError:
             return HTTPResponse(400, body=b"malformed request")
+        if (
+            self._cluster_handler is not None
+            and request.path.split("?", 1)[0].startswith("/cluster/")
+        ):
+            # Peer-sync traffic (may POST); everything else stays GET-only.
+            try:
+                return self._cluster_handler(request)
+            except Exception as exc:
+                return HTTPResponse(500, body=f"cluster handler failed: {exc}".encode())
         if request.method not in ("GET", "HEAD"):
             return HTTPResponse(405, body=b"only GET is supported")
         response = self.lookup(request)

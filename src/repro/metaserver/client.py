@@ -58,8 +58,38 @@ def http_get(url: str, timeout: float = 5.0) -> bytes:
     or malformed responses, and :class:`~repro.errors.MetadataHTTPError`
     (carrying the status) on non-200 answers.
     """
+    return http_request("GET", url, timeout=timeout)
+
+
+def http_post(
+    url: str,
+    body: bytes,
+    timeout: float = 5.0,
+    content_type: str = "application/json",
+) -> bytes:
+    """POST ``body`` to ``url`` one-shot; returns the response body.
+
+    The metadata plane's only POSTs are the idempotent ``/cluster/*``
+    peer-sync messages (PROTOCOL.md §13); same error contract as
+    :func:`http_get`.
+    """
+    return http_request("POST", url, body, timeout=timeout, content_type=content_type)
+
+
+def http_request(
+    method: str,
+    url: str,
+    body: bytes = b"",
+    *,
+    timeout: float = 5.0,
+    content_type: str | None = None,
+) -> bytes:
+    """One-shot HTTP exchange shared by :func:`http_get` / :func:`http_post`."""
     host, port, path = split_url(url)
-    request = HTTPRequest("GET", path, {"Host": f"{host}:{port}"})
+    headers = {"Host": f"{host}:{port}"}
+    if content_type is not None and body:
+        headers["Content-Type"] = content_type
+    request = HTTPRequest(method, path, headers, body)
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as exc:
@@ -291,6 +321,17 @@ class MetadataClient:
         self.stale_serves = 0  # expired entries served on fetch failure
         self.evictions = 0  # LRU evictions
         self.last_result: FetchResult | None = None
+        #: Cluster-routing counters, incremented by the
+        #: :class:`~repro.cluster.client.ClusterClient` riding this
+        #: client; all-zero (but always present) for single-server use.
+        self.cluster: dict[str, int] = {
+            "shard_routes": 0,  # reads routed through the hash ring
+            "replica_failovers": 0,  # replicas skipped on a read
+            "quorum_ok": 0,  # writes acked by every replica
+            "quorum_partial": 0,  # quorum met, some replicas missed
+            "quorum_failed": 0,  # quorum not met
+            "stale_failover_serves": 0,  # stale cache carried a failover read
+        }
 
     # -- breakers ----------------------------------------------------------------
 
@@ -347,8 +388,10 @@ class MetadataClient:
 
     # -- retrieval ----------------------------------------------------------------
 
-    def _fetch(self, url: str) -> tuple[bytes, int]:
-        """Retrieve ``url`` under the retry policy; returns (body, attempts)."""
+    def _fetch(
+        self, url: str, *, method: str = "GET", body: bytes = b""
+    ) -> tuple[bytes, int]:
+        """Exchange with ``url`` under the retry policy; returns (body, attempts)."""
         host, port, _ = split_url(url)
         breaker = self.breaker_for(f"{host}:{port}")
         last_error: Exception | None = None
@@ -372,7 +415,7 @@ class MetadataClient:
                     ).inc()
             started = time.perf_counter()
             try:
-                body = http_get(url, timeout=self.timeout)
+                answer = http_request(method, url, body, timeout=self.timeout)
             except DiscoveryError as exc:
                 self._obs_request_latency(started, "error")
                 breaker.record_failure()
@@ -385,7 +428,7 @@ class MetadataClient:
                 break
             self._obs_request_latency(started, "ok")
             breaker.record_success()
-            return body, attempts
+            return answer, attempts
         raise RetryExhaustedError(
             f"retrieval of {url} failed after {attempts} attempt(s): {last_error}",
             attempts=attempts,
@@ -453,6 +496,19 @@ class MetadataClient:
         body = self.get_bytes(f"{base_url}/formats/{format_id.hex()}")
         return IOFormat.from_wire_metadata(body)
 
+    def post(self, url: str, body: bytes) -> bytes:
+        """POST ``body`` under the retry policy and circuit breaker.
+
+        Never cached.  Safe to retry because the metadata plane's only
+        POSTs — the ``/cluster/*`` peer-sync messages — are idempotent
+        (last-writer-wins merge ignores re-deliveries).  This is what
+        the :class:`~repro.cluster.client.ClusterClient` fans quorum
+        writes out through, so replica writes get the same breaker
+        fail-fast and backoff discipline as reads.
+        """
+        answer, _ = self._fetch(url, method="POST", body=body)
+        return answer
+
     # -- cache management ---------------------------------------------------------
 
     def invalidate(self, url: str | None = None) -> None:
@@ -470,9 +526,13 @@ class MetadataClient:
         breaker health — total ``breaker_trips`` plus a ``breakers``
         mapping of host → current state (``closed``/``open``/``half-open``)
         and per-host trip count — in a single dict a chaos harness or
-        operator dashboard can log wholesale.
+        operator dashboard can log wholesale.  The ``cluster`` section
+        carries shard-routing, replica-failover, quorum-write, and
+        stale-during-failover counts when a
+        :class:`~repro.cluster.client.ClusterClient` rides this client.
         """
         return {
+            "cluster": dict(self.cluster),
             "hits": self.hits,
             "fetches": self.fetches,
             "retries": self.retries,

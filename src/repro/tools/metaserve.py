@@ -50,7 +50,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="announce the /metrics endpoint (Prometheus text format) "
         "at startup; the endpoint itself is always served",
     )
+    parser.add_argument(
+        "--cluster",
+        metavar="SxR",
+        help="launch a local sharded cluster of S shards x R replicas "
+        "(e.g. 3x2) instead of one server; documents are quorum-written "
+        "across the ring and anti-entropy runs between replicas",
+    )
+    parser.add_argument(
+        "--anti-entropy-interval",
+        type=float,
+        default=1.0,
+        help="seconds between anti-entropy rounds in --cluster mode",
+    )
     return parser
+
+
+def parse_cluster_spec(spec: str) -> tuple[int, int]:
+    """Parse an ``SxR`` cluster spec (shards x replicas)."""
+    shards, sep, replicas = spec.lower().partition("x")
+    if not sep or not shards.isdigit() or not replicas.isdigit():
+        raise ReproError(f"--cluster wants SxR (e.g. 3x2), got {spec!r}")
+    parsed = int(shards), int(replicas)
+    if parsed[0] < 1 or parsed[1] < 1:
+        raise ReproError(f"--cluster needs at least 1x1, got {spec!r}")
+    return parsed
+
+
+def serve_cluster(args: argparse.Namespace, directory: Path) -> int:
+    """Launch a local S×R sharded cluster and serve until interrupted."""
+    from repro.cluster import ClusterClient, ClusterMap, ClusterNode
+
+    shards, replicas = parse_cluster_spec(args.cluster)
+    count = shards * replicas
+    catalogs = [MetadataCatalog() for _ in range(count)]
+    # Bind every listener first (ephemeral ports resolve at construction
+    # when --port is 0; otherwise consecutive ports from --port).
+    servers = [
+        MetadataServer(
+            args.host, 0 if args.port == 0 else args.port + index,
+            catalog=catalogs[index],
+        )
+        for index in range(count)
+    ]
+    addresses = ["%s:%d" % server.address for server in servers]
+    cluster_map = ClusterMap.grid(addresses, shards=shards, replicas=replicas)
+    nodes = [
+        ClusterNode(
+            f"node{index}", addresses[index], cluster_map,
+            catalog=catalogs[index], interval=args.anti_entropy_interval,
+        )
+        for index in range(count)
+    ]
+    for server in servers:
+        server.start()
+    client = ClusterClient(cluster_map, origin="metaserve")
+    published = 0
+    try:
+        for path in sorted(directory.glob("*.xsd")):
+            text = path.read_text(encoding="utf-8")
+            if args.check:
+                parse_schema(text)
+            result = client.publish(f"/schemas/{path.name}", text)
+            owner = ", ".join(cluster_map.shard(result.shard).replicas)
+            print(f"published /schemas/{path.name} -> shard {result.shard} "
+                  f"[{owner}] ({result.acks}/{result.replicas} acks)")
+            published += 1
+    except ReproError as exc:
+        print(f"metaserve: error: {exc}", file=sys.stderr)
+        for server in servers:
+            server.stop()
+        return 1
+    if not published:
+        print(f"metaserve: warning: no *.xsd files in {directory}", file=sys.stderr)
+    for node in nodes:
+        node.start()
+    for shard in cluster_map.shards:
+        print(f"shard {shard.name}: {', '.join(shard.replicas)}")
+    if args.metrics:
+        for address in addresses:
+            print(f"metrics at http://{address}/metrics")
+    print(f"cluster of {shards}x{replicas} metadata servers up "
+          f"(quorum {client.write_quorum}, Ctrl-C to stop)")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    for node in nodes:
+        node.stop()
+    for server in servers:
+        server.stop()
+    print("stopped")
+    return 0
 
 
 def publish_directory(
@@ -95,6 +186,16 @@ def main(argv: list[str] | None = None) -> int:
     if not directory.is_dir():
         print(f"metaserve: error: {directory} is not a directory", file=sys.stderr)
         return 1
+    if args.cluster:
+        if args.use_async:
+            print("metaserve: error: --cluster serves from the threaded plane; "
+                  "drop --async", file=sys.stderr)
+            return 1
+        try:
+            return serve_cluster(args, directory)
+        except ReproError as exc:
+            print(f"metaserve: error: {exc}", file=sys.stderr)
+            return 1
     if args.use_async:
         # Same catalog contents, served from the asyncio plane (the
         # threaded server is never constructed: it would bind the port).

@@ -1,0 +1,179 @@
+"""AsyncClusterClient: concurrent quorum fan-out and failover on asyncio.
+
+The async client shares the sync client's ShardRouter, so both planes
+route every key identically — including against *threaded* servers
+(cross-plane: the peer protocol is plane-agnostic HTTP).
+"""
+
+import pytest
+
+from repro.aio import AsyncClusterClient, AsyncMetadataServer
+from repro.cluster import ClusterClient, ClusterMap, ClusterNode, QuorumWriteError
+from repro.errors import DiscoveryError
+from repro.metaserver import MetadataServer
+from repro.metaserver.catalog import MetadataCatalog
+from repro.workloads import ASDOFF_B_SCHEMA
+
+
+class AsyncCluster:
+    """S×R async servers with attached nodes."""
+
+    def __init__(self, shards, replicas):
+        self.shards = shards
+        self.replicas = replicas
+        count = shards * replicas
+        self.catalogs = [MetadataCatalog() for _ in range(count)]
+        self.servers = []
+        self.nodes = []
+        self.addresses = []
+        self.cluster_map = None
+
+    async def __aenter__(self):
+        for catalog in self.catalogs:
+            self.servers.append(await AsyncMetadataServer(catalog=catalog).start())
+        self.addresses = ["%s:%d" % server.address for server in self.servers]
+        self.cluster_map = ClusterMap.grid(
+            self.addresses, shards=self.shards, replicas=self.replicas
+        )
+        self.nodes = [
+            ClusterNode(
+                f"n{index}", self.addresses[index], self.cluster_map,
+                catalog=self.catalogs[index], timeout=1.0,
+            )
+            for index in range(len(self.servers))
+        ]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        for server in self.servers:
+            await server.stop()
+
+
+class TestAsyncQuorumWrites:
+    def test_full_fanout_ok(self, arun):
+        async def scenario():
+            async with AsyncCluster(2, 2) as cluster:
+                async with AsyncClusterClient(
+                    cluster.cluster_map, write_quorum=2
+                ) as client:
+                    for i in range(8):
+                        result = await client.publish(
+                            f"/schemas/a{i}.xsd", ASDOFF_B_SCHEMA
+                        )
+                        assert result.outcome == "ok"
+                    assert client.stats["quorum_ok"] == 8
+                # every node of each owning shard holds every entry
+                for i in range(8):
+                    path = f"/schemas/a{i}.xsd"
+                    for address in cluster.cluster_map.replicas_for(path):
+                        node = cluster.nodes[cluster.addresses.index(address)]
+                        assert node.store.get(path) is not None
+
+        arun(scenario())
+
+    def test_dead_replica_gives_partial_then_failed(self, arun):
+        async def scenario():
+            async with AsyncCluster(1, 2) as cluster:
+                await cluster.servers[1].stop()
+                async with AsyncClusterClient(
+                    cluster.cluster_map, write_quorum=1
+                ) as client:
+                    result = await client.publish("/schemas/p.xsd", ASDOFF_B_SCHEMA)
+                    assert result.outcome == "partial"
+                async with AsyncClusterClient(
+                    cluster.cluster_map, write_quorum=2
+                ) as strict:
+                    with pytest.raises(QuorumWriteError):
+                        await strict.publish("/schemas/q.xsd", ASDOFF_B_SCHEMA)
+                    assert strict.stats["quorum_failed"] == 1
+
+        arun(scenario())
+
+    def test_unpublish_tombstones(self, arun):
+        async def scenario():
+            async with AsyncCluster(1, 2) as cluster:
+                async with AsyncClusterClient(
+                    cluster.cluster_map, write_quorum=2
+                ) as client:
+                    await client.publish("/schemas/t.xsd", ASDOFF_B_SCHEMA)
+                    await client.unpublish("/schemas/t.xsd")
+                    with pytest.raises(DiscoveryError):
+                        await client.get("/schemas/t.xsd")
+                for node in cluster.nodes:
+                    assert node.store.get("/schemas/t.xsd").deleted
+
+        arun(scenario())
+
+
+class TestAsyncFailoverReads:
+    def test_read_falls_over_to_live_replica(self, arun):
+        async def scenario():
+            async with AsyncCluster(1, 2) as cluster:
+                async with AsyncClusterClient(
+                    cluster.cluster_map, write_quorum=2
+                ) as client:
+                    await client.publish("/schemas/f.xsd", ASDOFF_B_SCHEMA)
+                    _, replicas = client.router.route("/schemas/f.xsd")
+                    victim = cluster.addresses.index(replicas[0])
+                    await cluster.servers[victim].stop()
+                    body = await client.get("/schemas/f.xsd")
+                    assert body.decode("utf-8") == ASDOFF_B_SCHEMA
+                    assert client.stats["replica_failovers"] >= 1
+
+        arun(scenario())
+
+    def test_all_replicas_down_raises(self, arun):
+        async def scenario():
+            async with AsyncCluster(1, 2) as cluster:
+                for server in cluster.servers:
+                    await server.stop()
+                async with AsyncClusterClient(
+                    cluster.cluster_map, write_quorum=1
+                ) as client:
+                    with pytest.raises(DiscoveryError, match="all 2 replicas"):
+                        await client.get("/schemas/x.xsd")
+
+        arun(scenario())
+
+
+class TestCrossPlane:
+    def test_async_writes_threaded_reads(self, arun):
+        """An async client's quorum writes serve a sync cluster client."""
+        catalogs = [MetadataCatalog() for _ in range(2)]
+        servers = [MetadataServer(catalog=c) for c in catalogs]
+        addresses = ["%s:%d" % s.address for s in servers]
+        cluster_map = ClusterMap.grid(addresses, shards=1, replicas=2)
+        nodes = [
+            ClusterNode(f"n{i}", addresses[i], cluster_map, catalog=catalogs[i])
+            for i in range(2)
+        ]
+        for server in servers:
+            server.start()
+        try:
+            async def write():
+                async with AsyncClusterClient(
+                    cluster_map, write_quorum=2
+                ) as client:
+                    return await client.publish("/schemas/x.xsd", ASDOFF_B_SCHEMA)
+
+            assert arun(write()).outcome == "ok"
+            sync_client = ClusterClient(cluster_map, write_quorum=2)
+            assert (
+                sync_client.get_bytes("/schemas/x.xsd").decode("utf-8")
+                == ASDOFF_B_SCHEMA
+            )
+            # Both routers agree on every key (shared ring).
+            async def route():
+                async with AsyncClusterClient(cluster_map) as client:
+                    return [
+                        client.router.route(f"/doc{i}")[0].name for i in range(50)
+                    ]
+
+            async_routes = arun(route())
+            sync_routes = [
+                sync_client.router.route(f"/doc{i}")[0].name for i in range(50)
+            ]
+            assert async_routes == sync_routes
+        finally:
+            for server in servers:
+                server.stop()

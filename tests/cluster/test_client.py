@@ -1,0 +1,199 @@
+"""ClusterClient: quorum fan-out, read failover, counters, resilience wiring."""
+
+import pytest
+
+from repro.cluster import ClusterClient, ClusterMap, QuorumWriteError, majority
+from repro.errors import DiscoveryError
+from repro.metaserver import MetadataClient, MetadataServer, RetryPolicy
+from repro.metaserver.catalog import MetadataCatalog
+from repro.cluster import ClusterNode
+from repro.workloads import ASDOFF_B_SCHEMA
+
+from tests.cluster.test_node import LiveCluster
+
+
+def fast_client(**kwargs):
+    """A MetadataClient that fails fast (no real backoff) for tests."""
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, base_delay=0.0))
+    kwargs.setdefault("timeout", 2.0)
+    kwargs.setdefault("sleep", lambda _: None)
+    return MetadataClient(**kwargs)
+
+
+class TestQuorumWrites:
+    def test_full_ack_outcome_ok(self):
+        with LiveCluster(2, 2) as cluster:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(), write_quorum=2
+            )
+            result = client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            assert result.outcome == "ok"
+            assert result.acks == result.replicas == 2
+            # every replica of the owning shard serves the document
+            for replica in cluster.cluster_map.shard(result.shard).replicas:
+                node = cluster.nodes[cluster.addresses.index(replica)]
+                assert node.store.get("/schemas/doc.xsd") is not None
+
+    def test_partial_quorum_still_succeeds(self):
+        with LiveCluster(1, 2) as cluster:
+            cluster.servers[1].stop()
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(), write_quorum=1
+            )
+            result = client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            assert result.outcome == "partial"
+            assert result.acks == 1
+            assert len(result.failures) == 1
+
+    def test_missed_quorum_raises_with_detail(self):
+        with LiveCluster(1, 2) as cluster:
+            cluster.stop()
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(), write_quorum=2
+            )
+            with pytest.raises(QuorumWriteError) as excinfo:
+                client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            result = excinfo.value.result
+            assert result.outcome == "failed"
+            assert result.acks == 0
+            assert len(result.failures) == 2
+            assert client.stats()["cluster"]["quorum_failed"] == 1
+
+    def test_default_quorum_is_majority(self):
+        cmap = ClusterMap.grid([f"h:{i}" for i in range(3)], shards=1, replicas=3)
+        client = ClusterClient(cmap)
+        assert client.write_quorum == majority(3) == 2
+
+    def test_quorum_bounds_validated(self):
+        cmap = ClusterMap.grid(["h:1", "h:2"], shards=1, replicas=2)
+        with pytest.raises(DiscoveryError):
+            ClusterClient(cmap, write_quorum=3)
+        with pytest.raises(DiscoveryError):
+            ClusterClient(cmap, write_quorum=0)
+
+    def test_unpublish_replicates_tombstone(self):
+        with LiveCluster(1, 2) as cluster:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(), write_quorum=2
+            )
+            client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            client.unpublish("/schemas/doc.xsd")
+            for node in cluster.nodes:
+                assert node.store.get("/schemas/doc.xsd").deleted
+            with pytest.raises(DiscoveryError):
+                client.get("/schemas/doc.xsd")
+
+    def test_paths_must_be_absolute(self):
+        cmap = ClusterMap.grid(["h:1"], shards=1, replicas=1)
+        with pytest.raises(DiscoveryError):
+            ClusterClient(cmap).publish("doc.xsd", "<a/>")
+
+
+class TestReadFailover:
+    def test_read_prefers_primary_then_falls_over(self):
+        with LiveCluster(1, 2) as cluster:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(ttl=0), write_quorum=2
+            )
+            client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            assert client.get_bytes("/schemas/doc.xsd")  # both alive
+            # Kill the preferred replica for this key.
+            _, replicas = client.router.route("/schemas/doc.xsd")
+            cluster.servers[cluster.addresses.index(replicas[0])].stop()
+            body = client.get_bytes("/schemas/doc.xsd")
+            assert body.decode("utf-8") == ASDOFF_B_SCHEMA
+            stats = client.stats()["cluster"]
+            assert stats["replica_failovers"] >= 1
+            assert stats["shard_routes"] >= 2
+
+    def test_all_replicas_down_raises(self):
+        with LiveCluster(1, 2) as cluster:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(ttl=0), write_quorum=1
+            )
+            cluster.stop()
+            with pytest.raises(DiscoveryError, match="all 2 replicas"):
+                client.get("/schemas/doc.xsd")
+
+    def test_stale_cache_carries_reads_through_total_outage(self):
+        with LiveCluster(1, 2) as cluster:
+            # ttl tiny so entries expire instantly; stale-serve unbounded
+            meta = fast_client(ttl=0.01, stale_ttl=None)
+            client = ClusterClient(
+                cluster.cluster_map, client=meta, write_quorum=2
+            )
+            client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            first = client.get("/schemas/doc.xsd")
+            assert not first.stale
+            import time
+
+            time.sleep(0.05)  # let the cache entry expire
+            cluster.stop()  # total outage of the shard
+            result = client.get("/schemas/doc.xsd")
+            assert result.stale
+            assert result.body.decode("utf-8") == ASDOFF_B_SCHEMA
+            assert client.stats()["cluster"]["stale_failover_serves"] == 1
+
+    def test_get_schema_parses_through_failover(self):
+        with LiveCluster(1, 2) as cluster:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(ttl=0), write_quorum=2
+            )
+            client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+            _, replicas = client.router.route("/schemas/doc.xsd")
+            cluster.servers[cluster.addresses.index(replicas[0])].stop()
+            schema = client.get_schema("/schemas/doc.xsd")
+            assert schema.target_namespace is not None or schema is not None
+
+    def test_diverged_replica_404_falls_over(self):
+        """A replica that missed a write 404s; the read must fall over."""
+        with LiveCluster(1, 2) as cluster:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(ttl=0), write_quorum=1
+            )
+            # Apply the entry on the *fallback* replica only, so the
+            # preferred one answers 404 (it never saw the write).
+            _, replicas = client.router.route("/schemas/doc.xsd")
+            fallback_node = cluster.nodes[cluster.addresses.index(replicas[1])]
+            from repro.cluster import CatalogEntry
+
+            fallback_node.store.apply(
+                CatalogEntry("/schemas/doc.xsd", ASDOFF_B_SCHEMA, 1, "w")
+            )
+            body = client.get_bytes("/schemas/doc.xsd")
+            assert body.decode("utf-8") == ASDOFF_B_SCHEMA
+            assert client.stats()["cluster"]["replica_failovers"] == 1
+
+
+class TestStatsSurface:
+    def test_single_server_stats_carry_zeroed_cluster_section(self):
+        stats = MetadataClient().stats()
+        assert stats["cluster"] == {
+            "shard_routes": 0,
+            "replica_failovers": 0,
+            "quorum_ok": 0,
+            "quorum_partial": 0,
+            "quorum_failed": 0,
+            "stale_failover_serves": 0,
+        }
+
+    def test_cluster_counters_reach_metrics_endpoint(self):
+        from repro.obs import Registry, set_registry
+
+        registry = set_registry(Registry())
+        try:
+            with LiveCluster(1, 2) as cluster:
+                client = ClusterClient(
+                    cluster.cluster_map, client=fast_client(), write_quorum=2
+                )
+                client.publish("/schemas/doc.xsd", ASDOFF_B_SCHEMA)
+                client.get_bytes("/schemas/doc.xsd")
+                from repro.metaserver import http_get
+
+                rendered = http_get(
+                    f"http://{cluster.addresses[0]}/metrics"
+                ).decode("utf-8")
+            assert "cluster_client_quorum_writes_total" in rendered
+            assert "cluster_client_routes_total" in rendered
+        finally:
+            set_registry(Registry())

@@ -1,0 +1,249 @@
+"""ClusterNode: peer endpoints, anti-entropy reconciliation, rebalance."""
+
+import json
+
+import pytest
+
+from repro.cluster import CatalogEntry, ClusterMap, ClusterNode
+from repro.errors import DiscoveryError
+from repro.metaserver import MetadataServer
+from repro.metaserver.catalog import MetadataCatalog
+from repro.metaserver.http import HTTPRequest
+
+
+def entry_json(path="/doc.xsd", text="<a/>", version=1, origin="w", deleted=False):
+    return {
+        "path": path, "text": text, "version": version,
+        "origin": origin, "deleted": deleted,
+    }
+
+
+def post(node, path, payload):
+    body = json.dumps(payload).encode()
+    return node.handle(HTTPRequest("POST", path, {}, body))
+
+
+def get(node, path):
+    return node.handle(HTTPRequest("GET", path))
+
+
+def single_node(address="h:1"):
+    cmap = ClusterMap.grid([address], shards=1, replicas=1)
+    return ClusterNode("n0", address, cmap)
+
+
+class TestEndpoints:
+    def test_info(self):
+        node = single_node()
+        response = get(node, "/cluster/info")
+        assert response.status == 200
+        info = json.loads(response.body)
+        assert info["node"] == "n0"
+        assert info["shards"] == ["s0"]
+        assert info["entries"] == 0
+
+    def test_post_entries_applies_and_counts(self):
+        node = single_node()
+        response = post(node, "/cluster/entries", {
+            "entries": [entry_json(version=1), entry_json(version=1)],
+        })
+        assert response.status == 200
+        result = json.loads(response.body)
+        assert result == {"node": "n0", "applied": 1, "ignored": 1}
+
+    def test_digest_and_entries_round_trip(self):
+        node = single_node()
+        post(node, "/cluster/entries", {"entries": [entry_json()]})
+        digest = json.loads(get(node, "/cluster/digest?shard=s0").body)
+        assert digest["count"] == 1
+        assert digest["digest"] == node.store.digest(node.cluster_map, "s0")
+        dump = json.loads(get(node, "/cluster/entries?shard=s0").body)
+        assert [CatalogEntry.from_json(e) for e in dump["entries"]] == (
+            node.store.entries()
+        )
+
+    def test_unknown_shard_is_400(self):
+        node = single_node()
+        assert get(node, "/cluster/digest?shard=nope").status == 400
+        assert get(node, "/cluster/digest").status == 400
+
+    def test_malformed_entry_batch_is_400(self):
+        node = single_node()
+        assert post(node, "/cluster/entries", {"entries": [{"path": "x"}]}).status == 400
+        raw = node.handle(HTTPRequest("POST", "/cluster/entries", {}, b"not json"))
+        assert raw.status == 400
+
+    def test_unknown_cluster_path_is_404(self):
+        assert get(single_node(), "/cluster/whatever").status == 404
+
+    def test_served_through_catalog_respond(self):
+        """The endpoints work through the ordinary server request path."""
+        node = single_node()
+        raw = HTTPRequest("GET", "/cluster/info", {"Host": "h"}).render()
+        response = node.catalog.respond(raw)
+        assert response.status == 200
+        assert json.loads(response.body)["node"] == "n0"
+
+    def test_post_outside_cluster_is_still_405(self):
+        node = single_node()
+        raw = HTTPRequest("POST", "/schemas/x.xsd", {"Host": "h"}, b"body").render()
+        assert node.catalog.respond(raw).status == 405
+
+    def test_catalog_without_node_keeps_404_for_cluster_paths(self):
+        catalog = MetadataCatalog()
+        raw = HTTPRequest("GET", "/cluster/info", {"Host": "h"}).render()
+        assert catalog.respond(raw).status == 404
+
+
+class TestMapInstall:
+    def test_newer_map_installs(self):
+        node = single_node("h:1")
+        new_map = ClusterMap.grid(["h:1"], shards=1, replicas=1, version=2)
+        response = post(node, "/cluster/map", new_map.to_json())
+        assert json.loads(response.body)["installed"] is True
+        assert node.cluster_map.version == 2
+
+    def test_stale_map_is_refused(self):
+        node = single_node("h:1")
+        stale = ClusterMap.grid(["h:1"], shards=1, replicas=1, version=1)
+        response = post(node, "/cluster/map", stale.to_json())
+        assert json.loads(response.body)["installed"] is False
+        assert node.cluster_map.version == 1
+
+
+class LiveCluster:
+    """S×R real threaded servers with attached nodes, for sync tests."""
+
+    def __init__(self, shards, replicas, **node_kwargs):
+        count = shards * replicas
+        self.catalogs = [MetadataCatalog() for _ in range(count)]
+        self.servers = [
+            MetadataServer(catalog=catalog) for catalog in self.catalogs
+        ]
+        self.addresses = ["%s:%d" % server.address for server in self.servers]
+        self.cluster_map = ClusterMap.grid(
+            self.addresses, shards=shards, replicas=replicas
+        )
+        self.nodes = [
+            ClusterNode(
+                f"n{i}", self.addresses[i], self.cluster_map,
+                catalog=self.catalogs[i], **node_kwargs,
+            )
+            for i in range(count)
+        ]
+        for server in self.servers:
+            server.start()
+
+    def stop(self):
+        for server in self.servers:
+            server.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def digests(self):
+        """shard name → set of digests across its replicas."""
+        by_shard = {}
+        for i, node in enumerate(self.nodes):
+            for shard in self.cluster_map.shards_of(self.addresses[i]):
+                by_shard.setdefault(shard.name, set()).add(
+                    node.store.digest(self.cluster_map, shard.name)
+                )
+        return by_shard
+
+
+class TestAntiEntropy:
+    def test_clean_round_reports_in_sync(self):
+        with LiveCluster(1, 2) as cluster:
+            report = cluster.nodes[0].anti_entropy_round()
+            assert report["peers_checked"] == 1
+            assert report["in_sync"] == 1
+            assert report["errors"] == 0
+
+    def test_divergent_peers_converge_in_one_round(self):
+        with LiveCluster(1, 2) as cluster:
+            a, b = cluster.nodes
+            a.store.apply(CatalogEntry("/only-a.xsd", "<a/>", 1, "w"))
+            b.store.apply(CatalogEntry("/only-b.xsd", "<b/>", 1, "w"))
+            report = a.anti_entropy_round()
+            assert report["synced"] == 1
+            assert all(len(d) == 1 for d in cluster.digests().values())
+            assert b.store.get("/only-a.xsd") is not None
+            assert a.store.get("/only-b.xsd") is not None
+
+    def test_partitioned_peer_degrades_then_recovers(self):
+        with LiveCluster(1, 2) as cluster:
+            a, b = cluster.nodes
+            a.store.apply(CatalogEntry("/during.xsd", "<x/>", 1, "w"))
+            # Partition: peer b's server is down.
+            host, port = cluster.addresses[1].split(":")
+            cluster.servers[1].stop()
+            report = a.anti_entropy_round()
+            assert report["errors"] == 1
+            assert a.peer_errors == 1
+            # Heal the partition: same port, same catalog.
+            cluster.servers[1] = MetadataServer(
+                host, int(port), catalog=cluster.catalogs[1]
+            ).start()
+            report = a.anti_entropy_round()
+            assert report["errors"] == 0
+            assert b.store.get("/during.xsd") is not None
+
+    def test_background_loop_syncs_without_manual_rounds(self):
+        import time
+
+        with LiveCluster(1, 2, interval=0.05) as cluster:
+            a, b = cluster.nodes
+            a.store.apply(CatalogEntry("/bg.xsd", "<bg/>", 1, "w"))
+            with a:
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if b.store.get("/bg.xsd") is not None:
+                        break
+                    time.sleep(0.02)
+            assert b.store.get("/bg.xsd") is not None
+
+
+class TestRebalance:
+    def test_disowned_entries_stream_to_new_owner(self):
+        with LiveCluster(2, 1) as cluster:
+            node_a, node_b = cluster.nodes
+            # Seed both shards through direct application.
+            paths = [f"/doc{i}.xsd" for i in range(16)]
+            for i, path in enumerate(paths):
+                owner = cluster.cluster_map.shard_for(path)
+                node = cluster.nodes[
+                    cluster.addresses.index(owner.replicas[0])
+                ]
+                node.store.apply(CatalogEntry(path, f"<v{i}/>", 1, "w"))
+            # New map: shard s1 leaves; everything belongs to s0.
+            new_map = ClusterMap.grid(
+                [cluster.addresses[0]], shards=1, replicas=1, version=2
+            )
+            moved_from_b = [
+                e.path for e in node_b.store.entries()
+            ]
+            report = node_b.set_cluster_map(new_map)
+            assert report["moved"] == len(moved_from_b)
+            assert report["kept"] == 0
+            assert len(node_b.store) == 0
+            node_a.set_cluster_map(new_map)
+            for path in paths:
+                assert node_a.store.get(path) is not None
+
+    def test_failed_handoff_keeps_entries(self):
+        with LiveCluster(2, 1) as cluster:
+            node_b = cluster.nodes[1]
+            node_b.store.apply(CatalogEntry("/keep.xsd", "<k/>", 1, "w"))
+            # s0's replica is down: hand-off must fail and keep the entry.
+            cluster.servers[0].stop()
+            new_map = ClusterMap.grid(
+                [cluster.addresses[0]], shards=1, replicas=1, version=2
+            )
+            report = node_b.set_cluster_map(new_map)
+            assert report["kept"] == 1
+            assert report["dropped"] == 0
+            assert node_b.store.get("/keep.xsd") is not None

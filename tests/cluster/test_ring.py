@@ -1,0 +1,104 @@
+"""HashRing / ClusterMap: stable routing, preference order, wire form."""
+
+import pytest
+
+from repro.cluster import ClusterMap, HashRing, Shard, stable_hash
+from repro.errors import DiscoveryError
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("/schemas/a.xsd") == stable_hash("/schemas/a.xsd")
+
+    def test_str_and_bytes_agree(self):
+        assert stable_hash("key") == stable_hash(b"key")
+
+    def test_spreads_keys(self):
+        values = {stable_hash(f"key{i}") for i in range(1000)}
+        assert len(values) == 1000  # no collisions on a small population
+
+
+class TestHashRing:
+    def test_every_key_lands_on_a_shard(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        for i in range(100):
+            assert ring.shard_for(f"/doc{i}") in ("s0", "s1", "s2")
+
+    def test_mapping_is_stable(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s1", "s0"])  # construction order is irrelevant
+        for i in range(100):
+            assert a.shard_for(f"/doc{i}") == b.shard_for(f"/doc{i}")
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert ring.shard_for("/anything") == "only"
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(DiscoveryError):
+            HashRing([])
+        with pytest.raises(DiscoveryError):
+            HashRing(["a", "a"])
+        with pytest.raises(DiscoveryError):
+            HashRing(["a"], vnodes=0)
+
+
+class TestClusterMap:
+    def test_grid_partitions_addresses(self):
+        addresses = [f"h:{8000 + i}" for i in range(6)]
+        cmap = ClusterMap.grid(addresses, shards=3, replicas=2)
+        assert [s.name for s in cmap.shards] == ["s0", "s1", "s2"]
+        assert cmap.shard("s1").replicas == ("h:8002", "h:8003")
+        assert cmap.addresses() == tuple(sorted(addresses))
+
+    def test_grid_wants_exact_count(self):
+        with pytest.raises(DiscoveryError):
+            ClusterMap.grid(["h:1", "h:2", "h:3"], shards=2, replicas=2)
+
+    def test_replicas_for_rotates_by_key(self):
+        cmap = ClusterMap.grid(
+            [f"h:{i}" for i in range(6)], shards=2, replicas=3
+        )
+        # Preference order is a rotation of the shard's replica list, and
+        # different keys of one shard spread their primary around.
+        orders = set()
+        for i in range(200):
+            key = f"/doc{i}"
+            replicas = cmap.replicas_for(key)
+            assert set(replicas) == set(cmap.shard_for(key).replicas)
+            orders.add((cmap.shard_for(key).name, replicas[0]))
+        primaries = {primary for _, primary in orders}
+        assert len(primaries) >= 4  # most replicas serve as primary somewhere
+
+    def test_shards_of_lists_memberships(self):
+        cmap = ClusterMap.grid([f"h:{i}" for i in range(4)], shards=2, replicas=2)
+        assert [s.name for s in cmap.shards_of("h:0")] == ["s0"]
+        assert cmap.shards_of("h:9") == ()
+
+    def test_json_round_trip(self):
+        cmap = ClusterMap.grid(
+            [f"h:{i}" for i in range(4)], shards=2, replicas=2, version=7
+        )
+        clone = ClusterMap.from_json(cmap.to_json())
+        assert clone == cmap
+        assert clone.version == 7
+        for i in range(50):
+            key = f"/doc{i}"
+            assert clone.shard_for(key).name == cmap.shard_for(key).name
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(DiscoveryError):
+            ClusterMap.from_json({"shards": "nope"})
+
+    def test_shard_validation(self):
+        with pytest.raises(DiscoveryError):
+            Shard("s0", ())
+        with pytest.raises(DiscoveryError):
+            Shard("s0", ("h:1", "h:1"))
+        with pytest.raises(DiscoveryError):
+            ClusterMap(shards=())
+
+    def test_unknown_shard_name(self):
+        cmap = ClusterMap.grid(["h:1"], shards=1, replicas=1)
+        with pytest.raises(DiscoveryError):
+            cmap.shard("missing")

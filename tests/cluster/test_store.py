@@ -1,0 +1,132 @@
+"""ReplicaStore: last-writer-wins merge, tombstones, per-shard digests."""
+
+from repro.cluster import CatalogEntry, ClusterMap, ReplicaStore
+from repro.metaserver.catalog import MetadataCatalog
+from repro.metaserver.http import HTTPRequest
+
+CMAP = ClusterMap.grid(["h:1", "h:2"], shards=2, replicas=1)
+
+
+def entry(path="/doc.xsd", text="<a/>", version=1, origin="w1", deleted=False):
+    return CatalogEntry(path, text, version, origin, deleted)
+
+
+def lookup(catalog: MetadataCatalog, path: str):
+    return catalog.lookup(HTTPRequest("GET", path))
+
+
+class TestLastWriterWins:
+    def test_higher_version_wins(self):
+        store = ReplicaStore()
+        assert store.apply(entry(version=1, text="old"))
+        assert store.apply(entry(version=2, text="new"))
+        assert store.get("/doc.xsd").text == "new"
+
+    def test_lower_version_is_ignored(self):
+        store = ReplicaStore()
+        store.apply(entry(version=5, text="current"))
+        assert not store.apply(entry(version=3, text="stale"))
+        assert store.get("/doc.xsd").text == "current"
+        assert store.ignored == 1
+
+    def test_equal_stamp_is_idempotent(self):
+        store = ReplicaStore()
+        assert store.apply(entry(version=1))
+        assert not store.apply(entry(version=1))  # re-delivery
+        assert store.applied == 1
+
+    def test_origin_breaks_version_ties(self):
+        store = ReplicaStore()
+        store.apply(entry(version=1, origin="aaa", text="first"))
+        assert store.apply(entry(version=1, origin="zzz", text="second"))
+        assert store.get("/doc.xsd").text == "second"
+        # and the merge is order-independent
+        other = ReplicaStore()
+        other.apply(entry(version=1, origin="zzz", text="second"))
+        other.apply(entry(version=1, origin="aaa", text="first"))
+        assert other.get("/doc.xsd").text == "second"
+
+    def test_merge_order_cannot_matter(self):
+        batch = [
+            entry(version=2, origin="b", text="v2b"),
+            entry(version=1, origin="z", text="v1z"),
+            entry(version=2, origin="a", text="v2a"),
+        ]
+        forward, backward = ReplicaStore(), ReplicaStore()
+        forward.apply_many(batch)
+        backward.apply_many(list(reversed(batch)))
+        assert forward.get("/doc.xsd") == backward.get("/doc.xsd")
+        assert forward.get("/doc.xsd").text == "v2b"
+
+
+class TestCatalogProjection:
+    def test_live_entry_is_served(self):
+        store = ReplicaStore()
+        store.apply(entry(text="<xsd/>"))
+        assert lookup(store.catalog, "/doc.xsd").status == 200
+        assert lookup(store.catalog, "/doc.xsd").body == b"<xsd/>"
+
+    def test_tombstone_unpublishes(self):
+        store = ReplicaStore()
+        store.apply(entry(version=1))
+        store.apply(entry(version=2, deleted=True))
+        assert lookup(store.catalog, "/doc.xsd").status == 404
+        # tombstone survives in the store for future merges
+        assert store.get("/doc.xsd").deleted
+
+    def test_stale_write_after_tombstone_stays_dead(self):
+        store = ReplicaStore()
+        store.apply(entry(version=3, deleted=True))
+        store.apply(entry(version=2, text="resurrection attempt"))
+        assert lookup(store.catalog, "/doc.xsd").status == 404
+
+    def test_drop_forgets_and_unpublishes(self):
+        store = ReplicaStore()
+        store.apply(entry())
+        assert store.drop("/doc.xsd")
+        assert store.get("/doc.xsd") is None
+        assert lookup(store.catalog, "/doc.xsd").status == 404
+        assert not store.drop("/doc.xsd")  # already gone
+
+
+class TestDigests:
+    def test_converged_replicas_have_equal_digests(self):
+        a, b = ReplicaStore(), ReplicaStore()
+        for i in range(10):
+            e = entry(path=f"/doc{i}.xsd", text=f"<v{i}/>", version=i + 1)
+            a.apply(e)
+        for e in reversed(a.entries()):  # arrival order must not matter
+            b.apply(e)
+        for shard in CMAP.shards:
+            assert a.digest(CMAP, shard.name) == b.digest(CMAP, shard.name)
+
+    def test_divergence_changes_the_owning_shards_digest_only(self):
+        a, b = ReplicaStore(), ReplicaStore()
+        for store in (a, b):
+            store.apply(entry(path="/base.xsd"))
+        extra = entry(path="/extra.xsd", version=9)
+        a.apply(extra)
+        owner = CMAP.shard_for("/extra.xsd").name
+        other = next(s.name for s in CMAP.shards if s.name != owner)
+        assert a.digest(CMAP, owner) != b.digest(CMAP, owner)
+        assert a.digest(CMAP, other) == b.digest(CMAP, other)
+
+    def test_tombstones_count_toward_the_digest(self):
+        a, b = ReplicaStore(), ReplicaStore()
+        a.apply(entry(version=1))
+        a.apply(entry(version=2, deleted=True))
+        b.apply(entry(version=1))
+        shard = CMAP.shard_for("/doc.xsd").name
+        assert a.digest(CMAP, shard) != b.digest(CMAP, shard)
+
+    def test_entries_for_shard_partitions_the_store(self):
+        store = ReplicaStore()
+        paths = [f"/doc{i}.xsd" for i in range(20)]
+        for i, path in enumerate(paths):
+            store.apply(entry(path=path, version=i + 1))
+        partitioned = [
+            e.path
+            for shard in CMAP.shards
+            for e in store.entries_for_shard(CMAP, shard.name)
+        ]
+        assert sorted(partitioned) == sorted(paths)

@@ -138,3 +138,78 @@ class TestReports:
             chain.discover()
         assert chain.last_report.tried == 1
         assert not chain.last_report.attempts[0].ok
+
+
+class TestReprobe:
+    """Periodic re-probe restores demoted sources without live traffic."""
+
+    def demoted_chain(self, reprobe_interval=None):
+        clock = FakeClock()
+        source = ScriptedSource(broken=True)
+        compiled = CompiledSource(ASDOFF_B_SCHEMA)
+        chain = DiscoveryChain(
+            [source, compiled],
+            demote_after=2,
+            demotion_period=30,
+            clock=clock,
+            reprobe_interval=reprobe_interval,
+        )
+        chain.discover()
+        chain.discover()  # second failure -> demoted
+        assert chain.health(source).demoted(clock())
+        return chain, source, clock
+
+    def test_reprobe_restores_revived_source(self):
+        chain, source, clock = self.demoted_chain()
+        source.broken = False
+        restored = chain.reprobe()
+        assert restored == 1
+        assert chain.reprobes == 1
+        assert not chain.health(source).demoted(clock())
+        assert chain.health(source).consecutive_failures == 0
+        # The restored source leads the next discovery again.
+        fetches = source.fetches
+        chain.discover()
+        assert source.fetches == fetches + 1
+
+    def test_reprobe_failure_rearms_demotion_window(self):
+        chain, source, clock = self.demoted_chain()
+        clock.advance(29)  # one tick before natural expiry
+        assert chain.reprobe() == 0
+        # The failed probe pushed the window out another full period.
+        assert chain.health(source).demoted_until == pytest.approx(59)
+        clock.advance(2)
+        assert chain.health(source).demoted(clock())
+
+    def test_reprobe_skips_healthy_sources(self):
+        clock = FakeClock()
+        source = ScriptedSource(broken=False)
+        chain = DiscoveryChain([source], clock=clock, reprobe_interval=10)
+        chain.discover()
+        assert chain.reprobe() == 0
+        assert chain.reprobes == 0  # nothing demoted, nothing probed
+
+    def test_discover_triggers_reprobe_on_interval(self):
+        chain, source, clock = self.demoted_chain(reprobe_interval=10)
+        source.broken = False
+        fetches = source.fetches
+        chain.discover()  # within the interval: no probe yet
+        assert source.fetches == fetches
+        clock.advance(11)
+        chain.discover()  # interval elapsed -> automatic re-probe
+        assert chain.reprobes == 1
+        assert not chain.health(source).demoted(clock())
+
+    def test_reprobe_is_rate_limited(self):
+        chain, source, clock = self.demoted_chain(reprobe_interval=10)
+        clock.advance(11)
+        chain.discover()
+        probes_after_first = chain.reprobes
+        chain.discover()  # immediately again: rate limiter holds
+        assert chain.reprobes == probes_after_first
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryChain(
+                [CompiledSource(ASDOFF_B_SCHEMA)], reprobe_interval=0
+            )

@@ -1,0 +1,232 @@
+"""Chaos acceptance for the sharded metadata plane (ISSUE 6).
+
+A 3-shard × 2-replica cluster under seeded faults:
+
+- one replica is **killed mid-write** — quorum writes keep succeeding
+  and client reads of *every* document keep answering (zero
+  client-visible read failures: replica death is a routing event);
+- the replica **rejoins** (same port, same catalog) after missing
+  writes — anti-entropy converges every replica of every shard to a
+  byte-identical store within a bounded number of rounds;
+- a **flaky replica** (seeded :class:`~repro.faults.plan.ServerFaultPlan`
+  injecting 5xx answers) never breaks quorum or reads — the retry
+  policy and fan-out absorb it deterministically.
+
+Every schedule is seeded (CHAOS_SEED): a failure here replays
+fault-for-fault.
+"""
+
+import pytest
+
+from repro.cluster import ClusterClient, ClusterMap, ClusterNode
+from repro.faults import ServerFaultPlan
+from repro.metaserver import (
+    FlakyMetadataServer,
+    MetadataClient,
+    MetadataServer,
+    RetryPolicy,
+)
+from repro.metaserver.catalog import MetadataCatalog
+from repro.workloads import ASDOFF_B_SCHEMA
+
+CHAOS_SEED = 20_260_807
+SHARDS, REPLICAS = 3, 2
+DOCS = [f"/schemas/doc{i:02d}.xsd" for i in range(24)]
+
+
+def text_for(path):
+    """Per-document content so convergence checks catch any mixups."""
+    return ASDOFF_B_SCHEMA.replace("asdoff", path.strip("/").replace("/", "-"))
+
+
+def fast_client():
+    return MetadataClient(
+        ttl=0,  # every read hits the network: failover is really exercised
+        timeout=1.0,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        seed=CHAOS_SEED,
+        sleep=lambda _: None,
+    )
+
+
+class Cluster3x2:
+    """The scenario cluster: 6 threaded servers, nodes, no background loops."""
+
+    def __init__(self, flaky_plan=None):
+        count = SHARDS * REPLICAS
+        self.catalogs = [MetadataCatalog() for _ in range(count)]
+        self.servers = []
+        for index, catalog in enumerate(self.catalogs):
+            if flaky_plan is not None and index == 0:
+                server = FlakyMetadataServer(plan=flaky_plan)
+                server.catalog = catalog  # serve the cluster catalog
+            else:
+                server = MetadataServer(catalog=catalog)
+            self.servers.append(server)
+        self.addresses = ["%s:%d" % server.address for server in self.servers]
+        self.cluster_map = ClusterMap.grid(
+            self.addresses, shards=SHARDS, replicas=REPLICAS
+        )
+        self.nodes = [
+            ClusterNode(
+                f"replica{index}", self.addresses[index], self.cluster_map,
+                catalog=self.catalogs[index], timeout=1.0,
+            )
+            for index in range(count)
+        ]
+        for server in self.servers:
+            server.start()
+
+    def stop(self):
+        for server in self.servers:
+            server.stop()
+
+    def kill(self, index):
+        self.servers[index].stop()
+
+    def rejoin(self, index):
+        """Restart the killed replica on its old port with its old state."""
+        host, port = self.addresses[index].split(":")
+        self.servers[index] = MetadataServer(
+            host, int(port), catalog=self.catalogs[index]
+        ).start()
+
+    def digests(self):
+        by_shard = {}
+        for index, node in enumerate(self.nodes):
+            for shard in self.cluster_map.shards_of(self.addresses[index]):
+                by_shard.setdefault(shard.name, set()).add(
+                    node.store.digest(self.cluster_map, shard.name)
+                )
+        return by_shard
+
+    def converged(self):
+        return all(len(digests) == 1 for digests in self.digests().values())
+
+
+class TestReplicaKillMidWrite:
+    def test_kill_rejoin_convergence(self):
+        cluster = Cluster3x2()
+        try:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(),
+                write_quorum=1, origin="chaos-writer",
+            )
+            # Phase 1: half the documents land on a fully-live cluster.
+            for path in DOCS[:12]:
+                assert client.publish(path, text_for(path)).outcome == "ok"
+
+            # Phase 2: kill one replica mid-write-stream.
+            victim = 0
+            cluster.kill(victim)
+            partials = 0
+            for path in DOCS[12:]:
+                result = client.publish(path, text_for(path))
+                assert result.ok, f"quorum write failed for {path}: {result}"
+                partials += result.outcome == "partial"
+            # The victim replicates some shards, so some writes must
+            # have been partial — the outage was actually in the path.
+            assert partials > 0
+
+            # Zero failed client reads during the outage, every document.
+            read_failures = 0
+            for path in DOCS:
+                try:
+                    body = client.get_bytes(path)
+                except Exception:  # noqa: BLE001 - counting any failure
+                    read_failures += 1
+                    continue
+                assert body.decode("utf-8") == text_for(path)
+            assert read_failures == 0
+            stats = client.stats()["cluster"]
+            assert stats["replica_failovers"] > 0  # routing did the work
+
+            # Phase 3: rejoin and converge via anti-entropy.
+            cluster.rejoin(victim)
+            assert not cluster.converged()  # the victim missed writes
+            rounds = 0
+            for _ in range(3):  # bounded: must converge within 3 rounds
+                for node in cluster.nodes:
+                    node.anti_entropy_round()
+                rounds += 1
+                if cluster.converged():
+                    break
+            assert cluster.converged(), cluster.digests()
+            assert rounds <= 2
+
+            # Byte-identical stores per shard, not just digest-identical.
+            for shard in cluster.cluster_map.shards:
+                replicas = [
+                    cluster.nodes[cluster.addresses.index(address)]
+                    for address in shard.replicas
+                ]
+                entries = [
+                    node.store.entries_for_shard(cluster.cluster_map, shard.name)
+                    for node in replicas
+                ]
+                assert entries[0] == entries[1]
+
+            # The rejoined replica now answers for writes it missed.
+            rejoined_docs = [
+                path for path in DOCS[12:]
+                if cluster.addresses[victim]
+                in cluster.cluster_map.replicas_for(path)
+            ]
+            assert rejoined_docs  # the victim owns some late documents
+            from repro.metaserver import http_get
+
+            for path in rejoined_docs:
+                body = http_get(f"http://{cluster.addresses[victim]}{path}")
+                assert body.decode("utf-8") == text_for(path)
+        finally:
+            cluster.stop()
+
+
+class TestFlakyReplica:
+    def test_seeded_5xx_replica_never_breaks_quorum_or_reads(self):
+        plan = ServerFaultPlan(seed=CHAOS_SEED, error=0.4)
+        cluster = Cluster3x2(flaky_plan=plan)
+        try:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(),
+                write_quorum=1, origin="chaos-flaky",
+            )
+            for path in DOCS:
+                assert client.publish(path, text_for(path)).ok
+            for path in DOCS:
+                assert client.get_bytes(path).decode("utf-8") == text_for(path)
+            # The plan really fired: deterministic count for this seed.
+            assert plan.total_injected > 0
+            # And the whole run is reproducible: same seed, same schedule.
+            replay = ServerFaultPlan(seed=CHAOS_SEED, error=0.4)
+            for _ in range(plan.operations):
+                replay.decide()
+            assert [e.kind for e in replay.injected] == [
+                e.kind for e in plan.injected
+            ]
+        finally:
+            cluster.stop()
+
+    def test_partitioned_peer_heals_after_rounds(self):
+        """Divergence created behind a partition heals when it lifts."""
+        cluster = Cluster3x2()
+        try:
+            client = ClusterClient(
+                cluster.cluster_map, client=fast_client(),
+                write_quorum=1, origin="chaos-partition",
+            )
+            victim = 3
+            cluster.kill(victim)
+            for path in DOCS[:8]:
+                client.publish(path, text_for(path))
+            # Partitioned anti-entropy degrades but does not raise.
+            survivor = cluster.nodes[victim ^ 1]  # its shard peer
+            report = survivor.anti_entropy_round()
+            assert report["errors"] >= 0  # never raises
+            cluster.rejoin(victim)
+            for _ in range(2):
+                for node in cluster.nodes:
+                    node.anti_entropy_round()
+            assert cluster.converged(), cluster.digests()
+        finally:
+            cluster.stop()

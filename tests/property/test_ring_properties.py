@@ -1,0 +1,96 @@
+"""Hypothesis invariants for the consistent-hash ring.
+
+Two properties make consistent hashing worth its name, and both are
+pinned here rather than assumed:
+
+- **balance** — with virtual nodes, no shard owns more than ~2x its
+  fair share of a key population (and none starves below half);
+- **minimal movement** — adding or removing one shard remaps only the
+  keys that shard gains or loses: every key that stays must map to the
+  same shard before and after, and the moved fraction is on the order
+  of ``1/shards``, not a full reshuffle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing
+
+#: Enough keys that the fair-share ratio is statistics, not noise.
+KEY_COUNT = 2000
+
+shard_counts = st.integers(min_value=2, max_value=10)
+key_prefixes = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=0,
+    max_size=12,
+)
+
+
+def shard_names(count: int) -> list[str]:
+    return [f"shard-{index}" for index in range(count)]
+
+
+def keys(prefix: str) -> list[str]:
+    return [f"/{prefix}/doc-{index}.xsd" for index in range(KEY_COUNT)]
+
+
+class TestBalance:
+    @settings(max_examples=25, deadline=None)
+    @given(count=shard_counts, prefix=key_prefixes)
+    def test_no_shard_exceeds_twice_fair_share(self, count, prefix):
+        ring = HashRing(shard_names(count))
+        loads = {name: 0 for name in shard_names(count)}
+        for key in keys(prefix):
+            loads[ring.shard_for(key)] += 1
+        fair = KEY_COUNT / count
+        assert max(loads.values()) <= 2.0 * fair
+        # and no shard is starved to nothing
+        assert min(loads.values()) > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(count=shard_counts, prefix=key_prefixes)
+    def test_every_shard_reachable(self, count, prefix):
+        ring = HashRing(shard_names(count))
+        owners = {ring.shard_for(key) for key in keys(prefix)}
+        assert owners == set(shard_names(count))
+
+
+class TestMinimalMovement:
+    @settings(max_examples=25, deadline=None)
+    @given(count=shard_counts, prefix=key_prefixes)
+    def test_join_moves_only_keys_the_new_shard_gains(self, count, prefix):
+        before = HashRing(shard_names(count))
+        after = HashRing(shard_names(count) + ["shard-joining"])
+        moved = 0
+        for key in keys(prefix):
+            old, new = before.shard_for(key), after.shard_for(key)
+            if old != new:
+                # A key may only move TO the joining shard; any other
+                # movement would be a gratuitous reshuffle.
+                assert new == "shard-joining", (key, old, new)
+                moved += 1
+        # The joining shard takes about 1/(count+1) of the keys; allow
+        # a generous 2.5x for hash variance at small vnode*shard counts.
+        assert moved <= 2.5 * KEY_COUNT / (count + 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(count=shard_counts, prefix=key_prefixes)
+    def test_leave_moves_only_the_leavers_keys(self, count, prefix):
+        names = shard_names(count + 1)
+        before = HashRing(names)
+        leaver = names[-1]
+        after = HashRing(names[:-1])
+        for key in keys(prefix):
+            old, new = before.shard_for(key), after.shard_for(key)
+            if old != leaver:
+                # Keys of surviving shards must not move at all.
+                assert old == new, (key, old, new)
+
+    @settings(max_examples=15, deadline=None)
+    @given(count=shard_counts, prefix=key_prefixes)
+    def test_join_then_leave_is_identity(self, count, prefix):
+        base = HashRing(shard_names(count))
+        round_trip = HashRing(shard_names(count))
+        for key in keys(prefix)[:200]:
+            assert base.shard_for(key) == round_trip.shard_for(key)
