@@ -20,6 +20,11 @@ see :mod:`benchmarks.test_zero_copy`) and writes ``BENCH_PR5.json``
 next to this file; ``--check`` additionally exits non-zero if a result
 regresses past the acceptance floors, which is what CI's perf-smoke job
 runs.
+
+With ``--pr7`` it runs the columnar bulk-streaming suite (end-to-end
+per-record NDR vs columnar batch throughput over TCP, plus the
+codec-only A/B — see :mod:`benchmarks.test_columnar`) and writes
+``BENCH_PR7.json``; ``--check`` gates on the ≥10x batch speedup floor.
 """
 
 from __future__ import annotations
@@ -350,11 +355,74 @@ def pr5_report(check: bool) -> int:
     return 1 if failures else 0
 
 
+def pr7_report(check: bool) -> int:
+    """Columnar bulk-streaming numbers -> BENCH_PR7.json (and console).
+
+    ``check`` turns the run into a no-regression gate: exit status 1
+    if the best batch (>= 64 records) end-to-end speedup over
+    per-record NDR falls under the PR's 10x acceptance floor, or the
+    codec-only speedup under 4x.
+    """
+    import json
+    import os
+
+    from benchmarks.test_columnar import (
+        HAVE_NUMPY,
+        run_codec_throughput_ab,
+        run_e2e_throughput_ab,
+    )
+
+    heading("PR7 — columnar bulk streaming vs per-record NDR")
+    e2e = run_e2e_throughput_ab()
+    codec = run_codec_throughput_ab()
+    print(f"{'format':<38}{e2e['format']:>24}")
+    print(f"{'samples per record':<38}{e2e['samples_per_record']:>24}")
+    print(f"{'numpy available':<38}{str(e2e['numpy']):>24}")
+    print(f"{'per-record NDR end-to-end':<38}"
+          f"{e2e['per_record_rps']:>16.0f} rec/s")
+    for batch_size, entry in sorted(e2e["batches"].items()):
+        print(f"{f'columnar batch={batch_size}':<38}"
+              f"{entry['records_per_second']:>16.0f} rec/s  "
+              f"({entry['speedup']:.1f}x)")
+    print(f"{'best batch speedup':<38}{e2e['best_speedup']:>17.1f}x")
+    print(f"{'codec-only per-record':<38}"
+          f"{codec['per_record_rps']:>16.0f} rec/s")
+    print(f"{'codec-only columnar':<38}"
+          f"{codec['columnar_rps']:>16.0f} rec/s  ({codec['speedup']:.1f}x)")
+    results = {"e2e": e2e, "codec": codec}
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_PR7.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    if not check:
+        return 0
+    if not HAVE_NUMPY:
+        print("numpy unavailable: vectorized floors not applicable, skipping")
+        return 0
+    failures = []
+    best_64 = max(
+        (entry["speedup"] for size, entry in e2e["batches"].items()
+         if int(size) >= 64),
+        default=0.0,
+    )
+    if best_64 < 10.0:
+        failures.append(f"batch>=64 e2e speedup {best_64:.1f}x < 10x")
+    if codec["speedup"] < 4.0:
+        failures.append(f"codec-only speedup {codec['speedup']:.1f}x < 4x")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
 def main():
     print("repro benchmark report — paper: Widener/Schwan/Eisenhauer, "
           "ICDCS 2001 (GIT-CC-00-21)")
     if "--pr5" in sys.argv:
         raise SystemExit(pr5_report(check="--check" in sys.argv))
+    if "--pr7" in sys.argv:
+        raise SystemExit(pr7_report(check="--check" in sys.argv))
     print(f"mode: {'quick' if QUICK else 'full'}")
     table1()
     claims_performance()

@@ -40,7 +40,13 @@ from repro.events.remote import (
     pack_envelope,
     unpack_envelope,
 )
-from repro.pbio.context import HEADER_SIZE, KIND_DATA, KIND_FORMAT, IOContext
+from repro.pbio.context import (
+    HEADER_SIZE,
+    KIND_BATCH,
+    KIND_DATA,
+    KIND_FORMAT,
+    IOContext,
+)
 from repro.pbio.format import IOFormat
 
 #: Default per-subscriber queue bound (messages, not bytes).
@@ -251,6 +257,7 @@ class AsyncBackboneClient:
         self.channel = channel
         self.context = context
         self._pending: list[bytes] = []  # events buffered during subscribe
+        self._ready: list[Event] = []  # events expanded from a batch message
         self.patterns: list[str] = []
 
     @classmethod
@@ -298,8 +305,14 @@ class AsyncBackboneClient:
     async def next_event(
         self, timeout: float | None = None, *, expect: str | None = None
     ) -> Event:
-        """Await the next data event on any subscribed pattern."""
+        """Await the next data event on any subscribed pattern.
+
+        Columnar batch messages are expanded transparently: each record
+        in the batch becomes one event, in batch order.
+        """
         while True:
+            if self._ready:
+                return self._ready.pop(0)
             if self._pending:
                 message = self._pending.pop(0)
             else:
@@ -313,6 +326,18 @@ class AsyncBackboneClient:
             kind, _, _, length, _ = IOContext.parse_header(payload)
             if kind == KIND_FORMAT:
                 self.context.learn_format(payload[HEADER_SIZE : HEADER_SIZE + length])
+                continue
+            if kind == KIND_BATCH:
+                batch = self.context.decode_batch(payload)
+                self._ready.extend(
+                    Event(
+                        stream=stream_name,
+                        format_name=batch.format_name,
+                        values=values,
+                        trace=trace,
+                    )
+                    for values in batch.records
+                )
                 continue
             if kind != KIND_DATA:
                 continue
@@ -362,6 +387,26 @@ class AsyncRemotePublisher:
             )
         )
         self.published += 1
+
+    async def publish_batch(self, fmt: IOFormat | str, records, *, use_numpy=None) -> int:
+        """Publish ``records`` as ONE columnar batch message; returns
+        the record count."""
+        context = self.client.context
+        if isinstance(fmt, str):
+            fmt = context.lookup_format(fmt)
+        if fmt.format_id not in self._announced:
+            await self.client.channel.send(
+                pack_envelope(
+                    OP_PUBLISH, self.stream, payload=context.format_message(fmt)
+                )
+            )
+            self._announced.add(fmt.format_id)
+        message = context.encode_batch(fmt, records, use_numpy=use_numpy)
+        await self.client.channel.send(
+            pack_envelope(OP_PUBLISH, self.stream, payload=message)
+        )
+        self.published += 1
+        return len(records)
 
     async def advertise_metadata(self, url: str) -> None:
         """Advertise the stream's schema document URL on the broker."""

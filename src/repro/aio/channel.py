@@ -42,7 +42,7 @@ from repro.errors import (
 )
 from repro.obs.instr import channel_handles
 from repro.obs.metrics import get_registry
-from repro.wire.framing import MAX_FRAME_SIZE, _LENGTH, frame_iov
+from repro.wire.framing import MAX_FRAME_SIZE, _LENGTH, frame_iov, frame_parts
 
 # Memo of the bound series for the current default registry; swapped
 # registries (tests) re-resolve on first use.
@@ -97,6 +97,19 @@ class AsyncChannel(abc.ABC):
 
     async def flush(self) -> None:
         """Force any buffered frames onto the wire (default: no-op)."""
+
+    async def send_batch(self, parts) -> int:
+        """Deliver ONE message supplied as an iovec of buffer parts.
+
+        Same contract as
+        :meth:`repro.transport.channel.Channel.send_batch`: the peer's
+        ``recv`` sees the concatenation of ``parts`` as one message.
+        The base implementation joins; scatter-gather transports
+        override it.  Returns the message's byte length.
+        """
+        message = b"".join(bytes(part) for part in parts)
+        await self.send(message)
+        return len(message)
 
     async def __aenter__(self) -> "AsyncChannel":
         return self
@@ -200,6 +213,31 @@ class AsyncTCPChannel(AsyncChannel):
             handles.send_frames.inc(count)
             handles.send_bytes.inc(total_bytes)
         return count
+
+    async def send_batch(self, parts) -> int:
+        """Send one frame supplied as an iovec of parts; returns its length.
+
+        The async counterpart of the sync channel's ``send_batch``: a
+        columnar batch message joins the write iovec part by part (no
+        join copy) and is flushed immediately with one ``writelines`` +
+        ``drain``.
+        """
+        buffers = frame_parts(parts)
+        total = sum(len(part) for part in buffers) - _LENGTH.size
+        handles = _obs()
+        started = perf_counter() if handles is not None else 0.0
+        async with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError("cannot send on a closed channel")
+            self._wbufs.extend(buffers)
+            self._wbuf_len += total + _LENGTH.size
+            self.frames_sent += 1
+            await self._flush_buffered()
+        if handles is not None:
+            handles.send_seconds.observe(perf_counter() - started)
+            handles.send_frames.inc()
+            handles.send_bytes.inc(total)
+        return total
 
     async def _deferred_flush(self) -> None:
         try:

@@ -4,9 +4,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from collections import deque
+
 from repro.obs.propagate import extract, inject
 from repro.obs.trace import TraceContext
-from repro.pbio.context import HEADER_SIZE, KIND_DATA, KIND_FORMAT, IOContext
+from repro.pbio.context import (
+    HEADER_SIZE,
+    KIND_BATCH,
+    KIND_DATA,
+    KIND_FORMAT,
+    IOContext,
+)
 from repro.pbio.format import IOFormat
 
 
@@ -37,6 +45,21 @@ class Publisher:
         return self.backbone.route(
             self.stream, inject(self.context.encode(fmt, record))
         )
+
+    def publish_batch(self, fmt: IOFormat | str, records, *, use_numpy=None) -> int:
+        """Publish ``records`` as ONE columnar batch message.
+
+        The backbone routes a single immutable frame that every matching
+        subscriber shares — fan-out cost is per-batch, not per-record.
+        Returns the delivery count (subscribers reached).
+        """
+        if isinstance(fmt, str):
+            fmt = self.context.lookup_format(fmt)
+        if fmt.format_id not in self._announced:
+            self.backbone.route(self.stream, self.context.format_message(fmt))
+            self._announced.add(fmt.format_id)
+        message = self.context.encode_batch(fmt, records, use_numpy=use_numpy)
+        return self.backbone.route(self.stream, message)
 
     def advertise_metadata(self, url: str) -> None:
         """Advertise the stream's schema document URL on the backbone."""
@@ -79,17 +102,39 @@ class Subscription:
         self.context = context
         self.expect = expect
         self._queue = queue
+        # Events expanded from an already-delivered batch message,
+        # handed out one per next() call in batch order.
+        self._ready: deque[Event] = deque()
         self.received = 0
         self._active = True
 
     def next(self, timeout: float | None = None) -> Event:
-        """Block for the next data event on any matched stream."""
+        """Block for the next data event on any matched stream.
+
+        Columnar batch messages are expanded transparently: each record
+        in the batch becomes one event, in batch order.
+        """
         while True:
+            if self._ready:
+                self.received += 1
+                return self._ready.popleft()
             stream_name, message = self._queue.get(timeout)
             message, trace = extract(message)
             kind, _, _, length, _ = IOContext.parse_header(message)
             if kind == KIND_FORMAT:
                 self.context.learn_format(message[HEADER_SIZE : HEADER_SIZE + length])
+                continue
+            if kind == KIND_BATCH:
+                batch = self.context.decode_batch(message)
+                self._ready.extend(
+                    Event(
+                        stream=stream_name,
+                        format_name=batch.format_name,
+                        values=values,
+                        trace=trace,
+                    )
+                    for values in batch.records
+                )
                 continue
             if kind != KIND_DATA:
                 continue

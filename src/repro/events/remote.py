@@ -34,7 +34,13 @@ from repro.errors import ChannelClosedError, TransportError, WireError
 from repro.events.backbone import EventBackbone, _SubscriberQueue
 from repro.events.endpoints import Event
 from repro.obs.propagate import extract, inject
-from repro.pbio.context import HEADER_SIZE, KIND_DATA, KIND_FORMAT, IOContext
+from repro.pbio.context import (
+    HEADER_SIZE,
+    KIND_BATCH,
+    KIND_DATA,
+    KIND_FORMAT,
+    IOContext,
+)
 from repro.pbio.format import IOFormat
 from repro.transport.channel import Channel
 from repro.transport.tcp import ReconnectingTCPChannel, TCPListener, connect
@@ -219,6 +225,7 @@ class RemoteBackboneClient:
         self.context = context
         self._send_lock = threading.Lock()
         self._pending: list[bytes] = []  # events buffered during subscribe
+        self._ready: list[Event] = []  # events expanded from a batch message
         self.patterns: list[str] = []
 
     @classmethod
@@ -297,8 +304,14 @@ class RemoteBackboneClient:
     def next_event(
         self, timeout: float | None = None, *, expect: str | None = None
     ) -> Event:
-        """Block for the next data event on any subscribed pattern."""
+        """Block for the next data event on any subscribed pattern.
+
+        Columnar batch messages are expanded transparently: each record
+        in the batch becomes one event, in batch order.
+        """
         while True:
+            if self._ready:
+                return self._ready.pop(0)
             if self._pending:
                 message = self._pending.pop(0)
             else:
@@ -314,6 +327,18 @@ class RemoteBackboneClient:
             kind, _, _, length, _ = IOContext.parse_header(payload)
             if kind == KIND_FORMAT:
                 self.context.learn_format(payload[HEADER_SIZE : HEADER_SIZE + length])
+                continue
+            if kind == KIND_BATCH:
+                batch = self.context.decode_batch(payload)
+                self._ready.extend(
+                    Event(
+                        stream=stream_name,
+                        format_name=batch.format_name,
+                        values=values,
+                        trace=trace,
+                    )
+                    for values in batch.records
+                )
                 continue
             if kind != KIND_DATA:
                 continue
@@ -363,6 +388,26 @@ class RemotePublisher:
             )
         )
         self.published += 1
+
+    def publish_batch(self, fmt: IOFormat | str, records, *, use_numpy=None) -> int:
+        """Publish ``records`` as ONE columnar batch message; returns
+        the record count.  The broker routes the single frame to every
+        matching subscriber — fan-out cost is per-batch, not per-record.
+        """
+        context = self.client.context
+        if isinstance(fmt, str):
+            fmt = context.lookup_format(fmt)
+        if fmt.format_id not in self._announced:
+            self.client._send(
+                pack_envelope(
+                    OP_PUBLISH, self.stream, payload=context.format_message(fmt)
+                )
+            )
+            self._announced.add(fmt.format_id)
+        message = context.encode_batch(fmt, records, use_numpy=use_numpy)
+        self.client._send(pack_envelope(OP_PUBLISH, self.stream, payload=message))
+        self.published += 1
+        return len(records)
 
     def advertise_metadata(self, url: str) -> None:
         """Advertise the stream's schema document URL on the broker."""

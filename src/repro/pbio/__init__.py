@@ -26,11 +26,22 @@ Public surface:
   addition/removal tolerance by name matching).
 - :mod:`~repro.pbio.fmserver` — an in-process format server mapping
   format ids to metadata, PBIO's out-of-band resolution path.
+- :mod:`~repro.pbio.columnar` — the columnar bulk batch codec
+  (:class:`~repro.pbio.columnar.ColumnBatchView`,
+  :class:`~repro.pbio.context.DecodedBatch`): N same-format records as
+  per-field column blocks on one ``KIND_BATCH`` message.
 """
 
 from repro.pbio.field import IOField
 from repro.pbio.format import IOFormat, format_from_layout
-from repro.pbio.context import DecodedRecord, IOContext
+from repro.pbio.columnar import (
+    ColumnBatchView,
+    ColumnarPlan,
+    decode_batch_payload,
+    encode_batch_payload,
+    get_columnar_plan,
+)
+from repro.pbio.context import DecodedBatch, DecodedRecord, IOContext
 from repro.pbio.fmserver import FormatServer
 from repro.pbio.view import RecordView, view_message
 from repro.pbio.iofile import IOFileReader, IOFileWriter, dump_records, load_records
@@ -43,9 +54,15 @@ __all__ = [
     "IOField",
     "IOFormat",
     "format_from_layout",
+    "ColumnBatchView",
+    "ColumnarPlan",
+    "DecodedBatch",
     "DecodedRecord",
     "IOContext",
     "FormatServer",
     "RecordView",
+    "decode_batch_payload",
+    "encode_batch_payload",
+    "get_columnar_plan",
     "view_message",
 ]

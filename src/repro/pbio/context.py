@@ -10,14 +10,18 @@ An :class:`IOContext` owns:
 
 Message framing (all header integers big-endian, 16 bytes total)::
 
-    u8   kind        1 = data record, 2 = format metadata, 3 = format request
+    u8   kind        1 = data record, 2 = format metadata, 3 = format
+                     request, 4 = columnar batch
     u8   version     protocol version, currently 1
     u16  reserved    0
     u32  length      byte length of the body after the header
-    u64  format id   content-addressed id (kinds 1 and 3); zero for kind 2
+    u64  format id   content-addressed id (kinds 1, 3 and 4); zero for kind 2
 
 A data message's body is the NDR payload; a metadata message's body is
-the :meth:`IOFormat.to_wire_metadata` block; a request's body is empty.
+the :meth:`IOFormat.to_wire_metadata` block; a request's body is empty;
+a batch message's body is the columnar payload of PROTOCOL §14 (N
+same-format records as per-field column blocks — see
+:mod:`repro.pbio.columnar`).
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ HEADER_SIZE = HEADER.size
 KIND_DATA = 1
 KIND_FORMAT = 2
 KIND_REQUEST = 3
+KIND_BATCH = 4
 
 PROTOCOL_VERSION = 1
 
@@ -72,6 +77,24 @@ class DecodedRecord:
 
     def __contains__(self, name: str) -> bool:
         return name in self.values
+
+
+@dataclass(frozen=True)
+class DecodedBatch:
+    """A decoded batch message: format identity plus N records."""
+
+    format_name: str
+    records: list
+    wire_format: IOFormat
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> dict:
+        return self.records[index]
 
 
 class IOContext:
@@ -236,6 +259,104 @@ class IOContext:
             buffer, offset, KIND_DATA, PROTOCOL_VERSION, 0, length, fmt.format_id
         )
         return HEADER_SIZE + length
+
+    def encode_batch(
+        self, fmt: IOFormat | str, records, *, use_numpy=None
+    ) -> bytes:
+        """Encode ``records`` as one framed columnar batch message.
+
+        The batch rides a ``KIND_BATCH`` message whose body is the
+        columnar payload of PROTOCOL §14; per-record data messages are
+        untouched.  ``use_numpy`` forces the vectorized (``True``) or
+        pure-Python (``False``) encoder; the default auto-detects.
+        Raises :class:`~repro.errors.EncodeError` for empty batches and
+        for formats with nested fields (no columnar representation).
+        """
+        return b"".join(self.encode_batch_iov(fmt, records, use_numpy=use_numpy))
+
+    def encode_batch_iov(
+        self, fmt: IOFormat | str, records, *, use_numpy=None
+    ) -> list:
+        """:meth:`encode_batch` as a list of buffer parts (header first).
+
+        Hand the parts to a scatter-gather sender
+        (:meth:`~repro.transport.tcp.TCPChannel.send_batch`) and the
+        batch reaches the wire without a join copy.
+        """
+        from repro.pbio.columnar import get_columnar_plan
+
+        if isinstance(fmt, str):
+            fmt = self.lookup_format(fmt)
+        parts = get_columnar_plan(fmt).encode_parts(records, use_numpy=use_numpy)
+        length = sum(len(part) for part in parts)
+        header = HEADER.pack(
+            KIND_BATCH, PROTOCOL_VERSION, 0, length, fmt.format_id
+        )
+        self._batch_observe("encode", len(records))
+        return [header, *parts]
+
+    def decode_batch(self, message, *, use_numpy=None) -> DecodedBatch:
+        """Decode a framed batch message to a :class:`DecodedBatch`.
+
+        Records come back in the wire format's own shape, with the same
+        value representation the per-record converters produce (NULL
+        strings as ``None``, empty dynamic arrays as ``[]``, ...).
+        """
+        from repro.pbio.columnar import get_columnar_plan
+
+        wire_format, payload = self._batch_payload(message)
+        records = get_columnar_plan(wire_format).decode_records(
+            payload, use_numpy=use_numpy
+        )
+        self._batch_observe("decode", len(records))
+        return DecodedBatch(
+            format_name=wire_format.name,
+            records=records,
+            wire_format=wire_format,
+        )
+
+    def decode_batch_view(self, message, *, use_numpy=None):
+        """Decode a batch message as a lazy zero-copy column view.
+
+        Returns a :class:`~repro.pbio.columnar.ColumnBatchView` whose
+        ``column(name)`` arrays alias ``message`` directly — the buffer
+        ownership rules of PROTOCOL §12 apply (don't ``recv`` over it
+        while the view is live).
+        """
+        from repro.pbio.columnar import ColumnBatchView
+
+        wire_format, payload = self._batch_payload(message)
+        return ColumnBatchView(wire_format, payload, use_numpy=use_numpy)
+
+    def _batch_payload(self, message):
+        """Split a batch message into (wire format, payload view)."""
+        kind, _, _, length, format_id = self.parse_header(message)
+        if kind != KIND_BATCH:
+            raise DecodeError(
+                f"expected a batch message, got message kind {kind}"
+            )
+        if isinstance(message, bytearray):
+            message = memoryview(message)
+        payload = message[HEADER_SIZE : HEADER_SIZE + length]
+        if len(payload) != length:
+            raise DecodeError(
+                f"truncated batch message: header promises {length} bytes, "
+                f"got {len(payload)}"
+            )
+        return self.wire_format(format_id), payload
+
+    @staticmethod
+    def _batch_observe(op: str, count: int) -> None:
+        registry = _metrics._default_registry
+        if not registry.enabled:
+            return
+        registry.counter(
+            "pbio_batch_total", "columnar batch operations", ("op",)
+        ).labels(op).inc()
+        registry.counter(
+            "pbio_batch_records_total", "records moved in columnar batches",
+            ("op",),
+        ).labels(op).inc(count)
 
     def format_message(self, fmt: IOFormat | str) -> bytes:
         """Frame ``fmt``'s metadata as a format message."""

@@ -43,6 +43,20 @@ class Channel(abc.ABC):
             count += 1
         return count
 
+    def send_batch(self, parts) -> int:
+        """Deliver ONE message supplied as an iovec of buffer parts.
+
+        The peer's ``recv`` sees a single message equal to the
+        concatenation of ``parts`` — this is how columnar batch frames
+        (header, column blocks, heap) are sent.  The base implementation
+        joins and :meth:`send`\\ s; scatter-gather transports override it
+        to put the parts on the wire without the join copy.  Returns the
+        message's byte length.
+        """
+        message = b"".join(parts)
+        self.send(message)
+        return len(message)
+
     def recv_view(self, timeout: float | None = None):
         """Receive one message as a buffer (``bytes`` or ``memoryview``).
 

@@ -25,6 +25,7 @@ from repro.obs.propagate import extract, inject
 from repro.obs.trace import TraceContext
 from repro.pbio.context import (
     HEADER_SIZE,
+    KIND_BATCH,
     KIND_DATA,
     KIND_FORMAT,
     KIND_REQUEST,
@@ -45,11 +46,17 @@ class RecordConnection:
         # Parked data messages await their format metadata; each rides
         # with the trace context (if any) it arrived with.
         self._parked: deque[tuple[bytes, TraceContext | None]] = deque()
+        # Records already decoded from a delivered batch message, handed
+        # out one per recv() call in batch order.
+        self._ready: deque[DecodedRecord] = deque()
         # Traffic accounting (bytes on the wire, split by purpose).
         self.data_bytes = 0
         self.metadata_bytes = 0
         self.data_messages = 0
         self.metadata_messages = 0
+        self.batch_messages = 0  # columnar batch messages sent
+        self.batch_records = 0  # records carried by sent batches
+        self.batches_received = 0
         #: Trace context piggybacked on the last data message received
         #: (None when the sender did not propagate one).
         self.last_trace: TraceContext | None = None
@@ -68,6 +75,27 @@ class RecordConnection:
         self.channel.send(message)
         self.data_bytes += len(message)
         self.data_messages += 1
+
+    def send_batch(self, fmt: IOFormat | str, records, *, use_numpy=None) -> int:
+        """Send ``records`` as one columnar batch message; returns the count.
+
+        Metadata is pushed first like :meth:`send`.  The batch frame is
+        handed to the channel as an iovec
+        (:meth:`~repro.transport.channel.Channel.send_batch`), so
+        scatter-gather transports never concatenate the column blocks.
+        Batch messages carry no trace piggyback (PROTOCOL §11 tags data
+        messages only), so their wire bytes are tracing-invariant.
+        """
+        if isinstance(fmt, str):
+            fmt = self.context.lookup_format(fmt)
+        self.announce(fmt)
+        parts = self.context.encode_batch_iov(fmt, records, use_numpy=use_numpy)
+        sent = self.channel.send_batch(parts)
+        self.data_bytes += sent
+        self.batch_messages += 1
+        count = len(records)
+        self.batch_records += count
+        return count
 
     def announce(self, fmt: IOFormat | str) -> bool:
         """Push ``fmt``'s metadata if this connection has not seen it.
@@ -99,9 +127,15 @@ class RecordConnection:
 
         Format-metadata messages are absorbed; format requests are
         answered; data messages with unknown format ids trigger a
-        request and are parked until the metadata arrives.
+        request and are parked until the metadata arrives.  Columnar
+        batch messages are expanded transparently: each record in the
+        batch is returned by one ``recv`` call, in batch order.
         """
         while True:
+            # Records left over from an already-delivered batch come
+            # first — they predate anything still on the wire.
+            if self._ready:
+                return self._ready.popleft()
             # Deliver the oldest parked data message once its format is
             # known — preserving FIFO order across the resolution stall.
             if self._parked:
@@ -109,8 +143,7 @@ class RecordConnection:
                 _, _, _, _, head_id = IOContext.parse_header(head)
                 if self.context.knows_format_id(head_id) or self._try_server(head_id):
                     self._parked.popleft()
-                    self.last_trace = head_trace
-                    return self.context.decode(head, expect=expect, mode=mode)
+                    return self._deliver(head, head_trace, expect, mode)
             message, trace = extract(self.channel.recv(timeout))
             kind, _, _, length, format_id = IOContext.parse_header(message)
             if kind == KIND_FORMAT:
@@ -119,17 +152,35 @@ class RecordConnection:
             if kind == KIND_REQUEST:
                 self._answer_request(format_id)
                 continue
-            if kind != KIND_DATA:
+            if kind not in (KIND_DATA, KIND_BATCH):
                 raise DecodeError(f"unexpected message kind {kind}")
             if self.context.knows_format_id(format_id) or self._try_server(format_id):
                 if self._parked:
                     # An earlier record is still stalled; keep order.
                     self._parked.append((message, trace))
                     continue
-                self.last_trace = trace
-                return self.context.decode(message, expect=expect, mode=mode)
+                return self._deliver(message, trace, expect, mode)
             self.channel.send(self.context.request_message(format_id))
             self._parked.append((message, trace))
+
+    def _deliver(self, message, trace, expect, mode) -> DecodedRecord:
+        """Decode one data or batch message; batches queue their tail."""
+        kind, _, _, _, _ = IOContext.parse_header(message)
+        self.last_trace = trace
+        if kind != KIND_BATCH:
+            return self.context.decode(message, expect=expect, mode=mode)
+        batch = self.context.decode_batch(message)
+        self.batches_received += 1
+        records = [
+            DecodedRecord(
+                format_name=batch.format_name,
+                values=values,
+                wire_format=batch.wire_format,
+            )
+            for values in batch.records
+        ]
+        self._ready.extend(records[1:])
+        return records[0]
 
     def _try_server(self, format_id: bytes) -> bool:
         try:

@@ -34,7 +34,12 @@ from repro.obs.instr import channel_handles
 from repro.obs.metrics import get_registry
 from repro.transport.channel import Channel
 from repro.wire.bufpool import get_pool
-from repro.wire.framing import ReceiveBuffer, frame_iov, read_frame_into
+from repro.wire.framing import (
+    ReceiveBuffer,
+    frame_iov,
+    frame_parts,
+    read_frame_into,
+)
 
 _HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
@@ -160,6 +165,34 @@ class TCPChannel(Channel):
             handles.send_frames.inc(count)
             handles.send_bytes.inc(total_bytes)
         return count
+
+    def send_batch(self, parts) -> int:
+        """Send one frame supplied as an iovec of parts; returns its length.
+
+        The scatter-gather flip side of :meth:`send_many`: where that
+        sends N messages in one syscall batch, this sends ONE message
+        (typically a columnar batch frame: header, column blocks, heap)
+        without ever concatenating the parts — the length prefix and
+        every part ride a single ``sendmsg`` iovec under one lock.
+        """
+        if self._closed:
+            raise ChannelClosedError("cannot send on a closed channel")
+        buffers = frame_parts(parts)
+        total = sum(len(part) for part in buffers) - len(buffers[0])
+        handles = _obs()
+        started = time.perf_counter() if handles is not None else 0.0
+        try:
+            with self._send_lock:
+                self._sendall_vectored(buffers)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise ChannelClosedError(f"peer closed the connection: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+        if handles is not None:
+            handles.send_seconds.observe(time.perf_counter() - started)
+            handles.send_frames.inc()
+            handles.send_bytes.inc(total)
+        return total
 
     def recv(self, timeout: float | None = None) -> bytes:
         return self._recv_outer(timeout, copy=True)
@@ -414,6 +447,11 @@ class ReconnectingTCPChannel(Channel):
         """
         batch = list(messages)
         return self._run(lambda channel: channel.send_many(batch))
+
+    def send_batch(self, parts) -> int:
+        """One-frame iovec send with redial-on-failure (see ``send_many``)."""
+        batch = list(parts)
+        return self._run(lambda channel: channel.send_batch(batch))
 
     def recv(self, timeout: float | None = None) -> bytes:
         """Receive, redialing (within budget) if the connection broke."""

@@ -68,6 +68,20 @@ def frame_iov(message) -> tuple[bytes, bytes]:
     return _LENGTH.pack(length), message
 
 
+def frame_parts(parts) -> list:
+    """Vectored framing of a message supplied as buffer parts.
+
+    Returns ``[header, *parts]`` where the header's length covers the
+    concatenation of every part — one frame on the wire, zero join
+    copies.  This is how columnar batch messages (built as an iovec of
+    prelude, column blocks and heap) reach scatter-gather senders.
+    """
+    length = sum(len(part) for part in parts)
+    if length > MAX_FRAME_SIZE:
+        raise WireError(f"message of {length} bytes exceeds frame limit")
+    return [_LENGTH.pack(length), *parts]
+
+
 def unframe(data) -> tuple:
     """Split one frame off the front of ``data``; returns (message, rest).
 

@@ -24,6 +24,7 @@ from repro.workloads.airline import (
     AirlineWorkload,
 )
 from repro.workloads.mining import MiningWorkload
+from repro.workloads.sink import BatchingSink
 from repro.workloads.synthetic import SyntheticWorkload, make_synthetic_schema
 from repro.workloads.weather import WeatherWorkload
 
@@ -32,6 +33,7 @@ __all__ = [
     "ASDOFF_B_SCHEMA",
     "ASDOFF_CD_SCHEMA",
     "AirlineWorkload",
+    "BatchingSink",
     "MiningWorkload",
     "SyntheticWorkload",
     "make_synthetic_schema",

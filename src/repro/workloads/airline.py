@@ -132,3 +132,11 @@ class AirlineWorkload:
     def stream_cd(self, count: int, eta_count: int = 3) -> Iterator[dict]:
         """``count`` Structure C/D records."""
         return (self.record_cd(eta_count) for _ in range(count))
+
+    def batch_a(self, count: int) -> list[dict]:
+        """``count`` Structure A records as a list, for ``send_batch``."""
+        return [self.record_a() for _ in range(count)]
+
+    def batch_b(self, count: int, eta_count: int = 3) -> list[dict]:
+        """``count`` Structure B records as a list, for ``send_batch``."""
+        return [self.record_b(eta_count) for _ in range(count)]

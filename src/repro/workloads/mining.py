@@ -76,3 +76,7 @@ class MiningWorkload:
     def stream(self, count: int) -> Iterator[dict]:
         """``count`` events."""
         return (self.record() for _ in range(count))
+
+    def batch(self, count: int) -> list[dict]:
+        """``count`` events as a list, ready for ``send_batch``."""
+        return [self.record() for _ in range(count)]

@@ -1,0 +1,98 @@
+"""Batch-aware sink: accumulate records, flush columnar batches.
+
+Capture points in Figure 1 produce records one at a time (an observation
+lands, a rule fires); the columnar bulk path wants them in batches.
+:class:`BatchingSink` bridges the two — feed it records and it flushes a
+columnar batch to its target every ``batch_size`` records (and on
+close), so per-record producers get bulk-stream wire efficiency without
+restructuring.
+
+The target is duck-typed: anything with ``send_batch(fmt, records)``
+(a :class:`~repro.transport.connection.RecordConnection`) or
+``publish_batch(fmt, records)`` (a :class:`~repro.events.Publisher`,
+:class:`~repro.events.remote.RemotePublisher`) works.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodeError
+
+
+class BatchingSink:
+    """Accumulates records for one format and flushes columnar batches.
+
+    Usage::
+
+        with BatchingSink(connection, fmt, batch_size=64) as sink:
+            for record in workload.stream(10_000):
+                sink.add(record)
+        # close() flushed the final partial batch
+
+    Counters: ``records_in`` (records accepted), ``batches_out``
+    (batches flushed), ``records_out`` (records flushed).
+    """
+
+    def __init__(self, target, fmt, *, batch_size: int = 64) -> None:
+        if batch_size < 1:
+            raise EncodeError("batch_size must be at least 1")
+        flush = getattr(target, "send_batch", None)
+        if flush is None:
+            flush = getattr(target, "publish_batch", None)
+        if flush is None:
+            raise EncodeError(
+                f"sink target {type(target).__name__} has neither "
+                f"send_batch nor publish_batch"
+            )
+        self._flush = flush
+        self.target = target
+        self.fmt = fmt
+        self.batch_size = batch_size
+        self._buffer: list[dict] = []
+        self.records_in = 0
+        self.batches_out = 0
+        self.records_out = 0
+
+    def add(self, record: dict) -> bool:
+        """Accept one record; returns True if a batch was flushed."""
+        self._buffer.append(record)
+        self.records_in += 1
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+            return True
+        return False
+
+    def extend(self, records) -> int:
+        """Accept many records; returns the number of batches flushed."""
+        flushed = 0
+        for record in records:
+            if self.add(record):
+                flushed += 1
+        return flushed
+
+    def flush(self) -> int:
+        """Flush the buffered records (if any) as one columnar batch."""
+        if not self._buffer:
+            return 0
+        batch = self._buffer
+        self._buffer = []
+        self._flush(self.fmt, batch)
+        self.batches_out += 1
+        count = len(batch)
+        self.records_out += count
+        return count
+
+    @property
+    def pending(self) -> int:
+        """Records buffered but not yet flushed."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Flush the final partial batch (the target stays open)."""
+        self.flush()
+
+    def __enter__(self) -> "BatchingSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if exc_info[0] is None:
+            self.close()

@@ -78,3 +78,7 @@ class WeatherWorkload:
     def stream(self, count: int) -> Iterator[dict]:
         """``count`` observations."""
         return (self.record() for _ in range(count))
+
+    def batch(self, count: int) -> list[dict]:
+        """``count`` observations as a list, ready for ``send_batch``."""
+        return [self.record() for _ in range(count)]

@@ -29,6 +29,13 @@ def main() -> int:
         vectors.data_path(name).write_bytes(data)
         vectors.meta_path(name).write_bytes(meta)
         print(f"{name}: data {len(data)} B, metadata {len(meta)} B")
+    for name in vectors.BATCH_VECTOR_NAMES:
+        context, fmt, _ = vectors.build(name)
+        for count in vectors.BATCH_SIZES:
+            records = vectors.batch_records(name, count)
+            message = context.encode_batch(fmt, records)
+            vectors.batch_path(name, count).write_bytes(message)
+            print(f"{name}: batch{count} {len(message)} B")
     return 0
 
 

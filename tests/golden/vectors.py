@@ -238,3 +238,68 @@ def data_path(name: str) -> Path:
 def meta_path(name: str) -> Path:
     """Checked-in framed metadata message for ``name``."""
     return VECTOR_DIR / f"{name}.meta.bin"
+
+
+# -- columnar batch vectors (PROTOCOL §14) -----------------------------------
+#
+# Two formats pin the columnar frame layout: ``asdoff_a`` (the Table 1
+# scalar structure — strings + fixed-width scalars) and ``telemetry``
+# (a dynamic array, including a zero-length row that pins the
+# NULL-offset encoding).  Two batch sizes: 1 (the degenerate batch) and
+# 64 (the bulk-stream sweet spot).  Records are index-deterministic and
+# representation-exact, like the single-record vectors above.
+
+#: Formats with pinned columnar batch frames.
+BATCH_VECTOR_NAMES = ("asdoff_a", "telemetry")
+
+#: Pinned batch sizes (1 = degenerate, 64 = bulk sweet spot).
+BATCH_SIZES = (1, 64)
+
+_BATCH_A_TUPLES = [
+    ("ZTL", "DL", "B757", "ATL", "MCO"),
+    ("ZNY", "UA", "B737", "EWR", "ORD"),
+    ("ZAU", "AA", "MD80", "ORD", "DFW"),
+    ("ZLA", "WN", "B737", "LAX", "PHX"),
+    ("ZFW", "CO", "MD11", "IAH", "SLC"),
+]
+
+_BATCH_STREAMS = ("engine-0/egt", "engine-1/egt", "engine-2/egt", "engine-3/egt")
+
+
+def _batch_record_a(index: int) -> dict:
+    cntr, arln, equip, org, dest = _BATCH_A_TUPLES[index % len(_BATCH_A_TUPLES)]
+    off = 954547200 + index * 60
+    return {
+        "cntrID": cntr, "arln": arln, "fltNum": 1000 + index,
+        "equip": equip, "org": org, "dest": dest,
+        "off": off, "eta": off + 7200,
+    }
+
+
+def _batch_record_telemetry(index: int) -> dict:
+    # index 0 yields count == 0: an empty dynamic array, pinning the
+    # NULL (zero) heap-offset encoding inside a batch.
+    count = index % 5
+    return {
+        "stream": _BATCH_STREAMS[index % len(_BATCH_STREAMS)],
+        "count": count,
+        # Quarters are exact in binary; values stay f32/f64-stable.
+        "samples": [index + 0.25 * j for j in range(count)],
+    }
+
+
+_BATCH_BUILDERS = {
+    "asdoff_a": _batch_record_a,
+    "telemetry": _batch_record_telemetry,
+}
+
+
+def batch_records(name: str, count: int) -> list[dict]:
+    """The pinned, index-deterministic record batch for one vector."""
+    builder = _BATCH_BUILDERS[name]
+    return [builder(index) for index in range(count)]
+
+
+def batch_path(name: str, count: int) -> Path:
+    """Checked-in columnar batch message for ``name`` at ``count`` rows."""
+    return VECTOR_DIR / f"{name}.batch{count}.bin"

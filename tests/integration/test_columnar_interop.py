@@ -1,0 +1,179 @@
+"""Cross-plane columnar interop: mixed batch/per-record traffic.
+
+One channel carries per-record data messages and columnar batch frames
+interleaved; the receiving side — on the *other* plane — must hand back
+the records in exactly the order they were sent, whichever frame type
+carried them.  A receiver that predates the batch frame type (modeled
+by the per-record ``decode`` API, the only one that existed before)
+must reject kind-4 frames with a typed :class:`DecodeError`, not
+misparse them.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import aio
+from repro.errors import DecodeError
+from repro.core.xml2wire import XML2Wire
+from repro.pbio.context import HEADER_SIZE, KIND_BATCH, KIND_FORMAT, IOContext
+from repro.transport import connect as sync_connect
+from repro.transport import listen as sync_listen
+from repro.transport.connection import RecordConnection
+from repro.workloads import AirlineWorkload, ASDOFF_B_SCHEMA
+
+
+def make_sender_context():
+    context = IOContext()
+    XML2Wire(context).register_schema(ASDOFF_B_SCHEMA)
+    return context, context.lookup_format("ASDOffEvent")
+
+
+def mixed_traffic():
+    """(kind, payload) steps: singles and batches interleaved."""
+    workload = AirlineWorkload(seed=11)
+    return [
+        ("single", workload.record_b()),
+        ("batch", workload.batch_b(5)),
+        ("single", workload.record_b(eta_count=1)),
+        ("batch", workload.batch_b(3, eta_count=0)),
+        ("single", workload.record_b(eta_count=4)),
+    ]
+
+
+def flatten(steps):
+    ordered = []
+    for kind, payload in steps:
+        if kind == "single":
+            ordered.append(payload)
+        else:
+            ordered.extend(payload)
+    return ordered
+
+
+class TestMixedTrafficAcrossPlanes:
+    def test_threaded_sender_async_receiver(self, arun):
+        steps = mixed_traffic()
+        expected = flatten(steps)
+
+        async def scenario():
+            listener = await aio.listen()
+            address = listener.address
+
+            def send_all():
+                context, fmt = make_sender_context()
+                channel = sync_connect(*address)
+                connection = RecordConnection(context, channel)
+                for kind, payload in steps:
+                    if kind == "single":
+                        connection.send(fmt, payload)
+                    else:
+                        connection.send_batch(fmt, payload)
+                channel.close()
+
+            sender = threading.Thread(target=send_all)
+            sender.start()
+            server = await listener.accept(timeout=5)
+            receiver = IOContext()
+            records = []
+            while len(records) < len(expected):
+                message = await server.recv(timeout=5)
+                kind, _, _, length, _ = IOContext.parse_header(message)
+                if kind == KIND_FORMAT:
+                    receiver.learn_format(
+                        message[HEADER_SIZE:HEADER_SIZE + length]
+                    )
+                elif kind == KIND_BATCH:
+                    records.extend(receiver.decode_batch(message))
+                else:
+                    records.append(receiver.decode(message).values)
+            sender.join(timeout=5)
+            await server.close()
+            await listener.close()
+            return records
+
+        assert arun(scenario()) == expected
+
+    def test_async_sender_threaded_receiver(self, arun):
+        steps = mixed_traffic()
+        expected = flatten(steps)
+        listener = sync_listen()
+        address = listener.address
+        received = []
+
+        def receive_all():
+            channel = listener.accept(timeout=5)
+            connection = RecordConnection(IOContext(), channel)
+            for _ in range(len(expected)):
+                received.append(connection.recv(timeout=5).values)
+            assert connection.batches_received == 2
+            channel.close()
+
+        consumer = threading.Thread(target=receive_all)
+        consumer.start()
+
+        async def send_all():
+            context, fmt = make_sender_context()
+            channel = await aio.connect(*address)
+            await channel.send(context.format_message(fmt))
+            for kind, payload in steps:
+                if kind == "single":
+                    await channel.send(context.encode(fmt, payload))
+                else:
+                    await channel.send_batch(
+                        context.encode_batch_iov(fmt, payload)
+                    )
+            await channel.flush()
+            # Hold the connection until the reader drains everything.
+            await asyncio.sleep(0)
+            while consumer.is_alive():
+                await asyncio.sleep(0.02)
+            await channel.close()
+
+        arun(send_all())
+        consumer.join(timeout=5)
+        listener.close()
+        assert received == expected
+
+
+class TestPrePR7Rejection:
+    """The per-record decode API — all a pre-batch receiver has — must
+    reject the new frame type as a typed error, not misparse it."""
+
+    def test_decode_rejects_batch_frame(self):
+        context, fmt = make_sender_context()
+        records = AirlineWorkload(seed=11).batch_b(4)
+        message = context.encode_batch(fmt, records)
+        receiver = IOContext()
+        receiver.learn_format(fmt.to_wire_metadata())
+        with pytest.raises(DecodeError) as excinfo:
+            receiver.decode(message)
+        assert "message kind 4" in str(excinfo.value)
+        # The error is per-message: the same receiver still decodes
+        # ordinary data messages afterwards.
+        single = AirlineWorkload(seed=11).record_b()
+        decoded = receiver.decode(context.encode(fmt, single))
+        assert decoded.values == single
+
+    def test_decode_view_rejects_batch_frame(self):
+        context, fmt = make_sender_context()
+        message = context.encode_batch(
+            fmt, AirlineWorkload(seed=11).batch_b(2)
+        )
+        receiver = IOContext()
+        receiver.learn_format(fmt.to_wire_metadata())
+        with pytest.raises(DecodeError):
+            receiver.decode_view(message)
+
+    def test_batch_api_rejects_data_frame(self):
+        """The mirror image: decode_batch on a per-record frame is a
+        typed error too."""
+        context, fmt = make_sender_context()
+        single = AirlineWorkload(seed=11).record_b()
+        message = context.encode(fmt, single)
+        receiver = IOContext()
+        receiver.learn_format(fmt.to_wire_metadata())
+        with pytest.raises(DecodeError) as excinfo:
+            receiver.decode_batch(message)
+        assert "expected a batch message" in str(excinfo.value)

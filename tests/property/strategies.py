@@ -144,3 +144,50 @@ def schema_and_record(draw, max_fields: int = 6, nested: bool = False):
         "</xsd:schema>\n"
     )
     return schema, "PropT", record
+
+
+@st.composite
+def schema_and_records(
+    draw, max_fields: int = 6, min_records: int = 1, max_records: int = 8
+):
+    """One schema plus a *batch* of records sharing its shape.
+
+    For the columnar codec: every record is drawn against the same field
+    specs, so dynamic-array lengths vary per row while the format stays
+    fixed.  Nesting is excluded — columnar batches reject nested formats
+    by contract.
+    """
+    field_count = draw(st.integers(1, max_fields))
+    names = draw(
+        st.lists(_NAMES, min_size=field_count, max_size=field_count, unique=True)
+    )
+    lines: list[str] = []
+    specs: list[tuple[str, tuple]] = []
+    for name in names:
+        line, spec = draw(element_spec(name))
+        lines.append("    " + line)
+        specs.append((name, spec))
+    batch_size = draw(st.integers(min_records, max_records))
+    records: list[dict] = []
+    for _ in range(batch_size):
+        record: dict = {}
+        for name, (shape, values, count) in specs:
+            if shape in ("scalar", "charbuf"):
+                record[name] = draw(values)
+            elif shape == "list":
+                record[name] = [draw(values) for _ in range(count)]
+            else:  # dynlist
+                length = draw(st.integers(0, 5))
+                record[name] = [draw(values) for _ in range(length)]
+                record[f"{name}_count"] = length
+        records.append(record)
+    body = "\n".join(lines)
+    schema = (
+        '<?xml version="1.0"?>\n'
+        f'<xsd:schema xmlns:xsd="{_XSD}">\n'
+        '  <xsd:complexType name="PropT">\n'
+        f"{body}\n"
+        "  </xsd:complexType>\n"
+        "</xsd:schema>\n"
+    )
+    return schema, "PropT", records

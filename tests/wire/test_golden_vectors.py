@@ -278,3 +278,130 @@ class TestGoldenAcrossChannels:
         _, _, _, length, _ = receiver.parse_header(meta)
         receiver.learn_format(meta[HEADER_SIZE:HEADER_SIZE + length])
         assert_matches_record(receiver.decode(message), record)
+
+
+@pytest.fixture(
+    params=[
+        (name, count)
+        for name in vectors.BATCH_VECTOR_NAMES
+        for count in vectors.BATCH_SIZES
+    ],
+    ids=lambda p: f"{p[0]}-batch{p[1]}",
+)
+def batch_vector(request):
+    """(name, context, fmt, records, golden_batch, golden_meta)."""
+    name, count = request.param
+    context, fmt, _ = vectors.build(name)
+    records = vectors.batch_records(name, count)
+    golden_batch = vectors.batch_path(name, count).read_bytes()
+    golden_meta = vectors.meta_path(name).read_bytes()
+    return name, context, fmt, records, golden_batch, golden_meta
+
+
+def _learned_receiver(golden_meta):
+    receiver = IOContext()
+    _, _, _, length, _ = receiver.parse_header(golden_meta)
+    receiver.learn_format(golden_meta[HEADER_SIZE:HEADER_SIZE + length])
+    return receiver
+
+
+class TestColumnarBatchVectors:
+    """The columnar batch frames (PROTOCOL §14) are byte-pinned too."""
+
+    def test_batch_message_matches_golden(self, batch_vector, fresh_registry):
+        _, context, fmt, records, golden_batch, _ = batch_vector
+        assert context.encode_batch(fmt, records) == golden_batch
+
+    def test_iov_parts_join_to_golden(self, batch_vector, fresh_registry):
+        _, context, fmt, records, golden_batch, _ = batch_vector
+        parts = context.encode_batch_iov(fmt, records)
+        assert b"".join(bytes(part) for part in parts) == golden_batch
+
+    def test_encode_identical_with_wire_tracing_enabled(
+        self, batch_vector, fresh_registry
+    ):
+        _, context, fmt, records, golden_batch, _ = batch_vector
+        set_wire_tracing(True)
+        with get_tracer().start_span("golden-batch-encode"):
+            assert context.encode_batch(fmt, records) == golden_batch
+
+    def test_batch_messages_never_carry_trace(self, batch_vector, fresh_registry):
+        # inject() tags data messages only (PROTOCOL §11): a batch frame
+        # passes through a tracing-enabled sender byte-identical.
+        _, _, _, _, golden_batch, _ = batch_vector
+        set_wire_tracing(True)
+        with get_tracer().start_span("batch"):
+            assert inject(golden_batch) == golden_batch
+
+    def test_receiver_decodes_golden_batch(self, batch_vector, fresh_registry):
+        _, _, _, records, golden_batch, golden_meta = batch_vector
+        receiver = _learned_receiver(golden_meta)
+        batch = receiver.decode_batch(golden_batch)
+        assert len(batch) == len(records)
+        for decoded, record in zip(batch, records):
+            assert_matches_record(decoded, record)
+
+    def test_pure_python_encode_matches_golden(self, batch_vector, fresh_registry):
+        _, context, fmt, records, golden_batch, _ = batch_vector
+        assert context.encode_batch(fmt, records, use_numpy=False) == golden_batch
+
+    def test_numpy_encode_matches_golden(self, batch_vector, fresh_registry):
+        pytest.importorskip("numpy")
+        _, context, fmt, records, golden_batch, _ = batch_vector
+        assert context.encode_batch(fmt, records, use_numpy=True) == golden_batch
+
+    def test_pure_python_decode_agrees(self, batch_vector, fresh_registry):
+        _, _, _, records, golden_batch, golden_meta = batch_vector
+        receiver = _learned_receiver(golden_meta)
+        batch = receiver.decode_batch(golden_batch, use_numpy=False)
+        for decoded, record in zip(batch, records):
+            assert_matches_record(decoded, record)
+
+    def test_threaded_plane_transits_golden_batch(
+        self, batch_vector, fresh_registry
+    ):
+        _, _, _, records, golden_batch, golden_meta = batch_vector
+        left, right = make_pipe()
+        left.send(golden_meta)
+        left.send(golden_batch)
+        receiver = IOContext()
+        meta = right.recv(timeout=5)
+        _, _, _, length, _ = receiver.parse_header(meta)
+        receiver.learn_format(meta[HEADER_SIZE:HEADER_SIZE + length])
+        data = right.recv(timeout=5)
+        assert data == golden_batch
+        for decoded, record in zip(receiver.decode_batch(data), records):
+            assert_matches_record(decoded, record)
+
+    @pytest.mark.parametrize("tracing", [False, True], ids=["plain", "traced"])
+    def test_async_plane_transits_golden_batch(
+        self, batch_vector, fresh_registry, arun, tracing
+    ):
+        _, context, fmt, records, golden_batch, golden_meta = batch_vector
+
+        async def scenario():
+            listener = await aio.listen()
+            client_task = asyncio.ensure_future(aio.connect(*listener.address))
+            server = await listener.accept(timeout=5)
+            client = await client_task
+            try:
+                if tracing:
+                    set_wire_tracing(True)
+                await client.send(golden_meta)
+                # Vectored send: the frame reaches the wire via the
+                # iovec path, yet must arrive byte-identical.
+                await client.send_batch(context.encode_batch_iov(fmt, records))
+                meta = await server.recv(timeout=5)
+                data = await server.recv(timeout=5)
+            finally:
+                await client.close()
+                await server.close()
+                await listener.close()
+            return meta, bytes(data)
+
+        meta, data = arun(scenario())
+        assert meta == golden_meta
+        assert data == golden_batch
+        receiver = _learned_receiver(meta)
+        for decoded, record in zip(receiver.decode_batch(data), records):
+            assert_matches_record(decoded, record)
