@@ -25,6 +25,13 @@ With ``--pr7`` it runs the columnar bulk-streaming suite (end-to-end
 per-record NDR vs columnar batch throughput over TCP, plus the
 codec-only A/B — see :mod:`benchmarks.test_columnar`) and writes
 ``BENCH_PR7.json``; ``--check`` gates on the ≥10x batch speedup floor.
+
+With ``--pr8`` it runs the multi-core serving plane suite (worker-pool
+fan-out throughput at 1/2/4 workers, shm vs loopback-TCP round-trip
+latency at 4 KiB — see :mod:`benchmarks.test_mp_scaling`) and writes
+``BENCH_PR8.json``; ``--check`` gates on the ≥1.8x scaling floor where
+the host has ≥4 cores and the ≥3x shm latency win where it has ≥2 —
+the JSON always records the core count the numbers were taken on.
 """
 
 from __future__ import annotations
@@ -416,6 +423,68 @@ def pr7_report(check: bool) -> int:
     return 1 if failures else 0
 
 
+def pr8_report(check: bool) -> int:
+    """Multi-core serving plane numbers -> BENCH_PR8.json (and console).
+
+    ``check`` turns the run into a no-regression gate: exit status 1 if
+    the 1→4 worker fan-out scaling falls under 1.8x (hosts with ≥4
+    cores) or the shm-over-TCP latency win under 3x at 4 KiB (hosts
+    with ≥2 cores).  On smaller hosts the floors do not apply — worker
+    processes time-slicing one core cannot scale and a spinning ring
+    cannot beat a blocking read — so the gate reports the numbers and
+    passes; the JSON records the core count either way.
+    """
+    import json
+    import os
+
+    from benchmarks.test_mp_scaling import (
+        SCALING_FLOOR,
+        SHM_SPEEDUP_FLOOR,
+        run_fanout_scaling,
+        run_shm_vs_tcp_latency,
+    )
+
+    heading("PR8 — multi-core serving plane")
+    latency = run_shm_vs_tcp_latency()
+    fanout = run_fanout_scaling()
+    print(f"{'host cores':<38}{latency['cores']:>24}")
+    print(f"{'shm round trip (4 KiB)':<38}{latency['shm_rtt_us']:>21.1f} us")
+    print(f"{'tcp round trip (4 KiB)':<38}{latency['tcp_rtt_us']:>21.1f} us")
+    print(f"{'shm over tcp':<38}{latency['speedup']:>23.2f}x")
+    for point in fanout["points"].values():
+        label = f"pool fan-out, {point['workers']} workers"
+        print(f"{label:<38}{point['requests_per_second']:>18.0f} req/s")
+    print(f"{'fan-out scaling 1 -> 4':<38}{fanout['scaling']:>23.2f}x")
+    results = {"latency": latency, "fanout": fanout}
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_PR8.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    if not check:
+        return 0
+    failures = []
+    if latency["gated"]:
+        if latency["speedup"] < SHM_SPEEDUP_FLOOR:
+            failures.append(
+                f"shm latency win {latency['speedup']:.2f}x < "
+                f"{SHM_SPEEDUP_FLOOR}x at 4 KiB"
+            )
+    else:
+        print("single core: shm latency floor not applicable, skipping")
+    if fanout["gated"]:
+        if fanout["scaling"] < SCALING_FLOOR:
+            failures.append(
+                f"fan-out scaling {fanout['scaling']:.2f}x < {SCALING_FLOOR}x"
+            )
+    else:
+        print(f"{fanout['cores']} core(s): scaling floor needs >= 4, skipping")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
 def main():
     print("repro benchmark report — paper: Widener/Schwan/Eisenhauer, "
           "ICDCS 2001 (GIT-CC-00-21)")
@@ -423,6 +492,8 @@ def main():
         raise SystemExit(pr5_report(check="--check" in sys.argv))
     if "--pr7" in sys.argv:
         raise SystemExit(pr7_report(check="--check" in sys.argv))
+    if "--pr8" in sys.argv:
+        raise SystemExit(pr8_report(check="--check" in sys.argv))
     print(f"mode: {'quick' if QUICK else 'full'}")
     table1()
     claims_performance()

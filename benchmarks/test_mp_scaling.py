@@ -1,0 +1,209 @@
+"""Multi-core serving plane — fan-out scaling and shm vs TCP latency (PR8).
+
+Two experiments back the worker-pool subsystem (PROTOCOL §15):
+
+- **fan-out scaling** — the same total HTTP request volume, driven by
+  client *processes* (the GIL would cap client threads at one core),
+  against pools of 1/2/4 workers sharing one port.  Acceptance: ≥1.8x
+  throughput from 1 to 4 workers — gated only on hosts with ≥4 cores,
+  since on fewer cores the workers time-slice one CPU and the kernel's
+  accept sharding cannot manufacture parallelism.
+- **shm vs TCP latency** — 4 KiB round trips against an echo child over
+  a :class:`~repro.mp.shm.ShmChannel` ring pair versus loopback TCP.
+  Acceptance: ≥3x faster — gated on ≥2 cores, because the ring's
+  spin-then-park wait degrades to timer granularity when producer and
+  consumer share one core, while blocking TCP reads context-switch
+  directly.
+
+CI smoke (about 30 seconds)::
+
+    python benchmarks/report.py --pr8 --check
+"""
+
+import os
+import time
+from multiprocessing import get_context
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransportError, TransportTimeoutError
+from repro.metaserver.client import http_get
+from repro.mp.pool import WorkerPool
+from repro.mp.shm import ShmChannel
+from repro.transport import connect, listen
+from repro.workloads import ASDOFF_B_SCHEMA
+
+_CTX = get_context("spawn")
+
+PAYLOAD_BYTES = 4096
+ROUND_TRIPS = 600
+WORKER_COUNTS = (1, 2, 4)
+CLIENT_PROCS = 4
+REQUESTS_PER_CLIENT = 60
+
+#: Acceptance floors (see ISSUE/ROADMAP); both are core-count gated.
+SCALING_FLOOR = 1.8
+SHM_SPEEDUP_FLOOR = 3.0
+
+CORES = os.cpu_count() or 1
+
+
+# -- spawn targets (top-level so the spawn start method can pickle them) -------
+
+def _shm_echo_child(uri):
+    channel = ShmChannel.attach(uri)
+    try:
+        while True:
+            try:
+                message = channel.recv(timeout=30.0)
+            except (ChannelClosedError, TransportTimeoutError):
+                break
+            channel.send(message)
+    finally:
+        channel.close()
+
+
+def _tcp_echo_child(host, port):
+    channel = connect(host, port)
+    try:
+        while True:
+            try:
+                message = channel.recv(timeout=30.0)
+            except (ChannelClosedError, TransportError):
+                break
+            channel.send(message)
+    finally:
+        channel.close()
+
+
+def _fanout_client(url, requests, barrier, queue):
+    barrier.wait(timeout=120)
+    started = time.perf_counter()
+    for _ in range(requests):
+        http_get(url, timeout=30.0)
+    queue.put(time.perf_counter() - started)
+
+
+# -- experiments ---------------------------------------------------------------
+
+def _time_round_trips(channel, round_trips):
+    payload = b"\xa5" * PAYLOAD_BYTES
+    for _ in range(50):  # warmup: page in the rings / prime the socket
+        channel.send(payload)
+        channel.recv(timeout=30.0)
+    started = time.perf_counter()
+    for _ in range(round_trips):
+        channel.send(payload)
+        channel.recv(timeout=30.0)
+    return (time.perf_counter() - started) / round_trips
+
+
+def run_shm_vs_tcp_latency(round_trips=ROUND_TRIPS):
+    """Round-trip latency A/B at 4 KiB: shm ring pair vs loopback TCP."""
+    channel, endpoint = ShmChannel.create(1 << 20)
+    child = _CTX.Process(
+        target=_shm_echo_child, args=(endpoint.uri(),), daemon=True
+    )
+    child.start()
+    shm_rtt = _time_round_trips(channel, round_trips)
+    channel.close()
+    child.join(timeout=10)
+
+    listener = listen()
+    host, port = listener.address
+    child = _CTX.Process(target=_tcp_echo_child, args=(host, port), daemon=True)
+    child.start()
+    server = listener.accept(timeout=10)
+    tcp_rtt = _time_round_trips(server, round_trips)
+    server.close()
+    listener.close()
+    child.join(timeout=10)
+
+    return {
+        "payload_bytes": PAYLOAD_BYTES,
+        "round_trips": round_trips,
+        "cores": CORES,
+        "shm_rtt_us": shm_rtt * 1e6,
+        "tcp_rtt_us": tcp_rtt * 1e6,
+        "speedup": tcp_rtt / shm_rtt,
+        "gated": CORES >= 2,
+    }
+
+
+def _pool_throughput(workers, clients, per_client):
+    with WorkerPool(workers=workers) as pool:
+        pool.publish_schema("/bench.xsd", ASDOFF_B_SCHEMA)
+        url = pool.url_for("/bench.xsd")
+        barrier = _CTX.Barrier(clients + 1)
+        queue = _CTX.Queue()
+        procs = [
+            _CTX.Process(
+                target=_fanout_client,
+                args=(url, per_client, barrier, queue),
+                daemon=True,
+            )
+            for _ in range(clients)
+        ]
+        for proc in procs:
+            proc.start()
+        barrier.wait(timeout=120)  # all clients spawned: fire together
+        elapsed = [queue.get(timeout=300) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=10)
+    # Aggregate rate over the straggler's window: every request in it.
+    return clients * per_client / max(elapsed)
+
+
+def run_fanout_scaling(
+    worker_counts=WORKER_COUNTS,
+    clients=CLIENT_PROCS,
+    per_client=REQUESTS_PER_CLIENT,
+):
+    """Pool throughput at each worker count, plus the 1→max scaling ratio."""
+    points = {}
+    for count in worker_counts:
+        rps = _pool_throughput(count, clients, per_client)
+        points[str(count)] = {"workers": count, "requests_per_second": rps}
+    baseline = points[str(worker_counts[0])]["requests_per_second"]
+    top = points[str(worker_counts[-1])]["requests_per_second"]
+    return {
+        "cores": CORES,
+        "clients": clients,
+        "requests_per_client": per_client,
+        "points": points,
+        "scaling": top / baseline,
+        "gated": CORES >= 4,
+    }
+
+
+# -- pytest entry points -------------------------------------------------------
+
+class TestShmVsTcpLatency:
+    def test_shm_round_trips_measure(self):
+        result = run_shm_vs_tcp_latency(round_trips=200)
+        print(
+            f"\nshm rtt {result['shm_rtt_us']:.1f}us  "
+            f"tcp rtt {result['tcp_rtt_us']:.1f}us  "
+            f"speedup {result['speedup']:.2f}x ({result['cores']} cores)"
+        )
+        assert result["shm_rtt_us"] > 0
+        assert result["tcp_rtt_us"] > 0
+        if result["gated"]:
+            assert result["speedup"] >= SHM_SPEEDUP_FLOOR
+
+
+class TestFanoutScaling:
+    def test_pool_serves_under_client_storm(self):
+        rps = _pool_throughput(workers=2, clients=2, per_client=25)
+        print(f"\n2-worker pool: {rps:.0f} req/s")
+        assert rps > 0
+
+    @pytest.mark.skipif(CORES < 4, reason="scaling floor needs >= 4 cores")
+    def test_scaling_floor_at_four_workers(self):
+        result = run_fanout_scaling()
+        for point in result["points"].values():
+            print(
+                f"\n{point['workers']} workers: "
+                f"{point['requests_per_second']:.0f} req/s"
+            )
+        assert result["scaling"] >= SCALING_FLOOR

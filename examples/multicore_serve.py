@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""The multi-core serving plane: worker pools plus shared-memory rings.
+
+Part 1 boots a :class:`~repro.mp.pool.WorkerPool` — N worker processes
+sharing one listening port (``SO_REUSEPORT`` kernel accept sharding
+where the platform has it, an accept-handoff dealer otherwise) — and
+shows the three things that make it a pool rather than N servers:
+
+- requests land on *different* workers (``GET /mp/worker``),
+- a publish through any entry point is visible on every worker,
+- a SIGKILL'd worker respawns with the full catalog snapshot, so the
+  crash loses no documents.
+
+Part 2 runs the PBIO connection protocol from
+``heterogeneous_pair.py`` over a :class:`~repro.mp.shm.ShmChannel` —
+two shared-memory SPSC rings instead of a socket.  The child process
+is a simulated SPARC machine; records cross process boundaries with
+no syscalls or copies on the data path, and the receiver decodes them
+straight out of ring memory via ``recv_view``.
+
+Run:  PYTHONPATH=src python examples/multicore_serve.py
+"""
+
+import json
+import os
+import signal
+import time
+from multiprocessing import get_context
+
+from repro import IOContext, RecordConnection, SPARC_32, X86_64, XML2Wire
+from repro.metaserver.client import http_get, http_post
+from repro.mp.pool import WorkerPool
+from repro.mp.shm import ShmChannel
+from repro.workloads import ASDOFF_B_SCHEMA, MiningWorkload
+
+RECORDS = 5
+
+
+def wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise TimeoutError("condition not met within %.1fs" % timeout)
+
+
+# -- part 1: the worker pool ----------------------------------------------------
+
+def pool_tour() -> None:
+    with WorkerPool(workers=2) as pool:
+        print(f"[pool] {pool.mode} mode, {len(pool.status().workers)} workers "
+              f"on {pool.host}:{pool.port}")
+
+        # Publish through the parent: both workers serve it immediately.
+        url = pool.publish_schema("/schemas/asdoff.xsd", ASDOFF_B_SCHEMA)
+        assert http_get(url) == ASDOFF_B_SCHEMA.encode("utf-8")
+        print(f"[pool] published {url}")
+
+        # Distinct client connections land on distinct workers.
+        seen = set()
+        for _ in range(40):
+            seen.add(json.loads(http_get(pool.url_for("/mp/worker")))["worker"])
+            if len(seen) == 2:
+                break
+        print(f"[pool] requests sharded across workers {sorted(seen)}")
+
+        # Publish *through a worker*: it flows worker -> parent -> the
+        # other worker, so any entry point keeps the catalog coherent.
+        http_post(pool.url_for("/mp/publish?path=/late/doc"), b"<late/>",
+                  content_type="application/xml")
+        wait_until(lambda: http_get(pool.url_for("/late/doc")) == b"<late/>")
+        print("[pool] client POST /mp/publish visible pool-wide")
+
+        # Kill a worker the hard way.  The monitor respawns it and
+        # replays the snapshot before it serves, so nothing is lost.
+        victim = pool.status().workers[0].pid
+        print(f"[pool] *** SIGKILL worker pid {victim} ***")
+        os.kill(victim, signal.SIGKILL)
+        wait_until(lambda: pool.status().total_respawns >= 1)
+        wait_until(lambda: pool.status().alive == 2)
+        assert http_get(url) == ASDOFF_B_SCHEMA.encode("utf-8")
+        assert http_get(pool.url_for("/late/doc")) == b"<late/>"
+        status = pool.status()
+        print(f"[pool] respawned: {status.alive}/2 alive, "
+              f"{status.total_respawns} respawn(s), no documents lost")
+
+
+# -- part 2: records over shared-memory rings -----------------------------------
+
+def shm_producer(uri: str) -> None:
+    """Spawn target: a 'SPARC' machine streaming records into the ring."""
+    context = IOContext(SPARC_32)
+    XML2Wire(context).register_schema(MiningWorkload.schema)
+    workload = MiningWorkload(seed=21)
+    connection = RecordConnection(context, ShmChannel.attach(uri))
+    for _ in range(RECORDS):
+        connection.send("RuleDiscovery", workload.record())
+    connection.close()
+
+
+def shm_tour() -> None:
+    channel, endpoint = ShmChannel.create()
+    producer = get_context("spawn").Process(
+        target=shm_producer, args=(endpoint.uri(),), daemon=True
+    )
+    producer.start()
+
+    connection = RecordConnection(IOContext(X86_64), channel)
+    print(f"[shm] attached {endpoint.uri()}")
+    for index in range(RECORDS):
+        values = connection.recv(timeout=10).values
+        print(f"[shm] #{index + 1} rule {values['rule_id']}: "
+              f"{values['antecedent']} => {values['consequent']}")
+    stats = channel.stats()
+    print(f"[shm] {stats['recv']['frames']} frames, "
+          f"{stats['recv']['bytes']} B received — no sockets involved")
+    connection.close()
+    producer.join(timeout=10)
+
+
+def main() -> None:
+    pool_tour()
+    print()
+    shm_tour()
+    print("\ndone: multi-core pool + shared-memory transport OK")
+
+
+if __name__ == "__main__":
+    main()

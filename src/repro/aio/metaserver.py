@@ -43,9 +43,11 @@ class AsyncMetadataServer:
         port: int = 0,
         *,
         catalog: MetadataCatalog | None = None,
+        reuse_port: bool = False,
     ) -> None:
         self._host = host
         self._port = port
+        self._reuse_port = reuse_port
         self.catalog = catalog if catalog is not None else MetadataCatalog()
         self._server: asyncio.base_events.Server | None = None
         self._stopping = asyncio.Event()
@@ -94,7 +96,13 @@ class AsyncMetadataServer:
         # A deep accept backlog is the async plane's point: one loop can
         # absorb a synchronized connect storm from hundreds of clients.
         self._server = await asyncio.start_server(
-            self._on_connection, self._host, self._port, backlog=1024
+            self._on_connection,
+            self._host,
+            self._port,
+            backlog=1024,
+            # SO_REUSEPORT lets N worker processes (PROTOCOL §15) share
+            # one port with kernel accept sharding.
+            reuse_port=self._reuse_port or None,
         )
         return self
 

@@ -132,6 +132,22 @@ class BrokerServer:
 
     # -- connection handling --------------------------------------------------
 
+    def serve_channel(self, channel: Channel) -> None:
+        """Serve a subscriber/publisher over an already-connected channel.
+
+        The broker protocol is channel-agnostic; this entry point is how
+        co-located clients skip TCP entirely and attach over an
+        :class:`~repro.mp.shm.ShmChannel` (PROTOCOL §15): create a pair,
+        hand one end here, drive the other with
+        :class:`RemoteBackboneClient`.  Spawns the same reader/delivery
+        threads as an accepted connection and returns immediately.
+        """
+        self.connections_served += 1
+        worker = threading.Thread(
+            target=self._serve_connection, args=(channel,), daemon=True
+        )
+        worker.start()
+
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
             try:

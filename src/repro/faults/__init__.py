@@ -25,17 +25,21 @@ reconnect in :mod:`repro.transport.tcp`.
 from repro.faults.channel import FaultyChannel, corrupt_bytes
 from repro.faults.plan import (
     CHANNEL_FAULTS,
+    POOL_FAULTS,
     SERVER_FAULTS,
     FaultEvent,
     FaultPlan,
+    PoolFaultPlan,
     ServerFaultPlan,
 )
 
 __all__ = [
     "CHANNEL_FAULTS",
+    "POOL_FAULTS",
     "SERVER_FAULTS",
     "FaultEvent",
     "FaultPlan",
+    "PoolFaultPlan",
     "ServerFaultPlan",
     "FaultyChannel",
     "corrupt_bytes",

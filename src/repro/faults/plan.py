@@ -41,6 +41,9 @@ CHANNEL_FAULTS = ("reset", "timeout", "drop", "corrupt", "delay")
 #: Server fault kinds.
 SERVER_FAULTS = ("error", "hang", "truncate")
 
+#: Worker-pool fault kinds.
+POOL_FAULTS = ("crash",)
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -227,3 +230,45 @@ class ServerFaultPlan(_BasePlan):
     def decide(self) -> str | None:
         """The fault to inject on this request, or None for a clean answer."""
         return self._decide("request")
+
+
+class PoolFaultPlan(_BasePlan):
+    """Fault schedule for a :class:`~repro.mp.pool.WorkerPool` monitor.
+
+    The pool's monitor thread calls :meth:`decide` once per supervision
+    tick; a ``crash`` decision hard-kills one worker (round-robin by
+    tick index), exercising the respawn + catalog re-sync path exactly
+    reproducibly from the seed.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the probabilistic draw.
+    crash:
+        Per-tick probability of killing a worker (0 disables; use
+        :meth:`~repro.faults.plan._BasePlan.on` for an exact tick).
+    max_crashes:
+        Stop injecting after this many kills (so a chaos run converges
+        instead of flapping forever); ``None`` for unlimited.
+    """
+
+    kinds = POOL_FAULTS
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        crash: float = 0.0,
+        max_crashes: int | None = None,
+    ) -> None:
+        super().__init__(seed, {"crash": crash})
+        if max_crashes is not None and max_crashes < 0:
+            raise ReproError("max_crashes must be non-negative")
+        self.max_crashes = max_crashes
+
+    def decide(self) -> str | None:
+        """The fault to inject on this supervision tick, or None."""
+        if self.max_crashes is not None and self.counts["crash"] >= self.max_crashes:
+            self._count += 1  # keep the tick index advancing
+            return None
+        return self._decide("tick")

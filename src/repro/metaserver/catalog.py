@@ -40,7 +40,7 @@ class MetadataCatalog:
         self._documents: dict[str, str] = {}
         self._dynamic: dict[str, DynamicHandler] = {}
         self._format_server: FormatServer | None = None
-        self._cluster_handler: Callable[[HTTPRequest], HTTPResponse] | None = None
+        self._prefix_handlers: dict[str, Callable[[HTTPRequest], HTTPResponse]] = {}
         self._lock = threading.Lock()
 
     # -- publication -----------------------------------------------------------
@@ -75,6 +75,23 @@ class MetadataCatalog:
         """The attached format server, if any."""
         return self._format_server
 
+    def attach_prefix_handler(
+        self, prefix: str, handler: Callable[[HTTPRequest], HTTPResponse]
+    ) -> None:
+        """Route every request whose path starts with ``prefix`` (any
+        method, including POST) to ``handler``.
+
+        Prefix handlers answer *before* the GET-only gate and the
+        document tables, which is how control surfaces — the cluster
+        peer-sync protocol (§13) and the worker-pool catalog-sync
+        protocol (§15) — ride on the same front ends as the documents.
+        Catalogs without a handler answer 404 under the prefix exactly
+        as before, so plain deployments are unaffected.
+        """
+        if not prefix.startswith("/"):
+            raise DiscoveryError(f"prefixes must start with '/', got {prefix!r}")
+        self._prefix_handlers[prefix] = handler
+
     def attach_cluster_handler(
         self, handler: Callable[[HTTPRequest], HTTPResponse]
     ) -> None:
@@ -82,16 +99,32 @@ class MetadataCatalog:
 
         Registered by a :class:`~repro.cluster.node.ClusterNode`; every
         front end serving this catalog then speaks the peer-sync
-        protocol of PROTOCOL.md §13.  Catalogs without a handler answer
-        404 for ``/cluster/*`` exactly as before, so single-server
-        deployments are unaffected.
+        protocol of PROTOCOL.md §13.  Shorthand for
+        :meth:`attach_prefix_handler` with the ``/cluster/`` prefix.
         """
-        self._cluster_handler = handler
+        self.attach_prefix_handler("/cluster/", handler)
 
     def paths(self) -> list[str]:
         """Every published path (static and dynamic)."""
         with self._lock:
             return sorted(set(self._documents) | set(self._dynamic))
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, str]:
+        """The static documents as a picklable ``{path: text}`` dict.
+
+        Dynamic handlers, the format server, and prefix handlers are
+        process-local callables and are *not* captured — each worker
+        re-attaches its own (PROTOCOL §15.3).
+        """
+        with self._lock:
+            return dict(self._documents)
+
+    def load_snapshot(self, documents: dict[str, str]) -> None:
+        """Replace the static documents with ``documents`` atomically."""
+        with self._lock:
+            self._documents = dict(documents)
 
     # -- request handling ------------------------------------------------------
 
@@ -101,15 +134,16 @@ class MetadataCatalog:
             request = HTTPRequest.parse(raw)
         except DiscoveryError:
             return HTTPResponse(400, body=b"malformed request")
-        if (
-            self._cluster_handler is not None
-            and request.path.split("?", 1)[0].startswith("/cluster/")
-        ):
-            # Peer-sync traffic (may POST); everything else stays GET-only.
-            try:
-                return self._cluster_handler(request)
-            except Exception as exc:
-                return HTTPResponse(500, body=f"cluster handler failed: {exc}".encode())
+        bare_path = request.path.split("?", 1)[0]
+        for prefix, handler in self._prefix_handlers.items():
+            if bare_path.startswith(prefix):
+                # Control traffic (may POST); everything else stays GET-only.
+                try:
+                    return handler(request)
+                except Exception as exc:
+                    return HTTPResponse(
+                        500, body=f"{prefix} handler failed: {exc}".encode()
+                    )
         if request.method not in ("GET", "HEAD"):
             return HTTPResponse(405, body=b"only GET is supported")
         response = self.lookup(request)

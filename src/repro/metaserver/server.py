@@ -66,8 +66,13 @@ class MetadataServer:
         port: int = 0,
         *,
         catalog: MetadataCatalog | None = None,
+        listener: TCPListener | None = None,
     ) -> None:
-        self._listener = TCPListener(host, port)
+        # ``listener`` injects a pre-bound acceptor: a worker pool hands
+        # in an SO_REUSEPORT-bound listener (or the accept-handoff shim,
+        # which duck-types ``accept``/``address``/``close``) so N server
+        # instances can share one port (PROTOCOL §15).
+        self._listener = listener if listener is not None else TCPListener(host, port)
         self.catalog = catalog if catalog is not None else MetadataCatalog()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None

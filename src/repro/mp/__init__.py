@@ -1,0 +1,38 @@
+"""Multi-core serving plane (PROTOCOL §15).
+
+One Python process is one GIL; "fast as the hardware allows" means
+escaping it.  This package adds the two halves of the multi-core story:
+
+- :mod:`~repro.mp.ring` / :mod:`~repro.mp.shm` — ``ShmChannel``, a
+  :class:`~repro.transport.channel.Channel` over
+  ``multiprocessing.shared_memory`` SPSC ring buffers (one ring per
+  direction).  Co-located endpoints exchange the exact NDR and columnar
+  batch frames of the stream transports with **zero syscalls and zero
+  intermediate copies** on the steady path: ``send_batch`` writes its
+  iovec parts straight into the ring, ``recv_view`` returns a borrowed
+  view of ring memory.
+- :mod:`~repro.mp.pool` — ``WorkerPool``, a multi-worker server runner:
+  N processes bind the same port via ``SO_REUSEPORT`` (kernel accept
+  sharding), with a single-listener accept-handoff fallback where the
+  option is unsupported.  Workers share the
+  :class:`~repro.metaserver.catalog.MetadataCatalog` through a control
+  channel, so a registration on any worker is visible on all, survives
+  a worker crash (respawn + catalog re-sync), and is observable through
+  per-worker :mod:`repro.obs` series.
+"""
+
+from repro.mp.pool import PoolStatus, WorkerPool, WorkerStatus, reuseport_available
+from repro.mp.ring import DEFAULT_CAPACITY, RingBuffer, RingStats
+from repro.mp.shm import ShmChannel, ShmEndpoint
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "PoolStatus",
+    "RingBuffer",
+    "RingStats",
+    "ShmChannel",
+    "ShmEndpoint",
+    "WorkerPool",
+    "WorkerStatus",
+    "reuseport_available",
+]

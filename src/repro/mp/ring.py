@@ -1,0 +1,430 @@
+"""A single-producer/single-consumer ring buffer in shared memory.
+
+This is the intra-host transport primitive of PROTOCOL §15: one
+``multiprocessing.shared_memory`` block holds a small control header and
+a power-of-two data region; the producer appends length-prefixed frames,
+the consumer takes them out, and neither side makes a syscall on the
+steady path.
+
+Layout (all integers little-endian, offsets in bytes)::
+
+    0    u64  head      monotonic write cursor — producer-owned
+    64   u64  tail      monotonic read cursor  — consumer-owned
+    128  u8   producer_closed
+    129  u8   consumer_closed
+    132  u32  capacity  data-region size (sanity-checked on attach)
+    136  u32  magic     0x52494E47 ("RING")
+    192  ...  data region (``capacity`` bytes)
+
+``head`` and ``tail`` never wrap; a cursor's position in the data region
+is ``cursor % capacity``.  Each lives alone in a 64-byte line so the two
+writers never share one.  Publication order is seqlock-style: the
+producer writes payload bytes first and the 8-byte aligned ``head``
+last, the consumer reads ``head`` first and payload after — on the
+strongly-ordered platforms CPython runs shared memory on, an aligned
+8-byte store is a single atomic ``memcpy`` and the consumer can never
+observe a frame before its bytes.
+
+Frames are ``u32 length`` + payload, padded to 4-byte alignment, and
+always **contiguous** in the data region (that is what lets
+:meth:`RingBuffer.pop` hand out a borrowed ``memoryview`` with no
+reassembly).  When a frame does not fit in the space before the region's
+end, the producer writes the wrap marker ``0xFFFFFFFF`` (or, with fewer
+than 4 bytes left, nothing at all) and restarts at offset 0; the
+consumer skips to the next lap on seeing either.  A frame therefore may
+occupy at most half the capacity.
+
+Waiting is futex-free: a short pure spin (cheap when the peer runs on
+another core), then ``sleep(0)`` yields, then parked micro-sleeps with a
+stall counter — so a saturated ring degrades to polling instead of
+burning a core, and a stalled ring is visible in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+from repro.errors import ChannelClosedError, TransportError, TransportTimeoutError
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+_HEAD_OFF = 0
+_TAIL_OFF = 64
+_PROD_CLOSED_OFF = 128
+_CONS_CLOSED_OFF = 129
+_CAPACITY_OFF = 132
+_MAGIC_OFF = 136
+_MAGIC = 0x52494E47  # "RING"
+
+#: First data byte; the control header occupies three 64-byte lines.
+DATA_OFF = 192
+
+#: Default data-region size per direction (1 MiB).
+DEFAULT_CAPACITY = 1 << 20
+
+#: Frame length prefix marking "skip to the next lap".
+_WRAP = 0xFFFFFFFF
+
+# Wait-strategy knobs: spin, then yield, then park.
+_SPINS = 200
+_YIELDS = 50
+_PARK_SECONDS = 0.0001
+
+
+@dataclass
+class RingStats:
+    """Local (per-process) operation counters for one ring end."""
+
+    frames: int = 0
+    bytes: int = 0
+    stalls: int = 0  # times a push/pop had to park (not spin) for the peer
+    wraps: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters (one direction of ``ShmChannel.stats()``)."""
+        return {
+            "frames": self.frames,
+            "bytes": self.bytes,
+            "stalls": self.stalls,
+            "wraps": self.wraps,
+        }
+
+
+@dataclass
+class _Borrow:
+    """Bytes of the data region still on loan to a ``pop(copy=False)`` view."""
+
+    advance: int = 0
+    view: memoryview | None = field(default=None, repr=False)
+
+
+def _align4(n: int) -> int:
+    return (n + 3) & ~3
+
+
+class RingBuffer:
+    """One direction of shared-memory frame flow; see the module docstring.
+
+    A process uses a ring as *either* producer or consumer, never both;
+    the owning :class:`~repro.mp.shm.ShmChannel` enforces single-caller
+    access with its channel locks.  :meth:`create` allocates and
+    initializes the block; :meth:`attach` maps an existing one by name.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, *, owner: bool) -> None:
+        self._shm = shm
+        self._buf = shm.buf
+        self._owner = owner
+        self._detached = False
+        self._unlinked = False
+        (self.capacity,) = _U32.unpack_from(self._buf, _CAPACITY_OFF)
+        (magic,) = _U32.unpack_from(self._buf, _MAGIC_OFF)
+        if magic != _MAGIC:
+            raise TransportError(
+                f"shared memory block {shm.name!r} is not a ring "
+                f"(bad magic 0x{magic:08X})"
+            )
+        self._data = self._buf[DATA_OFF : DATA_OFF + self.capacity]
+        #: Largest frame payload this ring can carry (PROTOCOL §15.1).
+        self.max_message = self.capacity // 2 - 8
+        self.stats = RingStats()
+        self._borrow = _Borrow()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_CAPACITY, name: str | None = None) -> "RingBuffer":
+        """Allocate and initialize a fresh ring of ``capacity`` data bytes."""
+        if capacity < 4096 or capacity % 4:
+            raise TransportError(
+                f"ring capacity must be a multiple of 4 and >= 4096, got {capacity}"
+            )
+        shm = shared_memory.SharedMemory(name=name, create=True, size=DATA_OFF + capacity)
+        buf = shm.buf
+        buf[:DATA_OFF] = bytes(DATA_OFF)
+        _U32.pack_into(buf, _CAPACITY_OFF, capacity)
+        _U32.pack_into(buf, _MAGIC_OFF, _MAGIC)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "RingBuffer":
+        """Map an existing ring created by a peer process."""
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block name (pass to :meth:`attach`)."""
+        return self._shm.name
+
+    # -- cursor plumbing -------------------------------------------------------
+
+    def _head(self) -> int:
+        return _U64.unpack_from(self._buf, _HEAD_OFF)[0]
+
+    def _tail(self) -> int:
+        return _U64.unpack_from(self._buf, _TAIL_OFF)[0]
+
+    def _set_head(self, value: int) -> None:
+        _U64.pack_into(self._buf, _HEAD_OFF, value)
+
+    def _set_tail(self, value: int) -> None:
+        _U64.pack_into(self._buf, _TAIL_OFF, value)
+
+    @property
+    def producer_closed(self) -> bool:
+        return bool(self._buf[_PROD_CLOSED_OFF])
+
+    @property
+    def consumer_closed(self) -> bool:
+        return bool(self._buf[_CONS_CLOSED_OFF])
+
+    def depth(self) -> int:
+        """Unconsumed bytes currently in the ring (approximate, racy)."""
+        return self._head() - self._tail()
+
+    # -- producer side ---------------------------------------------------------
+
+    def push(self, parts, timeout: float | None = None) -> int:
+        """Append one frame whose payload is the concatenation of ``parts``.
+
+        Blocks (spin → yield → park) until the frame fits; the payload
+        parts are copied exactly once each, directly into ring memory —
+        no join, no framing allocation, no syscall.  Returns the payload
+        length.  Raises
+        :class:`~repro.errors.ChannelClosedError` if the consumer end
+        closed (the frame cannot ever be read) and
+        :class:`~repro.errors.TransportTimeoutError` on timeout — the
+        ring itself stays consistent either way.
+        """
+        if self.consumer_closed:
+            raise ChannelClosedError("ring consumer closed; frame undeliverable")
+        if self.producer_closed:
+            raise ChannelClosedError("cannot push on a closed ring")
+        length = sum(len(part) for part in parts)
+        if length > self.max_message:
+            raise TransportError(
+                f"message of {length} bytes exceeds the ring's "
+                f"{self.max_message}-byte frame limit"
+            )
+        padded = _align4(4 + length)
+        capacity = self.capacity
+        head = self._head()
+        pos = head % capacity
+        room_to_end = capacity - pos
+        skip = 0 if padded <= room_to_end else room_to_end
+        needed = skip + padded
+        if capacity - (head - self._tail()) < needed:
+            self._wait_for_space(head, needed, timeout)
+        data = self._data
+        if skip:
+            if room_to_end >= 4:
+                _U32.pack_into(data, pos, _WRAP)
+            head += skip
+            pos = 0
+            self.stats.wraps += 1
+        _U32.pack_into(data, pos, length)
+        cursor = pos + 4
+        for part in parts:
+            size = len(part)
+            if size:
+                data[cursor : cursor + size] = part
+                cursor += size
+        # Publish last: the consumer never sees head move before the
+        # frame bytes above are in place.
+        self._set_head(head + padded)
+        self.stats.frames += 1
+        self.stats.bytes += length
+        return length
+
+    def _wait_for_space(self, head: int, needed: int, timeout: float | None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        parked = False
+        while True:
+            if self.consumer_closed:
+                raise ChannelClosedError("ring consumer closed; frame undeliverable")
+            if self.producer_closed:
+                raise ChannelClosedError("cannot push on a closed ring")
+            if self.capacity - (head - self._tail()) >= needed:
+                return
+            spins += 1
+            if spins <= _SPINS:
+                continue
+            if spins <= _SPINS + _YIELDS:
+                time.sleep(0)
+                continue
+            if not parked:
+                parked = True
+                self.stats.stalls += 1
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TransportTimeoutError(
+                    f"ring full: push timed out after {timeout}s "
+                    f"({needed} bytes needed)"
+                )
+            time.sleep(_PARK_SECONDS)
+
+    def close_producer(self) -> None:
+        """Mark the producer end closed (consumer drains, then sees EOF)."""
+        self._buf[_PROD_CLOSED_OFF] = 1
+
+    # -- consumer side ---------------------------------------------------------
+
+    def pop(self, timeout: float | None = None, *, copy: bool = True):
+        """Take the next frame; ``bytes`` when copying, else a borrowed view.
+
+        With ``copy=False`` the returned ``memoryview`` aliases ring
+        memory and its bytes stay valid only until the *next* ``pop`` on
+        this ring: consuming the frame is deferred, so the producer
+        cannot overwrite it while the view is live, and the next call
+        releases the loan (and, in debug mode via the channel layer,
+        revokes the view).  Raises
+        :class:`~repro.errors.ChannelClosedError` on a drained ring
+        whose producer closed, :class:`~repro.errors.TransportTimeoutError`
+        on timeout.
+        """
+        self.release_borrow()
+        capacity = self.capacity
+        data = self._data
+        tail = self._tail()
+        consumed = 0
+        head = self._wait_for_data(tail, timeout)
+        while True:
+            pos = tail % capacity
+            room_to_end = capacity - pos
+            if room_to_end < 4:
+                tail += room_to_end
+                consumed += room_to_end
+                self.stats.wraps += 1
+                head = self._wait_for_data(tail, timeout)
+                continue
+            (length,) = _U32.unpack_from(data, pos)
+            if length == _WRAP:
+                tail += room_to_end
+                consumed += room_to_end
+                self.stats.wraps += 1
+                head = self._wait_for_data(tail, timeout)
+                continue
+            break
+        padded = _align4(4 + length)
+        view = data[pos + 4 : pos + 4 + length]
+        self.stats.frames += 1
+        self.stats.bytes += length
+        if copy:
+            message = bytes(view)
+            self._set_tail(tail + padded)
+            return message
+        # Publish any wrap-skip consumption now (it carries no data),
+        # but keep ``tail`` parked before the frame itself: the producer
+        # sees the bytes as unconsumed and cannot clobber the loan.
+        if consumed:
+            self._set_tail(tail)
+        self._borrow.advance = padded
+        self._borrow.view = view
+        return view
+
+    def release_borrow(self) -> None:
+        """Return the outstanding ``pop(copy=False)`` loan, if any."""
+        borrow = self._borrow
+        if borrow.advance:
+            self._set_tail(self._tail() + borrow.advance)
+            borrow.advance = 0
+            borrow.view = None
+
+    def invalidate_borrow(self) -> None:
+        """Release the loan AND revoke the handed-out view (debug mode)."""
+        view = self._borrow.view
+        self.release_borrow()
+        if view is not None:
+            try:
+                view.release()
+            except ValueError:
+                pass  # caller holds sub-views; those we cannot revoke
+
+    def _wait_for_data(self, tail: int, timeout: float | None) -> int:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        parked = False
+        while True:
+            head = self._head()
+            if head > tail:
+                return head
+            if self.producer_closed:
+                raise ChannelClosedError("ring closed with no pending frames")
+            if self.consumer_closed:
+                raise ChannelClosedError("cannot pop on a closed ring")
+            spins += 1
+            if spins <= _SPINS:
+                continue
+            if spins <= _SPINS + _YIELDS:
+                time.sleep(0)
+                continue
+            if not parked:
+                parked = True
+                self.stats.stalls += 1
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TransportTimeoutError(f"ring empty: pop timed out after {timeout}s")
+            time.sleep(_PARK_SECONDS)
+
+    def close_consumer(self) -> None:
+        """Mark the consumer end closed (producer pushes fail fast)."""
+        self._buf[_CONS_CLOSED_OFF] = 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Drop this process's mapping; the block itself survives."""
+        if self._detached:
+            return
+        self._detached = True
+        self.invalidate_borrow()
+        try:
+            self._data.release()
+            self._shm.close()
+        except BufferError:
+            # The caller still holds borrowed views into the mapping;
+            # it stays alive until they are garbage-collected.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the block from the system (owner side, idempotent)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        # ``SharedMemory.unlink`` also unregisters from the resource
+        # tracker — but an attacher sharing our tracker process (spawned
+        # child) already unregistered this name via :func:`_untrack`.
+        # Re-register first so the unregister inside ``unlink`` always
+        # balances instead of logging a KeyError in the tracker.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Stop the resource tracker from 'cleaning up' an attached block.
+
+    On 3.10–3.12 ``SharedMemory(name=...)`` registers the segment with
+    the attaching process's resource tracker, which then unlinks it at
+    interpreter exit — under the *owner*, who is still using it
+    (bpo-39959).  Attach-side mappings must therefore unregister; the
+    creator keeps its registration so crashed owners still get cleaned.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass

@@ -30,9 +30,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="metaserve",
         description="Publish a directory of XML Schema documents over HTTP.",
     )
-    parser.add_argument("directory", help="directory containing *.xsd files")
+    parser.add_argument(
+        "directory",
+        nargs="?",
+        help="directory containing *.xsd files (not needed with --status)",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve from a pool of N worker processes sharing the port "
+        "(SO_REUSEPORT where available, accept-handoff fallback)",
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="query a running pool's /mp/status at --host:--port, print "
+        "the worker health JSON, and exit",
+    )
     parser.add_argument(
         "--check",
         action="store_true",
@@ -179,13 +197,92 @@ async def serve_async(args: argparse.Namespace, catalog: MetadataCatalog) -> int
     return 0
 
 
+def show_status(args: argparse.Namespace) -> int:
+    """Print a running pool's ``/mp/status`` health JSON and exit."""
+    import json
+
+    from repro.metaserver.client import http_get
+
+    if args.port == 0:
+        print("metaserve: error: --status needs --port", file=sys.stderr)
+        return 1
+    url = f"http://{args.host}:{args.port}/mp/status"
+    try:
+        body = http_get(url)
+    except ReproError as exc:
+        print(f"metaserve: error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        status = json.loads(body)
+    except ValueError:
+        print(f"metaserve: error: {url} did not return JSON", file=sys.stderr)
+        return 1
+    print(json.dumps(status, indent=2))
+    return 0
+
+
+def serve_pool(args: argparse.Namespace, directory: Path) -> int:
+    """Serve from a multi-core worker pool until interrupted."""
+    from repro.mp.pool import WorkerPool
+
+    pool = WorkerPool(
+        args.host,
+        args.port,
+        args.workers,
+        plane="async" if args.use_async else "threaded",
+    )
+    pool.start()
+    pool.wait_ready()
+    try:
+        urls = publish_directory(pool, directory, args.check)
+    except ReproError as exc:
+        print(f"metaserve: error: {exc}", file=sys.stderr)
+        pool.stop()
+        return 1
+    if not urls:
+        print(f"metaserve: warning: no *.xsd files in {directory}", file=sys.stderr)
+    for url in urls:
+        print(f"serving {url}")
+    if args.metrics:
+        print(f"metrics at {pool.url_for('/metrics')}")
+    host, port = pool.address
+    print(
+        f"metadata pool listening on {host}:{port} "
+        f"({args.workers} workers, {pool.mode} mode, Ctrl-C to stop; "
+        f"status: metaserve --status --port {port})"
+    )
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    pool.stop()
+    print("stopped")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.status:
+        return show_status(args)
+    if args.directory is None:
+        print("metaserve: error: directory is required (unless --status)",
+              file=sys.stderr)
+        return 1
     directory = Path(args.directory)
     if not directory.is_dir():
         print(f"metaserve: error: {directory} is not a directory", file=sys.stderr)
         return 1
+    if args.workers > 1:
+        if args.cluster:
+            print("metaserve: error: --workers and --cluster are exclusive",
+                  file=sys.stderr)
+            return 1
+        try:
+            return serve_pool(args, directory)
+        except ReproError as exc:
+            print(f"metaserve: error: {exc}", file=sys.stderr)
+            return 1
     if args.cluster:
         if args.use_async:
             print("metaserve: error: --cluster serves from the threaded plane; "

@@ -50,6 +50,25 @@ try:
 except (AttributeError, ValueError, OSError):
     _IOV_MAX = 1024
 
+# Debug switch for the recv_view ownership contract (PROTOCOL §12): when
+# enabled, the next recv on a channel *revokes* the previously returned
+# borrowed view, so stale use raises ValueError instead of silently
+# reading whatever the recycled buffer holds now.  Costs one attribute
+# check per receive when off; enable in tests via set_recv_view_debug or
+# the REPRO_DEBUG_RECV_VIEW environment variable.
+_view_debug = [os.environ.get("REPRO_DEBUG_RECV_VIEW", "") not in ("", "0")]
+
+
+def set_recv_view_debug(enabled: bool) -> None:
+    """Toggle stale-``recv_view`` revocation on every zero-copy channel."""
+    _view_debug[0] = bool(enabled)
+
+
+def recv_view_debug_enabled() -> bool:
+    """Whether stale borrowed views are revoked on the next receive."""
+    return _view_debug[0]
+
+
 # Memo of the bound series for the current default registry; swapped
 # registries (tests) re-resolve on first use.
 _obs_memo = [None]
@@ -88,6 +107,7 @@ class TCPChannel(Channel):
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._rbuf = ReceiveBuffer(get_pool())
+        self._debug_view: memoryview | None = None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def _sendall_vectored(self, buffers) -> None:
@@ -201,12 +221,27 @@ class TCPChannel(Channel):
         """Zero-copy receive: a ``memoryview`` into the channel's buffer.
 
         The view is valid only until the next ``recv``/``recv_view`` on
-        this channel (or its close) overwrites the buffer under it —
-        decode or ``bytes()`` it before reading again (PROTOCOL §12).
+        this channel (or its close) overwrites or recycles the buffer
+        under it — decode or ``bytes()`` it before reading again
+        (PROTOCOL §12).  Holding a view across the next receive is a
+        contract violation that normally fails *silently* (the bytes
+        become whatever arrived next, or whatever another pooled channel
+        wrote into the recycled buffer); with
+        :func:`set_recv_view_debug` enabled, the next receive revokes
+        the stale view so any later access raises ``ValueError``.
         Intended for single-reader consumers; with competing readers,
         use :meth:`recv`.
         """
         return self._recv_outer(timeout, copy=False)
+
+    def _invalidate_debug_view(self) -> None:
+        """Revoke the previously handed-out view (debug mode only)."""
+        stale, self._debug_view = self._debug_view, None
+        if stale is not None:
+            try:
+                stale.release()
+            except ValueError:
+                pass  # caller took sub-views; those we cannot revoke
 
     def _recv_outer(self, timeout: float | None, *, copy: bool):
         if self._closed:
@@ -221,8 +256,13 @@ class TCPChannel(Channel):
         handles = _obs()
         started = time.perf_counter() if handles is not None else 0.0
         try:
+            debug = _view_debug[0]
+            if debug:
+                self._invalidate_debug_view()
             view = self._recv_locked(timeout)
             message = bytes(view) if copy else view
+            if debug and not copy:
+                self._debug_view = view
         finally:
             self._recv_lock.release()
         if handles is not None:
@@ -280,6 +320,8 @@ class TCPChannel(Channel):
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if _view_debug[0]:
+                self._invalidate_debug_view()
             try:
                 self._sock.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -299,9 +341,21 @@ class TCPChannel(Channel):
 class TCPListener:
     """A listening socket handing out :class:`TCPChannel` connections."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 16,
+        *,
+        reuse_port: bool = False,
+    ) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                self._sock.close()
+                raise TransportError("SO_REUSEPORT unsupported on this platform")
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         try:
             self._sock.bind((host, port))
         except OSError as exc:
@@ -349,6 +403,12 @@ def connect(host: str, port: int, timeout: float | None = 5.0) -> TCPChannel:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as exc:
         raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+    if sock.getsockname() == sock.getpeername():
+        # TCP simultaneous-open: dialing a free port in the ephemeral
+        # range can land on itself when the kernel picks the target as
+        # the source port.  Nothing real is listening — treat as refused.
+        sock.close()
+        raise TransportError(f"cannot connect to {host}:{port}: self-connection")
     sock.settimeout(None)
     return TCPChannel(sock)
 

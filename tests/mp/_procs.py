@@ -1,0 +1,45 @@
+"""Spawn targets for the multi-process tests.
+
+These live in a plain helper module (no pytest import) so
+``multiprocessing``'s spawn start method can unpickle them in the child
+by importing ``tests.mp._procs`` — the test modules themselves are
+rewritten by pytest's assertion hook and are not safe spawn targets.
+"""
+
+from __future__ import annotations
+
+
+def shm_echo(uri: str) -> None:
+    """Attach to ``uri`` and echo every frame until the peer closes."""
+    from repro.errors import ChannelClosedError, TransportTimeoutError
+    from repro.mp.shm import ShmChannel
+
+    channel = ShmChannel.attach(uri)
+    try:
+        while True:
+            try:
+                message = channel.recv(timeout=10.0)
+            except (ChannelClosedError, TransportTimeoutError):
+                break
+            channel.send(message)
+    finally:
+        channel.close()
+
+
+def shm_sum_lengths(uri: str) -> None:
+    """Consume frames, replying with the running byte total per frame."""
+    from repro.errors import ChannelClosedError, TransportTimeoutError
+    from repro.mp.shm import ShmChannel
+
+    channel = ShmChannel.attach(uri)
+    total = 0
+    try:
+        while True:
+            try:
+                view = channel.recv_view(timeout=10.0)
+            except (ChannelClosedError, TransportTimeoutError):
+                break
+            total += len(view)
+            channel.send(str(total).encode())
+    finally:
+        channel.close()

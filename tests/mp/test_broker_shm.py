@@ -1,0 +1,89 @@
+"""Event-backbone fan-out over shared memory (PROTOCOL §15.2).
+
+The broker protocol is channel-agnostic; these tests attach co-located
+subscribers/publishers to a :class:`~repro.events.remote.BrokerServer`
+over :class:`~repro.mp.shm.ShmChannel` pairs instead of TCP sockets —
+the zero-syscall path for same-host event delivery.
+"""
+
+import pytest
+
+from repro.arch import SPARC_32, X86_64
+from repro.events.remote import BrokerServer, RemoteBackboneClient
+from repro.mp.shm import ShmChannel
+from repro.pbio import IOContext, IOField
+
+
+def track_fields(arch):
+    return [
+        IOField("flight", "string", arch.pointer_size, 0),
+        IOField("alt", "integer", 4, arch.pointer_size),
+    ]
+
+
+@pytest.fixture
+def broker():
+    with BrokerServer() as running:
+        yield running
+
+
+def attach_shm_client(broker, arch, register=True):
+    """A broker client whose transport is a shared-memory pair."""
+    ours, theirs = ShmChannel.pair(1 << 16)
+    broker.serve_channel(theirs)
+    context = IOContext(arch)
+    if register:
+        context.register_format("track", track_fields(arch))
+    return RemoteBackboneClient(ours, context)
+
+
+class TestShmBackbone:
+    def test_publish_subscribe_over_shm(self, broker):
+        subscriber = attach_shm_client(broker, X86_64, register=False)
+        subscriber.subscribe("flights.*")
+        publisher_client = attach_shm_client(broker, SPARC_32)
+        publisher = publisher_client.publisher("flights.atl")
+        publisher.publish("track", {"flight": "DL1", "alt": 31000})
+        event = subscriber.next_event(timeout=5)
+        assert event.stream == "flights.atl"
+        assert event.values == {"flight": "DL1", "alt": 31000}
+        subscriber.close()
+        publisher_client.close()
+
+    def test_shm_and_tcp_clients_share_streams(self, broker):
+        """A TCP publisher's events reach an shm subscriber unchanged."""
+        shm_subscriber = attach_shm_client(broker, X86_64, register=False)
+        shm_subscriber.subscribe("mixed")
+        context = IOContext(SPARC_32)
+        context.register_format("track", track_fields(SPARC_32))
+        tcp_client = RemoteBackboneClient.connect(*broker.address, context)
+        tcp_client.publisher("mixed").publish(
+            "track", {"flight": "TCP1", "alt": 100}
+        )
+        event = shm_subscriber.next_event(timeout=5)
+        assert event.values == {"flight": "TCP1", "alt": 100}
+        shm_subscriber.close()
+        tcp_client.close()
+
+    def test_fan_out_to_many_shm_subscribers(self, broker):
+        subscribers = [
+            attach_shm_client(broker, X86_64, register=False) for _ in range(3)
+        ]
+        for subscriber in subscribers:
+            subscriber.subscribe("wide")
+        publisher_client = attach_shm_client(broker, SPARC_32)
+        publisher = publisher_client.publisher("wide")
+        for i in range(10):
+            publisher.publish("track", {"flight": f"F{i}", "alt": i})
+        for subscriber in subscribers:
+            alts = [subscriber.next_event(timeout=5).values["alt"] for _ in range(10)]
+            assert alts == list(range(10))
+        for subscriber in subscribers:
+            subscriber.close()
+        publisher_client.close()
+
+    def test_connections_served_counts_shm_attaches(self, broker):
+        before = broker.connections_served
+        client = attach_shm_client(broker, X86_64)
+        assert broker.connections_served == before + 1
+        client.close()

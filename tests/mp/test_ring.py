@@ -1,0 +1,201 @@
+"""Unit tests for the SPSC shared-memory ring buffer (PROTOCOL §15.1)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransportError, TransportTimeoutError
+from repro.mp.ring import DEFAULT_CAPACITY, RingBuffer
+
+
+@pytest.fixture
+def ring():
+    """A producer/consumer mapping pair over one 4 KiB ring."""
+    producer = RingBuffer.create(4096)
+    consumer = RingBuffer.attach(producer.name)
+    try:
+        yield producer, consumer
+    finally:
+        consumer.detach()
+        producer.detach()
+        producer.unlink()
+
+
+class TestFraming:
+    def test_roundtrip(self, ring):
+        producer, consumer = ring
+        producer.push((b"hello",))
+        assert consumer.pop(timeout=1.0) == b"hello"
+
+    def test_multipart_push_is_one_frame(self, ring):
+        producer, consumer = ring
+        producer.push((b"abc", b"", b"def"))
+        assert consumer.pop(timeout=1.0) == b"abcdef"
+
+    def test_empty_frame(self, ring):
+        producer, consumer = ring
+        producer.push((b"",))
+        assert consumer.pop(timeout=1.0) == b""
+
+    def test_order_preserved(self, ring):
+        producer, consumer = ring
+        for i in range(100):
+            producer.push((b"m%03d" % i,))
+        for i in range(100):
+            assert consumer.pop(timeout=1.0) == b"m%03d" % i
+
+    def test_unaligned_lengths_stay_framed(self, ring):
+        producer, consumer = ring
+        for size in (1, 2, 3, 5, 7, 13, 63, 255):
+            producer.push((b"x" * size,))
+            assert consumer.pop(timeout=1.0) == b"x" * size
+
+    def test_wrap_around_many_laps(self, ring):
+        producer, consumer = ring
+        message = b"y" * 1000  # ~4 frames per lap of a 4 KiB ring
+        for i in range(50):
+            producer.push((message,))
+            assert consumer.pop(timeout=1.0) == message
+        assert producer.stats.wraps > 0
+        assert consumer.stats.wraps > 0
+
+    def test_largest_frame_accepted(self, ring):
+        producer, consumer = ring
+        biggest = b"z" * (4096 // 2 - 8)
+        producer.push((biggest,))
+        assert consumer.pop(timeout=1.0) == biggest
+
+    def test_oversized_frame_rejected(self, ring):
+        producer, _ = ring
+        with pytest.raises(TransportError, match="exceeds"):
+            producer.push((b"z" * (4096 // 2 - 7),))
+
+
+class TestBorrowedViews:
+    def test_borrow_reads_ring_memory(self, ring):
+        producer, consumer = ring
+        producer.push((b"borrowed",))
+        view = consumer.pop(timeout=1.0, copy=False)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"borrowed"
+
+    def test_borrow_defers_tail_until_next_pop(self, ring):
+        producer, consumer = ring
+        producer.push((b"first",))
+        view = consumer.pop(timeout=1.0, copy=False)
+        # The loaned frame is still unconsumed from the producer's view.
+        assert consumer.depth() > 0
+        assert bytes(view) == b"first"
+        producer.push((b"second",))
+        assert consumer.pop(timeout=1.0) == b"second"
+
+    def test_release_borrow_returns_space(self, ring):
+        producer, consumer = ring
+        producer.push((b"loan",))
+        consumer.pop(timeout=1.0, copy=False)
+        consumer.release_borrow()
+        assert consumer.depth() == 0
+
+    def test_invalidate_borrow_revokes_view(self, ring):
+        producer, consumer = ring
+        producer.push((b"stale-to-be",))
+        view = consumer.pop(timeout=1.0, copy=False)
+        consumer.invalidate_borrow()
+        with pytest.raises(ValueError):
+            bytes(view)
+
+
+class TestLifecycle:
+    def test_pop_timeout_on_empty_ring(self, ring):
+        _, consumer = ring
+        with pytest.raises(TransportTimeoutError):
+            consumer.pop(timeout=0.05)
+
+    def test_push_timeout_on_full_ring(self, ring):
+        producer, _ = ring
+        chunk = b"f" * 1024
+        with pytest.raises(TransportTimeoutError):
+            for _ in range(10):  # capacity is 4 KiB: must fill within 4
+                producer.push((chunk,), timeout=0.05)
+
+    def test_producer_close_drains_then_eof(self, ring):
+        producer, consumer = ring
+        producer.push((b"last-words",))
+        producer.close_producer()
+        assert consumer.pop(timeout=1.0) == b"last-words"
+        with pytest.raises(ChannelClosedError):
+            consumer.pop(timeout=1.0)
+
+    def test_consumer_close_fails_push_fast(self, ring):
+        producer, consumer = ring
+        consumer.close_consumer()
+        with pytest.raises(ChannelClosedError):
+            producer.push((b"undeliverable",))
+
+    def test_blocked_push_unblocked_by_consumption(self, ring):
+        producer, consumer = ring
+        filler = b"f" * 1500
+        producer.push((filler,))
+        producer.push((filler,))  # ring now nearly full
+        done = threading.Event()
+
+        def pusher():
+            producer.push((filler,), timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=pusher, daemon=True)
+        thread.start()
+        assert consumer.pop(timeout=1.0) == filler
+        assert done.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+
+    def test_attach_validates_magic(self):
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=8192)
+        try:
+            with pytest.raises(TransportError, match="is not a ring"):
+                RingBuffer.attach(block.name)
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_capacity_validation(self):
+        with pytest.raises(TransportError):
+            RingBuffer.create(100)  # below the 4 KiB floor
+        with pytest.raises(TransportError):
+            RingBuffer.create(4098)  # not a multiple of 4
+
+    def test_default_capacity_sane(self):
+        assert DEFAULT_CAPACITY >= 1 << 20
+
+    def test_detach_is_idempotent(self):
+        ring = RingBuffer.create(4096)
+        ring.detach()
+        ring.detach()
+        ring.unlink()
+        ring.unlink()
+
+
+class TestStats:
+    def test_counters_track_frames_and_bytes(self, ring):
+        producer, consumer = ring
+        producer.push((b"12345",))
+        producer.push((b"678",))
+        consumer.pop(timeout=1.0)
+        consumer.pop(timeout=1.0)
+        assert producer.stats.frames == 2
+        assert producer.stats.bytes == 8
+        assert consumer.stats.frames == 2
+        assert consumer.stats.bytes == 8
+        assert set(producer.stats.as_dict()) == {
+            "frames", "bytes", "stalls", "wraps",
+        }
+
+    def test_depth_tracks_unconsumed_bytes(self, ring):
+        producer, consumer = ring
+        assert producer.depth() == 0
+        producer.push((b"x" * 100,))
+        assert producer.depth() == 104  # u32 length prefix + payload
+        consumer.pop(timeout=1.0)
+        assert consumer.depth() == 0

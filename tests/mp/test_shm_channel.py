@@ -1,0 +1,225 @@
+"""Tests for :class:`repro.mp.shm.ShmChannel` (PROTOCOL §15.2)."""
+
+from multiprocessing import get_context
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransportError
+from repro.mp.shm import ShmChannel, ShmEndpoint
+from repro.transport import connect_channel, listen, set_recv_view_debug
+
+from tests.mp import _procs
+
+_CTX = get_context("spawn")
+
+
+@pytest.fixture
+def pair():
+    end_a, end_b = ShmChannel.pair(8192)
+    try:
+        yield end_a, end_b
+    finally:
+        end_a.close()
+        end_b.close()
+
+
+class TestRoundtrip:
+    def test_send_recv_both_directions(self, pair):
+        end_a, end_b = pair
+        end_a.send(b"a-to-b")
+        end_b.send(b"b-to-a")
+        assert end_b.recv(timeout=1.0) == b"a-to-b"
+        assert end_a.recv(timeout=1.0) == b"b-to-a"
+
+    def test_send_many_one_frame_each(self, pair):
+        end_a, end_b = pair
+        count = end_a.send_many([b"one", b"two", b"three"])
+        assert count == 3
+        assert [end_b.recv(timeout=1.0) for _ in range(3)] == [
+            b"one", b"two", b"three",
+        ]
+
+    def test_send_batch_is_single_frame(self, pair):
+        end_a, end_b = pair
+        total = end_a.send_batch([b"prelude", b"", b"columns", b"heap"])
+        assert total == len(b"preludecolumnsheap")
+        assert end_b.recv(timeout=1.0) == b"preludecolumnsheap"
+
+    def test_recv_view_borrows_ring_memory(self, pair):
+        end_a, end_b = pair
+        end_a.send(b"view-me")
+        view = end_b.recv_view(timeout=1.0)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"view-me"
+
+    def test_stats_and_depths_exposed(self, pair):
+        end_a, end_b = pair
+        end_a.send(b"x" * 10)
+        stats = end_a.stats()
+        assert stats["send"]["frames"] == 1
+        assert stats["send"]["bytes"] == 10
+        assert end_a.depths()["send"] > 0
+        end_b.recv(timeout=1.0)
+        assert end_b.depths()["recv"] == 0
+
+
+class TestRecvViewDebug:
+    def test_stale_view_revoked_on_next_recv(self, pair):
+        end_a, end_b = pair
+        set_recv_view_debug(True)
+        try:
+            end_a.send(b"first")
+            end_a.send(b"second")
+            first = end_b.recv_view(timeout=1.0)
+            assert bytes(first) == b"first"
+            second = end_b.recv_view(timeout=1.0)
+            assert bytes(second) == b"second"
+            with pytest.raises(ValueError):
+                bytes(first)
+        finally:
+            set_recv_view_debug(False)
+
+    def test_default_mode_keeps_alias_semantics(self, pair):
+        end_a, end_b = pair
+        end_a.send(b"first")
+        first = end_b.recv_view(timeout=1.0)
+        end_a.send(b"second")
+        end_b.recv(timeout=1.0)
+        # Without debug mode the stale view still reads *something* (the
+        # documented hazard); it must not raise.
+        bytes(first)
+
+
+class TestLifecycle:
+    def test_send_on_closed_channel(self):
+        end_a, end_b = ShmChannel.pair(8192)
+        end_a.close()
+        with pytest.raises(ChannelClosedError):
+            end_a.send(b"late")
+        with pytest.raises(ChannelClosedError):
+            end_a.recv(timeout=0.1)
+        end_b.close()
+
+    def test_peer_close_drains_then_eof(self):
+        end_a, end_b = ShmChannel.pair(8192)
+        end_a.send(b"parting-gift")
+        end_a.close()
+        assert end_b.recv(timeout=1.0) == b"parting-gift"
+        with pytest.raises(ChannelClosedError):
+            end_b.recv(timeout=1.0)
+        with pytest.raises(ChannelClosedError):
+            end_b.send(b"to-nobody")
+        end_b.close()
+
+    def test_close_is_idempotent(self):
+        end_a, end_b = ShmChannel.pair(8192)
+        end_b.close()
+        end_b.close()
+        end_a.close()
+        end_a.close()
+        assert end_a.closed and end_b.closed
+
+
+class TestEndpoint:
+    def test_uri_roundtrip(self):
+        endpoint = ShmEndpoint(a2b="blk_a", b2a="blk_b", capacity=16384)
+        assert endpoint.uri() == "shm://blk_a,blk_b,16384"
+        assert ShmEndpoint.parse(endpoint.uri()) == endpoint
+
+    def test_parse_rejects_wrong_scheme(self):
+        with pytest.raises(TransportError, match="not an shm://"):
+            ShmEndpoint.parse("tcp://127.0.0.1:80")
+
+    @pytest.mark.parametrize("uri", [
+        "shm://only_one", "shm://a,b", "shm://a,b,notanumber", "shm://a,b,4096,x",
+    ])
+    def test_parse_rejects_malformed(self, uri):
+        with pytest.raises(TransportError, match="malformed"):
+            ShmEndpoint.parse(uri)
+
+
+class TestConnectChannel:
+    def test_shm_scheme_attaches_peer_end(self):
+        end_a, endpoint = ShmChannel.create(8192)
+        end_b = connect_channel(endpoint.uri())
+        try:
+            end_b.send(b"dialed-by-uri")
+            assert end_a.recv(timeout=1.0) == b"dialed-by-uri"
+        finally:
+            end_b.close()
+            end_a.close()
+
+    def test_tcp_scheme_dials_socket(self):
+        listener = listen()
+        host, port = listener.address
+        client = connect_channel(f"tcp://{host}:{port}")
+        server = listener.accept(timeout=5)
+        try:
+            client.send(b"over-tcp")
+            assert server.recv(timeout=5) == b"over-tcp"
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    @pytest.mark.parametrize("endpoint", [
+        "tcp://nohost", "tcp://:1234", "tcp://h:notaport", "udp://h:1",
+    ])
+    def test_rejects_malformed_endpoints(self, endpoint):
+        with pytest.raises(TransportError):
+            connect_channel(endpoint)
+
+
+class TestCrossProcess:
+    def test_echo_through_spawned_child(self):
+        end_a, endpoint = ShmChannel.create(1 << 16)
+        child = _CTX.Process(target=_procs.shm_echo, args=(endpoint.uri(),))
+        child.start()
+        try:
+            for i in range(20):
+                message = b"ping-%02d" % i + b"." * (i * 37)
+                end_a.send(message)
+                assert end_a.recv(timeout=10.0) == message
+        finally:
+            end_a.close()
+            child.join(timeout=10)
+            assert child.exitcode == 0
+
+    def test_child_recv_view_sees_every_byte(self):
+        end_a, endpoint = ShmChannel.create(1 << 16)
+        child = _CTX.Process(
+            target=_procs.shm_sum_lengths, args=(endpoint.uri(),)
+        )
+        child.start()
+        sent = 0
+        try:
+            for size in (0, 1, 100, 4096):
+                end_a.send(b"z" * size)
+                sent += size
+                assert end_a.recv(timeout=10.0) == str(sent).encode()
+        finally:
+            end_a.close()
+            child.join(timeout=10)
+            assert child.exitcode == 0
+
+
+class TestObservability:
+    def test_shm_plane_counters_and_gauges(self, fresh_registry):
+        end_a, end_b = ShmChannel.pair(8192)
+        try:
+            end_a.send(b"x" * 64)
+            assert end_b.recv(timeout=1.0) == b"x" * 64
+        finally:
+            end_a.close()
+            end_b.close()
+        snap = fresh_registry.snapshot()
+        frames = snap["transport_frames_total"]
+        assert frames[(("plane", "shm"), ("direction", "send"))] == 1
+        assert frames[(("plane", "shm"), ("direction", "recv"))] == 1
+        sent = snap["transport_bytes_total"][
+            (("plane", "shm"), ("direction", "send"))
+        ]
+        assert sent == 64
+        depth = snap["shm_ring_depth_bytes"]
+        assert (("direction", "send"),) in depth
+        assert depth[(("direction", "recv"),)] == 0

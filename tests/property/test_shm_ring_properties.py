@@ -1,0 +1,147 @@
+"""Property-based invariants for the shared-memory SPSC ring.
+
+For any sequence of payloads and any interleaving of copying and
+borrowing pops:
+
+- the consumer sees exactly the produced payloads, in order, byte for
+  byte (frames never split, merge, or alias each other across laps);
+- cursor invariants hold at every step: ``tail <= head`` and
+  ``head - tail <= capacity``;
+- a borrowed view is stable until the next pop, and revocation makes
+  stale access raise instead of silently reading recycled bytes.
+"""
+
+from contextlib import contextmanager
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.mp.ring import RingBuffer
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+CAPACITY = 4096
+
+payloads = st.lists(
+    st.binary(min_size=0, max_size=CAPACITY // 2 - 8),
+    min_size=1,
+    max_size=30,
+)
+
+
+@contextmanager
+def fresh_ring():
+    """A producer/consumer mapping pair, rebuilt for every example."""
+    producer = RingBuffer.create(CAPACITY)
+    consumer = RingBuffer.attach(producer.name)
+    try:
+        yield producer, consumer
+    finally:
+        consumer.detach()
+        producer.detach()
+        producer.unlink()
+
+
+def check_cursors(end):
+    head, tail = end._head(), end._tail()
+    assert tail <= head
+    assert head - tail <= CAPACITY
+
+
+class TestFIFOProperty:
+    @RELAXED
+    @given(messages=payloads)
+    def test_pop_returns_pushed_bytes_in_order(self, messages):
+        with fresh_ring() as (producer, consumer):
+            for message in messages:
+                producer.push((message,), timeout=5.0)
+                assert consumer.pop(timeout=5.0) == message
+                check_cursors(producer)
+
+    @RELAXED
+    @given(messages=payloads, burst=st.integers(min_value=1, max_value=4))
+    def test_bursts_drain_in_order(self, messages, burst):
+        with fresh_ring() as (producer, consumer):
+            pending = []
+            for message in messages:
+                producer.push((message,), timeout=5.0)
+                pending.append(message)
+                if len(pending) >= burst:
+                    for expected in pending:
+                        assert consumer.pop(timeout=5.0) == expected
+                    pending.clear()
+                check_cursors(consumer)
+            for expected in pending:
+                assert consumer.pop(timeout=5.0) == expected
+            assert consumer.depth() == 0
+
+    @RELAXED
+    @given(
+        messages=payloads,
+        splits=st.lists(
+            st.integers(min_value=0, max_value=8), min_size=1, max_size=30
+        ),
+    )
+    def test_multipart_push_equals_joined_payload(self, messages, splits):
+        with fresh_ring() as (producer, consumer):
+            for index, message in enumerate(messages):
+                cut = min(splits[index % len(splits)], len(message))
+                producer.push((message[:cut], message[cut:]), timeout=5.0)
+                assert consumer.pop(timeout=5.0) == message
+
+
+class TestBorrowProperty:
+    @RELAXED
+    @given(
+        messages=payloads,
+        borrow_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    def test_mixed_copy_and_borrow_pops_stay_fifo(self, messages, borrow_mask):
+        with fresh_ring() as (producer, consumer):
+            views = []
+            for index, message in enumerate(messages):
+                producer.push((message,), timeout=5.0)
+                if borrow_mask[index % len(borrow_mask)]:
+                    view = consumer.pop(timeout=5.0, copy=False)
+                    assert bytes(view) == message
+                    views.append(view)
+                else:
+                    assert consumer.pop(timeout=5.0) == message
+                check_cursors(consumer)
+            consumer.release_borrow()
+            assert consumer.depth() == 0
+            for view in views:  # drop the loans before the ring detaches
+                view.release()
+
+    @RELAXED
+    @given(
+        first=st.binary(min_size=1, max_size=512),
+        second=st.binary(max_size=512),
+    )
+    def test_borrowed_view_stable_until_next_pop(self, first, second):
+        with fresh_ring() as (producer, consumer):
+            producer.push((first,), timeout=5.0)
+            view = consumer.pop(timeout=5.0, copy=False)
+            snapshot = bytes(view)
+            producer.push((second,), timeout=5.0)
+            # The producer cannot clobber the loan even while writing more.
+            assert bytes(view) == snapshot == first
+            assert consumer.pop(timeout=5.0) == second
+            view.release()  # drop the loan before the ring detaches
+
+    @RELAXED
+    @given(message=st.binary(min_size=1, max_size=512))
+    def test_invalidated_borrow_always_raises(self, message):
+        with fresh_ring() as (producer, consumer):
+            producer.push((message,), timeout=5.0)
+            view = consumer.pop(timeout=5.0, copy=False)
+            consumer.invalidate_borrow()
+            with pytest.raises(ValueError):
+                bytes(view)
+            assert consumer.depth() == 0

@@ -144,3 +144,42 @@ class TestMetaserveHelpers:
 
     def test_main_rejects_missing_directory(self, tmp_path, capsys):
         assert metaserve_tool.main([str(tmp_path / "absent")]) == 1
+
+
+class TestMetaservePoolFlags:
+    def test_parser_accepts_workers_and_status(self):
+        args = metaserve_tool.build_parser().parse_args(
+            ["./schemas", "--workers", "4"]
+        )
+        assert args.workers == 4
+        assert args.status is False
+        args = metaserve_tool.build_parser().parse_args(
+            ["--status", "--port", "8800"]
+        )
+        assert args.status is True
+        assert args.directory is None
+
+    def test_workers_defaults_to_single_process(self):
+        args = metaserve_tool.build_parser().parse_args(["./schemas"])
+        assert args.workers == 1
+
+    def test_status_requires_port(self, capsys):
+        assert metaserve_tool.main(["--status"]) == 1
+        assert "--port" in capsys.readouterr().err
+
+    def test_status_reports_unreachable_pool(self, capsys):
+        # A port nothing listens on: the error path, not a hang.
+        assert metaserve_tool.main(["--status", "--port", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_main_rejects_no_directory_without_status(self, capsys):
+        assert metaserve_tool.main([]) == 1
+        assert "directory is required" in capsys.readouterr().err
+
+    def test_workers_and_cluster_are_exclusive(self, tmp_path, capsys):
+        (tmp_path / "a.xsd").write_text(FIGURE_9, encoding="utf-8")
+        code = metaserve_tool.main(
+            [str(tmp_path), "--workers", "2", "--cluster", "2x1"]
+        )
+        assert code == 1
+        assert "exclusive" in capsys.readouterr().err

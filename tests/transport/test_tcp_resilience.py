@@ -121,6 +121,10 @@ class EchoServer:
     def stop(self):
         self._stop.set()
         self.listener.close()
+        # Join the accept thread: while it is blocked in accept() the
+        # kernel keeps the (closed-fd) socket listening, and a redial
+        # in that window lands in a backlog nothing will ever accept.
+        self._thread.join(timeout=2)
 
 
 class TestReconnectingChannel:

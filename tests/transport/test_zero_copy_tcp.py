@@ -5,7 +5,13 @@ import threading
 import pytest
 
 from repro.errors import ChannelClosedError
-from repro.transport import connect, listen, make_pipe
+from repro.transport import (
+    connect,
+    listen,
+    make_pipe,
+    recv_view_debug_enabled,
+    set_recv_view_debug,
+)
 
 
 @pytest.fixture
@@ -126,3 +132,70 @@ class TestRecvView:
         a, b = make_pipe()
         a.send(b"plain")
         assert b.recv_view() == b"plain"
+
+
+class TestRecvViewDebug:
+    """The debug-mode contract check: stale views raise, never alias."""
+
+    @pytest.fixture
+    def debug_mode(self):
+        set_recv_view_debug(True)
+        try:
+            yield
+        finally:
+            set_recv_view_debug(False)
+
+    def test_flag_round_trips(self):
+        assert recv_view_debug_enabled() is False
+        set_recv_view_debug(True)
+        try:
+            assert recv_view_debug_enabled() is True
+        finally:
+            set_recv_view_debug(False)
+
+    def test_stale_view_raises_instead_of_aliasing(self, tcp_pair, debug_mode):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        client.send(b"bbbb")
+        first = server.recv_view(timeout=5.0)
+        assert bytes(first) == b"aaaa"
+        second = server.recv_view(timeout=5.0)
+        assert bytes(second) == b"bbbb"
+        # Regression: without debug mode this would silently read "bbbb".
+        with pytest.raises(ValueError):
+            bytes(first)
+
+    def test_plain_recv_also_revokes(self, tcp_pair, debug_mode):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        client.send(b"bbbb")
+        first = server.recv_view(timeout=5.0)
+        assert server.recv(timeout=5.0) == b"bbbb"
+        with pytest.raises(ValueError):
+            bytes(first)
+
+    def test_close_revokes_outstanding_view(self, tcp_pair, debug_mode):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        view = server.recv_view(timeout=5.0)
+        server.close()
+        with pytest.raises(ValueError):
+            bytes(view)
+
+    def test_copies_taken_in_time_survive(self, tcp_pair, debug_mode):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        client.send(b"bbbb")
+        first = bytes(server.recv_view(timeout=5.0))
+        server.recv_view(timeout=5.0)
+        assert first == b"aaaa"
+
+    def test_default_mode_keeps_documented_alias(self, tcp_pair):
+        client, server = tcp_pair
+        client.send(b"aaaa")
+        client.send(b"bbbb")
+        first = server.recv_view(timeout=5.0)
+        server.recv_view(timeout=5.0)
+        # Debug off: the stale view silently aliases the new frame — the
+        # documented (and perf-default) hazard the flag exists to catch.
+        assert bytes(first) == b"bbbb"

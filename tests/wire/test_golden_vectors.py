@@ -27,6 +27,7 @@ from repro.obs import (
     inject,
     set_wire_tracing,
 )
+from repro.mp.shm import ShmChannel
 from repro.pbio.context import HEADER_SIZE, IOContext
 from repro.transport import make_pipe
 
@@ -403,5 +404,50 @@ class TestColumnarBatchVectors:
         assert meta == golden_meta
         assert data == golden_batch
         receiver = _learned_receiver(meta)
+        for decoded, record in zip(receiver.decode_batch(data), records):
+            assert_matches_record(decoded, record)
+
+
+@pytest.fixture
+def shm_pair():
+    """A connected shared-memory channel pair, roomy enough for any vector."""
+    sender, receiver_end = ShmChannel.pair(1 << 22)
+    try:
+        yield sender, receiver_end
+    finally:
+        sender.close()
+        receiver_end.close()
+
+
+class TestGoldenOverSharedMemory:
+    """The shm transport (PROTOCOL §15) carries the pinned bytes unchanged."""
+
+    def test_shm_transits_golden_bytes(self, vector, fresh_registry, shm_pair):
+        _, _, _, record, golden_data, golden_meta = vector
+        sender, receiver_end = shm_pair
+        sender.send(golden_meta)
+        sender.send(golden_data)
+        meta = receiver_end.recv(timeout=5)
+        assert meta == golden_meta
+        receiver = _learned_receiver(meta)
+        # Zero-copy receive: decode straight from ring memory.
+        data = receiver_end.recv_view(timeout=5)
+        assert bytes(data) == golden_data
+        assert_matches_record(receiver.decode(data), record)
+
+    def test_shm_transits_golden_batch_iov(
+        self, batch_vector, fresh_registry, shm_pair
+    ):
+        _, context, fmt, records, golden_batch, golden_meta = batch_vector
+        sender, receiver_end = shm_pair
+        sender.send(golden_meta)
+        # Vectored send: the iovec parts land sequentially in one ring
+        # frame, yet must arrive byte-identical to the pinned batch.
+        sender.send_batch(context.encode_batch_iov(fmt, records))
+        meta = receiver_end.recv(timeout=5)
+        assert meta == golden_meta
+        receiver = _learned_receiver(meta)
+        data = receiver_end.recv_view(timeout=5)
+        assert bytes(data) == golden_batch
         for decoded, record in zip(receiver.decode_batch(data), records):
             assert_matches_record(decoded, record)
