@@ -32,6 +32,13 @@ latency at 4 KiB — see :mod:`benchmarks.test_mp_scaling`) and writes
 ``BENCH_PR8.json``; ``--check`` gates on the ≥1.8x scaling floor where
 the host has ≥4 cores and the ≥3x shm latency win where it has ≥2 —
 the JSON always records the core count the numbers were taken on.
+
+With ``--pr10`` it runs the instance-based lazy-binding suite (fused
+decode+project vs interpreted projection on evolved records, bounded
+converter-cache churn with 10k distinct formats — see
+:mod:`benchmarks.test_lazy_binding`) and writes ``BENCH_PR10.json``;
+``--check`` gates on the ≥5x fused speedup floor at batch ≥64, the
+cache-size-at-cap invariant, and the ≥99% steady-state hit rate.
 """
 
 from __future__ import annotations
@@ -485,6 +492,72 @@ def pr8_report(check: bool) -> int:
     return 1 if failures else 0
 
 
+def pr10_report(check: bool) -> int:
+    """Instance-based lazy binding numbers -> BENCH_PR10.json (and console).
+
+    ``check`` turns the run into a no-regression gate: exit status 1 if
+    the fused decode+project speedup over the interpreted projection
+    composition falls under 5x at batch >= 64, if the 10k-format churn
+    grows the converter cache past its capacity, or if the steady-state
+    hit rate falls under 99%.
+    """
+    import json
+    import os
+
+    from benchmarks.test_lazy_binding import (
+        FUSED_SPEEDUP_FLOOR,
+        HIT_RATE_FLOOR,
+        run_cache_churn,
+        run_fused_decode_ab,
+    )
+
+    heading("PR10 — instance-based lazy binding")
+    fused = run_fused_decode_ab()
+    churn = run_cache_churn()
+    print(f"{'wire/native fields':<38}"
+          f"{fused['wire_fields']:>20} / {fused['native_fields']}")
+    for batch_size, entry in sorted(fused["batches"].items()):
+        print(f"{f'fused decode, batch={batch_size}':<38}"
+              f"{entry['fused_rps']:>16.0f} rec/s  "
+              f"({entry['speedup']:.1f}x over interpreted)")
+    print(f"{'best speedup (batch >= 64)':<38}{fused['best_speedup']:>23.1f}x")
+    print(f"{'distinct formats churned':<38}{churn['formats']:>24}")
+    print(f"{'cache capacity':<38}{churn['capacity']:>24}")
+    print(f"{'cache size after churn':<38}{churn['size_after_churn']:>24}")
+    print(f"{'evictions':<38}{churn['evictions']:>24}")
+    print(f"{'churn decode rate':<38}{churn['churn_rps']:>16.0f} rec/s")
+    print(f"{'steady-state decode rate':<38}{churn['steady_rps']:>16.0f} rec/s")
+    print(f"{'steady-state hit rate':<38}{churn['steady_hit_rate']:>23.1%}")
+    results = {"fused": fused, "churn": churn}
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_PR10.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    if not check:
+        return 0
+    failures = []
+    if fused["best_speedup"] < FUSED_SPEEDUP_FLOOR:
+        failures.append(
+            f"fused speedup {fused['best_speedup']:.1f}x < "
+            f"{FUSED_SPEEDUP_FLOOR}x at batch >= 64"
+        )
+    if churn["size_after_churn"] > churn["capacity"]:
+        failures.append(
+            f"cache size {churn['size_after_churn']} exceeds capacity "
+            f"{churn['capacity']} after churn"
+        )
+    if churn["steady_hit_rate"] < HIT_RATE_FLOOR:
+        failures.append(
+            f"steady-state hit rate {churn['steady_hit_rate']:.1%} < "
+            f"{HIT_RATE_FLOOR:.0%}"
+        )
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
 def main():
     print("repro benchmark report — paper: Widener/Schwan/Eisenhauer, "
           "ICDCS 2001 (GIT-CC-00-21)")
@@ -494,6 +567,8 @@ def main():
         raise SystemExit(pr7_report(check="--check" in sys.argv))
     if "--pr8" in sys.argv:
         raise SystemExit(pr8_report(check="--check" in sys.argv))
+    if "--pr10" in sys.argv:
+        raise SystemExit(pr10_report(check="--check" in sys.argv))
     print(f"mode: {'quick' if QUICK else 'full'}")
     table1()
     claims_performance()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Rolling upgrade at scale: lineage, fused projections, bounded caches.
+
+The PROTOCOL §16 tour.  A fleet upgrades its track format from v1 to
+v2 *while the stream stays live*:
+
+1. Old (v1) and new (v2) publishers interleave on one broker stream;
+   subscribers on both versions keep decoding — new fields dropped for
+   the v1 subscriber, missing fields defaulted for the v2 subscriber —
+   through **fused decode+project converters** compiled on first miss.
+2. A shared **format lineage** registry chains the versions; a
+   metadata server answers ``GET /lineage/<id>`` with the ancestry
+   document and ``GET /lineage/<wire>/compat/<native>`` with the
+   compatibility relation, so operators can ask "what changed, and who
+   needs a projection?" before the upgrade, not during it.
+3. The **bounded converter cache** reports hits/misses/evictions: two
+   wire generations cost exactly two compiled converters per receiver,
+   however long the stream runs.
+
+Run:  python examples/rolling_upgrade.py
+"""
+
+from repro import MetadataClient, MetadataServer
+from repro.arch import SPARC_32, X86_64
+from repro.events.remote import BrokerServer, RemoteBackboneClient
+from repro.pbio import FormatLineage, IOContext, IOField
+from repro.pbio.evolution import compare_formats, describe_projection
+
+
+def track_fields(arch, version):
+    fields = [
+        IOField("flight", "string", arch.pointer_size, 0),
+        IOField("alt", "integer", 4, arch.pointer_size),
+    ]
+    if version >= 2:
+        fields.append(IOField("speed", "double", 8, arch.pointer_size + 8))
+    return fields
+
+
+def main() -> None:
+    lineage = FormatLineage()
+
+    # --- the fleet, mid-upgrade -----------------------------------------
+    old_sender = IOContext(SPARC_32, lineage=lineage)
+    v1 = old_sender.register_format("track", track_fields(SPARC_32, 1))
+    new_sender = IOContext(X86_64, lineage=lineage)
+    v2 = new_sender.register_format("track", track_fields(X86_64, 2))
+
+    print(f"v1 id {v1.format_id.hex()} on {v1.arch.name}")
+    print(f"v2 id {v2.format_id.hex()} on {v2.arch.name}")
+    print(f"relation v2 -> v1: {compare_formats(v2, v1).value}")
+    for step in describe_projection(v2, v1):
+        print(f"  {step}")
+
+    # --- lineage answers over HTTP, before any traffic flows ------------
+    with MetadataServer() as server:
+        server.catalog.attach_lineage(lineage)
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        client = MetadataClient()
+        document = client.get_lineage(base, v2.format_id)
+        print(f"\nGET /lineage/{v2.format_id.hex()}:")
+        print(f"  version {document['version']}, parent {document['parent']}")
+        answer = client.get_compatibility(base, v2.format_id, v1.format_id)
+        print(f"GET .../compat/...: relation={answer['relation']}, "
+              f"projection_needed={answer['projection_needed']}")
+
+    # --- the live stream -------------------------------------------------
+    with BrokerServer() as broker:
+        host, port = broker.address
+        v1_rx = IOContext(X86_64)
+        v1_rx.register_format("track", track_fields(X86_64, 1))
+        v2_rx = IOContext(SPARC_32)
+        v2_rx.register_format("track", track_fields(SPARC_32, 2))
+
+        v1_sub = RemoteBackboneClient.connect(host, port, v1_rx)
+        v1_sub.subscribe("tracks")
+        v2_sub = RemoteBackboneClient.connect(host, port, v2_rx)
+        v2_sub.subscribe("tracks")
+
+        old_client = RemoteBackboneClient.connect(host, port, old_sender)
+        new_client = RemoteBackboneClient.connect(host, port, new_sender)
+        old_pub = old_client.publisher("tracks")
+        new_pub = new_client.publisher("tracks")
+
+        # Old and new publishers interleave mid-upgrade.
+        old_pub.publish("track", {"flight": "A", "alt": 1})
+        new_pub.publish("track", {"flight": "B", "alt": 2, "speed": 99.0})
+        old_pub.publish("track", {"flight": "C", "alt": 3})
+
+        print("\nv1 subscriber (new field dropped):")
+        for _ in range(3):
+            print(f"  {v1_sub.next_event(timeout=5, expect='track').values}")
+        print("v2 subscriber (missing field defaulted):")
+        for _ in range(3):
+            print(f"  {v2_sub.next_event(timeout=5, expect='track').values}")
+
+        for stats in (v1_rx.converter_cache_stats(), v2_rx.converter_cache_stats()):
+            print(f"converter cache: size={stats['size']} builds={stats['builds']} "
+                  f"hits={stats['hits']} evictions={stats['evictions']}")
+
+        for c in (v1_sub, v2_sub, old_client, new_client):
+            c.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -63,7 +63,14 @@ from repro.obs import (
     set_registry,
     set_wire_tracing,
 )
-from repro.pbio import FormatServer, IOContext, IOField, IOFormat
+from repro.pbio import (
+    Compatibility,
+    FormatLineage,
+    FormatServer,
+    IOContext,
+    IOField,
+    IOFormat,
+)
 from repro.schema import parse_schema, parse_schema_file
 from repro.transport import (
     ReconnectingTCPChannel,
@@ -108,6 +115,8 @@ __all__ = [
     "IOField",
     "IOFormat",
     "FormatServer",
+    "FormatLineage",
+    "Compatibility",
     # schema
     "parse_schema",
     "parse_schema_file",

@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.errors import DiscoveryError
 from repro.metaserver.http import HTTPRequest, HTTPResponse
+from repro.pbio.evolution import FormatLineage
 from repro.pbio.fmserver import FormatServer
 from repro.schema.model import SchemaDocument
 from repro.schema.writer import schema_to_xml
@@ -31,6 +32,7 @@ from repro.schema.writer import schema_to_xml
 DynamicHandler = Callable[[HTTPRequest], str]
 
 _XML_TYPE = "text/xml; charset=utf-8"
+_JSON_TYPE = "application/json; charset=utf-8"
 
 
 class MetadataCatalog:
@@ -40,6 +42,7 @@ class MetadataCatalog:
         self._documents: dict[str, str] = {}
         self._dynamic: dict[str, DynamicHandler] = {}
         self._format_server: FormatServer | None = None
+        self._lineage: FormatLineage | None = None
         self._prefix_handlers: dict[str, Callable[[HTTPRequest], HTTPResponse]] = {}
         self._lock = threading.Lock()
 
@@ -74,6 +77,28 @@ class MetadataCatalog:
     def format_server(self) -> FormatServer | None:
         """The attached format server, if any."""
         return self._format_server
+
+    def attach_lineage(self, lineage: FormatLineage) -> None:
+        """Answer ``/lineage/*`` queries from ``lineage`` (PROTOCOL §16).
+
+        Endpoints (both planes — the catalog is the shared layer):
+
+        - ``GET /lineage/<hex id>`` — the ancestry document (JSON);
+        - ``GET /lineage/<wire hex>/compat/<native hex>`` — the
+          compatibility answer (JSON): ``relation`` plus the spelled-out
+          ``compatible`` / ``identity`` / ``projection_needed`` flags.
+
+        Static documents published at ``/lineage/...`` paths (e.g. the
+        replicated output of :meth:`FormatLineage.documents` shipped
+        through ``repro.cluster``) take precedence over the attached
+        registry, exactly like any other catalog document.
+        """
+        self._lineage = lineage
+
+    @property
+    def lineage(self) -> FormatLineage | None:
+        """The attached lineage registry, if any."""
+        return self._lineage
 
     def attach_prefix_handler(
         self, prefix: str, handler: Callable[[HTTPRequest], HTTPResponse]
@@ -172,6 +197,8 @@ class MetadataCatalog:
             )
         if path.startswith("/formats/") and self._format_server is not None:
             return self._serve_format(path[len("/formats/"):])
+        if path.startswith("/lineage/") and self._lineage is not None:
+            return self._serve_lineage(path[len("/lineage/"):])
         if path == "/metrics":
             # Both serving planes answer out of this catalog, so one
             # handler here gives every front end the /metrics endpoint.
@@ -195,4 +222,32 @@ class MetadataCatalog:
             return HTTPResponse(404, body=f"unknown format {hex_id}".encode())
         return HTTPResponse(
             200, {"Content-Type": "application/x-pbio-format"}, metadata
+        )
+
+    def _serve_lineage(self, rest: str) -> HTTPResponse:
+        import json
+
+        from repro.errors import DecodeError
+
+        parts = rest.split("/")
+        try:
+            if len(parts) == 1:
+                document = self._lineage.describe(bytes.fromhex(parts[0]))
+            elif len(parts) == 3 and parts[1] == "compat":
+                document = self._lineage.compatibility(
+                    bytes.fromhex(parts[0]), bytes.fromhex(parts[2])
+                )
+            else:
+                return HTTPResponse(
+                    400,
+                    body=b"use /lineage/<id> or /lineage/<wire>/compat/<native>",
+                )
+        except ValueError:
+            return HTTPResponse(400, body=b"format ids are hex strings")
+        except DecodeError as exc:
+            return HTTPResponse(404, body=str(exc).encode())
+        return HTTPResponse(
+            200,
+            {"Content-Type": _JSON_TYPE},
+            json.dumps(document, sort_keys=True).encode("utf-8"),
         )

@@ -47,8 +47,12 @@ from repro.metaserver.http import (
     split_url,
 )
 from repro.pbio.format import IOFormat
+from repro.pbio.lru import BoundedLRU
 from repro.schema.model import SchemaDocument
 from repro.schema.parser import parse_schema
+
+#: Default bound on the client's parsed :class:`IOFormat` cache.
+DEFAULT_FORMAT_CAPACITY = 256
 
 
 def http_get(url: str, timeout: float = 5.0) -> bytes:
@@ -280,6 +284,11 @@ class MetadataClient:
     max_entries:
         LRU bound on the cache — a long-running consumer discovering
         many streams cannot grow memory without limit.
+    format_capacity:
+        LRU bound on the parsed :class:`IOFormat` cache behind
+        :meth:`get_format` (``cache="client_format"`` in the
+        ``pbio_converter_cache_*`` series) — parsed formats carry
+        compiled plans, so cold ones must be evictable.
     stale_ttl:
         How long past expiry an entry may still be stale-served;
         ``None`` means for as long as it survives the LRU.
@@ -296,6 +305,7 @@ class MetadataClient:
         breaker_threshold: int = 5,
         breaker_reset: float = 1.0,
         max_entries: int = 256,
+        format_capacity: int = DEFAULT_FORMAT_CAPACITY,
         stale_ttl: float | None = None,
         seed: int = 0,
         clock=time.monotonic,
@@ -315,6 +325,7 @@ class MetadataClient:
         self._breaker_reset = breaker_reset
         self._breakers: dict[str, CircuitBreaker] = {}
         self._cache: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self._formats: BoundedLRU = BoundedLRU(format_capacity, name="client_format")
         self.fetches = 0  # successful network retrievals (cache misses)
         self.hits = 0  # fresh cache hits
         self.retries = 0  # extra attempts beyond the first, per fetch
@@ -492,9 +503,44 @@ class MetadataClient:
             ) from exc
 
     def get_format(self, base_url: str, format_id: bytes) -> IOFormat:
-        """Fetch PBIO format metadata by id from a server's /formats tree."""
+        """Fetch PBIO format metadata by id from a server's /formats tree.
+
+        The parsed :class:`IOFormat` is cached in a bounded LRU keyed by
+        format id — content-addressed ids make the entries immune to
+        re-registration, so a hit never re-parses (or re-fetches) the
+        metadata of a hot format.
+        """
+        fmt = self._formats.get(format_id)
+        if fmt is not None:
+            return fmt
         body = self.get_bytes(f"{base_url}/formats/{format_id.hex()}")
-        return IOFormat.from_wire_metadata(body)
+        fmt = IOFormat.from_wire_metadata(body)
+        self._formats.put(format_id, fmt)
+        return fmt
+
+    def get_lineage(self, base_url: str, format_id: bytes) -> dict:
+        """Fetch a format's ancestry document (PROTOCOL §16)."""
+        import json
+
+        body = self.get_bytes(f"{base_url}/lineage/{format_id.hex()}")
+        return json.loads(body.decode("utf-8"))
+
+    def get_compatibility(
+        self, base_url: str, wire_id: bytes, native_id: bytes
+    ) -> dict:
+        """Ask the server how a (wire, native) pair binds (PROTOCOL §16).
+
+        Returns the JSON answer: ``relation`` plus ``compatible`` /
+        ``identity`` / ``projection_needed``; with it a receiver decides
+        identity fast path vs. projection without downloading either
+        format's ancestor schemas.
+        """
+        import json
+
+        body = self.get_bytes(
+            f"{base_url}/lineage/{wire_id.hex()}/compat/{native_id.hex()}"
+        )
+        return json.loads(body.decode("utf-8"))
 
     def post(self, url: str, body: bytes) -> bytes:
         """POST ``body`` under the retry policy and circuit breaker.
@@ -515,8 +561,13 @@ class MetadataClient:
         """Drop one cached URL, or everything when ``url`` is None."""
         if url is None:
             self._cache.clear()
+            self._formats.clear()
         else:
             self._cache.pop(url, None)
+
+    def format_cache_stats(self) -> dict:
+        """LRU counters of the parsed-format cache (PROTOCOL §16)."""
+        return self._formats.stats()
 
     def stats(self) -> dict:
         """One reporting surface over every counter the client keeps.
@@ -539,6 +590,7 @@ class MetadataClient:
             "stale_serves": self.stale_serves,
             "evictions": self.evictions,
             "entries": len(self._cache),
+            "format_cache": self._formats.stats(),
             "breaker_trips": self.breaker_trips,
             "breakers": {
                 host: {"state": breaker.state, "trips": breaker.trips}

@@ -23,7 +23,11 @@ Public surface:
   format-id resolution and converter caching.
 - :class:`~repro.pbio.context.DecodedRecord` — a decoded message.
 - :mod:`~repro.pbio.evolution` — restricted format evolution (field
-  addition/removal tolerance by name matching).
+  addition/removal tolerance by name matching), compiled projections,
+  the :class:`~repro.pbio.evolution.Compatibility` lattice and the
+  :class:`~repro.pbio.evolution.FormatLineage` registry.
+- :mod:`~repro.pbio.lru` — the shared bounded LRU behind the converter,
+  format-server and metadata-client caches (PROTOCOL §16).
 - :mod:`~repro.pbio.fmserver` — an in-process format server mapping
   format ids to metadata, PBIO's out-of-band resolution path.
 - :mod:`~repro.pbio.columnar` — the columnar bulk batch codec
@@ -42,11 +46,27 @@ from repro.pbio.columnar import (
     get_columnar_plan,
 )
 from repro.pbio.context import DecodedBatch, DecodedRecord, IOContext
+from repro.pbio.decode import ConverterCache
+from repro.pbio.evolution import (
+    Compatibility,
+    FormatLineage,
+    compare_formats,
+    formats_compatible,
+    make_projection,
+)
 from repro.pbio.fmserver import FormatServer
+from repro.pbio.lru import BoundedLRU
 from repro.pbio.view import RecordView, view_message
 from repro.pbio.iofile import IOFileReader, IOFileWriter, dump_records, load_records
 
 __all__ = [
+    "BoundedLRU",
+    "Compatibility",
+    "ConverterCache",
+    "FormatLineage",
+    "compare_formats",
+    "formats_compatible",
+    "make_projection",
     "IOFileReader",
     "IOFileWriter",
     "dump_records",

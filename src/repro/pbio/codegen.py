@@ -165,6 +165,38 @@ def _pointer_position(
     raise ConversionError(f"no pointer leaf for path {path}")
 
 
+def _wire_value_expr(
+    field,
+    path: tuple[str, ...],
+    by_path: dict,
+    positions: dict[int, int],
+    array_names: dict[tuple[str, ...], str],
+) -> str:
+    """The expression extracting a non-nested wire field's value."""
+    if field.type.is_dynamic_array:
+        return array_names[path]
+    if field.is_string:
+        if field.static_count == 1:
+            leaf = by_path[path]
+            return f"_str(payload, v[{positions[id(leaf)]}])"
+        parts = []
+        for i in range(field.static_count):
+            leaf = by_path[path + (str(i),)]
+            parts.append(f"_str(payload, v[{positions[id(leaf)]}])")
+        return "[" + ", ".join(parts) + "]"
+    leaf = by_path[path]
+    start = positions[id(leaf)]
+    if leaf.role == "chararray":
+        return f"v[{start}].split(b'\\x00', 1)[0].decode('utf-8')"
+    if leaf.role == "array":
+        return f"list(v[{start}:{start + leaf.count}])"
+    if leaf.role == "char":
+        return f"v[{start}].decode('latin-1')"
+    if leaf.role == "bool":
+        return f"bool(v[{start}])"
+    return f"v[{start}]"  # scalar or count
+
+
 def _emit_dict(
     plan: EncodePlan,
     fmt: IOFormat,
@@ -194,35 +226,158 @@ def _emit_dict(
                     for i in range(field.static_count)
                 ]
                 value = "[" + ", ".join(elements) + "]"
-        elif field.type.is_dynamic_array:
-            value = array_names[path]
-        elif field.is_string:
-            if field.static_count == 1:
-                leaf = by_path[path]
-                value = f"_str(payload, v[{positions[id(leaf)]}])"
-            else:
-                parts = []
-                for i in range(field.static_count):
-                    leaf = by_path[path + (str(i),)]
-                    parts.append(f"_str(payload, v[{positions[id(leaf)]}])")
-                value = "[" + ", ".join(parts) + "]"
         else:
-            leaf = by_path[path]
-            start = positions[id(leaf)]
-            if leaf.role == "chararray":
-                value = (
-                    f"v[{start}].split(b'\\x00', 1)[0].decode('utf-8')"
-                )
-            elif leaf.role == "array":
-                value = f"list(v[{start}:{start + leaf.count}])"
-            elif leaf.role == "char":
-                value = f"v[{start}].decode('latin-1')"
-            elif leaf.role == "bool":
-                value = f"bool(v[{start}])"
-            else:  # scalar or count
-                value = f"v[{start}]"
+            value = _wire_value_expr(field, path, by_path, positions, array_names)
         entries.append(f"{inner}{field.name!r}: {value},")
     return "{\n" + "\n".join(entries) + f"\n{pad}}}"
+
+
+# -- fused decode+project (instance-based lazy binding) ------------------------
+#
+# When the wire format and the receiver's native format differ, the
+# two-step path decodes a wire-shaped dict and then projects it onto the
+# native format — building and discarding an intermediate dict per
+# record.  The fused converter bakes the projection into the converter
+# itself: it walks the *target* format's fields, pulling matched values
+# straight out of the unpacked wire tuple, inlining defaults as literals
+# and never materializing the wire-shaped intermediate.  Dropped wire
+# fields cost nothing — their unpack positions are simply never read —
+# and dynamic-array prologue statements are emitted only for arrays the
+# target actually keeps.
+
+
+def generate_fused_converter_source(
+    wire_format: IOFormat,
+    target_format: IOFormat,
+    function_name: str = "convert",
+) -> str:
+    """Source of a converter decoding wire records into the target shape.
+
+    Value-identical to ``project(convert(payload))`` with the separate
+    generated converter and compiled projection, minus the intermediate
+    wire-shaped dict.  Exposed separately so tests and ``pbdump`` can
+    inspect the generated code.
+    """
+    plan = get_encode_plan(wire_format)
+    order = "<" if wire_format.arch.is_little_endian else ">"
+    counts = _count_leaf_positions(plan)
+
+    array_names: dict[tuple[str, ...], str] = {}
+    for item_number, item in enumerate(plan.var_items):
+        if item.kind == "array":
+            array_names[item.path] = f"a{item_number}"
+
+    used_arrays: set[tuple[str, ...]] = set()
+    body = _emit_fused(
+        plan, wire_format, target_format, (), array_names, used_arrays, indent=2
+    )
+
+    prologue: list[str] = []
+    for item in plan.var_items:
+        if item.kind != "array" or item.path not in used_arrays:
+            continue
+        leaf_index = {id(leaf): pos for pos, leaf in enumerate(plan.leaves)}
+        ptr_pos = _pointer_position(plan, item.path, leaf_index)
+        count_pos = counts[item.path]
+        var_name = array_names[item.path]
+        prologue.append(
+            f"    {var_name} = ("
+            f"list(unpack_from({order!r} + str(v[{count_pos}]) + "
+            f"{item.element_code!r}, payload, v[{ptr_pos}])) "
+            f"if v[{ptr_pos}] else [])"
+        )
+
+    lines = [
+        f"def {function_name}(payload, unpack_from=unpack_from, _str=_str):",
+        f"    v = unpack_from({plan.fixed_struct.format!r}, payload, 0)",
+        *prologue,
+        f"    return {body}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _emit_fused(
+    plan: EncodePlan,
+    wire_fmt: IOFormat,
+    target_fmt: IOFormat,
+    prefix: tuple[str, ...],
+    array_names: dict[tuple[str, ...], str],
+    used_arrays: set[tuple[str, ...]],
+    indent: int,
+) -> str:
+    """Emit the target-shaped dict display sourced from the wire plan.
+
+    Mirrors :func:`repro.pbio.evolution._plan_steps` decision for
+    decision — the fused converter must stay value-identical to
+    decode-then-project.
+    """
+    from repro.pbio.evolution import default_value
+
+    positions = _leaf_positions(plan)
+    by_path = {leaf.path: leaf for leaf in plan.leaves}
+    wire_fields = {field.name: field for field in wire_fmt.compiled_fields}
+    pad = " " * (indent * 4)
+    inner = " " * ((indent + 1) * 4)
+    entries: list[str] = []
+    for target_field in target_fmt.compiled_fields:
+        path = prefix + (target_field.name,)
+        wire_field = wire_fields.get(target_field.name)
+        if wire_field is None:
+            # Defaults are literals: list/dict displays build fresh
+            # objects per record, so nothing aliases.
+            value = repr(default_value(target_field))
+        elif (
+            target_field.nested is not None
+            and wire_field.nested is not None
+            and target_field.static_count == wire_field.static_count
+        ):
+            if target_field.static_count == 1:
+                value = _emit_fused(
+                    plan, wire_field.nested, target_field.nested, path,
+                    array_names, used_arrays, indent + 1,
+                )
+            else:
+                elements = [
+                    _emit_fused(
+                        plan, wire_field.nested, target_field.nested,
+                        path + (str(i),), array_names, used_arrays, indent + 1,
+                    )
+                    for i in range(target_field.static_count)
+                ]
+                value = "[" + ", ".join(elements) + "]"
+        elif target_field.nested is not None or wire_field.nested is not None:
+            # Shape conflict: same drop-and-default rule as _plan_steps.
+            value = repr(default_value(target_field))
+        else:
+            if wire_field.type.is_dynamic_array:
+                used_arrays.add(path)
+            value = _wire_value_expr(
+                wire_field, path, by_path, positions, array_names
+            )
+        entries.append(f"{inner}{target_field.name!r}: {value},")
+    return "{\n" + "\n".join(entries) + f"\n{pad}}}"
+
+
+def make_fused_converter(
+    wire_format: IOFormat, target_format: IOFormat
+) -> Converter:
+    """Compile the fused decode+project converter for the pair."""
+    source = generate_fused_converter_source(wire_format, target_format)
+    namespace = {"unpack_from": struct.unpack_from, "_str": _read_string}
+    try:
+        code = compile(
+            source,
+            f"<pbio fused converter {wire_format.name} -> {target_format.name}>",
+            "exec",
+        )
+        exec(code, namespace)  # noqa: S102 - this is the DCG mechanism itself
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise ConversionError(
+            f"fused converter {wire_format.name!r} -> {target_format.name!r} "
+            f"failed to compile: {exc}\n{source}"
+        ) from exc
+    return namespace["convert"]
 
 
 # -- generated encoder (sender-side DCG) ---------------------------------------

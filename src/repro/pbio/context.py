@@ -36,7 +36,7 @@ from repro.arch.registry import NATIVE
 from repro.errors import DecodeError, FormatRegistrationError
 from repro.obs import metrics as _metrics
 from repro.obs.instr import SAMPLE_MASK, pbio_handles
-from repro.pbio.decode import ConverterCache
+from repro.pbio.decode import DEFAULT_CONVERTER_CAPACITY, ConverterCache
 from repro.pbio.encode import (
     encode_record,
     get_encode_plan,
@@ -110,6 +110,24 @@ class IOContext:
     format_server:
         Optional shared :class:`~repro.pbio.fmserver.FormatServer` used
         to resolve unknown format ids out-of-band.
+    converter_cache:
+        Optional :class:`~repro.pbio.decode.ConverterCache` to use
+        instead of a private one — pass the same instance to several
+        contexts to share compiled (wire, native) pairs across
+        connections (converters are pure functions, the cache is
+        thread-safe).
+    converter_capacity:
+        LRU bound of the private converter cache (ignored when
+        ``converter_cache`` is given).
+    use_fused:
+        Tri-state switch for the fused decode+project converter on
+        evolved records (``None`` = fuse with fallback, ``True`` =
+        force, ``False`` = two-step path).  Ignored when
+        ``converter_cache`` is given.
+    lineage:
+        Optional :class:`~repro.pbio.evolution.FormatLineage`; every
+        format this context registers or learns is recorded there,
+        chaining versions by name in observation order.
     """
 
     def __init__(
@@ -117,13 +135,22 @@ class IOContext:
         arch: ArchitectureModel = NATIVE,
         *,
         format_server: FormatServer | None = None,
+        converter_cache: ConverterCache | None = None,
+        converter_capacity: int = DEFAULT_CONVERTER_CAPACITY,
+        use_fused: bool | None = None,
+        lineage=None,
     ) -> None:
         self.arch = arch
         self._formats: dict[str, IOFormat] = {}
         self._by_id: dict[bytes, IOFormat] = {}
         self._wire_formats: dict[bytes, IOFormat] = {}
-        self._converters = ConverterCache()
+        self._converters = (
+            converter_cache
+            if converter_cache is not None
+            else ConverterCache(converter_capacity, use_fused=use_fused)
+        )
         self._format_server = format_server
+        self.lineage = lineage
 
     # -- registration -------------------------------------------------------
 
@@ -182,6 +209,8 @@ class IOContext:
         self._wire_formats[fmt.format_id] = fmt
         if self._format_server is not None:
             self._format_server.register(fmt)
+        if self.lineage is not None:
+            self.lineage.register(fmt)
         # Registration pays encoder compilation up front (plan + DCG),
         # keeping the per-message path free of first-use spikes.
         get_encode_plan(fmt)
@@ -208,6 +237,8 @@ class IOContext:
         """Install a peer's format from a metadata block; returns it."""
         fmt = IOFormat.from_wire_metadata(metadata)
         self._wire_formats[fmt.format_id] = fmt
+        if self.lineage is not None:
+            self.lineage.register(fmt)
         return fmt
 
     def knows_format_id(self, format_id: bytes) -> bool:
@@ -485,6 +516,15 @@ class IOContext:
         still records the rare ``converter``/``miss`` build events.
         """
         return self._converters.hits
+
+    @property
+    def converter_cache(self) -> ConverterCache:
+        """The (possibly shared) bounded converter cache."""
+        return self._converters
+
+    def converter_cache_stats(self) -> dict:
+        """LRU counters of the converter cache (PROTOCOL §16)."""
+        return self._converters.stats()
 
     def encoded_size(self, fmt: IOFormat | str, record: dict) -> int:
         """Total framed size of ``record`` (header + NDR payload)."""

@@ -19,14 +19,27 @@ import threading
 
 from repro.errors import DecodeError
 from repro.pbio.format import IOFormat
+from repro.pbio.lru import BoundedLRU
+
+#: Default bound on parsed-format cache entries.  The raw metadata map
+#: stays unbounded (it is the source of truth); only parsed
+#: :class:`IOFormat` objects — each carrying compiled plans — are
+#: evictable, so cold formats cost bytes, not compiled code.
+DEFAULT_DECODE_CAPACITY = 1024
 
 
 class FormatServer:
-    """Thread-safe registry mapping format ids to wire metadata."""
+    """Thread-safe registry mapping format ids to wire metadata.
 
-    def __init__(self) -> None:
+    The parsed-format cache is a bounded LRU (``cache="fmserver"`` in
+    the ``pbio_converter_cache_*`` metric series): a long-lived server
+    fielding thousands of format versions keeps hot parses cached and
+    lets cold ones fall off instead of leaking them forever.
+    """
+
+    def __init__(self, *, decode_capacity: int = DEFAULT_DECODE_CAPACITY) -> None:
         self._metadata: dict[bytes, bytes] = {}
-        self._decoded: dict[bytes, IOFormat] = {}
+        self._decoded: BoundedLRU = BoundedLRU(decode_capacity, name="fmserver")
         self._lock = threading.Lock()
 
     def register(self, fmt: IOFormat) -> bytes:
@@ -38,10 +51,12 @@ class FormatServer:
         metadata = fmt.to_wire_metadata()
         with self._lock:
             self._metadata[fmt.format_id] = metadata
-            self._decoded.pop(fmt.format_id, None)
             for nested in fmt.nested_formats():
                 self._metadata[nested.format_id] = nested.to_wire_metadata()
-                self._decoded.pop(nested.format_id, None)
+        # Invalidation outside the metadata lock: the LRU has its own.
+        self._decoded.pop(fmt.format_id)
+        for nested in fmt.nested_formats():
+            self._decoded.pop(nested.format_id)
         return fmt.format_id
 
     def resolve(self, format_id: bytes) -> IOFormat:
@@ -54,16 +69,15 @@ class FormatServer:
         Raises :class:`~repro.errors.DecodeError` if the id is unknown —
         callers decide whether to fall back to in-band resolution.
         """
+        fmt = self._decoded.get(format_id)
+        if fmt is not None:
+            return fmt
         with self._lock:
-            fmt = self._decoded.get(format_id)
-            if fmt is not None:
-                return fmt
             metadata = self._metadata.get(format_id)
         if metadata is None:
             raise DecodeError(f"format server has no format {format_id.hex()}")
         fmt = IOFormat.from_wire_metadata(metadata)
-        with self._lock:
-            self._decoded[format_id] = fmt
+        self._decoded.put(format_id, fmt)
         return fmt
 
     def resolve_metadata(self, format_id: bytes) -> bytes:
@@ -78,6 +92,10 @@ class FormatServer:
         """Every format id currently registered."""
         with self._lock:
             return list(self._metadata)
+
+    def decode_cache_stats(self) -> dict:
+        """LRU counters of the parsed-format cache (PROTOCOL §16)."""
+        return self._decoded.stats()
 
     def __len__(self) -> int:
         with self._lock:

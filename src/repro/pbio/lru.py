@@ -1,0 +1,180 @@
+"""A shared, thread-safe bounded LRU for compiled-artifact caches.
+
+The instance-based-binding policy (PROTOCOL §16): a server facing
+thousands of format versions compiles converters only for the
+(wire format, native format) pairs traffic actually touches, and a
+bounded LRU guarantees that formats traffic *no longer* touches cannot
+hold memory forever.  Three caches ride this class:
+
+- the converter/projection cache in
+  :class:`~repro.pbio.decode.ConverterCache` (``cache="converter"``);
+- the :class:`~repro.pbio.fmserver.FormatServer` metadata-decode cache
+  (``cache="fmserver"``);
+- the :class:`~repro.metaserver.client.MetadataClient` parsed-format
+  cache (``cache="client_format"``).
+
+Every cache reports the same four series through :mod:`repro.obs`, so
+``/metrics`` on either serving plane shows the full instance-based
+binding picture::
+
+    pbio_converter_cache_hits{cache="..."}
+    pbio_converter_cache_misses{cache="..."}
+    pbio_converter_cache_evictions{cache="..."}
+    pbio_converter_cache_size{cache="..."}        (a gauge)
+
+Counter increments go through bound handles cached per registry (the
+``pbio_handles`` pattern of :mod:`repro.obs.instr`), so the hit path
+costs one attribute read plus a sharded-cell increment when metrics are
+enabled and a single ``enabled`` check when they are not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+
+_MISSING = object()
+
+
+class _Handles:
+    """Bound metric handles for one (registry, cache name) pair."""
+
+    __slots__ = ("registry", "hits", "misses", "evictions", "size")
+
+    def __init__(self, registry, name: str) -> None:
+        self.registry = registry
+        self.hits = registry.counter(
+            "pbio_converter_cache_hits",
+            "bounded binding-cache lookups served from cache",
+            ("cache",),
+        ).labels(name)
+        self.misses = registry.counter(
+            "pbio_converter_cache_misses",
+            "bounded binding-cache lookups that had to build/fetch",
+            ("cache",),
+        ).labels(name)
+        self.evictions = registry.counter(
+            "pbio_converter_cache_evictions",
+            "entries dropped by the binding-cache LRU bound",
+            ("cache",),
+        ).labels(name)
+        self.size = registry.gauge(
+            "pbio_converter_cache_size",
+            "live entries in the bounded binding cache",
+            ("cache",),
+        ).labels(name)
+
+
+class BoundedLRU:
+    """Thread-safe LRU mapping with hit/miss/eviction accounting.
+
+    ``capacity`` bounds the number of live entries; inserting past the
+    bound evicts the least recently used entry.  Plain integer counters
+    (:attr:`hits` / :attr:`misses` / :attr:`evictions`) are always
+    maintained; the :mod:`repro.obs` series named above are updated
+    when the default registry is enabled.
+    """
+
+    def __init__(self, capacity: int, *, name: str = "converter") -> None:
+        if capacity < 1:
+            raise ReproError(f"LRU capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._handles: _Handles | None = None
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _obs(self) -> _Handles | None:
+        registry = _metrics._default_registry
+        if not registry.enabled:
+            return None
+        handles = self._handles
+        if handles is None or handles.registry is not registry:
+            handles = self._handles = _Handles(registry, self.name)
+        return handles
+
+    # -- mapping ---------------------------------------------------------------
+
+    def get(self, key, default=None):
+        """Return the cached value for ``key`` (marking it recently used)."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._data.move_to_end(key)
+                self.hits += 1
+                found = True
+            else:
+                self.misses += 1
+                found = False
+        handles = self._obs()
+        if handles is not None:
+            (handles.hits if found else handles.misses).inc()
+        return value if found else default
+
+    def put(self, key, value) -> None:
+        """Insert ``key``, evicting the LRU entry past the capacity bound."""
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+            size = len(self._data)
+        handles = self._obs()
+        if handles is not None:
+            if evicted:
+                handles.evictions.inc(evicted)
+            handles.size.set(size)
+
+    def pop(self, key) -> None:
+        """Drop ``key`` if present (explicit invalidation, not an eviction)."""
+        with self._lock:
+            self._data.pop(key, None)
+            size = len(self._data)
+        handles = self._obs()
+        if handles is not None:
+            handles.size.set(size)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        with self._lock:
+            self._data.clear()
+        handles = self._obs()
+        if handles is not None:
+            handles.size.set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> list:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._data)
+
+    def stats(self) -> dict:
+        """Counters plus occupancy in one reportable dict."""
+        with self._lock:
+            size = len(self._data)
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -69,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
         "at startup; the endpoint itself is always served",
     )
     parser.add_argument(
+        "--lineage",
+        action="store_true",
+        help="scan the directory's *.pbio archives for format metadata, "
+        "build the format-lineage registry (formats sharing a name "
+        "version-link in observation order) and serve it under "
+        "/lineage/ (PROTOCOL §16); in --cluster mode the ancestry "
+        "documents are quorum-published across the ring instead",
+    )
+    parser.add_argument(
         "--cluster",
         metavar="SxR",
         help="launch a local sharded cluster of S shards x R replicas "
@@ -141,6 +150,13 @@ def serve_cluster(args: argparse.Namespace, directory: Path) -> int:
         return 1
     if not published:
         print(f"metaserve: warning: no *.xsd files in {directory}", file=sys.stderr)
+    if args.lineage:
+        lineage = collect_lineage(directory)
+        for path, text in sorted(lineage.documents().items()):
+            result = client.publish(path, text)
+            print(f"published {path} -> shard {result.shard} "
+                  f"({result.acks}/{result.replicas} acks)")
+        print(f"lineage: {len(lineage)} format(s) quorum-published")
     for node in nodes:
         node.start()
     for shard in cluster_map.shards:
@@ -160,6 +176,25 @@ def serve_cluster(args: argparse.Namespace, directory: Path) -> int:
         server.stop()
     print("stopped")
     return 0
+
+
+def collect_lineage(directory: Path):
+    """Build a format-lineage registry from the directory's archives.
+
+    Every ``*.pbio`` file is scanned for embedded format metadata;
+    formats sharing a name version-link in observation order.  Returns
+    the :class:`~repro.pbio.FormatLineage` (possibly empty).
+    """
+    from repro.pbio import FormatLineage, IOContext
+    from repro.pbio.iofile import IOFileReader
+
+    lineage = FormatLineage()
+    for path in sorted(directory.glob("*.pbio")):
+        context = IOContext(lineage=lineage)
+        with IOFileReader(path, context) as reader:
+            for _ in reader.records():
+                pass
+    return lineage
 
 
 def publish_directory(
@@ -241,6 +276,13 @@ def serve_pool(args: argparse.Namespace, directory: Path) -> int:
         return 1
     if not urls:
         print(f"metaserve: warning: no *.xsd files in {directory}", file=sys.stderr)
+    if args.lineage:
+        # Workers are separate processes: ship the ancestry answers as
+        # static documents through catalog sync instead of a registry.
+        lineage = collect_lineage(directory)
+        for path, text in sorted(lineage.documents().items()):
+            pool.publish_schema(path, text)
+        print(f"lineage: {len(lineage)} format(s) under /lineage/")
     for url in urls:
         print(f"serving {url}")
     if args.metrics:
@@ -305,6 +347,10 @@ def main(argv: list[str] | None = None) -> int:
         if not published:
             print(f"metaserve: warning: no *.xsd files in {directory}",
                   file=sys.stderr)
+        if args.lineage:
+            lineage = collect_lineage(directory)
+            catalog.attach_lineage(lineage)
+            print(f"lineage: {len(lineage)} format(s) under /lineage/")
         return asyncio.run(serve_async(args, catalog))
     server = MetadataServer(args.host, args.port)
     try:
@@ -314,6 +360,10 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not urls:
         print(f"metaserve: warning: no *.xsd files in {directory}", file=sys.stderr)
+    if args.lineage:
+        lineage = collect_lineage(directory)
+        server.catalog.attach_lineage(lineage)
+        print(f"lineage: {len(lineage)} format(s) under /lineage/")
     server.start()
     for url in urls:
         print(f"serving {url}")

@@ -47,13 +47,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the dump, print the metrics collected while reading "
         "(decode counts and durations, codegen cache events)",
     )
+    parser.add_argument(
+        "--lineage",
+        action="store_true",
+        help="after the dump, print each format's ancestry chain (formats "
+        "sharing a name version-link in file order) and the projection "
+        "plan from every ancestor to its latest version — the format-"
+        "drift debugging view",
+    )
     return parser
+
+
+def render_lineage(lineage) -> list[str]:
+    """Render a :class:`~repro.pbio.FormatLineage` as report lines."""
+    from repro.pbio.evolution import compare_formats, describe_projection
+
+    lines: list[str] = []
+    seen: set[str] = set()
+    for format_id in lineage.known_ids():
+        fmt = lineage.format(format_id)
+        if fmt.name in seen:
+            continue
+        seen.add(fmt.name)
+        latest = lineage.latest(fmt.name)
+        chain = lineage.ancestry(latest.format_id)
+        document = lineage.describe(latest.format_id)
+        lines.append(
+            f"lineage {latest.name!r}: {len(chain)} version(s), "
+            f"latest v{document['version']} id {latest.format_id.hex()}"
+        )
+        for ancestor in chain[1:]:
+            old = lineage.format(ancestor)
+            relation = compare_formats(old, latest)
+            lines.append(
+                f"  ancestor id {ancestor.hex()} on {old.arch.name} "
+                f"({relation.value})"
+            )
+            for step in describe_projection(old, latest):
+                lines.append(f"    {step}")
+    return lines
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    context = IOContext()
+    lineage = None
+    if args.lineage:
+        from repro.pbio.evolution import FormatLineage
+
+        lineage = FormatLineage()
+    context = IOContext(lineage=lineage)
     printed_formats: set[str] = set()
     try:
         with IOFileReader(args.file, context) as reader:
@@ -85,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
     except (ReproError, OSError) as exc:
         print(f"pbdump: error: {exc}", file=sys.stderr)
         return 1
+    if lineage is not None:
+        print("# --- lineage ---")
+        for line in render_lineage(lineage):
+            print(line)
     if args.stats:
         from repro.obs.metrics import get_registry
 

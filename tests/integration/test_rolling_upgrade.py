@@ -1,0 +1,166 @@
+"""Rolling upgrade over a live broker, on both serving planes.
+
+The format-evolution scenario PROTOCOL §16 promises: a fleet of
+publishers upgrades from track v1 to track v2 *while subscribers on
+both versions keep consuming the same stream*.  Old and new publishers
+interleave mid-stream; every event decodes (zero decode errors), v1
+subscribers see new fields dropped, v2 subscribers see missing fields
+defaulted, and the converter cache compiles exactly one converter per
+live (wire, native) pair regardless of traffic volume.
+"""
+
+from repro import aio
+from repro.arch import SPARC_32, X86_64
+from repro.events.remote import BrokerServer, RemoteBackboneClient
+from repro.pbio import FormatLineage, IOContext, IOField
+
+
+def v1_fields(arch):
+    return [
+        IOField("flight", "string", arch.pointer_size, 0),
+        IOField("alt", "integer", 4, arch.pointer_size),
+    ]
+
+
+def v2_fields(arch):
+    return v1_fields(arch) + [
+        IOField("speed", "double", 8, arch.pointer_size + 8),
+    ]
+
+
+TRAFFIC = [
+    # (generation publishing, record sent)
+    ("v1", {"flight": "A", "alt": 1}),
+    ("v1", {"flight": "B", "alt": 2}),
+    # The upgrade starts: v2 publishers join, v1 publishers still live.
+    ("v2", {"flight": "C", "alt": 3, "speed": 99.0}),
+    ("v1", {"flight": "D", "alt": 4}),
+    ("v2", {"flight": "E", "alt": 5, "speed": 100.0}),
+    # The upgrade completes: only v2 publishers remain.
+    ("v2", {"flight": "F", "alt": 6, "speed": 101.0}),
+]
+
+
+def by_flight(records):
+    # Events from *different* publisher connections have no global
+    # ordering guarantee; each subscriber's view is compared as a set.
+    return sorted(records, key=lambda record: record["flight"])
+
+
+def expected_v1_view():
+    return [
+        {"flight": record["flight"], "alt": record["alt"]}
+        for _, record in TRAFFIC
+    ]
+
+
+def expected_v2_view():
+    return [
+        {"flight": record["flight"], "alt": record["alt"],
+         "speed": record.get("speed", 0.0)}
+        for _, record in TRAFFIC
+    ]
+
+
+def test_rolling_upgrade_threaded_plane():
+    lineage = FormatLineage()
+    with BrokerServer() as broker:
+        host, port = broker.address
+
+        old_sender = IOContext(SPARC_32, lineage=lineage)
+        old_sender.register_format("track", v1_fields(SPARC_32))
+        new_sender = IOContext(X86_64, lineage=lineage)
+        new_sender.register_format("track", v2_fields(X86_64))
+
+        v1_rx = IOContext(X86_64)
+        v1_rx.register_format("track", v1_fields(X86_64))
+        v2_rx = IOContext(SPARC_32)
+        v2_rx.register_format("track", v2_fields(SPARC_32))
+
+        v1_subscriber = RemoteBackboneClient.connect(host, port, v1_rx)
+        v1_subscriber.subscribe("tracks")
+        v2_subscriber = RemoteBackboneClient.connect(host, port, v2_rx)
+        v2_subscriber.subscribe("tracks")
+
+        old_client = RemoteBackboneClient.connect(host, port, old_sender)
+        new_client = RemoteBackboneClient.connect(host, port, new_sender)
+        publishers = {
+            "v1": old_client.publisher("tracks"),
+            "v2": new_client.publisher("tracks"),
+        }
+        for generation, record in TRAFFIC:
+            publishers[generation].publish("track", record)
+
+        v1_seen = [
+            v1_subscriber.next_event(timeout=5, expect="track").values
+            for _ in TRAFFIC
+        ]
+        v2_seen = [
+            v2_subscriber.next_event(timeout=5, expect="track").values
+            for _ in TRAFFIC
+        ]
+        assert by_flight(v1_seen) == expected_v1_view()
+        assert by_flight(v2_seen) == expected_v2_view()
+
+        # Amortization: one converter per live (wire, native) pair —
+        # two wire generations each — however long the stream runs.
+        assert v1_rx.converter_builds == 2
+        assert v2_rx.converter_builds == 2
+
+        # The senders shared a lineage: v2 chains to v1 by name.
+        v2_fmt = new_sender.lookup_format("track")
+        v1_fmt = old_sender.lookup_format("track")
+        assert lineage.ancestry(v2_fmt.format_id) == [
+            v2_fmt.format_id, v1_fmt.format_id,
+        ]
+
+        for client in (v1_subscriber, v2_subscriber, old_client, new_client):
+            client.close()
+
+
+def test_rolling_upgrade_async_plane(arun):
+    async def scenario():
+        async with aio.AsyncEventBroker() as broker:
+            host, port = broker.address
+
+            old_sender = IOContext(SPARC_32)
+            old_sender.register_format("track", v1_fields(SPARC_32))
+            new_sender = IOContext(X86_64)
+            new_sender.register_format("track", v2_fields(X86_64))
+
+            v1_rx = IOContext(X86_64)
+            v1_rx.register_format("track", v1_fields(X86_64))
+            v2_rx = IOContext(SPARC_32)
+            v2_rx.register_format("track", v2_fields(SPARC_32))
+
+            v1_subscriber = await aio.AsyncBackboneClient.connect(host, port, v1_rx)
+            await v1_subscriber.subscribe("tracks")
+            v2_subscriber = await aio.AsyncBackboneClient.connect(host, port, v2_rx)
+            await v2_subscriber.subscribe("tracks")
+
+            old_client = await aio.AsyncBackboneClient.connect(host, port, old_sender)
+            new_client = await aio.AsyncBackboneClient.connect(host, port, new_sender)
+            publishers = {
+                "v1": old_client.publisher("tracks"),
+                "v2": new_client.publisher("tracks"),
+            }
+            for generation, record in TRAFFIC:
+                await publishers[generation].publish("track", record)
+
+            v1_seen = [
+                (await v1_subscriber.next_event(timeout=5, expect="track")).values
+                for _ in TRAFFIC
+            ]
+            v2_seen = [
+                (await v2_subscriber.next_event(timeout=5, expect="track")).values
+                for _ in TRAFFIC
+            ]
+            builds = (v1_rx.converter_builds, v2_rx.converter_builds)
+            for client in (v1_subscriber, v2_subscriber, old_client, new_client):
+                await client.close()
+            return v1_seen, v2_seen, builds
+
+    v1_seen, v2_seen, builds = arun(scenario())
+    assert by_flight(v1_seen) == expected_v1_view()
+    assert by_flight(v2_seen) == expected_v2_view()
+    assert builds == (2, 2)

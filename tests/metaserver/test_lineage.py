@@ -1,0 +1,173 @@
+"""The /lineage/* endpoints: both serving planes, client helpers, replication.
+
+The lineage registry is catalog-level state (PROTOCOL §16): a threaded
+and an async front end over the same catalog answer identically, the
+ancestry documents replicate through ``repro.cluster`` as ordinary
+static documents, and replicas answer ``/lineage/`` queries without a
+local registry.
+"""
+
+import json
+
+import pytest
+
+from repro import aio
+from repro.arch import SPARC_32, X86_64
+from repro.cluster import ClusterClient
+from repro.errors import DiscoveryError
+from repro.metaserver import MetadataClient, MetadataServer, http_get
+from repro.metaserver.catalog import MetadataCatalog
+from repro.pbio import FormatLineage, IOContext, IOField
+
+from tests.cluster.test_node import LiveCluster
+
+
+def v1_fields(arch):
+    return [
+        IOField("flight", "string", arch.pointer_size, 0),
+        IOField("alt", "integer", 4, arch.pointer_size),
+    ]
+
+
+def v2_fields(arch):
+    return v1_fields(arch) + [
+        IOField("speed", "double", 8, arch.pointer_size + 8),
+    ]
+
+
+@pytest.fixture
+def lineage():
+    registry = FormatLineage()
+    v1 = IOContext(SPARC_32, lineage=registry).register_format(
+        "track", v1_fields(SPARC_32)
+    )
+    v2 = IOContext(X86_64, lineage=registry).register_format(
+        "track", v2_fields(X86_64)
+    )
+    return registry, v1, v2
+
+
+@pytest.fixture
+def server(lineage):
+    registry, _, _ = lineage
+    with MetadataServer() as running:
+        running.catalog.attach_lineage(registry)
+        yield running
+
+
+class TestThreadedPlane:
+    def test_describe_endpoint(self, server, lineage):
+        registry, v1, v2 = lineage
+        body = http_get(server.url_for(f"/lineage/{v2.format_id.hex()}"))
+        document = json.loads(body)
+        assert document == registry.describe(v2.format_id)
+        assert document["name"] == "track" and document["version"] == 2
+        assert document["parent"] == v1.format_id.hex()
+
+    def test_compat_endpoint(self, server, lineage):
+        registry, v1, v2 = lineage
+        body = http_get(
+            server.url_for(
+                f"/lineage/{v2.format_id.hex()}/compat/{v1.format_id.hex()}"
+            )
+        )
+        answer = json.loads(body)
+        assert answer["relation"] == "projection"
+        assert answer["compatible"] and answer["projection_needed"]
+
+    def test_malformed_hex_is_400(self, server):
+        with pytest.raises(DiscoveryError, match="400"):
+            http_get(server.url_for("/lineage/zzzz"))
+
+    def test_wrong_shape_is_400(self, server, lineage):
+        _, v1, _ = lineage
+        with pytest.raises(DiscoveryError, match="400"):
+            http_get(server.url_for(f"/lineage/{v1.format_id.hex()}/nope"))
+
+    def test_unknown_id_is_404(self, server):
+        with pytest.raises(DiscoveryError, match="404"):
+            http_get(server.url_for("/lineage/" + "00" * 8))
+
+    def test_without_lineage_attached_is_404(self):
+        with MetadataServer() as bare:
+            with pytest.raises(DiscoveryError, match="404"):
+                http_get(bare.url_for("/lineage/" + "00" * 8))
+
+
+class TestClientHelpers:
+    def test_get_lineage(self, server, lineage):
+        registry, _, v2 = lineage
+        host, port = server.address
+        document = MetadataClient().get_lineage(
+            f"http://{host}:{port}", v2.format_id
+        )
+        assert document == registry.describe(v2.format_id)
+
+    def test_get_compatibility(self, server, lineage):
+        _, v1, v2 = lineage
+        host, port = server.address
+        answer = MetadataClient().get_compatibility(
+            f"http://{host}:{port}", v1.format_id, v2.format_id
+        )
+        assert answer["relation"] == "projection"
+        # v1 -> v2 means the receiver defaults the new field.
+        assert answer["projection_needed"]
+
+    def test_format_cache_is_bounded(self, server, lineage):
+        """The client's parsed-format cache rides the shared LRU."""
+        client = MetadataClient(format_capacity=1)
+        stats = client.format_cache_stats()
+        assert stats["capacity"] == 1 and stats["name"] == "client_format"
+        assert "format_cache" in client.stats()
+
+
+class TestAsyncPlane:
+    def test_both_planes_answer_identically(self, arun, lineage):
+        registry, _, v2 = lineage
+        catalog = MetadataCatalog()
+        catalog.attach_lineage(registry)
+        path = f"/lineage/{v2.format_id.hex()}"
+        with MetadataServer(catalog=catalog) as threaded:
+            sync_body = http_get(threaded.url_for(path))
+
+            async def fetch_async_plane():
+                async with aio.AsyncMetadataServer(catalog=catalog) as server:
+                    async with aio.AsyncMetadataClient() as client:
+                        return await client.get(server.url_for(path))
+
+            async_body = arun(fetch_async_plane())
+        assert sync_body == async_body
+        assert json.loads(sync_body) == registry.describe(v2.format_id)
+
+
+class TestReplication:
+    def test_documents_serve_without_a_registry(self, lineage):
+        """A replica holding only the static documents answers /lineage/."""
+        registry, _, v2 = lineage
+        replica = MetadataCatalog()
+        for path, text in registry.documents().items():
+            replica.publish_schema(path, text)
+        with MetadataServer(catalog=replica) as server:
+            body = http_get(server.url_for(f"/lineage/{v2.format_id.hex()}"))
+        assert json.loads(body) == registry.describe(v2.format_id)
+
+    def test_static_documents_win_over_attached_registry(self, lineage):
+        registry, _, v2 = lineage
+        catalog = MetadataCatalog()
+        catalog.attach_lineage(registry)
+        path = f"/lineage/{v2.format_id.hex()}"
+        catalog.publish_schema(path, '{"pinned": true}')
+        with MetadataServer(catalog=catalog) as server:
+            assert json.loads(http_get(server.url_for(path))) == {"pinned": True}
+
+    def test_cluster_replicates_lineage_documents(self, lineage):
+        registry, _, v2 = lineage
+        path = f"/lineage/{v2.format_id.hex()}"
+        with LiveCluster(1, 2) as cluster:
+            client = ClusterClient(cluster.cluster_map, write_quorum=2)
+            for doc_path, text in sorted(registry.documents().items()):
+                assert client.publish(doc_path, text).ok
+            # Every replica serves the ancestry document, registry-free.
+            for server in cluster.servers:
+                body = http_get(server.url_for(path))
+                assert json.loads(body) == registry.describe(v2.format_id)

@@ -2,7 +2,13 @@
 
 from repro.arch import SPARC_32, X86_64
 from repro.pbio import IOContext, IOField
-from repro.pbio.evolution import default_record, formats_compatible, make_projection
+from repro.pbio.evolution import (
+    Compatibility,
+    compare_formats,
+    default_record,
+    formats_compatible,
+    make_projection,
+)
 
 
 def v1_fields(arch):
@@ -145,3 +151,40 @@ class TestCompatibilityPredicate:
         a = IOContext(SPARC_32).register_format("t", v1_fields(SPARC_32))
         b = IOContext(X86_64).register_format("t", v2_fields(X86_64), record_length=24)
         assert not formats_compatible(a, b)
+
+    def test_identical_metadata_is_identity(self):
+        a = IOContext(X86_64).register_format("t", v1_fields(X86_64))
+        b = IOContext(X86_64).register_format("t", v1_fields(X86_64))
+        relation = compare_formats(a, b)
+        assert relation is Compatibility.IDENTITY
+        assert relation.compatible and not relation.projection_needed
+
+    def test_same_fields_other_arch_is_equivalent(self):
+        """Decode is needed (layouts differ) but projection is not."""
+        a = IOContext(SPARC_32).register_format("t", v1_fields(SPARC_32))
+        b = IOContext(X86_64).register_format("t", v1_fields(X86_64))
+        assert compare_formats(a, b) is Compatibility.EQUIVALENT
+
+    def test_reordered_fields_are_not_identity(self):
+        """Alias-aware: same *set* of fields in another order projects.
+
+        The old set-equality predicate reported these as interchangeable."""
+        a = IOContext(X86_64).register_format(
+            "t", [IOField("x", "integer", 4, 0), IOField("y", "double", 8, 8)]
+        )
+        b = IOContext(X86_64).register_format(
+            "t", [IOField("y", "double", 8, 0), IOField("x", "integer", 4, 8)]
+        )
+        assert compare_formats(a, b) is Compatibility.PROJECTION
+        assert not formats_compatible(a, b)
+
+    def test_retyped_field_is_projection(self):
+        a = IOContext(X86_64).register_format("t", [IOField("x", "integer", 4, 0)])
+        b = IOContext(X86_64).register_format("t", [IOField("x", "double", 8, 0)])
+        assert compare_formats(a, b) is Compatibility.PROJECTION
+
+    def test_enum_values_are_wire_strings(self):
+        """The lineage endpoint serializes ``relation`` as these strings."""
+        assert Compatibility.IDENTITY.value == "identity"
+        assert Compatibility.EQUIVALENT.value == "equivalent"
+        assert Compatibility.PROJECTION.value == "projection"

@@ -147,6 +147,97 @@ def schema_and_record(draw, max_fields: int = 6, nested: bool = False):
 
 
 @st.composite
+def evolution_case(draw, max_fields: int = 5):
+    """(wire schema, target schema, format name, wire record) quadruple.
+
+    Both schemas share a pool of field specs; each field lands in the
+    wire schema only (the receiver drops it), the target schema only
+    (the receiver defaults it), or both (copied through).  The target's
+    field order is an arbitrary permutation, so order-insensitivity is
+    exercised on every draw.  Optionally one nested complex type is
+    present on both sides — identical or itself evolved, covering the
+    recursive projection path.
+    """
+    field_count = draw(st.integers(1, max_fields))
+    names = draw(
+        st.lists(
+            _NAMES.filter(lambda n: n != "seq" and not n.endswith("_count")),
+            min_size=field_count,
+            max_size=field_count,
+            unique=True,
+        ).filter(
+            lambda ns: not any(a + "_count" == b for a in ns for b in ns)
+        )
+    )
+    # A shared anchor field keeps both schemas non-empty on every draw.
+    wire_lines = ['    <xsd:element name="seq" type="xsd:integer" />']
+    target_lines = list(wire_lines)
+    record: dict = {"seq": draw(st.integers(-(2**31), 2**31 - 1))}
+    for name in names:
+        line, (shape, values, count) = draw(element_spec(name))
+        fate = draw(st.sampled_from(["both", "both", "wire", "target"]))
+        if fate in ("both", "wire"):
+            wire_lines.append("    " + line)
+            if shape in ("scalar", "charbuf"):
+                record[name] = draw(values)
+            elif shape == "list":
+                record[name] = [draw(values) for _ in range(count)]
+            else:  # dynlist
+                length = draw(st.integers(0, 5))
+                record[name] = [draw(values) for _ in range(length)]
+                record[f"{name}_count"] = length
+        if fate in ("both", "target"):
+            target_lines.append("    " + line)
+    target_lines = draw(st.permutations(target_lines))
+
+    def inner_block(with_extra: bool) -> str:
+        extra = (
+            '    <xsd:element name="ik" type="xsd:integer" />\n'
+            if with_extra
+            else ""
+        )
+        return (
+            '  <xsd:complexType name="InnerT">\n'
+            '    <xsd:element name="iv" type="xsd:integer" />\n'
+            '    <xsd:element name="is" type="xsd:string" />\n'
+            f"{extra}"
+            "  </xsd:complexType>\n"
+        )
+
+    nested_fate = draw(st.sampled_from(["none", "same", "wire_extra", "target_extra"]))
+    wire_inner = target_inner = ""
+    if nested_fate != "none":
+        nested_name = draw(
+            _NAMES.filter(lambda n: n not in names and n != "seq")
+        )
+        wire_inner = inner_block(nested_fate == "wire_extra")
+        target_inner = inner_block(nested_fate == "target_extra")
+        element = f'    <xsd:element name="{nested_name}" type="InnerT" />'
+        wire_lines.append(element)
+        target_lines = [*target_lines, element]
+        record[nested_name] = {
+            "iv": draw(st.integers(-(2**31), 2**31 - 1)),
+            "is": draw(st.one_of(st.none(), _ASCII_WORD)),
+        }
+        if nested_fate == "wire_extra":
+            record[nested_name]["ik"] = draw(st.integers(-(2**31), 2**31 - 1))
+
+    def render(inner: str, lines: list) -> str:
+        body = "\n".join(lines)
+        return (
+            '<?xml version="1.0"?>\n'
+            f'<xsd:schema xmlns:xsd="{_XSD}">\n'
+            f"{inner}"
+            '  <xsd:complexType name="PropT">\n'
+            f"{body}\n"
+            "  </xsd:complexType>\n"
+            "</xsd:schema>\n"
+        )
+
+    return render(wire_inner, wire_lines), render(target_inner, target_lines), "PropT", record
+
+
+@st.composite
 def schema_and_records(
     draw, max_fields: int = 6, min_records: int = 1, max_records: int = 8
 ):

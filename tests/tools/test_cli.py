@@ -146,6 +146,65 @@ class TestMetaserveHelpers:
         assert metaserve_tool.main([str(tmp_path / "absent")]) == 1
 
 
+class TestMetaserveLineage:
+    def make_archives(self, directory):
+        from repro.arch import SPARC_32, X86_64
+        from repro.pbio import IOContext, IOField
+        from repro.pbio.iofile import dump_records
+
+        def fields(arch, with_speed):
+            out = [
+                IOField("flight", "string", arch.pointer_size, 0),
+                IOField("alt", "integer", 4, arch.pointer_size),
+            ]
+            if with_speed:
+                out.append(IOField("speed", "double", 8, arch.pointer_size + 8))
+            return out
+
+        v1_context = IOContext(SPARC_32)
+        v1_context.register_format("track", fields(SPARC_32, False))
+        dump_records(
+            directory / "a_v1.pbio", v1_context, "track",
+            [{"flight": "A", "alt": 1}],
+        )
+        v2_context = IOContext(X86_64)
+        v2_context.register_format("track", fields(X86_64, True))
+        dump_records(
+            directory / "b_v2.pbio", v2_context, "track",
+            [{"flight": "B", "alt": 2, "speed": 9.0}],
+        )
+
+    def test_collect_lineage_chains_archive_formats(self, tmp_path):
+        self.make_archives(tmp_path)
+        lineage = metaserve_tool.collect_lineage(tmp_path)
+        assert len(lineage) == 2
+        latest = lineage.latest("track")
+        assert lineage.describe(latest.format_id)["version"] == 2
+        assert len(lineage.ancestry(latest.format_id)) == 2
+
+    def test_lineage_documents_served_by_catalog(self, tmp_path):
+        self.make_archives(tmp_path)
+        lineage = metaserve_tool.collect_lineage(tmp_path)
+        server = MetadataServer()
+        server.catalog.attach_lineage(lineage)
+        from repro.metaserver.http import HTTPRequest
+
+        latest = lineage.latest("track")
+        response = server.catalog.lookup(
+            HTTPRequest("GET", f"/lineage/{latest.format_id.hex()}")
+        )
+        assert response.status == 200
+
+    def test_parser_accepts_lineage_flag(self):
+        args = metaserve_tool.build_parser().parse_args(["./schemas", "--lineage"])
+        assert args.lineage is True
+        args = metaserve_tool.build_parser().parse_args(["./schemas"])
+        assert args.lineage is False
+
+    def test_empty_directory_empty_lineage(self, tmp_path):
+        assert len(metaserve_tool.collect_lineage(tmp_path)) == 0
+
+
 class TestMetaservePoolFlags:
     def test_parser_accepts_workers_and_status(self):
         args = metaserve_tool.build_parser().parse_args(

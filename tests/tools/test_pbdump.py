@@ -65,6 +65,55 @@ class TestPbdump:
         assert pbdump_tool.main([str(path)]) == 1
 
 
+@pytest.fixture
+def evolved_archive(tmp_path):
+    """An archive carrying two versions of 'track' (the drift case)."""
+    from repro.pbio.format import IOFormat
+    from repro.pbio.iofile import IOFileWriter
+
+    path = tmp_path / "tracks.pbio"
+    context = IOContext(SPARC_32)
+    v1 = context.register_format(
+        "track",
+        [IOField("flight", "string", 4, 0), IOField("alt", "integer", 4, 4)],
+    )
+    v2 = IOFormat(
+        "track",
+        [
+            IOField("flight", "string", 4, 0),
+            IOField("alt", "integer", 4, 4),
+            IOField("speed", "double", 8, 8),
+        ],
+        SPARC_32,
+        catalog={},
+    )
+    with IOFileWriter(path, context) as writer:
+        writer.write(v1, {"flight": "A", "alt": 1})
+        writer.write(v2, {"flight": "B", "alt": 2, "speed": 99.0})
+    return path
+
+
+class TestLineageFlag:
+    def test_lineage_section_printed(self, evolved_archive, capsys):
+        assert pbdump_tool.main([str(evolved_archive), "--lineage"]) == 0
+        out = capsys.readouterr().out
+        assert "# --- lineage ---" in out
+        assert "lineage 'track': 2 version(s), latest v2" in out
+        assert "ancestor id" in out and "(projection)" in out
+        # The projection plan from the ancestor to the latest version.
+        assert "default  speed" in out
+
+    def test_single_version_has_no_ancestors(self, archive, capsys):
+        assert pbdump_tool.main([str(archive), "--lineage"]) == 0
+        out = capsys.readouterr().out
+        assert "lineage 'tick': 1 version(s), latest v1" in out
+        assert "ancestor id" not in out
+
+    def test_no_flag_no_section(self, archive, capsys):
+        pbdump_tool.main([str(archive)])
+        assert "lineage" not in capsys.readouterr().out
+
+
 class TestCHeaderFlag:
     def test_c_header_written(self, tmp_path, capsys):
         schema_path = tmp_path / "s.xsd"
